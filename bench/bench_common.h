@@ -1,0 +1,76 @@
+// Shared helpers for the experiment harnesses: site construction, form
+// harvesting, and table printing. Every experiment binary prints a header
+// naming the paper claim it reproduces, the measured rows, and a PASS /
+// DIVERGED verdict on the claim's *shape* (who wins, by what factor).
+
+#ifndef DEEPSURF_BENCH_BENCH_COMMON_H_
+#define DEEPSURF_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/form_model.h"
+#include "html/forms.h"
+#include "html/parser.h"
+#include "html/text.h"
+#include "net/web.h"
+#include "synthweb/deep_site.h"
+#include "util/logging.h"
+
+namespace deepsurf {
+namespace bench {
+
+/// One generated site registered on its own simulated web, with the
+/// harvested and analyzed form (fetched through the real pipeline).
+struct SiteFixture {
+  net::SimulatedWeb web;
+  std::shared_ptr<synthweb::DeepWebSite> site;
+  net::Url page_url;
+  html::Form form;
+  std::string scripts;
+  core::AnalyzedForm analyzed;
+};
+
+inline std::unique_ptr<SiteFixture> MakeFixture(
+    synthweb::Domain domain, uint64_t seed, size_t rows,
+    const std::string& host = "site.example.com") {
+  auto f = std::make_unique<SiteFixture>();
+  Rng rng(seed);
+  synthweb::SiteGenOptions opts;
+  opts.num_rows = rows;
+  opts.force_get = true;
+  opts.obfuscate_probability = 0.0;
+  f->site = std::make_shared<synthweb::DeepWebSite>(
+      synthweb::GenerateSite(domain, host, &rng, opts));
+  DS_CHECK_OK(f->web.Register(f->site));
+  auto resp = f->web.Get(f->site->FormPageUrl());
+  DS_CHECK(resp.ok());
+  auto dom = html::Parse(resp->body);
+  auto forms = html::ExtractForms(*dom);
+  DS_CHECK(forms.size() == 1);
+  f->form = forms[0];
+  f->scripts = html::ExtractScriptText(*dom);
+  f->page_url = net::Url::Parse(f->site->FormPageUrl()).value();
+  auto analyzed = core::AnalyzeForm(f->page_url, f->form, f->scripts);
+  DS_CHECK(analyzed.ok());
+  f->analyzed = std::move(analyzed).value();
+  return f;
+}
+
+inline void Header(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void Verdict(bool ok, const char* shape) {
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("shape check [%s]: %s\n", ok ? "PASS" : "DIVERGED", shape);
+}
+
+}  // namespace bench
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_BENCH_BENCH_COMMON_H_

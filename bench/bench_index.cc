@@ -1,0 +1,71 @@
+// M2 — substrate micro-benchmark: inverted-index build and BM25 query
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "index/inverted_index.h"
+#include "synthweb/vocab.h"
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace {
+
+std::vector<std::string> MakeDocs(size_t n) {
+  Rng rng(11);
+  std::vector<std::string> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    docs.push_back(synthweb::RandomProse(&rng, 80));
+  }
+  return docs;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    index::InvertedIndex idx;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      benchmark::DoNotOptimize(
+          idx.AddDocument("u" + std::to_string(i), "title", docs[i], false,
+                          "h"));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000);
+
+void BM_Bm25Query(benchmark::State& state) {
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)));
+  index::InvertedIndex idx;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    (void)idx.AddDocument("u" + std::to_string(i), "title", docs[i], false,
+                          "h");
+  }
+  Rng rng(13);
+  const auto& words = synthweb::EnglishWords();
+  for (auto _ : state) {
+    std::string query = rng.Pick(words) + " " + rng.Pick(words);
+    auto hits = idx.Search(query, 10);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Bm25Query)->Arg(1000)->Arg(10000);
+
+void BM_CharacteristicTerms(benchmark::State& state) {
+  auto docs = MakeDocs(2000);
+  index::InvertedIndex idx;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    (void)idx.AddDocument("u" + std::to_string(i), "t", docs[i], false,
+                          "host" + std::to_string(i % 20));
+  }
+  for (auto _ : state) {
+    auto terms = idx.CharacteristicTerms("host7", 15);
+    benchmark::DoNotOptimize(terms);
+  }
+}
+BENCHMARK(BM_CharacteristicTerms);
+
+}  // namespace
+}  // namespace deepsurf

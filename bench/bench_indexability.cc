@@ -1,0 +1,116 @@
+// E10 — the indexability criterion (paper §5.2, [12]).
+//
+// Claims reproduced: "the pages we extract should neither have too many
+// results on a single surfaced page nor too few. We present an algorithm
+// that selects a surfacing scheme that tries to ensure such an
+// indexability criterion while also minimizing the surfaced pages and
+// maximizing coverage." We compare the scheme selector with the
+// indexability window against a coverage-greedy ablation on sites with
+// extreme result-page sizes.
+
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+#include "core/surfacer.h"
+#include "util/stats.h"
+
+namespace deepsurf {
+namespace {
+
+struct SchemeOutcome {
+  size_t urls = 0;
+  double median_records = 0.0;
+  double p90_records = 0.0;
+  size_t empty_pages = 0;
+  size_t mega_pages = 0;
+  size_t distinct_records = 0;
+};
+
+SchemeOutcome Fetch(bench::SiteFixture* f,
+                    const std::vector<core::SurfacedUrl>& urls,
+                    size_t mega_threshold) {
+  SchemeOutcome out;
+  out.urls = urls.size();
+  std::vector<double> counts;
+  std::set<uint64_t> records;
+  for (const auto& surfaced : urls) {
+    auto resp = f->web.Get(surfaced.url);
+    if (!resp.ok() || resp->status_code != 200) continue;
+    auto reduced = core::ReducePage(resp->status_code, resp->body);
+    counts.push_back(static_cast<double>(reduced.record_count));
+    if (reduced.record_count == 0) ++out.empty_pages;
+    if (reduced.record_count >= mega_threshold) ++out.mega_pages;
+    for (uint64_t h : reduced.record_hashes) records.insert(h);
+  }
+  out.median_records = stats::Median(counts);
+  out.p90_records = stats::Percentile(counts, 90);
+  out.distinct_records = records.size();
+  return out;
+}
+
+int Run() {
+  bench::Header(
+      "E10: the indexability criterion",
+      "surfaced pages should have neither too few nor too many results; "
+      "the scheme selector enforces the window while keeping coverage");
+
+  std::printf("%-8s %-22s %-8s %-10s %-8s %-8s %-8s %-10s\n", "site",
+              "scheme", "URLs", "median", "p90", "empty", "mega",
+              "records");
+  bool window_enforced = true;
+  bool coverage_kept = true;
+  for (uint64_t seed : {9901, 9912, 9923, 9934}) {
+    auto f = bench::MakeFixture(synthweb::Domain::kUsedCars, seed, 900);
+    const size_t kMaxRecords = 60;
+
+    core::SurfacerOptions with;
+    with.templates.sample_assignments = 10;
+    with.probing.rounds = 1;
+    with.max_urls_per_form = 3000;
+    with.indexability.max_records_per_page = kMaxRecords;
+    core::Surfacer surfacer_with(&f->web, nullptr, with);
+    auto on = surfacer_with.Surface(f->page_url, f->form, f->scripts);
+    DS_CHECK(on.ok());
+
+    core::SurfacerOptions without = with;
+    without.enable_indexability = false;
+    core::Surfacer surfacer_without(&f->web, nullptr, without);
+    auto off = surfacer_without.Surface(f->page_url, f->form, f->scripts);
+    DS_CHECK(off.ok());
+
+    auto on_outcome = Fetch(f.get(), on->urls, kMaxRecords + 1);
+    auto off_outcome = Fetch(f.get(), off->urls, kMaxRecords + 1);
+
+    std::printf("%-8llu %-22s %-8zu %-10.1f %-8.1f %-8zu %-8zu %-10zu\n",
+                static_cast<unsigned long long>(seed),
+                "indexability window", on_outcome.urls,
+                on_outcome.median_records, on_outcome.p90_records,
+                on_outcome.empty_pages, on_outcome.mega_pages,
+                on_outcome.distinct_records);
+    std::printf("%-8s %-22s %-8zu %-10.1f %-8.1f %-8zu %-8zu %-10zu\n",
+                "", "coverage-greedy", off_outcome.urls,
+                off_outcome.median_records, off_outcome.p90_records,
+                off_outcome.empty_pages, off_outcome.mega_pages,
+                off_outcome.distinct_records);
+    if (on_outcome.median_records < 1.0 ||
+        on_outcome.median_records > static_cast<double>(kMaxRecords)) {
+      window_enforced = false;
+    }
+    // The window must not cost much coverage relative to greedy.
+    if (off_outcome.distinct_records > 0 &&
+        static_cast<double>(on_outcome.distinct_records) <
+            0.5 * static_cast<double>(off_outcome.distinct_records)) {
+      coverage_kept = false;
+    }
+  }
+  bench::Verdict(window_enforced && coverage_kept,
+                 "median records/page stays inside the window while "
+                 "coverage stays within 2x of coverage-greedy");
+  return (window_enforced && coverage_kept) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace deepsurf
+
+int main() { return deepsurf::Run(); }

@@ -1,0 +1,96 @@
+// Quickstart: the whole deepsurf pipeline in one file.
+//
+//   1. build a small simulated web (one deep-web site, one hub page);
+//   2. crawl the surface — the crawler finds the form but cannot reach
+//      the content behind it;
+//   3. surface the form: analyze inputs, probe, generate GET URLs;
+//   4. insert the surfaced pages into the search index;
+//   5. answer a keyword query that only deep-web content can answer.
+//
+// Run:  ./quickstart
+
+#include <cstdio>
+
+#include "core/surfacer.h"
+#include "crawler/crawler.h"
+#include "html/parser.h"
+#include "html/text.h"
+#include "index/analyzer.h"
+#include "synthweb/corpus.h"
+
+using namespace deepsurf;
+
+int main() {
+  // 1. A tiny web: 2 deep-web sites + hub + a couple of surface sites.
+  synthweb::CorpusOptions copts;
+  copts.num_deep_sites = 2;
+  copts.num_surface_sites = 2;
+  copts.min_rows = 80;
+  copts.max_rows = 150;
+  copts.post_probability = 0.0;
+  copts.seed = 4242;
+  auto corpus = synthweb::BuildCorpus(copts);
+  std::printf("web: %zu deep sites (%zu hidden records), seed %s\n",
+              corpus.deep_sites.size(), corpus.TotalDeepRows(),
+              corpus.directory_url.c_str());
+
+  // 2. Crawl. Only linked pages are reachable; /search result pages are
+  //    not (that is what makes the content "deep").
+  index::InvertedIndex index;
+  crawler::Crawler crawler(corpus.web.get(), &index, {});
+  if (auto status = crawler.Crawl({corpus.directory_url}); !status.ok()) {
+    std::printf("crawl failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("crawl: %zu pages fetched, %zu forms discovered, index has "
+              "%zu docs\n",
+              crawler.stats().pages_fetched, crawler.stats().forms_found,
+              index.num_docs());
+
+  // 3 + 4. Surface every discovered form and index the generated pages.
+  core::Surfacer surfacer(corpus.web.get(), &index, {});
+  extract::AnnotationStore annotations;
+  for (const auto& discovered : crawler.forms()) {
+    std::string scripts;
+    if (auto page = corpus.web->Get(discovered.page_url); page.ok()) {
+      auto dom = html::Parse(page->body);
+      scripts = html::ExtractScriptText(*dom);
+    }
+    auto result = surfacer.Surface(discovered.page_url, discovered.form,
+                                   scripts);
+    if (!result.ok()) {
+      std::printf("  surface failed: %s\n",
+                  result.status().ToString().c_str());
+      continue;
+    }
+    if (result->skipped_post) {
+      std::printf("  %s: POST form, cannot surface\n",
+                  discovered.page_url.host().c_str());
+      continue;
+    }
+    auto indexed = core::IndexSurfacedUrls(corpus.web.get(), &index,
+                                           result->urls, &annotations);
+    std::printf("  %s: %zu probes -> %zu URLs -> %zu pages indexed\n",
+                discovered.page_url.host().c_str(), result->probes_used,
+                result->urls.size(), indexed.ok() ? *indexed : 0);
+  }
+  std::printf("index now has %zu docs\n", index.num_docs());
+
+  // 5. A query about a *tail* record: only a surfaced page can answer.
+  const auto& entity = corpus.entities.back();
+  auto tokens = index::ContentTokens(corpus.EntityText(entity));
+  std::string query = tokens[0] + " " + tokens[1] + " " + tokens[2];
+  std::printf("\nquery: \"%s\"\n", query.c_str());
+  auto hits = index.Search(query, 5);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    const auto& doc = index.doc(hits[i].doc);
+    std::printf("  %zu. [%.2f] %s %s\n", i + 1, hits[i].score,
+                doc.is_deep_web ? "(deep)" : "(surface)",
+                doc.url.c_str());
+  }
+  if (!hits.empty() && index.doc(hits[0].doc).is_deep_web) {
+    std::printf("\nthe top answer is surfaced deep-web content — the "
+                "crawler alone could never have reached it.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// The semantic server (paper §6): harvest meta-data from a pile of forms
+// and result-page tables, then exercise all four services — synonyms,
+// values, entity properties, schema auto-complete.
+//
+// Run:  ./semantic_services
+
+#include <cstdio>
+
+#include "html/forms.h"
+#include "html/parser.h"
+#include "html/text.h"
+#include "semantic/acsdb.h"
+#include "semantic/services.h"
+#include "synthweb/deep_site.h"
+
+using namespace deepsurf;
+
+int main() {
+  semantic::AcsDb acsdb;
+  size_t forms = 0;
+  size_t tables = 0;
+  for (uint64_t seed = 100; seed < 220; ++seed) {
+    Rng rng(seed);
+    synthweb::Domain domain =
+        synthweb::AllDomains()[rng.Uniform(synthweb::AllDomains().size())];
+    synthweb::SiteGenOptions gen;
+    gen.num_rows = 50;
+    gen.force_get = true;
+    gen.obfuscate_probability = 0.0;
+    net::SimulatedWeb web;
+    auto site = std::make_shared<synthweb::DeepWebSite>(
+        synthweb::GenerateSite(domain, "x.example.com", &rng, gen));
+    if (!web.Register(site).ok()) continue;
+    auto resp = web.Get(site->FormPageUrl());
+    if (!resp.ok()) continue;
+    auto dom = html::Parse(resp->body);
+    for (const auto& form : html::ExtractForms(*dom)) {
+      acsdb.AddForm(form);
+      ++forms;
+    }
+    auto results = web.Get("http://x.example.com/search");
+    if (results.ok() && results->status_code == 200) {
+      auto results_dom = html::Parse(results->body);
+      for (const auto& table : html::ExtractTables(*results_dom)) {
+        acsdb.AddTable(table);
+        ++tables;
+      }
+    }
+  }
+  std::printf("harvested %zu forms and %zu HTML tables -> %llu schemata, "
+              "%zu attributes\n",
+              forms, tables,
+              static_cast<unsigned long long>(acsdb.schema_count()),
+              acsdb.FrequentAttributes(1).size());
+
+  semantic::SemanticServer server(&acsdb);
+
+  std::printf("\n--- synonym service ---\n");
+  for (const char* attr : {"zip", "q", "city", "price"}) {
+    std::printf("synonyms(%s):", attr);
+    for (const auto& s : server.Synonyms(attr, 4)) {
+      std::printf(" %s(%.2f)", s.attribute.c_str(), s.score);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- value service (for auto-filling forms) ---\n");
+  for (const char* attr : {"make", "cuisine", "state"}) {
+    auto values = server.Values(attr);
+    std::printf("values(%s): %zu known", attr, values.size());
+    for (size_t i = 0; i < 5 && i < values.size(); ++i) {
+      std::printf(" %s%s", i == 0 ? "— " : "", values[i].c_str());
+    }
+    std::printf("...\n");
+  }
+
+  std::printf("\n--- property service ---\n");
+  for (const char* entity : {"Honda", "italian", "TX"}) {
+    std::printf("properties(%s):", entity);
+    for (const auto& p : server.Properties(entity, 5)) {
+      std::printf(" %s", p.attribute.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- schema auto-complete ---\n");
+  const std::vector<std::vector<std::string>> kGivens = {
+      {"make"}, {"make", "model"}, {"cuisine"}, {"bedrooms"}};
+  for (const auto& given : kGivens) {
+    std::printf("autocomplete({");
+    for (size_t i = 0; i < given.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", given[i].c_str());
+    }
+    std::printf("}):");
+    for (const auto& s : server.AutoComplete(given, 5)) {
+      std::printf(" %s(%.2f)", s.attribute.c_str(), s.score);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// A classifieds vertical-search engine via virtual integration — the
+// architecture two of the paper's authors built before surfacing (§3.1).
+//
+// Registers several used-car and real-estate sites against the built-in
+// mediated schemas, then answers structured queries by routing +
+// reformulating + extracting, with per-query site-load accounting.
+//
+// Run:  ./vertical_search
+
+#include <cstdio>
+
+#include "html/forms.h"
+#include "html/parser.h"
+#include "synthweb/deep_site.h"
+#include "vertical/source.h"
+#include "vertical/vertical_engine.h"
+
+using namespace deepsurf;
+
+int main() {
+  net::SimulatedWeb web;
+  vertical::VerticalEngine engine(&web);
+
+  // Register six sites across two verticals.
+  struct SiteCfg {
+    synthweb::Domain domain;
+    const char* host;
+    uint64_t seed;
+  };
+  const SiteCfg kSites[] = {
+      {synthweb::Domain::kUsedCars, "cars-a.example.com", 11},
+      {synthweb::Domain::kUsedCars, "cars-b.example.com", 22},
+      {synthweb::Domain::kUsedCars, "cars-c.example.com", 33},
+      {synthweb::Domain::kRealEstate, "homes-a.example.com", 44},
+      {synthweb::Domain::kRealEstate, "homes-b.example.com", 55},
+      {synthweb::Domain::kJobs, "jobs-a.example.com", 66},
+  };
+  for (const auto& cfg : kSites) {
+    Rng rng(cfg.seed);
+    synthweb::SiteGenOptions gen;
+    gen.num_rows = 250;
+    gen.force_get = true;
+    gen.obfuscate_probability = 0.0;
+    auto site = std::make_shared<synthweb::DeepWebSite>(
+        synthweb::GenerateSite(cfg.domain, cfg.host, &rng, gen));
+    if (!web.Register(site).ok()) continue;
+    auto resp = web.Get(site->FormPageUrl());
+    auto dom = html::Parse(resp->body);
+    auto forms = html::ExtractForms(*dom);
+    auto page_url = net::Url::Parse(site->FormPageUrl()).value();
+    auto source = vertical::RegisterSource(&web, page_url, forms[0]);
+    if (!source.ok()) {
+      std::printf("  %s: could not classify (%s)\n", cfg.host,
+                  source.status().ToString().c_str());
+      continue;
+    }
+    std::printf("registered %s as '%s' (score %.2f, %zu mappings)\n",
+                cfg.host, source->domain.c_str(),
+                source->classification_score, source->mappings.size());
+    engine.AddSource(std::move(source).value());
+  }
+
+  // Structured queries over the mediated schemas.
+  struct Demo {
+    const char* label;
+    vertical::StructuredQuery query;
+  };
+  std::vector<Demo> demos;
+  {
+    vertical::StructuredQuery q;
+    q.domain = "usedcars";
+    q.constraints.push_back({"make", "Honda", false, 0, 0});
+    demos.push_back({"usedcars: make=Honda", q});
+  }
+  {
+    vertical::StructuredQuery q;
+    q.domain = "usedcars";
+    vertical::Constraint c;
+    c.attribute = "price";
+    c.is_range = true;
+    c.lo = 3000;
+    c.hi = 9000;
+    q.constraints.push_back(c);
+    demos.push_back({"usedcars: price in [3000, 9000]", q});
+  }
+  {
+    vertical::StructuredQuery q;
+    q.domain = "realestate";
+    q.constraints.push_back({"state", "CA", false, 0, 0});
+    demos.push_back({"realestate: state=CA", q});
+  }
+
+  for (const auto& demo : demos) {
+    web.ResetTraffic();
+    auto answer = engine.Answer(demo.query);
+    if (!answer.ok()) {
+      std::printf("\n%s -> error %s\n", demo.label,
+                  answer.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\n%s\n", demo.label);
+    std::printf("  routed to %zu/%zu sources, %zu live requests, "
+                "%zu records merged\n",
+                answer->sources_queried, answer->sources_considered,
+                answer->requests_made, answer->records.size());
+    for (size_t i = 0; i < 3 && i < answer->records.size(); ++i) {
+      std::string joined = answer->records[i].record.Joined();
+      if (joined.size() > 70) joined.resize(70);
+      std::printf("  %zu. [%s] %s...\n", i + 1,
+                  answer->records[i].source_host.c_str(), joined.c_str());
+    }
+  }
+
+  std::printf("\nnote: every query above caused live traffic on the "
+              "underlying sites — the §3 trade-off surfacing avoids.\n");
+  return 0;
+}

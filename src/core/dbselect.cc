@@ -1,0 +1,117 @@
+#include "core/dbselect.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace core {
+
+Result<DbSelectVerdict> DetectDbSelector(FormProber* prober,
+                                         const std::string& select_input,
+                                         const std::string& text_input,
+                                         const DbSelectOptions& options) {
+  DbSelectVerdict verdict;
+  verdict.select_input = select_input;
+  verdict.text_input = text_input;
+  const AnalyzedInput* sel = prober->form().FindInput(select_input);
+  if (sel == nullptr || !sel->is_select) {
+    return Status::InvalidArgument("not a select input: " + select_input);
+  }
+  // Probe each (non-empty) option with the text box left free, and
+  // compare the *column-domain* vocabularies: terms that repeat across a
+  // meaningful fraction of the page's records. An ordinary field-equality
+  // select partitions one table, so its options share domain vocabulary
+  // (the other columns are the same); a db selector switches to a
+  // different database whose domain vocabulary is disjoint.
+  std::vector<std::map<std::string, double>> vocabularies;
+  size_t sampled = 0;
+  for (const auto& option : sel->select_values) {
+    if (option.empty()) continue;
+    if (sampled >= options.options_sampled) break;
+    ++sampled;
+    ++verdict.probes_used;
+    auto result = prober->Probe({{select_input, option}});
+    if (!result.ok()) {
+      if (result.status().IsResourceExhausted()) return result.status();
+      continue;
+    }
+    if (result->HasResults() &&
+        result->record_count >= options.min_records_for_evidence) {
+      double min_records = std::max(
+          2.0, options.domain_term_fraction *
+                   static_cast<double>(result->record_count));
+      std::map<std::string, double> domain_vocab;
+      for (const auto& [term, rdf] : result->record_document_frequencies) {
+        if (rdf >= min_records) domain_vocab[term] = rdf;
+      }
+      if (!domain_vocab.empty()) {
+        vocabularies.push_back(std::move(domain_vocab));
+      }
+    }
+  }
+  if (vocabularies.size() < 2) {
+    verdict.is_db_selector = false;
+    return verdict;
+  }
+  std::vector<double> divergences;
+  for (size_t i = 0; i < vocabularies.size(); ++i) {
+    for (size_t j = i + 1; j < vocabularies.size(); ++j) {
+      divergences.push_back(
+          stats::JensenShannonBits(vocabularies[i], vocabularies[j]));
+    }
+  }
+  verdict.mean_jsd_bits = stats::Mean(divergences);
+  verdict.is_db_selector = verdict.mean_jsd_bits >= options.jsd_threshold;
+  return verdict;
+}
+
+Result<DbSelectVerdict> MineDbSelector(
+    FormProber* prober, const std::string& select_input,
+    const std::string& text_input,
+    const std::vector<std::string>& seed_words,
+    const std::function<double(const std::string&)>& df_lookup,
+    const DbSelectOptions& options) {
+  DEEPSURF_ASSIGN_OR_RETURN(
+      DbSelectVerdict verdict,
+      DetectDbSelector(prober, select_input, text_input, options));
+  if (!verdict.is_db_selector) return verdict;
+  const AnalyzedInput* sel = prober->form().FindInput(select_input);
+  for (const auto& option : sel->select_values) {
+    if (option.empty()) continue;
+    // Seed the per-option mining from the option's own response
+    // vocabulary (the probe is cached from detection): each database
+    // gets keywords in *its* language, which is the whole point of the
+    // db-selection pattern.
+    std::vector<std::string> option_seeds;
+    auto option_page = prober->Probe({{select_input, option}});
+    if (option_page.ok() && option_page->HasResults()) {
+      std::vector<std::pair<double, std::string>> ranked;
+      for (const auto& [term, tf] : option_page->term_frequencies) {
+        if (strings::IsDigits(term)) continue;
+        ranked.emplace_back(tf, term);
+      }
+      std::sort(ranked.rbegin(), ranked.rend());
+      for (const auto& [tf, term] : ranked) {
+        if (option_seeds.size() >=
+            options.per_option_probing.seed_count) {
+          break;
+        }
+        option_seeds.push_back(term);
+      }
+    }
+    if (option_seeds.empty()) option_seeds = seed_words;
+    DEEPSURF_ASSIGN_OR_RETURN(
+        ProbingResult mined,
+        IterativeProbe(prober, text_input, option_seeds, df_lookup,
+                       options.per_option_probing,
+                       /*context=*/{{select_input, option}}));
+    verdict.probes_used += mined.probes_used;
+    verdict.keywords_by_option[option] = std::move(mined.selected);
+  }
+  return verdict;
+}
+
+}  // namespace core
+}  // namespace deepsurf

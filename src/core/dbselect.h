@@ -1,0 +1,73 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Database-selection detection (paper §4.2): a select menu whose value
+// chooses *which underlying database* a keyword box searches (movies vs
+// music vs software vs games). The tell-tale signal is distributional:
+// probing each option and comparing the result-page vocabularies shows a
+// high Jensen-Shannon divergence between options, far above that of an
+// ordinary field-equality select. Once detected, keywords are mined
+// per-option ("microsoft" for software, not for movies).
+
+#ifndef DEEPSURF_CORE_DBSELECT_H_
+#define DEEPSURF_CORE_DBSELECT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/prober.h"
+#include "core/probing.h"
+#include "util/result.h"
+
+namespace deepsurf {
+namespace core {
+
+struct DbSelectOptions {
+  /// Mean pairwise JSD (bits) over *column-domain* vocabulary above which
+  /// the select is a db selector. Domain vocabulary = terms repeating
+  /// across records of one page; ordinary selects share it across
+  /// options (same table, same column domains), db selectors do not.
+  double jsd_threshold = 0.85;
+  /// A term belongs to the domain vocabulary when it appears in at least
+  /// this fraction of the page's records (and in >= 2 records).
+  double domain_term_fraction = 0.25;
+  /// Options sampled for the divergence test (all when fewer).
+  size_t options_sampled = 4;
+  /// Minimum records an option's page must show to count as evidence;
+  /// with fewer, domain vocabulary is indistinguishable from record
+  /// prose and the detector conservatively declines.
+  size_t min_records_for_evidence = 5;
+  /// Per-option keyword budget when mining.
+  ProbingOptions per_option_probing;
+};
+
+/// Verdict for one (select, text box) pair.
+struct DbSelectVerdict {
+  std::string select_input;
+  std::string text_input;
+  bool is_db_selector = false;
+  double mean_jsd_bits = 0.0;
+  /// Per-option keyword sets (filled only when detected and mined).
+  std::map<std::string, std::vector<std::string>> keywords_by_option;
+  size_t probes_used = 0;
+};
+
+/// Tests whether `select_input` selects among databases for
+/// `text_input`. Pure detection; no keyword mining.
+Result<DbSelectVerdict> DetectDbSelector(FormProber* prober,
+                                         const std::string& select_input,
+                                         const std::string& text_input,
+                                         const DbSelectOptions& options = {});
+
+/// Detection plus per-option keyword mining via iterative probing.
+Result<DbSelectVerdict> MineDbSelector(
+    FormProber* prober, const std::string& select_input,
+    const std::string& text_input,
+    const std::vector<std::string>& seed_words,
+    const std::function<double(const std::string&)>& df_lookup,
+    const DbSelectOptions& options = {});
+
+}  // namespace core
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_CORE_DBSELECT_H_

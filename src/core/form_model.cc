@@ -1,0 +1,83 @@
+#include "core/form_model.h"
+
+namespace deepsurf {
+namespace core {
+
+const AnalyzedInput* AnalyzedForm::FindInput(const std::string& name) const {
+  for (const auto& in : inputs) {
+    if (in.name == name) return &in;
+  }
+  return nullptr;
+}
+
+Result<AnalyzedForm> AnalyzeForm(const net::Url& page_url,
+                                 const html::Form& form,
+                                 const std::string& page_scripts) {
+  AnalyzedForm out;
+  DEEPSURF_ASSIGN_OR_RETURN(out.action,
+                            net::Url::Resolve(page_url, form.action));
+  out.is_post = !form.IsGet();
+  out.scripts = page_scripts;
+  for (const auto& field : form.fields) {
+    if (field.name.empty()) continue;
+    switch (field.kind) {
+      case html::FieldKind::kHidden:
+        out.fixed_params.emplace_back(field.name, field.default_value);
+        break;
+      case html::FieldKind::kText: {
+        AnalyzedInput in;
+        in.name = field.name;
+        in.is_select = false;
+        in.label = field.label;
+        out.inputs.push_back(std::move(in));
+        break;
+      }
+      case html::FieldKind::kSelect:
+      case html::FieldKind::kRadio: {
+        AnalyzedInput in;
+        in.name = field.name;
+        in.is_select = true;
+        in.label = field.label;
+        for (const auto& opt : field.options) {
+          in.select_values.push_back(opt.value);
+        }
+        out.inputs.push_back(std::move(in));
+        break;
+      }
+      case html::FieldKind::kCheckbox: {
+        // A checkbox behaves like a two-valued select: absent or value.
+        AnalyzedInput in;
+        in.name = field.name;
+        in.is_select = true;
+        in.label = field.label;
+        in.select_values = {"", field.default_value.empty()
+                                    ? "on"
+                                    : field.default_value};
+        out.inputs.push_back(std::move(in));
+        break;
+      }
+      case html::FieldKind::kSubmit:
+      case html::FieldKind::kPassword:
+      case html::FieldKind::kOther:
+        break;
+    }
+  }
+  if (out.inputs.empty()) {
+    return Status::FailedPrecondition("form has no analyzable inputs");
+  }
+  return out;
+}
+
+net::Url SubmissionUrl(const AnalyzedForm& form, const Bindings& bindings) {
+  net::Url url = form.action;
+  net::QueryParams params = form.fixed_params;
+  for (const auto& [name, value] : bindings) {
+    if (value.empty()) continue;
+    params.emplace_back(name, value);
+  }
+  url.set_query(std::move(params));
+  return url;
+}
+
+}  // namespace core
+}  // namespace deepsurf

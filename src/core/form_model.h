@@ -1,0 +1,65 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The surfacing core's view of a form: a resolved action URL plus the
+// user-facing inputs with their candidate values. Everything downstream
+// (probing, typed-input recognition, template selection) operates on this
+// model; nothing downstream sees raw HTML.
+
+#ifndef DEEPSURF_CORE_FORM_MODEL_H_
+#define DEEPSURF_CORE_FORM_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "html/forms.h"
+#include "net/url.h"
+#include "util/result.h"
+
+namespace deepsurf {
+namespace core {
+
+/// One analyzable input.
+struct AnalyzedInput {
+  std::string name;
+  bool is_select = false;
+  /// Candidate values. For selects: the option values (the empty "Any"
+  /// option is kept — binding to "" means leaving the input free). For
+  /// text boxes this starts empty and is filled by the analysis.
+  std::vector<std::string> select_values;
+  std::string label;
+};
+
+/// A form ready for analysis.
+struct AnalyzedForm {
+  net::Url action;         ///< resolved, absolute
+  bool is_post = false;    ///< POST forms cannot be surfaced (§3.2)
+  std::vector<AnalyzedInput> inputs;
+  /// Hidden inputs with fixed values that must ride along on every
+  /// submission (session tokens etc.).
+  net::QueryParams fixed_params;
+  /// Text of any <script> blocks on the form page (input to the
+  /// Javascript-correlation miner).
+  std::string scripts;
+
+  const AnalyzedInput* FindInput(const std::string& name) const;
+};
+
+/// Builds the analysis model from an extracted form. `page_url` resolves
+/// the (possibly relative) action. Fails when the form has no named
+/// user inputs at all.
+Result<AnalyzedForm> AnalyzeForm(const net::Url& page_url,
+                                 const html::Form& form,
+                                 const std::string& page_scripts = "");
+
+/// A binding of input names to values — one prospective form submission.
+using Bindings = std::vector<std::pair<std::string, std::string>>;
+
+/// The GET URL a binding submits to (fixed params first, then bindings;
+/// empty-valued bindings are dropped, as browsers keep them but sites
+/// ignore them — dropping canonicalizes).
+net::Url SubmissionUrl(const AnalyzedForm& form, const Bindings& bindings);
+
+}  // namespace core
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_CORE_FORM_MODEL_H_

@@ -1,0 +1,128 @@
+#include "core/jscorr.h"
+
+#include <cctype>
+
+namespace deepsurf {
+namespace core {
+
+namespace {
+
+/// Minimal scanner over script text.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : s_[pos_]; }
+  void Advance() { ++pos_; }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (Peek() != c) return false;
+    Advance();
+    return true;
+  }
+
+  /// Parses a double-quoted string; returns false on malformed input.
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (Peek() != '"') return false;
+    Advance();
+    out->clear();
+    while (!AtEnd() && Peek() != '"') {
+      if (Peek() == '\\') Advance();
+      if (!AtEnd()) {
+        out->push_back(Peek());
+        Advance();
+      }
+    }
+    if (AtEnd()) return false;
+    Advance();  // closing quote
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  void set_pos(size_t p) { pos_ = p; }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+/// Parses `["a","b",...]`.
+bool ParseStringArray(Scanner* sc, std::vector<std::string>* out) {
+  if (!sc->Consume('[')) return false;
+  out->clear();
+  sc->SkipSpace();
+  if (sc->Consume(']')) return true;  // empty array
+  while (true) {
+    std::string item;
+    if (!sc->ParseString(&item)) return false;
+    out->push_back(std::move(item));
+    if (sc->Consume(']')) return true;
+    if (!sc->Consume(',')) return false;
+  }
+}
+
+/// Parses `{"k": ["a"], ...}` into the map; false when not that shape.
+bool ParseObjectOfArrays(Scanner* sc,
+                         std::map<std::string, std::vector<std::string>>* out) {
+  if (!sc->Consume('{')) return false;
+  out->clear();
+  sc->SkipSpace();
+  if (sc->Consume('}')) return true;
+  while (true) {
+    std::string key;
+    if (!sc->ParseString(&key)) return false;
+    if (!sc->Consume(':')) return false;
+    std::vector<std::string> values;
+    if (!ParseStringArray(sc, &values)) return false;
+    (*out)[key] = std::move(values);
+    if (sc->Consume('}')) return true;
+    if (!sc->Consume(',')) return false;
+    // Tolerate a trailing comma before '}'.
+    sc->SkipSpace();
+    if (sc->Consume('}')) return true;
+  }
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+std::vector<CorrelationMap> MineCorrelationMaps(const std::string& script) {
+  std::vector<CorrelationMap> out;
+  size_t search_pos = 0;
+  while (true) {
+    size_t var_pos = script.find("var ", search_pos);
+    if (var_pos == std::string::npos) break;
+    search_pos = var_pos + 4;
+    Scanner sc(script);
+    sc.set_pos(var_pos + 4);
+    sc.SkipSpace();
+    std::string name;
+    while (!sc.AtEnd() && IsIdentChar(sc.Peek())) {
+      name.push_back(sc.Peek());
+      sc.Advance();
+    }
+    if (name.empty()) continue;
+    if (!sc.Consume('=')) continue;
+    CorrelationMap map;
+    map.variable = name;
+    if (!ParseObjectOfArrays(&sc, &map.values)) continue;
+    if (!map.values.empty()) out.push_back(std::move(map));
+    search_pos = sc.pos();
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace deepsurf

@@ -1,0 +1,35 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Javascript-correlation mining (paper §4.2's closing note): forms wire
+// dependent inputs — canonically car make -> model — through Javascript.
+// A full JS engine is out of scope; instead this "emulator" extracts the
+// static correlation maps that such scripts embed (object literals
+// mapping a controlling value to its dependent values), which is what an
+// emulator would observe after running the page's setup code.
+
+#ifndef DEEPSURF_CORE_JSCORR_H_
+#define DEEPSURF_CORE_JSCORR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace deepsurf {
+namespace core {
+
+/// One mined correlation map: variable name plus
+/// controlling-value -> dependent-values.
+struct CorrelationMap {
+  std::string variable;
+  std::map<std::string, std::vector<std::string>> values;
+};
+
+/// Extracts every `var NAME = {"K": ["v1","v2"], ...};` object literal of
+/// string-array shape from script text. Tolerates whitespace; skips
+/// malformed entries rather than failing.
+std::vector<CorrelationMap> MineCorrelationMaps(const std::string& script);
+
+}  // namespace core
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_CORE_JSCORR_H_

@@ -1,0 +1,77 @@
+#include "core/prober.h"
+
+#include <algorithm>
+#include <set>
+
+#include "extract/record_extractor.h"
+#include "html/parser.h"
+#include "index/analyzer.h"
+#include "util/hash.h"
+
+namespace deepsurf {
+namespace core {
+
+ProbeResult ReducePage(int status_code, const std::string& body) {
+  ProbeResult out;
+  out.status_code = status_code;
+  if (status_code != 200) return out;
+  auto dom = html::Parse(body);
+  auto extraction = extract::ExtractRecords(*dom);
+  out.record_count = extraction.records.size();
+  // Signature over the sorted record hashes: order-independent, so a
+  // sort-permuted page has the same signature — presentation inputs thus
+  // test as uninformative.
+  std::vector<uint64_t> hashes;
+  std::string region_text;
+  for (const auto& rec : extraction.records) {
+    std::string joined = rec.Joined();
+    hashes.push_back(Fnv1a64(joined));
+    region_text += joined;
+    region_text.push_back('\n');
+    // Per-record distinct terms feed the record-document frequencies.
+    std::set<std::string> record_terms;
+    for (auto& tok : index::ContentTokens(joined)) {
+      record_terms.insert(std::move(tok));
+    }
+    for (const auto& term : record_terms) {
+      out.record_document_frequencies[term] += 1.0;
+    }
+  }
+  std::sort(hashes.begin(), hashes.end());
+  uint64_t sig = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t h : hashes) sig = HashCombine(sig, h);
+  out.signature = sig;
+  out.record_hashes = std::move(hashes);
+  out.term_frequencies = index::TermFrequencies(region_text);
+  return out;
+}
+
+FormProber::FormProber(net::SimulatedWeb* web, const AnalyzedForm& form,
+                       size_t budget)
+    : web_(web), form_(form), budget_(budget) {}
+
+Result<ProbeResult> FormProber::Probe(const Bindings& bindings) {
+  if (form_.is_post) {
+    return Status::Unimplemented(
+        "POST forms cannot be probed by the surfacer");
+  }
+  net::Url url = SubmissionUrl(form_, bindings);
+  std::string key = url.ToCanonicalString();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  if (budget_ != 0 && fetches_ >= budget_) {
+    return Status::ResourceExhausted("probe budget exhausted");
+  }
+  ++fetches_;
+  auto resp = web_->Get(url);
+  if (!resp.ok()) return resp.status();
+  ProbeResult result = ReducePage(resp->status_code, resp->body);
+  cache_[key] = result;
+  return result;
+}
+
+}  // namespace core
+}  // namespace deepsurf

@@ -1,0 +1,82 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The form prober: executes prospective submissions during offline
+// analysis, caches responses, and reduces each result page to the
+// features the algorithms need — a content signature (for distinctness
+// tests), a record count (via repeated-structure extraction), and the
+// page's term vocabulary (for keyword mining and db-selection detection).
+// Every fetch is counted: analysis load is one of the paper's claims.
+
+#ifndef DEEPSURF_CORE_PROBER_H_
+#define DEEPSURF_CORE_PROBER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/form_model.h"
+#include "net/web.h"
+#include "util/result.h"
+
+namespace deepsurf {
+namespace core {
+
+/// Reduced view of one probe's result page.
+struct ProbeResult {
+  int status_code = 0;
+  /// Hash of the page's record region text. Pages with the same records
+  /// (e.g. sorted differently) share a signature.
+  uint64_t signature = 0;
+  /// Number of records detected on the page (0 for "no results" pages).
+  size_t record_count = 0;
+  /// Record-region text term frequencies (for vocabulary mining).
+  std::map<std::string, double> term_frequencies;
+  /// Number of records (on this page) containing each term. Terms that
+  /// repeat across records are column-domain vocabulary — what the
+  /// db-selection detector compares — while terms unique to one record
+  /// are record-specific prose.
+  std::map<std::string, double> record_document_frequencies;
+  /// Per-record content hashes, order-independent (for coverage and
+  /// distinctness accounting at record granularity).
+  std::vector<uint64_t> record_hashes;
+
+  bool HasResults() const { return status_code == 200 && record_count > 0; }
+};
+
+/// Probe executor with per-form caching and budget accounting.
+class FormProber {
+ public:
+  /// `budget` caps the number of *network* fetches (cache hits are free);
+  /// 0 means unlimited.
+  FormProber(net::SimulatedWeb* web, const AnalyzedForm& form,
+             size_t budget = 0);
+
+  /// Probes one binding. POST forms fail with Unimplemented (the paper's
+  /// stated limitation). Budget exhaustion fails with ResourceExhausted.
+  Result<ProbeResult> Probe(const Bindings& bindings);
+
+  /// Fetches issued so far (excluding cache hits).
+  size_t fetches() const { return fetches_; }
+
+  /// Cache hits served so far.
+  size_t cache_hits() const { return cache_hits_; }
+
+  const AnalyzedForm& form() const { return form_; }
+
+ private:
+  net::SimulatedWeb* web_;
+  AnalyzedForm form_;
+  size_t budget_;
+  size_t fetches_ = 0;
+  size_t cache_hits_ = 0;
+  std::map<std::string, ProbeResult> cache_;
+};
+
+/// Reduces a raw result page to probe features (exposed for tests and for
+/// the indexability estimator).
+ProbeResult ReducePage(int status_code, const std::string& body);
+
+}  // namespace core
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_CORE_PROBER_H_

@@ -1,0 +1,83 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Typed-input recognition (paper §4.1). A text box is either a *search
+// box* (accepts arbitrary keywords) or a *typed* box (zip code, city,
+// state, date, price, year, ...). The paper's key observation: we never
+// need to know what the form is about — only what value space the box
+// accepts — and that can be decided by probing: a box is type T when
+// samples of T produce results at a rate that clearly beats garbage
+// strings. Name/label hints order the candidate types but probes decide.
+
+#ifndef DEEPSURF_CORE_TYPED_H_
+#define DEEPSURF_CORE_TYPED_H_
+
+#include <string>
+#include <vector>
+
+#include "core/prober.h"
+#include "util/result.h"
+
+namespace deepsurf {
+namespace core {
+
+/// Recognizable value spaces for text inputs.
+enum class DataType {
+  kUnknown,    ///< nothing worked — skip this input
+  kSearchBox,  ///< arbitrary keywords retrieve records
+  kZipCode,
+  kCity,
+  kState,
+  kDate,
+  kPrice,
+  kYear,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// All typed candidates (excludes kUnknown / kSearchBox).
+const std::vector<DataType>& TypedCandidates();
+
+/// The probe dictionary for a type: representative sample values. These
+/// play the role of the public value dictionaries (USPS zip lists, city
+/// gazetteers) the production system mines from the Web.
+const std::vector<std::string>& SampleValues(DataType type);
+
+/// True when the input's name or label textually hints at `type`
+/// ("zip", "city", "price", ...). Hints only reorder probing.
+bool NameHint(DataType type, const std::string& name,
+              const std::string& label);
+
+/// Outcome of recognition for one input.
+struct TypeVerdict {
+  DataType type = DataType::kUnknown;
+  double hit_rate = 0.0;      ///< success rate of the winning type
+  double garbage_rate = 0.0;  ///< success rate of garbage probes
+  size_t probes_used = 0;
+};
+
+/// Options for recognition.
+struct TypeRecognizerOptions {
+  size_t samples_per_type = 6;
+  size_t garbage_probes = 3;
+  /// A type must succeed on at least this fraction of samples...
+  double min_hit_rate = 0.34;
+  /// ...and beat garbage by at least this margin.
+  double margin = 0.25;
+  /// Site words probed to detect search boxes (hit rate needed).
+  double search_box_min_hit_rate = 0.4;
+};
+
+/// Recognizes the type of one text input by probing. `context_words` are
+/// site-characteristic words (from already-indexed pages of the host)
+/// used for the search-box test. Every probe binds only this input,
+/// leaving the rest of the form free.
+Result<TypeVerdict> RecognizeType(FormProber* prober,
+                                  const std::string& input_name,
+                                  const std::string& label,
+                                  const std::vector<std::string>& context_words,
+                                  const TypeRecognizerOptions& options = {});
+
+}  // namespace core
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_CORE_TYPED_H_

@@ -1,0 +1,91 @@
+#include "coverage/capture_recapture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace deepsurf {
+namespace coverage {
+
+namespace {
+
+double Chapman(size_t n1, size_t n2, size_t m) {
+  return (static_cast<double>(n1 + 1) * static_cast<double>(n2 + 1)) /
+             static_cast<double>(m + 1) -
+         1.0;
+}
+
+}  // namespace
+
+Result<PopulationEstimate> EstimatePopulation(const Sample& a,
+                                              const Sample& b,
+                                              double confidence,
+                                              size_t bootstrap_rounds,
+                                              uint64_t seed) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("capture-recapture needs two samples");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  std::set<uint64_t> sa(a.begin(), a.end());
+  std::set<uint64_t> sb(b.begin(), b.end());
+  size_t overlap = 0;
+  for (uint64_t h : sb) {
+    if (sa.count(h)) ++overlap;
+  }
+  PopulationEstimate est;
+  est.overlap = overlap;
+  est.confidence = confidence;
+  est.point = Chapman(sa.size(), sb.size(), overlap);
+
+  // Bootstrap: resample each capture set with replacement and recompute.
+  Rng rng(seed);
+  std::vector<uint64_t> va(sa.begin(), sa.end());
+  std::vector<uint64_t> vb(sb.begin(), sb.end());
+  std::vector<double> estimates;
+  estimates.reserve(bootstrap_rounds);
+  for (size_t round = 0; round < bootstrap_rounds; ++round) {
+    std::set<uint64_t> ra;
+    std::set<uint64_t> rb;
+    for (size_t i = 0; i < va.size(); ++i) ra.insert(rng.Pick(va));
+    for (size_t i = 0; i < vb.size(); ++i) rb.insert(rng.Pick(vb));
+    size_t m = 0;
+    for (uint64_t h : rb) {
+      if (ra.count(h)) ++m;
+    }
+    estimates.push_back(Chapman(ra.size(), rb.size(), m));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  double alpha = 1.0 - confidence;
+  size_t lo_idx = static_cast<size_t>(alpha / 2.0 *
+                                      static_cast<double>(estimates.size()));
+  size_t hi_idx = static_cast<size_t>((1.0 - alpha / 2.0) *
+                                      static_cast<double>(estimates.size()));
+  hi_idx = std::min(hi_idx, estimates.size() - 1);
+  est.lo = estimates[lo_idx];
+  est.hi = estimates[hi_idx];
+  // The population can never be smaller than either observed sample.
+  double floor_size =
+      static_cast<double>(std::max(sa.size(), sb.size()));
+  est.point = std::max(est.point, floor_size);
+  est.lo = std::max(est.lo, floor_size);
+  est.hi = std::max(est.hi, est.lo);
+  return est;
+}
+
+CoverageStatement MakeStatement(size_t surfaced_distinct,
+                                const PopulationEstimate& population) {
+  CoverageStatement out;
+  out.confidence = population.confidence;
+  double surfaced = static_cast<double>(surfaced_distinct);
+  out.coverage_lower_bound =
+      population.hi > 0.0 ? std::min(1.0, surfaced / population.hi) : 0.0;
+  out.point_coverage =
+      population.point > 0.0 ? std::min(1.0, surfaced / population.point)
+                             : 0.0;
+  return out;
+}
+
+}  // namespace coverage
+}  // namespace deepsurf

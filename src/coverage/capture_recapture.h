@@ -1,0 +1,61 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Coverage estimation (paper §5.2). The paper poses as open: "with
+// probability M%, more than N% of the site's content has been exposed".
+// This module gives the statement statistical teeth via capture-
+// recapture: two (or more) independent probe samples of the hidden
+// database, the overlap between them estimating the population size
+// (Chapman's bias-corrected Lincoln-Petersen estimator), with a bootstrap
+// confidence interval. Coverage = |surfaced| / estimated |DB|.
+
+#ifndef DEEPSURF_COVERAGE_CAPTURE_RECAPTURE_H_
+#define DEEPSURF_COVERAGE_CAPTURE_RECAPTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace coverage {
+
+/// A probe sample: the set of record identities (hashes) one independent
+/// probing run retrieved.
+using Sample = std::vector<uint64_t>;
+
+/// Point estimate + confidence interval for the hidden-population size.
+struct PopulationEstimate {
+  double point = 0.0;  ///< Chapman estimator of |DB|
+  double lo = 0.0;     ///< lower CI bound
+  double hi = 0.0;     ///< upper CI bound
+  double confidence = 0.0;  ///< e.g. 0.95
+  size_t overlap = 0;  ///< records common to both samples
+};
+
+/// Chapman estimate of the population size from two samples. Fails when
+/// either sample is empty.
+Result<PopulationEstimate> EstimatePopulation(const Sample& a,
+                                              const Sample& b,
+                                              double confidence = 0.95,
+                                              size_t bootstrap_rounds = 500,
+                                              uint64_t seed = 17);
+
+/// The paper-shaped statement: "with probability >= `confidence`,
+/// coverage >= N%". N is conservative: surfaced count over the *upper*
+/// population bound.
+struct CoverageStatement {
+  double confidence = 0.0;
+  double coverage_lower_bound = 0.0;  ///< the N% (0..1)
+  double point_coverage = 0.0;        ///< |surfaced| / point estimate
+};
+
+/// Builds the statement given the number of distinct records surfaced and
+/// a population estimate.
+CoverageStatement MakeStatement(size_t surfaced_distinct,
+                                const PopulationEstimate& population);
+
+}  // namespace coverage
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_COVERAGE_CAPTURE_RECAPTURE_H_

@@ -1,0 +1,93 @@
+#include "db/query.h"
+
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace db {
+
+namespace {
+
+bool EvalCompare(const Value& lhs, Op op, const Value& rhs) {
+  switch (op) {
+    case Op::kEq:
+      return lhs == rhs;
+    case Op::kNe:
+      return !(lhs == rhs);
+    case Op::kLt:
+      return lhs.Compare(rhs) < 0;
+    case Op::kLe:
+      return lhs.Compare(rhs) <= 0;
+    case Op::kGt:
+      return lhs.Compare(rhs) > 0;
+    case Op::kGe:
+      return lhs.Compare(rhs) >= 0;
+    case Op::kContains: {
+      std::string hay = strings::ToLower(lhs.ToDisplayString());
+      std::string needle = strings::ToLower(rhs.ToDisplayString());
+      return strings::Contains(hay, needle);
+    }
+  }
+  return false;
+}
+
+bool RowMatchesKeywords(const Table& table, const Row& row,
+                        const std::vector<std::string>& keywords) {
+  if (keywords.empty()) return true;
+  // Concatenate the display form of every column once per row.
+  std::string hay;
+  for (size_t i = 0; i < row.size(); ++i) {
+    hay += strings::ToLower(row[i].ToDisplayString());
+    hay.push_back(' ');
+  }
+  (void)table;
+  for (const auto& kw : keywords) {
+    if (!strings::Contains(hay, strings::ToLower(kw))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<RowId>> Execute(const Table& table, const Query& query) {
+  // Resolve column indexes up front so unknown columns fail loudly.
+  std::vector<size_t> cols(query.conjuncts.size());
+  for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+    DEEPSURF_ASSIGN_OR_RETURN(
+        cols[i], table.schema().ColumnIndex(query.conjuncts[i].column));
+  }
+  std::vector<RowId> out;
+  size_t skipped = 0;
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    const Row& row = table.row(id);
+    bool match = true;
+    for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+      const Predicate& p = query.conjuncts[i];
+      const Value& cell = row[cols[i]];
+      if (cell.is_null() || !EvalCompare(cell, p.op, p.value)) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (!RowMatchesKeywords(table, row, query.keywords)) continue;
+    if (skipped < query.offset) {
+      ++skipped;
+      continue;
+    }
+    out.push_back(id);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+Result<size_t> CountMatches(const Table& table, const Query& query) {
+  Query unbounded = query;
+  unbounded.limit = 0;
+  unbounded.offset = 0;
+  DEEPSURF_ASSIGN_OR_RETURN(std::vector<RowId> rows,
+                            Execute(table, unbounded));
+  return rows.size();
+}
+
+}  // namespace db
+}  // namespace deepsurf

@@ -1,0 +1,51 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Conjunctive selection queries over a Table — exactly the query class an
+// HTML form front-end exposes: equality on select-menu columns, numeric
+// range restrictions (min/max input pairs), and keyword containment for
+// search boxes.
+
+#ifndef DEEPSURF_DB_QUERY_H_
+#define DEEPSURF_DB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace deepsurf {
+namespace db {
+
+/// Comparison operator of one conjunct.
+enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+/// One conjunct: `column op value`. kContains does case-insensitive
+/// substring match against the display form of the column value.
+struct Predicate {
+  std::string column;
+  Op op = Op::kEq;
+  Value value;
+};
+
+/// A conjunctive query with optional whole-row keyword search (matches a
+/// row when every keyword appears in some column's display form — the
+/// behaviour of deep-web "search box" inputs).
+struct Query {
+  std::vector<Predicate> conjuncts;
+  std::vector<std::string> keywords;
+  size_t limit = 0;   ///< 0 = unlimited
+  size_t offset = 0;  ///< rows to skip (result paging)
+};
+
+/// Evaluates `query` against `table`, returning matching row ids in table
+/// order (after offset/limit). Unknown columns fail with NotFound.
+Result<std::vector<RowId>> Execute(const Table& table, const Query& query);
+
+/// Number of matches ignoring limit/offset.
+Result<size_t> CountMatches(const Table& table, const Query& query);
+
+}  // namespace db
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_DB_QUERY_H_

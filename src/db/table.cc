@@ -1,0 +1,103 @@
+#include "db/table.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace db {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_[columns_[i].name] = i;
+  }
+  DS_CHECK(by_name_.size() == columns_.size())
+      << "duplicate column names in schema";
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no column: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.name);
+  return out;
+}
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(strings::Format(
+        "row arity %zu != schema arity %zu", row.size(),
+        schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(strings::Format(
+          "column '%s' expects %s, got %s", schema_.column(i).name.c_str(),
+          ValueTypeToString(schema_.column(i).type),
+          ValueTypeToString(row[i].type())));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Row& Table::row(RowId id) const {
+  DS_CHECK(id < rows_.size()) << "row id out of range";
+  return rows_[id];
+}
+
+Result<Value> Table::At(RowId id, const std::string& column) const {
+  if (id >= rows_.size()) {
+    return Status::OutOfRange("row id out of range");
+  }
+  DEEPSURF_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  return rows_[id][col];
+}
+
+std::vector<Value> Table::DistinctValues(const std::string& column) const {
+  auto col = schema_.ColumnIndex(column);
+  if (!col.ok()) return {};
+  std::set<Value> seen;
+  for (const auto& r : rows_) {
+    if (!r[*col].is_null()) seen.insert(r[*col]);
+  }
+  return std::vector<Value>(seen.begin(), seen.end());
+}
+
+Result<std::pair<double, double>> Table::NumericRange(
+    const std::string& column) const {
+  DEEPSURF_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  bool any = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const auto& r : rows_) {
+    if (r[col].is_null()) continue;
+    auto num = r[col].AsNumeric();
+    if (!num.ok()) return num.status();
+    if (!any) {
+      lo = hi = *num;
+      any = true;
+    } else {
+      lo = std::min(lo, *num);
+      hi = std::max(hi, *num);
+    }
+  }
+  if (!any) {
+    return Status::FailedPrecondition("column has no numeric values: " +
+                                      column);
+  }
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace db
+}  // namespace deepsurf

@@ -1,0 +1,83 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Schema + row-store table. Each deep-web site owns one Table as its
+// hidden database; coverage experiments compare surfaced records against
+// Table ground truth.
+
+#ifndef DEEPSURF_DB_TABLE_H_
+#define DEEPSURF_DB_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+#include "util/result.h"
+
+namespace deepsurf {
+namespace db {
+
+/// One column: a name and a type.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// All column names in order.
+  std::vector<std::string> ColumnNames() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::map<std::string, size_t> by_name_;
+};
+
+using Row = std::vector<Value>;
+using RowId = uint32_t;
+
+/// Append-only in-memory row store with type checking on insert.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; arity and per-column types (or null) must match.
+  Status AppendRow(Row row);
+
+  /// Row accessor; id must be < num_rows().
+  const Row& row(RowId id) const;
+
+  /// Value at (row, column name); fails on unknown column.
+  Result<Value> At(RowId id, const std::string& column) const;
+
+  /// Sorted distinct values of a column (nulls excluded).
+  std::vector<Value> DistinctValues(const std::string& column) const;
+
+  /// [min, max] over a numeric column; fails when empty or non-numeric.
+  Result<std::pair<double, double>> NumericRange(
+      const std::string& column) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace db
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_DB_TABLE_H_

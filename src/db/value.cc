@@ -1,0 +1,247 @@
+#include "db/value.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace db {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kDate:
+      return "date";
+  }
+  return "null";
+}
+
+ValueType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+    case 5:
+      return ValueType::kDate;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt() const {
+  DS_CHECK(type() == ValueType::kInt) << "AsInt on " << ValueTypeToString(type());
+  return std::get<int64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  DS_CHECK(type() == ValueType::kDouble)
+      << "AsDouble on " << ValueTypeToString(type());
+  return std::get<double>(v_);
+}
+
+const std::string& Value::AsString() const {
+  DS_CHECK(type() == ValueType::kString)
+      << "AsString on " << ValueTypeToString(type());
+  return std::get<std::string>(v_);
+}
+
+bool Value::AsBool() const {
+  DS_CHECK(type() == ValueType::kBool) << "AsBool on " << ValueTypeToString(type());
+  return std::get<bool>(v_);
+}
+
+int64_t Value::AsDateDays() const {
+  DS_CHECK(type() == ValueType::kDate)
+      << "AsDateDays on " << ValueTypeToString(type());
+  return std::get<DateRep>(v_).days;
+}
+
+Result<double> Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(v_));
+    case ValueType::kDouble:
+      return std::get<double>(v_);
+    case ValueType::kDate:
+      return static_cast<double>(std::get<DateRep>(v_).days);
+    default:
+      return Status::InvalidArgument(
+          std::string("not numeric: ") + ValueTypeToString(type()));
+  }
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble: {
+      std::string s = strings::Format("%.2f", std::get<double>(v_));
+      // Trim trailing zeros and a dangling dot: "12.50" -> "12.5".
+      while (!s.empty() && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.pop_back();
+      return s;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(v_);
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? "true" : "false";
+    case ValueType::kDate:
+      return FormatDateDays(std::get<DateRep>(v_).days);
+  }
+  return "";
+}
+
+namespace {
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+    case ValueType::kDate:
+      return 2;  // numeric family compares numerically
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool a = AsBool();
+      bool b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kString: {
+      const std::string& a = AsString();
+      const std::string& b = other.AsString();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    default: {
+      double a = *AsNumeric();
+      double b = *other.AsNumeric();
+      if (a == b) return 0;
+      return a < b ? -1 : 1;
+    }
+  }
+}
+
+namespace {
+bool IsLeapYear(int64_t y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+const int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+int DaysIn(int64_t year, int month) {
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDaysInMonth[month - 1];
+}
+}  // namespace
+
+std::string FormatDateDays(int64_t days) {
+  // Walk years from 1970; simulation dates are within a few decades so the
+  // linear walk is fine.
+  int64_t y = 1970;
+  int64_t d = days;
+  while (d < 0) {
+    --y;
+    d += IsLeapYear(y) ? 366 : 365;
+  }
+  while (d >= (IsLeapYear(y) ? 366 : 365)) {
+    d -= IsLeapYear(y) ? 366 : 365;
+    ++y;
+  }
+  int month = 1;
+  while (d >= DaysIn(y, month)) {
+    d -= DaysIn(y, month);
+    ++month;
+  }
+  return strings::Format("%04lld-%02d-%02lld", static_cast<long long>(y),
+                         month, static_cast<long long>(d + 1));
+}
+
+Result<int64_t> ParseDateToDays(const std::string& text) {
+  auto parts = strings::Split(text, '-');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("bad date: " + text);
+  }
+  auto y = strings::ParseInt(parts[0]);
+  auto m = strings::ParseInt(parts[1]);
+  auto d = strings::ParseInt(parts[2]);
+  if (!y.ok() || !m.ok() || !d.ok()) {
+    return Status::InvalidArgument("bad date: " + text);
+  }
+  if (*m < 1 || *m > 12 || *d < 1 || *d > DaysIn(*y, static_cast<int>(*m))) {
+    return Status::InvalidArgument("date out of range: " + text);
+  }
+  int64_t days = 0;
+  if (*y >= 1970) {
+    for (int64_t yy = 1970; yy < *y; ++yy) days += IsLeapYear(yy) ? 366 : 365;
+  } else {
+    for (int64_t yy = *y; yy < 1970; ++yy) days -= IsLeapYear(yy) ? 366 : 365;
+  }
+  for (int mm = 1; mm < *m; ++mm) days += DaysIn(*y, mm);
+  return days + (*d - 1);
+}
+
+Result<Value> ParseValue(ValueType type, const std::string& text) {
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      DEEPSURF_ASSIGN_OR_RETURN(int64_t v, strings::ParseInt(text));
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      DEEPSURF_ASSIGN_OR_RETURN(double v, strings::ParseDouble(text));
+      return Value::Double(v);
+    }
+    case ValueType::kString:
+      return Value::String(text);
+    case ValueType::kBool: {
+      if (strings::EqualsIgnoreCase(text, "true") || text == "1") {
+        return Value::Bool(true);
+      }
+      if (strings::EqualsIgnoreCase(text, "false") || text == "0") {
+        return Value::Bool(false);
+      }
+      return Status::InvalidArgument("bad bool: " + text);
+    }
+    case ValueType::kDate: {
+      DEEPSURF_ASSIGN_OR_RETURN(int64_t days, ParseDateToDays(text));
+      return Value::Date(days);
+    }
+  }
+  return Status::InvalidArgument("unknown type");
+}
+
+}  // namespace db
+}  // namespace deepsurf

@@ -1,0 +1,94 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Typed values for the relational engine behind deep-web sites. The type
+// lattice is deliberately the one the paper's typed-input discussion
+// (§4.1) needs: integers (years, zipcodes-as-text live in strings),
+// doubles (prices), strings, booleans, and dates (days since epoch).
+
+#ifndef DEEPSURF_DB_VALUE_H_
+#define DEEPSURF_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/result.h"
+
+namespace deepsurf {
+namespace db {
+
+/// Column/value type.
+enum class ValueType { kNull, kInt, kDouble, kString, kBool, kDate };
+
+/// Human-readable type name.
+const char* ValueTypeToString(ValueType type);
+
+/// A single typed value. Null compares less than everything; cross-type
+/// comparison between int/double/date is numeric, otherwise by type rank.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v, TagInt{}); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  static Value Bool(bool v) { return Value(v); }
+  /// Date as days since 1970-01-01.
+  static Value Date(int64_t days) { return Value(days, TagDate{}); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong one is a programming error.
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  bool AsBool() const;
+  int64_t AsDateDays() const;
+
+  /// Numeric view (int/double/date widen to double); fails for others.
+  Result<double> AsNumeric() const;
+
+  /// Renders the value for display: dates as YYYY-MM-DD, doubles with up
+  /// to 2 decimals trimmed, bools as true/false, null as "".
+  std::string ToDisplayString() const;
+
+  /// Total order consistent with operator==.
+  int Compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  struct TagInt {};
+  struct TagDate {};
+  struct DateRep {
+    int64_t days;
+  };
+  explicit Value(int64_t v, TagInt) : v_(v) {}
+  explicit Value(int64_t v, TagDate) : v_(DateRep{v}) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(bool v) : v_(v) {}
+
+  std::variant<std::monostate, int64_t, double, std::string, bool, DateRep> v_;
+};
+
+/// Parses a display-format string into a value of the requested type.
+/// Dates accept YYYY-MM-DD.
+Result<Value> ParseValue(ValueType type, const std::string& text);
+
+/// Converts days-since-epoch to YYYY-MM-DD (proleptic Gregorian).
+std::string FormatDateDays(int64_t days);
+
+/// Parses YYYY-MM-DD into days since epoch.
+Result<int64_t> ParseDateToDays(const std::string& text);
+
+}  // namespace db
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_DB_VALUE_H_

@@ -1,0 +1,83 @@
+#include "extract/annotator.h"
+
+#include <algorithm>
+
+#include "index/analyzer.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace extract {
+
+void AnnotationStore::Add(const std::string& url, Annotation annotation) {
+  by_url_[url].push_back(std::move(annotation));
+}
+
+const std::vector<Annotation>& AnnotationStore::For(
+    const std::string& url) const {
+  auto it = by_url_.find(url);
+  return it == by_url_.end() ? empty_ : it->second;
+}
+
+void QueryRecognizer::AddValue(const std::string& attribute,
+                               const std::string& value) {
+  std::string key = strings::ToLower(value);
+  if (key.empty()) return;
+  auto it = value_to_attr_.find(key);
+  if (it == value_to_attr_.end()) {
+    value_to_attr_[key] = attribute;
+  } else if (it->second != attribute) {
+    it->second = "";  // ambiguous across attributes
+  }
+}
+
+std::vector<Annotation> QueryRecognizer::Recognize(
+    const std::string& query) const {
+  std::vector<Annotation> out;
+  auto tokens = index::Tokenize(query);
+  // Try bigrams first (e.g. "san diego"), then unigrams.
+  std::vector<bool> used(tokens.size(), false);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    std::string bigram = tokens[i] + " " + tokens[i + 1];
+    auto it = value_to_attr_.find(bigram);
+    if (it != value_to_attr_.end() && !it->second.empty()) {
+      out.push_back(Annotation{it->second, bigram});
+      used[i] = used[i + 1] = true;
+    }
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (used[i]) continue;
+    auto it = value_to_attr_.find(tokens[i]);
+    if (it != value_to_attr_.end() && !it->second.empty()) {
+      out.push_back(Annotation{it->second, tokens[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<index::SearchHit> RerankWithAnnotations(
+    const std::vector<index::SearchHit>& hits, const index::InvertedIndex& idx,
+    const AnnotationStore& store, const std::vector<Annotation>& constraints,
+    double demotion_factor) {
+  if (constraints.empty()) return hits;
+  std::vector<index::SearchHit> out = hits;
+  for (auto& hit : out) {
+    const auto& annotations = store.For(idx.doc(hit.doc).url);
+    for (const auto& a : annotations) {
+      for (const auto& c : constraints) {
+        if (a.attribute == c.attribute &&
+            !strings::EqualsIgnoreCase(a.value, c.value)) {
+          hit.score *= demotion_factor;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const index::SearchHit& a, const index::SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  return out;
+}
+
+}  // namespace extract
+}  // namespace deepsurf

@@ -1,0 +1,75 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Semantic annotations for surfaced pages (paper §5.1). When the surfacer
+// generates a page it *knows* the form bindings that produced it (e.g.
+// make=Honda); retaining those bindings as annotations lets the search
+// engine avoid the "used ford focus 1993 matches a Honda Civic page"
+// failure. This module stores annotations keyed by URL, recognizes
+// structure in keyword queries via value dictionaries, and re-ranks IR
+// hits so that annotation-contradicting pages are demoted.
+
+#ifndef DEEPSURF_EXTRACT_ANNOTATOR_H_
+#define DEEPSURF_EXTRACT_ANNOTATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace deepsurf {
+namespace extract {
+
+/// One attribute=value annotation attached to a surfaced page.
+struct Annotation {
+  std::string attribute;
+  std::string value;
+};
+
+/// Annotation storage keyed by canonical URL.
+class AnnotationStore {
+ public:
+  void Add(const std::string& url, Annotation annotation);
+
+  const std::vector<Annotation>& For(const std::string& url) const;
+
+  size_t num_annotated_urls() const { return by_url_.size(); }
+
+ private:
+  std::map<std::string, std::vector<Annotation>> by_url_;
+  std::vector<Annotation> empty_;
+};
+
+/// Dictionary-based query structure recognizer: maps value tokens (or
+/// bigrams) to the attribute whose domain they belong to, e.g.
+/// "ford" -> make, "honda" -> make, "90210" -> zip.
+class QueryRecognizer {
+ public:
+  /// Registers `value` as belonging to `attribute`'s domain. Matching is
+  /// case-insensitive.
+  void AddValue(const std::string& attribute, const std::string& value);
+
+  /// Recognizes attribute=value constraints in a keyword query. A value
+  /// that belongs to several attributes is skipped (ambiguous).
+  std::vector<Annotation> Recognize(const std::string& query) const;
+
+  size_t num_values() const { return value_to_attr_.size(); }
+
+ private:
+  /// lowercased value -> attribute ("" when ambiguous across attributes).
+  std::map<std::string, std::string> value_to_attr_;
+};
+
+/// Re-ranks IR hits using annotations: a hit whose annotation for a
+/// recognized attribute *contradicts* the query's recognized value is
+/// demoted below every non-contradicting hit (scores multiplied by
+/// `demotion_factor`). Hits without annotations are left in place.
+std::vector<index::SearchHit> RerankWithAnnotations(
+    const std::vector<index::SearchHit>& hits, const index::InvertedIndex& idx,
+    const AnnotationStore& store, const std::vector<Annotation>& constraints,
+    double demotion_factor = 0.1);
+
+}  // namespace extract
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_EXTRACT_ANNOTATOR_H_

@@ -1,0 +1,150 @@
+#include "extract/reconstruct.h"
+
+#include <algorithm>
+#include <set>
+
+#include "db/value.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace extract {
+
+const char* InferredTypeToString(InferredType type) {
+  switch (type) {
+    case InferredType::kInt:
+      return "int";
+    case InferredType::kDouble:
+      return "double";
+    case InferredType::kDate:
+      return "date";
+    case InferredType::kText:
+      return "text";
+  }
+  return "?";
+}
+
+InferredType InferColumnType(const std::vector<std::string>& values) {
+  bool any = false;
+  bool all_int = true;
+  bool all_double = true;
+  bool all_date = true;
+  for (const auto& v : values) {
+    auto trimmed = strings::Trim(v);
+    if (trimmed.empty()) continue;
+    any = true;
+    std::string s(trimmed);
+    if (all_int && !strings::ParseInt(s).ok()) all_int = false;
+    if (all_double && !strings::ParseDouble(s).ok()) all_double = false;
+    if (all_date && !db::ParseDateToDays(s).ok()) all_date = false;
+    if (!all_int && !all_double && !all_date) break;
+  }
+  if (!any) return InferredType::kText;
+  if (all_int) return InferredType::kInt;
+  if (all_date) return InferredType::kDate;
+  if (all_double) return InferredType::kDouble;
+  return InferredType::kText;
+}
+
+void DatabaseReconstructor::AddPage(
+    const html::Node& page,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  ++pages_consumed_;
+  std::vector<Record> records;
+  if (!wrapper_ready_) {
+    wrapper_ = InducedWrapper::Induce(page);
+    if (!wrapper_.valid()) return;
+    wrapper_ready_ = true;
+    records = wrapper_.Apply(page);
+    // The modal field count of the first page fixes the arity.
+    std::map<size_t, size_t> counts;
+    for (const auto& r : records) ++counts[r.fields.size()];
+    size_t best = 0;
+    size_t best_count = 0;
+    for (const auto& [arity, count] : counts) {
+      if (count > best_count) {
+        best = arity;
+        best_count = count;
+      }
+    }
+    num_columns_ = best;
+  } else {
+    records = wrapper_.Apply(page);
+  }
+  if (num_columns_ == 0) return;
+  for (auto& record : records) {
+    ++records_seen_;
+    record.fields.resize(num_columns_);
+    // Track binding-to-column alignment before moving the fields.
+    for (const auto& [input, value] : bindings) {
+      if (value.empty()) continue;
+      std::string needle = strings::ToLower(value);
+      for (size_t c = 0; c < num_columns_; ++c) {
+        if (strings::Contains(strings::ToLower(record.fields[c]),
+                              needle)) {
+          ++binding_matches_[input][c];
+        }
+      }
+      ++binding_rows_[input];
+    }
+    raw_rows_.push_back(std::move(record.fields));
+  }
+}
+
+Result<ReconstructedTable> DatabaseReconstructor::Build() const {
+  if (raw_rows_.empty()) {
+    return Status::FailedPrecondition(
+        "no records extracted from any page");
+  }
+  ReconstructedTable out;
+  out.num_columns = num_columns_;
+  out.pages_consumed = pages_consumed_;
+  out.records_seen = records_seen_;
+
+  // Dedup rows, preserving first-seen order.
+  std::set<std::string> seen;
+  for (const auto& row : raw_rows_) {
+    std::string key = strings::Join(row, "\x1f");
+    if (seen.insert(key).second) out.rows.push_back(row);
+  }
+
+  // Type inference per column.
+  for (size_t c = 0; c < num_columns_; ++c) {
+    std::vector<std::string> values;
+    values.reserve(out.rows.size());
+    for (const auto& row : out.rows) values.push_back(row[c]);
+    out.column_types.push_back(InferColumnType(values));
+  }
+
+  // Column naming from binding alignment: an input names the column it
+  // matched in >= 80% of the rows retrieved under it (ties to the
+  // lowest column index; each input names at most one column).
+  out.column_names.resize(num_columns_);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    out.column_names[c] = strings::Format("col%zu", c);
+  }
+  for (const auto& [input, per_column] : binding_matches_) {
+    auto rows_it = binding_rows_.find(input);
+    if (rows_it == binding_rows_.end() || rows_it->second == 0) continue;
+    double denom = static_cast<double>(rows_it->second);
+    size_t best_col = num_columns_;
+    double best_rate = 0.8;  // the naming threshold
+    for (const auto& [col, matches] : per_column) {
+      double rate = static_cast<double>(matches) / denom;
+      if (rate >= best_rate) {
+        // Prefer the column with the highest rate; break ties low.
+        if (best_col == num_columns_ || rate > best_rate) {
+          best_col = col;
+          best_rate = rate;
+        }
+      }
+    }
+    if (best_col < num_columns_ &&
+        strings::StartsWith(out.column_names[best_col], "col")) {
+      out.column_names[best_col] = input;
+    }
+  }
+  return out;
+}
+
+}  // namespace extract
+}  // namespace deepsurf

@@ -1,0 +1,181 @@
+#include "extract/record_extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace extract {
+
+std::string Record::Joined() const { return strings::Join(fields, " "); }
+
+namespace {
+
+/// Signature of a candidate record element: tag plus class attribute.
+std::string ElementSignature(const html::Node& el) {
+  return el.tag() + "." + el.GetAttr("class");
+}
+
+/// True when the row is a header row (all cells are <th>).
+bool IsHeaderRow(const html::Node& tr) {
+  bool any = false;
+  for (const auto& child : tr.children()) {
+    if (!child->is_element()) continue;
+    if (child->tag() == "td") return false;
+    if (child->tag() == "th") any = true;
+  }
+  return any;
+}
+
+/// Extracts field strings from one record element. Cell-level containers
+/// win; otherwise the whole text is a single field.
+std::vector<std::string> FieldsOf(const html::Node& el) {
+  std::vector<std::string> fields;
+  static constexpr std::string_view kCells[] = {"td", "dd", "span", "li"};
+  for (std::string_view cell_tag : kCells) {
+    for (const html::Node* cell : el.Descendants(cell_tag)) {
+      std::string text = cell->InnerText();
+      if (!text.empty()) fields.push_back(std::move(text));
+    }
+    if (!fields.empty()) return fields;
+  }
+  std::string text = el.InnerText();
+  if (!text.empty()) fields.push_back(std::move(text));
+  return fields;
+}
+
+struct Region {
+  const html::Node* parent = nullptr;
+  std::string signature;
+  std::vector<const html::Node*> members;
+};
+
+/// Finds every repeated sibling group in the tree.
+void CollectRegions(const html::Node& node, std::vector<Region>* regions) {
+  std::map<std::string, std::vector<const html::Node*>> groups;
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    groups[ElementSignature(*child)].push_back(child.get());
+  }
+  for (auto& [sig, members] : groups) {
+    if (members.size() < 2) continue;
+    // Header rows are not records.
+    std::vector<const html::Node*> data_members;
+    for (const html::Node* m : members) {
+      if (m->tag() == "tr" && IsHeaderRow(*m)) continue;
+      if (m->InnerText().empty()) continue;
+      data_members.push_back(m);
+    }
+    if (data_members.size() >= 2) {
+      regions->push_back(Region{&node, sig, std::move(data_members)});
+    }
+  }
+  for (const auto& child : node.children()) {
+    if (child->is_element()) CollectRegions(*child, regions);
+  }
+}
+
+const Region* BestRegion(const std::vector<Region>& regions) {
+  // A region nested inside another region's member is a *sub-record*
+  // structure (the fields of one record, e.g. the <dd>s of one <dl>),
+  // not the record list itself — discard those first.
+  std::set<const html::Node*> member_nodes;
+  for (const auto& r : regions) {
+    for (const html::Node* m : r.members) member_nodes.insert(m);
+  }
+  const Region* best = nullptr;
+  for (const auto& r : regions) {
+    bool nested = false;
+    for (const html::Node* ancestor = r.parent; ancestor != nullptr;
+         ancestor = ancestor->parent()) {
+      if (member_nodes.count(ancestor)) {
+        nested = true;
+        break;
+      }
+    }
+    if (nested) continue;
+    // Skip navigational regions: members whose text is one short link
+    // word ("prev", "next", menu entries) are unlikely to be records.
+    double avg_len = 0;
+    for (const html::Node* m : r.members) {
+      avg_len += static_cast<double>(m->InnerText().size());
+    }
+    avg_len /= static_cast<double>(r.members.size());
+    if (avg_len < 12.0) continue;
+    if (best == nullptr || r.members.size() > best->members.size()) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ExtractionResult ExtractRecords(const html::Node& root) {
+  ExtractionResult out;
+  std::vector<Region> regions;
+  CollectRegions(root, &regions);
+  const Region* best = BestRegion(regions);
+  if (best == nullptr) return out;
+  out.region_signature = best->signature;
+  for (const html::Node* el : best->members) {
+    Record rec;
+    rec.fields = FieldsOf(*el);
+    if (!rec.fields.empty()) out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+size_t CountRecords(const html::Node& root) {
+  return ExtractRecords(root).records.size();
+}
+
+InducedWrapper InducedWrapper::Induce(const html::Node& sample) {
+  InducedWrapper w;
+  w.signature_ = ExtractRecords(sample).region_signature;
+  return w;
+}
+
+namespace {
+void CollectBySignature(const html::Node& node, const std::string& signature,
+                        std::vector<const html::Node*>* out) {
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    if (ElementSignature(*child) == signature &&
+        !child->InnerText().empty()) {
+      out->push_back(child.get());
+    }
+    CollectBySignature(*child, signature, out);
+  }
+}
+}  // namespace
+
+std::vector<Record> InducedWrapper::Apply(const html::Node& page) const {
+  // The wrapper knows the record signature, so unlike blind extraction it
+  // accepts even a *single* matching element — a one-result page is still
+  // one record, not a bag of field-level fragments.
+  std::vector<const html::Node*> members;
+  if (!signature_.empty()) {
+    CollectBySignature(page, signature_, &members);
+  }
+  if (members.empty()) {
+    // Signature absent from this page: fall back to blind extraction.
+    std::vector<Region> regions;
+    CollectRegions(page, &regions);
+    const Region* best = BestRegion(regions);
+    if (best != nullptr) members = best->members;
+  }
+  std::vector<Record> out;
+  for (const html::Node* el : members) {
+    if (el->tag() == "tr" && IsHeaderRow(*el)) continue;
+    Record rec;
+    rec.fields = FieldsOf(*el);
+    if (!rec.fields.empty()) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace extract
+}  // namespace deepsurf

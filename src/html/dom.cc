@@ -1,0 +1,139 @@
+#include "html/dom.h"
+
+#include <cctype>
+
+namespace deepsurf {
+namespace html {
+
+std::unique_ptr<Node> Node::Element(std::string tag,
+                                    std::vector<Attribute> attrs) {
+  auto n = std::unique_ptr<Node>(new Node());
+  n->tag_ = std::move(tag);
+  n->attrs_ = std::move(attrs);
+  return n;
+}
+
+std::unique_ptr<Node> Node::Text(std::string text) {
+  auto n = std::unique_ptr<Node>(new Node());
+  n->text_ = std::move(text);
+  return n;
+}
+
+Node* Node::AppendChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+std::string Node::GetAttr(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return a.value;
+  }
+  return "";
+}
+
+bool Node::HasAttr(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+namespace {
+void CollectDescendants(const Node* node, std::string_view tag,
+                        std::vector<const Node*>* out) {
+  for (const auto& child : node->children()) {
+    if (child->is_element()) {
+      if (tag.empty() || child->tag() == tag) out->push_back(child.get());
+      CollectDescendants(child.get(), tag, out);
+    }
+  }
+}
+
+void CollectText(const Node* node, std::string* out) {
+  if (node->is_element() &&
+      (node->tag() == "script" || node->tag() == "style")) {
+    return;
+  }
+  if (node->is_text()) {
+    out->append(node->text());
+    out->push_back(' ');
+    return;
+  }
+  for (const auto& child : node->children()) {
+    CollectText(child.get(), out);
+  }
+}
+
+std::string CollapseWhitespace(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // drop leading space
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+}  // namespace
+
+std::vector<const Node*> Node::Descendants(std::string_view tag) const {
+  std::vector<const Node*> out;
+  CollectDescendants(this, tag, &out);
+  return out;
+}
+
+const Node* Node::FirstDescendant(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->is_element()) {
+      if (tag.empty() || child->tag() == tag) return child.get();
+      if (const Node* found = child->FirstDescendant(tag)) return found;
+    }
+  }
+  return nullptr;
+}
+
+std::string Node::InnerText() const {
+  std::string raw;
+  CollectText(this, &raw);
+  return CollapseWhitespace(raw);
+}
+
+std::string Node::TagPath() const {
+  std::vector<std::string_view> parts;
+  const Node* n = this;
+  while (n != nullptr) {
+    parts.push_back(n->is_element() ? std::string_view(n->tag_)
+                                    : std::string_view("#text"));
+    n = n->parent_;
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!out.empty()) out.push_back('/');
+    out.append(*it);
+  }
+  return out;
+}
+
+const Node* Node::Ancestor(std::string_view tag) const {
+  for (const Node* n = parent_; n != nullptr; n = n->parent_) {
+    if (n->is_element() && n->tag() == tag) return n;
+  }
+  return nullptr;
+}
+
+size_t Node::ElementCount() const {
+  if (is_text()) return 0;
+  size_t count = 1;
+  for (const auto& child : children_) count += child->ElementCount();
+  return count;
+}
+
+}  // namespace html
+}  // namespace deepsurf

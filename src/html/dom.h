@@ -1,0 +1,86 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// A small DOM: element/text nodes with parent links and the traversal
+// helpers the form extractor, link extractor and wrapper-induction code
+// need (tag paths, descendant queries, inner text).
+
+#ifndef DEEPSURF_HTML_DOM_H_
+#define DEEPSURF_HTML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/tokenizer.h"
+
+namespace deepsurf {
+namespace html {
+
+/// DOM node. A node is either an element (tag + attributes + children) or
+/// a text node (`tag` empty, `text` set). Ownership is tree-shaped via
+/// unique_ptr; `parent` is a non-owning back pointer.
+class Node {
+ public:
+  /// Creates an element node.
+  static std::unique_ptr<Node> Element(std::string tag,
+                                       std::vector<Attribute> attrs);
+
+  /// Creates a text node.
+  static std::unique_ptr<Node> Text(std::string text);
+
+  bool is_element() const { return !tag_.empty(); }
+  bool is_text() const { return tag_.empty(); }
+
+  const std::string& tag() const { return tag_; }
+  const std::string& text() const { return text_; }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+  Node* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child, wiring its parent pointer. Returns the child.
+  Node* AppendChild(std::unique_ptr<Node> child);
+
+  /// Value of attribute `name` (lowercase), or "" when absent.
+  std::string GetAttr(std::string_view name) const;
+
+  /// True iff the attribute is present (with or without a value).
+  bool HasAttr(std::string_view name) const;
+
+  /// All descendant elements (pre-order) with the given tag; pass "" for
+  /// every element.
+  std::vector<const Node*> Descendants(std::string_view tag) const;
+
+  /// First descendant element with the given tag, or nullptr.
+  const Node* FirstDescendant(std::string_view tag) const;
+
+  /// Concatenated text of all descendant text nodes, with whitespace runs
+  /// collapsed; skips <script> and <style> subtrees.
+  std::string InnerText() const;
+
+  /// '/'-joined tag path from the root to this node, e.g.
+  /// "html/body/div/table/tr". Text nodes contribute "#text".
+  std::string TagPath() const;
+
+  /// Nearest ancestor (excluding self) with tag `tag`, or nullptr.
+  const Node* Ancestor(std::string_view tag) const;
+
+  /// Number of element nodes in this subtree including self (0 for text).
+  size_t ElementCount() const;
+
+ private:
+  Node() = default;
+
+  std::string tag_;
+  std::string text_;
+  std::vector<Attribute> attrs_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+}  // namespace html
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_HTML_DOM_H_

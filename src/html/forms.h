@@ -1,0 +1,77 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// HTML form extraction: finds <form> elements in a DOM and produces a
+// structured description of each — action, method, and every user-facing
+// control with its name, kind, default value, options (for select menus)
+// and best-effort human label. This is the raw material the surfacing
+// core (src/core) analyzes.
+
+#ifndef DEEPSURF_HTML_FORMS_H_
+#define DEEPSURF_HTML_FORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+
+namespace deepsurf {
+namespace html {
+
+/// Kind of form control, after collapsing <input type=...> variants.
+enum class FieldKind {
+  kText,      ///< <input type=text|search|(absent)> or <textarea>
+  kHidden,    ///< <input type=hidden>
+  kSelect,    ///< <select> with <option>s
+  kCheckbox,  ///< <input type=checkbox>
+  kRadio,     ///< <input type=radio> (options merged by name)
+  kSubmit,    ///< <input type=submit> / <button>
+  kPassword,  ///< <input type=password> — never probed
+  kOther,     ///< file, image, reset, unknown types
+};
+
+/// Human-readable name of a FieldKind.
+const char* FieldKindToString(FieldKind kind);
+
+/// One option of a select menu or radio group.
+struct FieldOption {
+  std::string value;  ///< the submitted value
+  std::string label;  ///< the displayed text
+  bool selected = false;
+};
+
+/// One form control.
+struct FormField {
+  std::string name;            ///< the "name" attribute ("" if missing)
+  FieldKind kind = FieldKind::kOther;
+  std::string default_value;   ///< "value" attribute / textarea content
+  std::vector<FieldOption> options;  ///< for kSelect / kRadio
+  std::string label;           ///< associated human label text ("" if none)
+  std::string id;              ///< the "id" attribute
+};
+
+/// A parsed HTML form.
+struct Form {
+  std::string action;            ///< raw action attribute (may be relative)
+  std::string method;            ///< "get" or "post" (lowercased; default get)
+  std::vector<FormField> fields; ///< document order; radios merged by name
+
+  /// True when the form submits with HTTP GET (the only method the
+  /// surfacing approach can index; see paper §3.2).
+  bool IsGet() const { return method == "get"; }
+
+  /// Fields that the user actually manipulates (excludes hidden/submit).
+  std::vector<const FormField*> UserFields() const;
+
+  /// First field with the given name, or nullptr.
+  const FormField* FindField(const std::string& name) const;
+};
+
+/// Extracts every <form> under `root`. Label association uses, in order:
+/// <label for=ID>, a wrapping <label>, and finally the nearest preceding
+/// text in the same table row / block (common in layout-table forms).
+std::vector<Form> ExtractForms(const Node& root);
+
+}  // namespace html
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_HTML_FORMS_H_

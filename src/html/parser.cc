@@ -1,0 +1,105 @@
+#include "html/parser.h"
+
+#include <algorithm>
+
+#include "html/tokenizer.h"
+
+namespace deepsurf {
+namespace html {
+
+bool IsVoidElement(std::string_view tag) {
+  static constexpr std::string_view kVoid[] = {
+      "area", "base", "br",    "col",   "embed", "hr",    "img",
+      "input", "link", "meta", "param", "source", "track", "wbr"};
+  return std::find(std::begin(kVoid), std::end(kVoid), tag) != std::end(kVoid);
+}
+
+namespace {
+
+/// Returns the set of open tags that a new `tag` implicitly closes when it
+/// is the innermost open element.
+bool ImpliedClose(std::string_view open, std::string_view incoming) {
+  if (open == "p") {
+    static constexpr std::string_view kBlock[] = {
+        "p",  "div", "table", "ul", "ol", "li", "form", "h1", "h2",
+        "h3", "h4",  "h5",    "h6", "dl", "dd", "dt",   "section"};
+    return std::find(std::begin(kBlock), std::end(kBlock), incoming) !=
+           std::end(kBlock);
+  }
+  if (open == "li") return incoming == "li";
+  if (open == "option") return incoming == "option" || incoming == "optgroup";
+  if (open == "optgroup") return incoming == "optgroup";
+  if (open == "tr") return incoming == "tr";
+  if (open == "td" || open == "th") {
+    return incoming == "td" || incoming == "th" || incoming == "tr";
+  }
+  if (open == "dd" || open == "dt") {
+    return incoming == "dd" || incoming == "dt";
+  }
+  return false;
+}
+
+class TreeBuilder {
+ public:
+  std::unique_ptr<Node> Build(std::string_view htmlsrc) {
+    root_ = Node::Element("#document", {});
+    stack_.clear();
+    stack_.push_back(root_.get());
+    for (auto& tok : Tokenize(htmlsrc)) {
+      switch (tok.kind) {
+        case TokenKind::kStartTag:
+          HandleStartTag(std::move(tok));
+          break;
+        case TokenKind::kEndTag:
+          HandleEndTag(tok.name);
+          break;
+        case TokenKind::kText:
+          if (!tok.text.empty()) {
+            Top()->AppendChild(Node::Text(std::move(tok.text)));
+          }
+          break;
+        case TokenKind::kComment:
+        case TokenKind::kDoctype:
+          break;  // not materialized
+      }
+    }
+    return std::move(root_);
+  }
+
+ private:
+  Node* Top() { return stack_.back(); }
+
+  void HandleStartTag(Token tok) {
+    // Apply implied closes while the innermost element demands one.
+    while (stack_.size() > 1 && ImpliedClose(Top()->tag(), tok.name)) {
+      stack_.pop_back();
+    }
+    Node* el = Top()->AppendChild(
+        Node::Element(std::move(tok.name), std::move(tok.attributes)));
+    if (!tok.self_closing && !IsVoidElement(el->tag())) {
+      stack_.push_back(el);
+    }
+  }
+
+  void HandleEndTag(const std::string& name) {
+    // Find the matching open element; drop the end tag when none exists.
+    for (size_t i = stack_.size(); i > 1; --i) {
+      if (stack_[i - 1]->tag() == name) {
+        stack_.resize(i - 1);
+        return;
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::vector<Node*> stack_;
+};
+
+}  // namespace
+
+std::unique_ptr<Node> Parse(std::string_view html) {
+  return TreeBuilder().Build(html);
+}
+
+}  // namespace html
+}  // namespace deepsurf

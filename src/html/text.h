@@ -1,0 +1,57 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Page-level extraction helpers built on the DOM: visible text (for
+// indexing), hyperlinks (for crawling), and HTML tables (the WebTables-
+// style corpus that feeds the semantic services of paper §6).
+
+#ifndef DEEPSURF_HTML_TEXT_H_
+#define DEEPSURF_HTML_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+
+namespace deepsurf {
+namespace html {
+
+/// One extracted hyperlink.
+struct Link {
+  std::string href;    ///< raw href (may be relative)
+  std::string anchor;  ///< anchor text
+};
+
+/// One extracted HTML table: header row (possibly inferred) + data rows.
+struct ExtractedTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  bool header_was_th = false;  ///< header came from <th> cells
+
+  size_t num_cols() const { return header.size(); }
+  size_t num_rows() const { return rows.size(); }
+};
+
+/// Visible text of the page (skips script/style, collapses whitespace).
+std::string ExtractText(const Node& root);
+
+/// Every <a href=...> in document order.
+std::vector<Link> ExtractLinks(const Node& root);
+
+/// Every well-formed <table>: at least 2 rows and 2 columns, consistent
+/// column count in >= 80% of rows. When the first row uses <th> cells it
+/// becomes the header; otherwise the first row is used as the header if
+/// its cells look like labels (short, non-numeric), matching the
+/// WebTables observation that attribute rows exist but must be inferred.
+std::vector<ExtractedTable> ExtractTables(const Node& root);
+
+/// Title of the page ("" when absent).
+std::string ExtractTitle(const Node& root);
+
+/// Concatenated raw contents of every <script> block (InnerText skips
+/// them by design; the Javascript-correlation miner needs them).
+std::string ExtractScriptText(const Node& root);
+
+}  // namespace html
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_HTML_TEXT_H_

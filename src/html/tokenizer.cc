@@ -1,0 +1,329 @@
+#include "html/tokenizer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace html {
+
+namespace {
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == ':';
+}
+
+/// Elements whose content is raw text up to the matching close tag.
+bool IsRawTextElement(std::string_view name) {
+  return name == "script" || name == "style" || name == "textarea" ||
+         name == "title";
+}
+
+struct NamedEntity {
+  std::string_view name;
+  std::string_view expansion;
+};
+
+constexpr NamedEntity kEntities[] = {
+    {"amp", "&"},   {"lt", "<"},    {"gt", ">"},   {"quot", "\""},
+    {"apos", "'"},  {"nbsp", " "},  {"copy", "(c)"}, {"reg", "(r)"},
+    {"mdash", "-"}, {"ndash", "-"}, {"hellip", "..."},
+};
+
+}  // namespace
+
+const Attribute* Token::FindAttribute(std::string_view attr_name) const {
+  for (const auto& a : attributes) {
+    if (a.name == attr_name) return &a;
+  }
+  return nullptr;
+}
+
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    size_t semi = s.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out.push_back(s[i++]);
+      continue;
+    }
+    std::string_view body = s.substr(i + 1, semi - i - 1);
+    bool decoded = false;
+    if (!body.empty() && body[0] == '#') {
+      // Numeric reference, decimal or hex; only code points <= 0x7f are
+      // emitted as bytes, others become '?' (the corpus is ASCII).
+      long code = -1;
+      if (body.size() > 1 && (body[1] == 'x' || body[1] == 'X')) {
+        code = std::strtol(std::string(body.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(body.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code > 0) {
+        out.push_back(code <= 0x7f ? static_cast<char>(code) : '?');
+        decoded = true;
+      }
+    } else {
+      for (const auto& e : kEntities) {
+        if (body == e.name) {
+          out.append(e.expansion);
+          decoded = true;
+          break;
+        }
+      }
+    }
+    if (decoded) {
+      i = semi + 1;
+    } else {
+      out.push_back(s[i++]);
+    }
+  }
+  return out;
+}
+
+std::string EscapeHtml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&#39;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Cursor-based scanner over the document.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view html) : s_(html) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < s_.size()) {
+      if (s_[pos_] == '<') {
+        if (!TryMarkup()) {
+          // A lone '<' that opens nothing is literal text.
+          text_.push_back(s_[pos_++]);
+        }
+      } else {
+        text_.push_back(s_[pos_++]);
+      }
+    }
+    FlushText();
+    return std::move(tokens_);
+  }
+
+ private:
+  void FlushText() {
+    if (text_.empty()) return;
+    Token t;
+    t.kind = TokenKind::kText;
+    t.text = DecodeEntities(text_);
+    tokens_.push_back(std::move(t));
+    text_.clear();
+  }
+
+  /// Attempts to consume markup at the current '<'. Returns false when the
+  /// characters form no valid construct (caller treats '<' as text).
+  bool TryMarkup() {
+    if (pos_ + 1 >= s_.size()) return false;
+    char next = s_[pos_ + 1];
+    if (next == '!') return ConsumeBangConstruct();
+    if (next == '/') return ConsumeEndTag();
+    if (std::isalpha(static_cast<unsigned char>(next))) {
+      return ConsumeStartTag();
+    }
+    return false;
+  }
+
+  bool ConsumeBangConstruct() {
+    if (s_.compare(pos_, 4, "<!--") == 0) {
+      size_t end = s_.find("-->", pos_ + 4);
+      FlushText();
+      Token t;
+      t.kind = TokenKind::kComment;
+      if (end == std::string_view::npos) {
+        t.text = std::string(s_.substr(pos_ + 4));
+        pos_ = s_.size();
+      } else {
+        t.text = std::string(s_.substr(pos_ + 4, end - pos_ - 4));
+        pos_ = end + 3;
+      }
+      tokens_.push_back(std::move(t));
+      return true;
+    }
+    // <!DOCTYPE ...> or other declarations: consume to '>'.
+    size_t end = s_.find('>', pos_ + 2);
+    if (end == std::string_view::npos) return false;
+    FlushText();
+    Token t;
+    t.kind = TokenKind::kDoctype;
+    t.text = std::string(s_.substr(pos_ + 2, end - pos_ - 2));
+    pos_ = end + 1;
+    tokens_.push_back(std::move(t));
+    return true;
+  }
+
+  bool ConsumeEndTag() {
+    size_t p = pos_ + 2;
+    std::string name;
+    while (p < s_.size() && IsNameChar(s_[p])) {
+      name.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(s_[p]))));
+      ++p;
+    }
+    if (name.empty()) return false;
+    while (p < s_.size() && s_[p] != '>') ++p;
+    if (p >= s_.size()) return false;
+    FlushText();
+    Token t;
+    t.kind = TokenKind::kEndTag;
+    t.name = std::move(name);
+    tokens_.push_back(std::move(t));
+    pos_ = p + 1;
+    return true;
+  }
+
+  bool ConsumeStartTag() {
+    size_t p = pos_ + 1;
+    std::string name;
+    while (p < s_.size() && IsNameChar(s_[p])) {
+      name.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(s_[p]))));
+      ++p;
+    }
+    Token t;
+    t.kind = TokenKind::kStartTag;
+    t.name = name;
+    // Attribute loop.
+    while (p < s_.size()) {
+      while (p < s_.size() && IsSpace(s_[p])) ++p;
+      if (p >= s_.size()) return false;
+      if (s_[p] == '>') {
+        ++p;
+        break;
+      }
+      if (s_[p] == '/' && p + 1 < s_.size() && s_[p + 1] == '>') {
+        t.self_closing = true;
+        p += 2;
+        break;
+      }
+      // Attribute name.
+      Attribute attr;
+      while (p < s_.size() && s_[p] != '=' && s_[p] != '>' && s_[p] != '/' &&
+             !IsSpace(s_[p])) {
+        attr.name.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(s_[p]))));
+        ++p;
+      }
+      if (attr.name.empty()) {
+        // Stray character (e.g. lone '/'); skip it defensively.
+        ++p;
+        continue;
+      }
+      while (p < s_.size() && IsSpace(s_[p])) ++p;
+      if (p < s_.size() && s_[p] == '=') {
+        ++p;
+        while (p < s_.size() && IsSpace(s_[p])) ++p;
+        std::string raw;
+        if (p < s_.size() && (s_[p] == '"' || s_[p] == '\'')) {
+          char quote = s_[p++];
+          while (p < s_.size() && s_[p] != quote) raw.push_back(s_[p++]);
+          if (p < s_.size()) ++p;  // closing quote
+        } else {
+          while (p < s_.size() && !IsSpace(s_[p]) && s_[p] != '>') {
+            raw.push_back(s_[p++]);
+          }
+        }
+        attr.value = DecodeEntities(raw);
+        attr.has_value = true;
+      }
+      t.attributes.push_back(std::move(attr));
+    }
+    FlushText();
+    pos_ = p;
+    bool raw_text = IsRawTextElement(name) && !t.self_closing;
+    tokens_.push_back(std::move(t));
+    if (raw_text) ConsumeRawText(name);
+    return true;
+  }
+
+  /// After <script>/<style>/<textarea>/<title>, content up to the matching
+  /// close tag is a single text token (no markup inside).
+  void ConsumeRawText(const std::string& name) {
+    std::string close = "</" + name;
+    size_t end = pos_;
+    while (true) {
+      end = s_.find(close, end);
+      if (end == std::string_view::npos) {
+        end = s_.size();
+        break;
+      }
+      size_t after = end + close.size();
+      if (after < s_.size() && (s_[after] == '>' || IsSpace(s_[after]))) {
+        break;
+      }
+      ++end;  // "</scriptx" — not a real close tag
+    }
+    if (end > pos_) {
+      Token t;
+      t.kind = TokenKind::kText;
+      // <textarea> and <title> contents are entity-decoded; script/style
+      // are passed through verbatim.
+      std::string_view body = s_.substr(pos_, end - pos_);
+      t.text = (name == "textarea" || name == "title")
+                   ? DecodeEntities(body)
+                   : std::string(body);
+      tokens_.push_back(std::move(t));
+    }
+    if (end >= s_.size()) {
+      pos_ = s_.size();
+      return;
+    }
+    size_t gt = s_.find('>', end);
+    Token t;
+    t.kind = TokenKind::kEndTag;
+    t.name = name;
+    tokens_.push_back(std::move(t));
+    pos_ = gt == std::string_view::npos ? s_.size() : gt + 1;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  std::string text_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view html) {
+  return Scanner(html).Run();
+}
+
+}  // namespace html
+}  // namespace deepsurf

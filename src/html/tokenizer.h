@@ -1,0 +1,69 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// HTML5-flavoured tokenizer: turns a byte stream into start tags (with
+// attributes), end tags, text, comments and doctypes. Implements the
+// pragmatic subset of the WHATWG tokenizer that real-world form pages
+// exercise: quoted/unquoted/valueless attributes, self-closing tags,
+// RAWTEXT handling for <script>/<style>, and character-reference decoding
+// for the common named and numeric entities.
+
+#ifndef DEEPSURF_HTML_TOKENIZER_H_
+#define DEEPSURF_HTML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace deepsurf {
+namespace html {
+
+/// Kind of lexical token.
+enum class TokenKind {
+  kStartTag,
+  kEndTag,
+  kText,
+  kComment,
+  kDoctype,
+};
+
+/// One HTML attribute. Valueless attributes (e.g. `selected`) carry an
+/// empty value with `has_value == false`.
+struct Attribute {
+  std::string name;   ///< lowercased
+  std::string value;  ///< entity-decoded
+  bool has_value = false;
+};
+
+/// One lexical token. For tags, `name` is the lowercased element name and
+/// `attributes` the decoded attribute list; for text/comments, `text`
+/// carries the (entity-decoded) character data.
+struct Token {
+  TokenKind kind;
+  std::string name;
+  std::string text;
+  std::vector<Attribute> attributes;
+  bool self_closing = false;
+
+  /// First attribute with the given (lowercase) name, or nullptr.
+  const Attribute* FindAttribute(std::string_view attr_name) const;
+};
+
+/// Decodes the common HTML character references (&amp; &lt; &gt; &quot;
+/// &apos; &nbsp; and numeric &#NN; / &#xHH; forms). Unknown references are
+/// passed through verbatim.
+std::string DecodeEntities(std::string_view s);
+
+/// Encodes the five XML-significant characters for safe embedding in
+/// markup. Used by the synthetic-site renderers.
+std::string EscapeHtml(std::string_view s);
+
+/// Tokenizes an entire document. The tokenizer never fails: malformed
+/// markup degrades to text, mirroring browser behaviour (which is what a
+/// crawler must cope with).
+std::vector<Token> Tokenize(std::string_view html);
+
+}  // namespace html
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_HTML_TOKENIZER_H_

@@ -1,0 +1,58 @@
+#include "index/analyzer.h"
+
+#include <cctype>
+#include <set>
+
+namespace deepsurf {
+namespace index {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      if (current.size() >= 2 && current.size() <= 40) {
+        out.push_back(current);
+      }
+      current.clear();
+    }
+  }
+  if (current.size() >= 2 && current.size() <= 40) out.push_back(current);
+  return out;
+}
+
+bool IsStopWord(std::string_view token) {
+  static const std::set<std::string, std::less<>> kStopWords = {
+      "a",    "an",   "and",  "are",   "as",    "at",    "be",   "been",
+      "but",  "by",   "can",  "do",    "for",   "from",  "had",  "has",
+      "have", "he",   "her",  "his",   "if",    "in",    "into", "is",
+      "it",   "its",  "may",  "more",  "most",  "no",    "not",  "of",
+      "on",   "or",   "our",  "she",   "so",    "than",  "that", "the",
+      "their","them", "then", "there", "these", "they",  "this", "to",
+      "was",  "we",   "were", "what",  "when",  "which", "who",  "will",
+      "with", "would","you",  "your",  "all",   "also",  "any",  "each",
+      "how",  "new",  "now",  "one",   "only",  "other", "out",  "per",
+      "some", "such", "up",   "us",    "use",   "very",  "via",
+  };
+  return kStopWords.count(token) > 0;
+}
+
+std::vector<std::string> ContentTokens(std::string_view text) {
+  std::vector<std::string> out;
+  for (auto& tok : Tokenize(text)) {
+    if (!IsStopWord(tok)) out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::map<std::string, double> TermFrequencies(std::string_view text) {
+  std::map<std::string, double> tf;
+  for (const auto& tok : ContentTokens(text)) tf[tok] += 1.0;
+  return tf;
+}
+
+}  // namespace index
+}  // namespace deepsurf

@@ -1,0 +1,36 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Text analysis for the IR index and for the surfacing keyword machinery:
+// tokenization, stop-word filtering, and term-frequency maps. The same
+// analyzer is shared by the index and by the iterative prober so that
+// "characteristic words of a site's pages" (paper §4.1) are computed in
+// index space.
+
+#ifndef DEEPSURF_INDEX_ANALYZER_H_
+#define DEEPSURF_INDEX_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepsurf {
+namespace index {
+
+/// Lowercased alphanumeric tokens of `text`; tokens shorter than 2 or
+/// longer than 40 characters are dropped.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True for the ~100 most common English function words.
+bool IsStopWord(std::string_view token);
+
+/// Tokenize + drop stop words.
+std::vector<std::string> ContentTokens(std::string_view text);
+
+/// Term -> count over the content tokens of `text`.
+std::map<std::string, double> TermFrequencies(std::string_view text);
+
+}  // namespace index
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_INDEX_ANALYZER_H_

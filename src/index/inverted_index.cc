@@ -1,0 +1,150 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/analyzer.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace deepsurf {
+namespace index {
+
+InvertedIndex::InvertedIndex(IndexOptions options)
+    : options_(options) {}
+
+Result<DocId> InvertedIndex::AddDocument(const std::string& url,
+                                         const std::string& title,
+                                         const std::string& body,
+                                         bool is_deep_web,
+                                         const std::string& source_host) {
+  uint64_t hash = Fnv1a64(body);
+  if (options_.suppress_duplicates) {
+    auto it = by_hash_.find(hash);
+    if (it != by_hash_.end()) {
+      return Result<DocId>(it->second);
+    }
+  }
+  DocId id = static_cast<DocId>(docs_.size());
+
+  std::map<std::string, double> weights;
+  auto body_tokens = ContentTokens(body);
+  for (const auto& t : body_tokens) weights[t] += 1.0;
+  for (const auto& t : ContentTokens(title)) {
+    weights[t] += options_.title_boost;
+  }
+
+  DocInfo info;
+  info.url = url;
+  info.title = title;
+  info.length = static_cast<uint32_t>(body_tokens.size());
+  info.content_hash = hash;
+  info.is_deep_web = is_deep_web;
+  info.source_host = source_host;
+  docs_.push_back(std::move(info));
+  total_length_ += static_cast<double>(body_tokens.size());
+
+  for (const auto& [term, w] : weights) {
+    postings_[term].push_back(Posting{id, static_cast<float>(w)});
+  }
+  by_hash_.emplace(hash, id);
+  by_host_[source_host].push_back(id);
+  return id;
+}
+
+std::vector<SearchHit> InvertedIndex::Search(const std::string& query,
+                                             size_t k) const {
+  return SearchTerms(ContentTokens(query), k);
+}
+
+std::vector<SearchHit> InvertedIndex::SearchTerms(
+    const std::vector<std::string>& terms, size_t k) const {
+  if (terms.empty() || docs_.empty()) return {};
+  double avg_len = total_length_ / static_cast<double>(docs_.size());
+  if (avg_len <= 0.0) avg_len = 1.0;
+  std::unordered_map<DocId, double> scores;
+  double n = static_cast<double>(docs_.size());
+  for (const auto& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    double df = static_cast<double>(it->second.size());
+    double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const auto& posting : it->second) {
+      double tf = posting.weight;
+      double len = static_cast<double>(docs_[posting.doc].length);
+      double denom =
+          tf + options_.bm25_k1 *
+                   (1.0 - options_.bm25_b + options_.bm25_b * len / avg_len);
+      scores[posting.doc] += idf * (tf * (options_.bm25_k1 + 1.0)) / denom;
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back(SearchHit{doc, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a,
+                                         const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;  // deterministic tie-break
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+const DocInfo& InvertedIndex::doc(DocId id) const {
+  DS_CHECK(id < docs_.size()) << "doc id out of range";
+  return docs_[id];
+}
+
+size_t InvertedIndex::DocFrequency(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+bool InvertedIndex::ContainsContent(uint64_t content_hash) const {
+  return by_hash_.count(content_hash) > 0;
+}
+
+std::vector<std::string> InvertedIndex::CharacteristicTerms(
+    const std::string& host, size_t k) const {
+  auto it = by_host_.find(host);
+  if (it == by_host_.end()) return {};
+  // Aggregate term weights across the host's documents.
+  std::map<std::string, double> host_tf;
+  // Walking postings per term is expensive; instead re-derive from the
+  // postings map once: term -> sum of weights over this host's docs.
+  std::unordered_map<DocId, bool> in_host;
+  for (DocId d : it->second) in_host[d] = true;
+  for (const auto& [term, plist] : postings_) {
+    double acc = 0.0;
+    for (const auto& p : plist) {
+      if (in_host.count(p.doc)) acc += p.weight;
+    }
+    if (acc > 0.0) host_tf[term] = acc;
+  }
+  double n = static_cast<double>(docs_.size());
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const auto& [term, tf] : host_tf) {
+    double df = static_cast<double>(postings_.at(term).size());
+    double idf = std::log(1.0 + n / df);
+    ranked.emplace_back(tf * idf, term);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> out;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+std::vector<DocId> InvertedIndex::DocsForHost(const std::string& host) const {
+  auto it = by_host_.find(host);
+  return it == by_host_.end() ? std::vector<DocId>{} : it->second;
+}
+
+}  // namespace index
+}  // namespace deepsurf

@@ -1,0 +1,104 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The web-search index. Surfaced pages are inserted here "like any other
+// page" (paper §3.2) and keyword queries are answered by BM25 over the
+// whole corpus — this is precisely the mechanism by which surfacing
+// sidesteps the virtual-integration routing problem, so the index is a
+// load-bearing substrate, not a mock.
+
+#ifndef DEEPSURF_INDEX_INVERTED_INDEX_H_
+#define DEEPSURF_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace deepsurf {
+namespace index {
+
+using DocId = uint32_t;
+
+/// Metadata kept per indexed document.
+struct DocInfo {
+  std::string url;
+  std::string title;
+  uint32_t length = 0;        ///< content tokens
+  uint64_t content_hash = 0;  ///< for duplicate suppression
+  bool is_deep_web = false;   ///< provenance: produced by surfacing
+  std::string source_host;    ///< host the page came from
+};
+
+/// One search hit.
+struct SearchHit {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// Options controlling scoring.
+struct IndexOptions {
+  double bm25_k1 = 1.2;
+  double bm25_b = 0.75;
+  /// Weight multiplier for title-term matches.
+  double title_boost = 2.0;
+  /// When true, AddDocument refuses exact-duplicate content (same hash).
+  bool suppress_duplicates = true;
+};
+
+/// In-memory inverted index with BM25 ranking.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(IndexOptions options = {});
+
+  /// Indexes a document; returns its DocId. With duplicate suppression on,
+  /// returns the DocId of the already-indexed duplicate instead of adding
+  /// a new one (the status distinguishes: Aborted means duplicate).
+  Result<DocId> AddDocument(const std::string& url, const std::string& title,
+                            const std::string& body, bool is_deep_web,
+                            const std::string& source_host);
+
+  /// Top-k BM25 hits for a keyword query.
+  std::vector<SearchHit> Search(const std::string& query, size_t k) const;
+
+  /// As Search, but with pre-tokenized terms.
+  std::vector<SearchHit> SearchTerms(const std::vector<std::string>& terms,
+                                     size_t k) const;
+
+  const DocInfo& doc(DocId id) const;
+  size_t num_docs() const { return docs_.size(); }
+
+  /// Document frequency of a term (0 when unseen).
+  size_t DocFrequency(const std::string& term) const;
+
+  /// True iff a document with this exact content hash exists.
+  bool ContainsContent(uint64_t content_hash) const;
+
+  /// Terms most characteristic of a host's already-indexed pages: ranked
+  /// by tf(host) * idf(corpus). This seeds the iterative prober (§4.1).
+  std::vector<std::string> CharacteristicTerms(const std::string& host,
+                                               size_t k) const;
+
+  /// Ids of all documents from `host`.
+  std::vector<DocId> DocsForHost(const std::string& host) const;
+
+ private:
+  struct Posting {
+    DocId doc;
+    float weight;  ///< tf with title boost applied
+  };
+
+  IndexOptions options_;
+  std::vector<DocInfo> docs_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<uint64_t, DocId> by_hash_;
+  std::map<std::string, std::vector<DocId>> by_host_;
+  double total_length_ = 0.0;
+};
+
+}  // namespace index
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_INDEX_INVERTED_INDEX_H_

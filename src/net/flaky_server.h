@@ -1,0 +1,66 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Failure injection for robustness testing: a WebServer decorator that
+// makes the wrapped site unreliable — transient 500s/timeouts (empty
+// bodies) and truncated responses, at seeded probabilities. The crawler,
+// prober, and surfacer must all degrade gracefully when the web is like
+// this, because the real one is.
+
+#ifndef DEEPSURF_NET_FLAKY_SERVER_H_
+#define DEEPSURF_NET_FLAKY_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "net/web.h"
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace net {
+
+/// Failure model for FlakyServer.
+struct FlakyOptions {
+  double error_probability = 0.1;     ///< respond 500 with empty body
+  double truncate_probability = 0.0;  ///< cut the body in half
+  uint64_t seed = 1;
+};
+
+/// Wraps a server and injects failures deterministically (per-seed).
+class FlakyServer : public WebServer {
+ public:
+  FlakyServer(std::shared_ptr<WebServer> inner, FlakyOptions options)
+      : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+  HttpResponse Handle(const HttpRequest& request) override {
+    if (rng_.Bernoulli(options_.error_probability)) {
+      HttpResponse resp;
+      resp.status_code = 500;
+      resp.body = "";
+      ++failures_injected_;
+      return resp;
+    }
+    HttpResponse resp = inner_->Handle(request);
+    if (rng_.Bernoulli(options_.truncate_probability)) {
+      resp.body.resize(resp.body.size() / 2);
+      ++truncations_injected_;
+    }
+    return resp;
+  }
+
+  const std::string& host() const override { return inner_->host(); }
+
+  size_t failures_injected() const { return failures_injected_; }
+  size_t truncations_injected() const { return truncations_injected_; }
+
+ private:
+  std::shared_ptr<WebServer> inner_;
+  FlakyOptions options_;
+  Rng rng_;
+  size_t failures_injected_ = 0;
+  size_t truncations_injected_ = 0;
+};
+
+}  // namespace net
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_NET_FLAKY_SERVER_H_

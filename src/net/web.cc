@@ -1,0 +1,79 @@
+#include "net/web.h"
+
+namespace deepsurf {
+namespace net {
+
+Status SimulatedWeb::Register(std::shared_ptr<WebServer> server) {
+  const std::string& host = server->host();
+  if (host.empty()) {
+    return Status::InvalidArgument("server has empty host");
+  }
+  auto [it, inserted] = servers_.emplace(host, std::move(server));
+  if (!inserted) {
+    return Status::InvalidArgument("host already registered: " + host);
+  }
+  return Status::OK();
+}
+
+bool SimulatedWeb::HasHost(const std::string& host) const {
+  return servers_.count(host) > 0;
+}
+
+Result<HttpResponse> SimulatedWeb::Dispatch(const HttpRequest& request) {
+  auto it = servers_.find(request.url.host());
+  if (it == servers_.end()) {
+    return Status::NotFound("unknown host: " + request.url.host());
+  }
+  ++total_requests_;
+  HostTraffic& t = traffic_[request.url.host()];
+  if (request.method == Method::kGet) {
+    ++t.get_requests;
+  } else {
+    ++t.post_requests;
+  }
+  HttpResponse resp = it->second->Handle(request);
+  t.bytes_served += resp.body.size();
+  if (resp.status_code >= 400) ++t.errors;
+  return resp;
+}
+
+Result<HttpResponse> SimulatedWeb::Get(const Url& url) {
+  HttpRequest req;
+  req.method = Method::kGet;
+  req.url = url;
+  return Dispatch(req);
+}
+
+Result<HttpResponse> SimulatedWeb::Get(const std::string& url) {
+  DEEPSURF_ASSIGN_OR_RETURN(Url parsed, Url::Parse(url));
+  return Get(parsed);
+}
+
+Result<HttpResponse> SimulatedWeb::Post(const Url& url,
+                                        const QueryParams& body) {
+  HttpRequest req;
+  req.method = Method::kPost;
+  req.url = url;
+  req.body = body;
+  return Dispatch(req);
+}
+
+HostTraffic SimulatedWeb::TrafficFor(const std::string& host) const {
+  auto it = traffic_.find(host);
+  return it == traffic_.end() ? HostTraffic{} : it->second;
+}
+
+void SimulatedWeb::ResetTraffic() {
+  traffic_.clear();
+  total_requests_ = 0;
+}
+
+std::vector<std::string> SimulatedWeb::Hosts() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [host, server] : servers_) out.push_back(host);
+  return out;
+}
+
+}  // namespace net
+}  // namespace deepsurf

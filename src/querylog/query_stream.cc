@@ -1,0 +1,42 @@
+#include "querylog/query_stream.h"
+
+#include "index/analyzer.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace querylog {
+
+QueryStream::QueryStream(const synthweb::WebCorpus* corpus,
+                         QueryStreamOptions options)
+    : corpus_(corpus),
+      options_(options),
+      rng_(options.seed),
+      sampler_(corpus->entities.empty() ? 1 : corpus->entities.size(),
+               options.zipf_exponent) {
+  DS_CHECK(!corpus_->entities.empty()) << "corpus has no entities";
+}
+
+QueryRecord QueryStream::Next() {
+  QueryRecord out;
+  out.entity_rank = sampler_.Sample(&rng_);
+  const auto& entity = corpus_->entities[out.entity_rank];
+  std::string text = corpus_->EntityText(entity);
+  auto tokens = index::ContentTokens(text);
+  size_t want = static_cast<size_t>(rng_.UniformInt(
+      static_cast<int64_t>(options_.min_terms),
+      static_cast<int64_t>(options_.max_terms)));
+  std::vector<std::string> chosen;
+  if (!tokens.empty()) {
+    // Prefer distinctive tokens: sample without replacement.
+    auto idx = rng_.SampleWithoutReplacement(
+        tokens.size(), std::min(want, tokens.size()));
+    for (size_t i : idx) chosen.push_back(tokens[i]);
+  }
+  if (chosen.empty()) chosen.push_back("record");
+  out.text = strings::Join(chosen, " ");
+  return out;
+}
+
+}  // namespace querylog
+}  // namespace deepsurf

@@ -1,0 +1,57 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The search-engine query stream. The paper's long-tail analysis (§3.2)
+// rests on two facts about real query logs: (1) query frequency is a
+// power law with a heavy tail, and (2) popular topics are redundantly
+// covered by the surface web while rare topics often live only behind
+// forms. The generator reproduces both: queries target entities (records
+// of the corpus), entity popularity is Zipfian, and the corpus builder
+// already gave the popular head surface-web coverage.
+
+#ifndef DEEPSURF_QUERYLOG_QUERY_STREAM_H_
+#define DEEPSURF_QUERYLOG_QUERY_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "synthweb/corpus.h"
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace querylog {
+
+/// One generated query.
+struct QueryRecord {
+  std::string text;
+  size_t entity_rank = 0;  ///< popularity rank of the targeted entity
+};
+
+struct QueryStreamOptions {
+  double zipf_exponent = 0.95;  ///< rank-frequency exponent of the log
+  size_t min_terms = 2;
+  size_t max_terms = 4;
+  uint64_t seed = 7;
+};
+
+/// Generates keyword queries against a corpus: each query picks an entity
+/// by Zipf(popularity rank) and keywords from that entity's record text
+/// (plus occasionally a domain word), mimicking navigational / lookup
+/// queries.
+class QueryStream {
+ public:
+  QueryStream(const synthweb::WebCorpus* corpus, QueryStreamOptions options);
+
+  /// Draws the next query.
+  QueryRecord Next();
+
+ private:
+  const synthweb::WebCorpus* corpus_;
+  QueryStreamOptions options_;
+  Rng rng_;
+  ZipfSampler sampler_;
+};
+
+}  // namespace querylog
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_QUERYLOG_QUERY_STREAM_H_

@@ -1,0 +1,162 @@
+#include "semantic/acsdb.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace semantic {
+
+namespace {
+
+/// Range affixes collapsed by normalization.
+const char* kPrefixes[] = {"min_", "max_", "min", "max", "lo_", "hi_",
+                           "from_", "to_", "start_", "end_"};
+const char* kSuffixes[] = {"_from", "_to", "_min", "_max", "min", "max",
+                           "_low", "_high", "_start", "_end"};
+
+}  // namespace
+
+std::string AcsDb::NormalizeAttribute(const std::string& name) {
+  std::string n = strings::ToLower(name);
+  for (const char* p : kPrefixes) {
+    if (strings::StartsWith(n, p) && n.size() > std::string(p).size()) {
+      n = n.substr(std::string(p).size());
+      break;
+    }
+  }
+  for (const char* s : kSuffixes) {
+    if (strings::EndsWith(n, s) && n.size() > std::string(s).size()) {
+      n = n.substr(0, n.size() - std::string(s).size());
+      break;
+    }
+  }
+  // Collapse separators.
+  n = strings::ReplaceAll(n, "-", "_");
+  n = strings::ReplaceAll(n, " ", "_");
+  while (!n.empty() && n.back() == '_') n.pop_back();
+  while (!n.empty() && n.front() == '_') n.erase(n.begin());
+  return n;
+}
+
+void AcsDb::AddSchema(const std::vector<std::string>& attributes) {
+  std::set<std::string> normalized;
+  for (const auto& a : attributes) {
+    std::string n = NormalizeAttribute(a);
+    if (!n.empty()) normalized.insert(n);
+  }
+  if (normalized.empty()) return;
+  ++schema_count_;
+  for (const auto& a : normalized) ++attr_freq_[a];
+  for (auto it = normalized.begin(); it != normalized.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != normalized.end(); ++jt) {
+      ++pair_freq_[*it + "\t" + *jt];
+      ++context_[*it][*jt];
+      ++context_[*jt][*it];
+    }
+  }
+}
+
+void AcsDb::AddForm(const html::Form& form) {
+  std::vector<std::string> attrs;
+  for (const html::FormField* field : form.UserFields()) {
+    if (field->name.empty()) continue;
+    attrs.push_back(field->name);
+    if (field->kind == html::FieldKind::kSelect ||
+        field->kind == html::FieldKind::kRadio) {
+      std::vector<std::string> values;
+      for (const auto& opt : field->options) {
+        if (!opt.value.empty()) values.push_back(opt.value);
+      }
+      AddValues(field->name, values);
+    }
+  }
+  AddSchema(attrs);
+}
+
+void AcsDb::AddTable(const html::ExtractedTable& table) {
+  AddSchema(table.header);
+  for (size_t c = 0; c < table.header.size(); ++c) {
+    std::vector<std::string> values;
+    for (const auto& row : table.rows) {
+      if (c < row.size() && !row[c].empty()) values.push_back(row[c]);
+    }
+    AddValues(table.header[c], values);
+  }
+}
+
+void AcsDb::AddValues(const std::string& attribute,
+                      const std::vector<std::string>& values) {
+  std::string attr = NormalizeAttribute(attribute);
+  if (attr.empty()) return;
+  for (const auto& v : values) {
+    if (v.empty() || v.size() > 60) continue;
+    values_[attr].insert(v);
+    value_index_[strings::ToLower(v)].insert(attr);
+  }
+}
+
+uint64_t AcsDb::AttributeFrequency(const std::string& attribute) const {
+  auto it = attr_freq_.find(NormalizeAttribute(attribute));
+  return it == attr_freq_.end() ? 0 : it->second;
+}
+
+uint64_t AcsDb::PairFrequency(const std::string& a,
+                              const std::string& b) const {
+  std::string na = NormalizeAttribute(a);
+  std::string nb = NormalizeAttribute(b);
+  if (na > nb) std::swap(na, nb);
+  auto it = pair_freq_.find(na + "\t" + nb);
+  return it == pair_freq_.end() ? 0 : it->second;
+}
+
+double AcsDb::AttributeProbability(const std::string& attribute) const {
+  if (schema_count_ == 0) return 0.0;
+  return static_cast<double>(AttributeFrequency(attribute)) /
+         static_cast<double>(schema_count_);
+}
+
+double AcsDb::ConditionalProbability(const std::string& a,
+                                     const std::string& b) const {
+  uint64_t fb = AttributeFrequency(b);
+  if (fb == 0) return 0.0;
+  return static_cast<double>(PairFrequency(a, b)) / static_cast<double>(fb);
+}
+
+std::vector<std::string> AcsDb::FrequentAttributes(uint64_t min_count) const {
+  std::vector<std::pair<uint64_t, std::string>> ranked;
+  for (const auto& [attr, freq] : attr_freq_) {
+    if (freq >= min_count) ranked.emplace_back(freq, attr);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (const auto& [freq, attr] : ranked) out.push_back(attr);
+  return out;
+}
+
+std::vector<std::string> AcsDb::ValuesOf(const std::string& attribute) const {
+  auto it = values_.find(NormalizeAttribute(attribute));
+  if (it == values_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::string> AcsDb::AttributesWithValue(
+    const std::string& value) const {
+  auto it = value_index_.find(strings::ToLower(value));
+  if (it == value_index_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+const std::map<std::string, uint64_t>& AcsDb::ContextOf(
+    const std::string& attribute) const {
+  auto it = context_.find(NormalizeAttribute(attribute));
+  return it == context_.end() ? empty_context_ : it->second;
+}
+
+}  // namespace semantic
+}  // namespace deepsurf

@@ -1,0 +1,93 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The attribute-correlation statistics database (paper §6, after the
+// WebTables ACSDb): aggregates two kinds of web meta-data — form inputs
+// that appear together (with their select-menu values) and HTML-table
+// schemas (column names that appear together, with column values) — into
+// frequency and co-occurrence statistics that power the semantic
+// services.
+
+#ifndef DEEPSURF_SEMANTIC_ACSDB_H_
+#define DEEPSURF_SEMANTIC_ACSDB_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "html/forms.h"
+#include "html/text.h"
+
+namespace deepsurf {
+namespace semantic {
+
+/// Attribute-correlation statistics over schemata (forms + tables).
+class AcsDb {
+ public:
+  /// Adds one schema occurrence: a set of co-occurring attribute names.
+  /// Names are normalized (lowercased, range affixes collapsed so that
+  /// min_price / price_from both count as "price").
+  void AddSchema(const std::vector<std::string>& attributes);
+
+  /// Adds a form: its input names form a schema; select-menu values are
+  /// recorded as the inputs' value domains.
+  void AddForm(const html::Form& form);
+
+  /// Adds an extracted HTML table: header = schema, columns = values.
+  void AddTable(const html::ExtractedTable& table);
+
+  /// Records values for an attribute's domain directly.
+  void AddValues(const std::string& attribute,
+                 const std::vector<std::string>& values);
+
+  /// Normalization used on every attribute name (exposed for callers that
+  /// must query consistently).
+  static std::string NormalizeAttribute(const std::string& name);
+
+  // --- Statistics ---
+
+  uint64_t schema_count() const { return schema_count_; }
+  uint64_t AttributeFrequency(const std::string& attribute) const;
+  uint64_t PairFrequency(const std::string& a, const std::string& b) const;
+
+  /// P(attribute present in a random schema).
+  double AttributeProbability(const std::string& attribute) const;
+
+  /// P(a present | b present); 0 when b unseen.
+  double ConditionalProbability(const std::string& a,
+                                const std::string& b) const;
+
+  /// All attributes seen at least `min_count` times, sorted by frequency
+  /// descending.
+  std::vector<std::string> FrequentAttributes(uint64_t min_count = 1) const;
+
+  /// The recorded value domain of an attribute (sorted, deduped).
+  std::vector<std::string> ValuesOf(const std::string& attribute) const;
+
+  /// All attributes whose recorded domain contains `value`
+  /// (case-insensitive).
+  std::vector<std::string> AttributesWithValue(const std::string& value)
+      const;
+
+  /// Context vector of an attribute: co-occurrence counts with every
+  /// other attribute.
+  const std::map<std::string, uint64_t>& ContextOf(
+      const std::string& attribute) const;
+
+ private:
+  uint64_t schema_count_ = 0;
+  std::map<std::string, uint64_t> attr_freq_;
+  /// pair key = "a\tb" with a < b.
+  std::map<std::string, uint64_t> pair_freq_;
+  std::map<std::string, std::map<std::string, uint64_t>> context_;
+  std::map<std::string, std::set<std::string>> values_;
+  /// lowercased value -> attributes.
+  std::map<std::string, std::set<std::string>> value_index_;
+  std::map<std::string, uint64_t> empty_context_;
+};
+
+}  // namespace semantic
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SEMANTIC_ACSDB_H_

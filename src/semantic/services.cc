@@ -1,0 +1,142 @@
+#include "semantic/services.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+
+namespace deepsurf {
+namespace semantic {
+
+SemanticServer::SemanticServer(const AcsDb* acsdb) : acsdb_(acsdb) {
+  DS_CHECK(acsdb != nullptr) << "semantic server needs an ACSDb";
+}
+
+namespace {
+
+double CosineSimilarity(const std::map<std::string, uint64_t>& a,
+                        const std::map<std::string, uint64_t>& b,
+                        const std::set<std::string>& exclude) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (const auto& [attr, count] : a) {
+    if (exclude.count(attr)) continue;
+    na += static_cast<double>(count) * static_cast<double>(count);
+    auto it = b.find(attr);
+    if (it != b.end()) {
+      dot += static_cast<double>(count) * static_cast<double>(it->second);
+    }
+  }
+  for (const auto& [attr, count] : b) {
+    if (exclude.count(attr)) continue;
+    nb += static_cast<double>(count) * static_cast<double>(count);
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+/// Lexical-morphology affinity: spelling variants of one concept usually
+/// share a stem ("zip" / "zipcode" / "zip_code"). Returns a multiplier
+/// >= 1 (containment or a shared >=3-char prefix earns the bonus).
+double LexicalAffinity(const std::string& a, const std::string& b) {
+  if (a.empty() || b.empty()) return 1.0;
+  const std::string& shorter = a.size() <= b.size() ? a : b;
+  const std::string& longer = a.size() <= b.size() ? b : a;
+  if (shorter.size() >= 3 &&
+      longer.find(shorter) != std::string::npos) {
+    return 2.0;
+  }
+  size_t common = 0;
+  while (common < shorter.size() && shorter[common] == longer[common]) {
+    ++common;
+  }
+  return common >= 4 ? 1.5 : 1.0;
+}
+
+void TopK(std::vector<Suggestion>* suggestions, size_t k) {
+  std::sort(suggestions->begin(), suggestions->end(),
+            [](const Suggestion& a, const Suggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.attribute < b.attribute;
+            });
+  if (suggestions->size() > k) suggestions->resize(k);
+}
+
+}  // namespace
+
+std::vector<Suggestion> SemanticServer::Synonyms(const std::string& attribute,
+                                                 size_t k) const {
+  std::string target = AcsDb::NormalizeAttribute(attribute);
+  const auto& target_ctx = acsdb_->ContextOf(target);
+  if (target_ctx.empty()) return {};
+  std::set<std::string> exclude = {target};
+  std::vector<Suggestion> out;
+  for (const auto& candidate : acsdb_->FrequentAttributes(2)) {
+    if (candidate == target) continue;
+    const auto& ctx = acsdb_->ContextOf(candidate);
+    if (ctx.empty()) continue;
+    std::set<std::string> ex = exclude;
+    ex.insert(candidate);
+    double similarity = CosineSimilarity(target_ctx, ctx, ex);
+    if (similarity <= 0.0) continue;
+    // Penalize co-occurrence (true synonyms rarely share a schema) and
+    // reward lexical morphology (spelling variants share stems).
+    double cooccur = acsdb_->ConditionalProbability(candidate, target);
+    double score = similarity * (1.0 - cooccur) *
+                   LexicalAffinity(candidate, target);
+    if (score > 0.0) out.push_back(Suggestion{candidate, score});
+  }
+  TopK(&out, k);
+  return out;
+}
+
+std::vector<std::string> SemanticServer::Values(
+    const std::string& attribute) const {
+  return acsdb_->ValuesOf(attribute);
+}
+
+std::vector<Suggestion> SemanticServer::Properties(
+    const std::string& entity_value, size_t k) const {
+  std::vector<Suggestion> out;
+  std::set<std::string> seen;
+  for (const auto& attr : acsdb_->AttributesWithValue(entity_value)) {
+    if (seen.insert(attr).second) {
+      out.push_back(Suggestion{attr, 1.0});
+    }
+    // The entity's likely properties: attributes that co-occur with the
+    // attribute whose domain the value belongs to.
+    for (const auto& [ctx_attr, count] : acsdb_->ContextOf(attr)) {
+      if (!seen.insert(ctx_attr).second) continue;
+      out.push_back(Suggestion{
+          ctx_attr, acsdb_->ConditionalProbability(ctx_attr, attr)});
+    }
+  }
+  TopK(&out, k);
+  return out;
+}
+
+std::vector<Suggestion> SemanticServer::AutoComplete(
+    const std::vector<std::string>& given, size_t k) const {
+  std::set<std::string> given_set;
+  for (const auto& g : given) {
+    given_set.insert(AcsDb::NormalizeAttribute(g));
+  }
+  if (given_set.empty()) return {};
+  std::vector<Suggestion> out;
+  for (const auto& candidate : acsdb_->FrequentAttributes(1)) {
+    if (given_set.count(candidate)) continue;
+    double acc = 0.0;
+    for (const auto& g : given_set) {
+      acc += acsdb_->ConditionalProbability(candidate, g);
+    }
+    double score = acc / static_cast<double>(given_set.size());
+    if (score > 0.0) out.push_back(Suggestion{candidate, score});
+  }
+  TopK(&out, k);
+  return out;
+}
+
+}  // namespace semantic
+}  // namespace deepsurf

@@ -1,0 +1,59 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The semantic server (paper §6): four services built over the ACSDb.
+//   1. Synonyms — attributes used interchangeably across schemata.
+//   2. Values — a value set for an attribute (drives auto form filling).
+//   3. Properties — attributes plausibly associated with an entity value.
+//   4. Schema auto-complete — given a few attributes, the attributes
+//      database designers usually add in that domain.
+
+#ifndef DEEPSURF_SEMANTIC_SERVICES_H_
+#define DEEPSURF_SEMANTIC_SERVICES_H_
+
+#include <string>
+#include <vector>
+
+#include "semantic/acsdb.h"
+
+namespace deepsurf {
+namespace semantic {
+
+/// One scored suggestion.
+struct Suggestion {
+  std::string attribute;
+  double score = 0.0;
+};
+
+/// The semantic server facade.
+class SemanticServer {
+ public:
+  explicit SemanticServer(const AcsDb* acsdb);
+
+  /// Synonym service: attributes with similar co-occurrence contexts that
+  /// (almost) never co-occur with `attribute` — the WebTables synonym
+  /// signal: schema designers pick one spelling *or* the other.
+  std::vector<Suggestion> Synonyms(const std::string& attribute,
+                                   size_t k = 5) const;
+
+  /// Value service: the known value domain of `attribute`.
+  std::vector<std::string> Values(const std::string& attribute) const;
+
+  /// Property service: attributes whose domains contain `entity_value`,
+  /// plus their strongest context attributes (the entity's likely
+  /// properties).
+  std::vector<Suggestion> Properties(const std::string& entity_value,
+                                     size_t k = 8) const;
+
+  /// Schema auto-complete: given `given` attributes, rank other
+  /// attributes by mean conditional probability P(a | g).
+  std::vector<Suggestion> AutoComplete(const std::vector<std::string>& given,
+                                       size_t k = 8) const;
+
+ private:
+  const AcsDb* acsdb_;
+};
+
+}  // namespace semantic
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SEMANTIC_SERVICES_H_

@@ -1,0 +1,124 @@
+#include "synthweb/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "html/tokenizer.h"
+#include "synthweb/vocab.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+std::string WebCorpus::EntityText(const EntityRef& e) const {
+  const auto& site = deep_sites[e.site_index];
+  const db::Table& table = *site->spec().tables[e.table_index].second;
+  const db::Row& row = table.row(e.row);
+  std::string out;
+  for (const auto& v : row) {
+    out += v.ToDisplayString();
+    out.push_back(' ');
+  }
+  return out;
+}
+
+size_t WebCorpus::TotalDeepRows() const {
+  size_t total = 0;
+  for (const auto& site : deep_sites) total += site->spec().TotalRows();
+  return total;
+}
+
+WebCorpus BuildCorpus(const CorpusOptions& options) {
+  DS_CHECK(options.num_deep_sites > 0) << "corpus needs deep sites";
+  Rng rng(options.seed);
+  WebCorpus corpus;
+  corpus.web = std::make_shared<net::SimulatedWeb>();
+
+  // --- Deep-web sites, Zipf-sized databases across the ten domains. ---
+  const auto& domains = AllDomains();
+  for (size_t i = 0; i < options.num_deep_sites; ++i) {
+    Domain domain = domains[rng.Uniform(domains.size())];
+    double scale =
+        std::pow(static_cast<double>(i + 1), -options.zipf_exponent);
+    size_t rows = options.min_rows +
+                  static_cast<size_t>(
+                      scale * static_cast<double>(options.max_rows -
+                                                  options.min_rows));
+    SiteGenOptions gen;
+    gen.num_rows = rows;
+    gen.post_probability = options.post_probability;
+    gen.obfuscate_probability = options.obfuscate_probability;
+    std::string host = strings::Format(
+        "%s-%03zu.example.com", DomainToString(domain), i);
+    Rng site_rng = rng.Fork();
+    auto site = std::make_shared<DeepWebSite>(
+        GenerateSite(domain, host, &site_rng, gen));
+    DS_CHECK_OK(corpus.web->Register(site));
+    corpus.deep_sites.push_back(std::move(site));
+  }
+
+  // --- Entity universe and popularity ranking. ---
+  for (size_t s = 0; s < corpus.deep_sites.size(); ++s) {
+    const auto& spec = corpus.deep_sites[s]->spec();
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      size_t rows = spec.tables[t].second->num_rows();
+      for (db::RowId r = 0; r < rows; ++r) {
+        corpus.entities.push_back(EntityRef{s, t, r, false});
+      }
+    }
+  }
+  rng.Shuffle(&corpus.entities);  // shuffled order = popularity rank
+
+  // --- Surface-web sites covering the popular head. ---
+  for (size_t i = 0; i < options.num_surface_sites; ++i) {
+    auto site = std::make_shared<SurfaceSite>(
+        strings::Format("web-%02zu.example.org", i));
+    corpus.surface_sites.push_back(site);
+  }
+  size_t covered = static_cast<size_t>(
+      options.surface_coverage * static_cast<double>(corpus.entities.size()));
+  if (!corpus.surface_sites.empty()) {
+    for (size_t rank = 0; rank < covered; ++rank) {
+      EntityRef& e = corpus.entities[rank];
+      e.has_surface_page = true;
+      // The most popular entities appear on several SEO'd sites.
+      double head_frac = covered == 0
+                             ? 0.0
+                             : static_cast<double>(rank) /
+                                   static_cast<double>(covered);
+      int copies = 1 + static_cast<int>(
+                           (1.0 - head_frac) *
+                           static_cast<double>(options.max_surface_copies - 1));
+      std::string text = corpus.EntityText(e);
+      for (int c = 0; c < copies; ++c) {
+        auto& site = corpus.surface_sites[(rank + static_cast<size_t>(c)) %
+                                          corpus.surface_sites.size()];
+        std::string path = strings::Format("/article%zu_%d.html", rank, c);
+        std::string body = "<p>" + html::EscapeHtml(text) + "</p>\n<p>" +
+                           html::EscapeHtml(RandomProse(&rng, 25)) +
+                           "</p>\n";
+        site->AddPage(path, strings::Format("Article %zu", rank), body);
+      }
+    }
+  }
+  for (const auto& site : corpus.surface_sites) {
+    DS_CHECK_OK(corpus.web->Register(site));
+  }
+
+  // --- Directory hub: links to every site (crawler seed). ---
+  auto hub = std::make_shared<SurfaceSite>("directory.example.org");
+  for (const auto& site : corpus.deep_sites) {
+    hub->AddRootLink(site->FormPageUrl(), site->spec().title);
+  }
+  for (const auto& site : corpus.surface_sites) {
+    hub->AddRootLink("http://" + site->host() + "/", site->host());
+  }
+  DS_CHECK_OK(corpus.web->Register(hub));
+  corpus.surface_sites.push_back(hub);
+  corpus.directory_url = "http://directory.example.org/";
+  return corpus;
+}
+
+}  // namespace synthweb
+}  // namespace deepsurf

@@ -1,0 +1,74 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Whole-web corpus builder: assembles a SimulatedWeb containing deep-web
+// sites (heavy-tailed database sizes across ten domains), surface-web
+// content sites covering the popular head of the entity distribution, and
+// a directory hub that seeds the crawler. Also exposes the ground-truth
+// registry the experiments evaluate against.
+
+#ifndef DEEPSURF_SYNTHWEB_CORPUS_H_
+#define DEEPSURF_SYNTHWEB_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/web.h"
+#include "synthweb/deep_site.h"
+#include "synthweb/surface_site.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+/// Options controlling corpus construction.
+struct CorpusOptions {
+  size_t num_deep_sites = 40;
+  size_t num_surface_sites = 12;
+  /// Hidden-database sizes follow rank^-zipf_exponent scaled into
+  /// [min_rows, max_rows].
+  size_t min_rows = 20;
+  size_t max_rows = 1200;
+  double zipf_exponent = 1.0;
+  double post_probability = 0.10;
+  double obfuscate_probability = 0.25;
+  /// Fraction of (popularity-ranked) entities that surface-web sites also
+  /// cover; the head of the distribution.
+  double surface_coverage = 0.08;
+  /// How many duplicate surface pages the most popular entities get.
+  int max_surface_copies = 3;
+  uint64_t seed = 42;
+};
+
+/// One entity = one record of one deep site; the unit the query stream
+/// targets. `rank` is its popularity rank (0 = most popular).
+struct EntityRef {
+  size_t site_index = 0;
+  size_t table_index = 0;
+  db::RowId row = 0;
+  bool has_surface_page = false;
+};
+
+/// The assembled web plus ground truth.
+struct WebCorpus {
+  std::shared_ptr<net::SimulatedWeb> web;
+  std::vector<std::shared_ptr<DeepWebSite>> deep_sites;
+  std::vector<std::shared_ptr<SurfaceSite>> surface_sites;
+  /// The directory hub's URL — the canonical crawl seed.
+  std::string directory_url;
+  /// Entities in popularity-rank order (index = rank).
+  std::vector<EntityRef> entities;
+
+  /// Display text of an entity's record (concatenated column values).
+  std::string EntityText(const EntityRef& e) const;
+
+  /// Total hidden rows across all deep sites.
+  size_t TotalDeepRows() const;
+};
+
+/// Builds the corpus. Deterministic in `options.seed`.
+WebCorpus BuildCorpus(const CorpusOptions& options);
+
+}  // namespace synthweb
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SYNTHWEB_CORPUS_H_

@@ -1,0 +1,261 @@
+#include "synthweb/deep_site.h"
+
+#include <algorithm>
+
+#include "db/query.h"
+#include "synthweb/render.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+using net::HttpRequest;
+using net::HttpResponse;
+using net::QueryParams;
+
+DeepWebSite::DeepWebSite(SiteSpec spec) : spec_(std::move(spec)) {}
+
+HttpResponse DeepWebSite::Handle(const HttpRequest& request) {
+  const std::string& path = request.url.path();
+  if (request.method == net::Method::kPost) {
+    if (path == "/search" && spec_.use_post) {
+      return ServeSearch(request.body);
+    }
+    HttpResponse resp;
+    resp.status_code = 405;
+    resp.body = RenderError("method not allowed");
+    return resp;
+  }
+  if (path == "/" || path == "/index.html") return ServeFormPage();
+  if (path == "/search") {
+    if (spec_.use_post) {
+      // GETting a POST action shows the search form again, like most
+      // real sites do.
+      return ServeFormPage();
+    }
+    return ServeSearch(request.url.query());
+  }
+  if (path == "/item") return ServeItem(request.url.query());
+  HttpResponse resp;
+  resp.status_code = 404;
+  resp.body = RenderError("no such page: " + path);
+  return resp;
+}
+
+HttpResponse DeepWebSite::ServeFormPage() const {
+  std::string body = "<h1>" + spec_.title + "</h1>\n";
+  body += strings::Format(
+      "<p>Search our %s database. Use the form below to find what you are "
+      "looking for.</p>\n",
+      spec_.domain.c_str());
+  body += RenderForm(spec_, "/search");
+  HttpResponse resp;
+  resp.body = RenderPage(spec_.title, body);
+  return resp;
+}
+
+namespace {
+
+/// Case-insensitive equality for string columns; exact for the rest.
+db::Predicate EqPredicate(const db::Table& table, const std::string& column,
+                          const std::string& raw, bool* parse_failed) {
+  db::Predicate p;
+  p.column = column;
+  auto col_idx = table.schema().ColumnIndex(column);
+  db::ValueType type =
+      col_idx.ok() ? table.schema().column(*col_idx).type
+                   : db::ValueType::kString;
+  auto parsed = db::ParseValue(type, raw);
+  if (!parsed.ok()) {
+    // Try a case-normalized string fall-back for string columns.
+    *parse_failed = true;
+    p.op = db::Op::kEq;
+    p.value = db::Value::String(raw);
+    return p;
+  }
+  p.op = db::Op::kEq;
+  p.value = *parsed;
+  return p;
+}
+
+}  // namespace
+
+HttpResponse DeepWebSite::ServeSearch(const QueryParams& params) const {
+  // Pick the target table (db-selection pattern).
+  size_t table_idx = 0;
+  for (const auto& [name, value] : params) {
+    const FormInputSpec* in = spec_.FindInput(name);
+    if (in == nullptr || in->role != InputRole::kDbSelector) continue;
+    for (size_t i = 0; i < spec_.tables.size(); ++i) {
+      if (spec_.tables[i].first == value) {
+        table_idx = i;
+        break;
+      }
+    }
+  }
+  const db::Table& table = *spec_.tables[table_idx].second;
+
+  db::Query query;
+  bool unsatisfiable = false;
+  std::string sort_column;
+  size_t page = 0;
+  for (const auto& [name, raw_value] : params) {
+    std::string value(strings::Trim(raw_value));
+    if (name == "page") {
+      auto parsed = strings::ParseInt(value);
+      if (parsed.ok() && *parsed >= 0) page = static_cast<size_t>(*parsed);
+      continue;
+    }
+    if (value.empty()) continue;
+    const FormInputSpec* in = spec_.FindInput(name);
+    if (in == nullptr) continue;  // unknown params are ignored, like real CGI
+    switch (in->role) {
+      case InputRole::kKeywordSearch:
+        for (auto& word : strings::SplitWhitespace(value)) {
+          query.keywords.push_back(std::move(word));
+        }
+        break;
+      case InputRole::kTypedText:
+      case InputRole::kSelectEq: {
+        // String-typed columns match case-insensitively via normalization:
+        // the stored values are Title Case; fold the probe accordingly.
+        bool parse_failed = false;
+        auto col_idx = table.schema().ColumnIndex(in->column);
+        if (!col_idx.ok()) {
+          unsatisfiable = true;  // input bound to a column of another table
+          break;
+        }
+        db::Predicate p = EqPredicate(table, in->column, value,
+                                      &parse_failed);
+        if (parse_failed &&
+            table.schema().column(*col_idx).type != db::ValueType::kString) {
+          unsatisfiable = true;  // e.g. letters in a date field
+          break;
+        }
+        if (table.schema().column(*col_idx).type == db::ValueType::kString) {
+          // Fold case by substituting a Contains-with-full-match proxy:
+          // match when lowercased display equals lowercased probe.
+          p.op = db::Op::kEq;
+          // Normalize against the distinct values of the column.
+          std::string lowered = strings::ToLower(value);
+          bool matched = false;
+          for (const auto& v : table.DistinctValues(in->column)) {
+            if (strings::ToLower(v.ToDisplayString()) == lowered) {
+              p.value = v;
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) unsatisfiable = true;
+        }
+        if (!unsatisfiable) query.conjuncts.push_back(std::move(p));
+        break;
+      }
+      case InputRole::kRangeMin:
+      case InputRole::kRangeMax: {
+        auto col_idx = table.schema().ColumnIndex(in->column);
+        if (!col_idx.ok()) {
+          unsatisfiable = true;
+          break;
+        }
+        auto parsed =
+            db::ParseValue(table.schema().column(*col_idx).type, value);
+        if (!parsed.ok()) {
+          unsatisfiable = true;
+          break;
+        }
+        db::Predicate p;
+        p.column = in->column;
+        p.op = in->role == InputRole::kRangeMin ? db::Op::kGe : db::Op::kLe;
+        p.value = *parsed;
+        query.conjuncts.push_back(std::move(p));
+        break;
+      }
+      case InputRole::kDbSelector:
+        break;  // handled above
+      case InputRole::kPresentation:
+        if (in->html_name != "radius") sort_column = value;
+        break;
+    }
+  }
+
+  HttpResponse resp;
+  if (unsatisfiable) {
+    resp.body = RenderNoResults(spec_);
+    return resp;
+  }
+  auto rows_or = db::Execute(table, query);
+  if (!rows_or.ok()) {
+    resp.body = RenderNoResults(spec_);
+    return resp;
+  }
+  std::vector<db::RowId> rows = std::move(rows_or).value();
+  if (rows.empty()) {
+    resp.body = RenderNoResults(spec_);
+    return resp;
+  }
+  size_t total = rows.size();
+  size_t page_size = static_cast<size_t>(std::max(1, spec_.page_size));
+  size_t begin = page * page_size;
+  if (begin >= rows.size()) {
+    resp.body = RenderNoResults(spec_);
+    return resp;
+  }
+  size_t end = std::min(rows.size(), begin + page_size);
+  std::vector<db::RowId> page_rows(rows.begin() + begin, rows.begin() + end);
+  // Presentation sort reorders the records *within* the served page (the
+  // cheap-CGI behaviour); the page's record set is unchanged, which is
+  // what makes presentation inputs test as uninformative.
+  if (!sort_column.empty()) {
+    auto col_idx = table.schema().ColumnIndex(sort_column);
+    if (col_idx.ok()) {
+      std::stable_sort(page_rows.begin(), page_rows.end(),
+                       [&](db::RowId a, db::RowId b) {
+                         return table.row(a)[*col_idx] <
+                                table.row(b)[*col_idx];
+                       });
+    }
+  }
+
+  // Rebuild the query string (minus `page`) for paging links.
+  QueryParams base;
+  for (const auto& [name, value] : params) {
+    if (name != "page") base.emplace_back(name, value);
+  }
+  resp.body = RenderResults(spec_, table, page_rows, total, page,
+                            net::EncodeQuery(base));
+  return resp;
+}
+
+HttpResponse DeepWebSite::ServeItem(const QueryParams& params) const {
+  size_t table_idx = 0;
+  db::RowId row = 0;
+  bool have_id = false;
+  for (const auto& [name, value] : params) {
+    if (name == "id") {
+      auto parsed = strings::ParseInt(value);
+      if (parsed.ok() && *parsed >= 0) {
+        row = static_cast<db::RowId>(*parsed);
+        have_id = true;
+      }
+    } else if (name == "t") {
+      auto parsed = strings::ParseInt(value);
+      if (parsed.ok() && *parsed >= 0 &&
+          static_cast<size_t>(*parsed) < spec_.tables.size()) {
+        table_idx = static_cast<size_t>(*parsed);
+      }
+    }
+  }
+  HttpResponse resp;
+  const db::Table& table = *spec_.tables[table_idx].second;
+  if (!have_id || row >= table.num_rows()) {
+    resp.status_code = 404;
+    resp.body = RenderError("no such item");
+    return resp;
+  }
+  resp.body = RenderDetail(spec_, table, row);
+  return resp;
+}
+
+}  // namespace synthweb
+}  // namespace deepsurf

@@ -1,0 +1,55 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// A deep-web site: an HTML form front-end over a hidden relational
+// database. The form page is linked from the site root; results are only
+// reachable by submitting the form (or by following links from previously
+// surfaced result pages) — content a plain link-following crawler cannot
+// reach, which is the definition of the Deep Web.
+
+#ifndef DEEPSURF_SYNTHWEB_DEEP_SITE_H_
+#define DEEPSURF_SYNTHWEB_DEEP_SITE_H_
+
+#include <memory>
+#include <string>
+
+#include "net/web.h"
+#include "synthweb/domain.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+/// WebServer implementation for one deep-web site described by a SiteSpec.
+///
+/// URL space:
+///   GET  /              form page (plus a short description)
+///   GET  /search?...    results (when the form method is GET)
+///   POST /search        results (when the form method is POST)
+///   GET  /item?id=N[&t=K]  record detail page (K = table index)
+///
+/// Extra recognized parameters on /search: `page` (0-based result page)
+/// and the site's presentation inputs (sort order), which permute but do
+/// not change the matched record set.
+class DeepWebSite : public net::WebServer {
+ public:
+  explicit DeepWebSite(SiteSpec spec);
+
+  net::HttpResponse Handle(const net::HttpRequest& request) override;
+
+  const std::string& host() const override { return spec_.host; }
+  const SiteSpec& spec() const { return spec_; }
+
+  /// Absolute URL of the form page.
+  std::string FormPageUrl() const { return "http://" + spec_.host + "/"; }
+
+ private:
+  net::HttpResponse ServeFormPage() const;
+  net::HttpResponse ServeSearch(const net::QueryParams& params) const;
+  net::HttpResponse ServeItem(const net::QueryParams& params) const;
+
+  SiteSpec spec_;
+};
+
+}  // namespace synthweb
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SYNTHWEB_DEEP_SITE_H_

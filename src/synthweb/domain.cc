@@ -1,0 +1,968 @@
+#include "synthweb/domain.h"
+
+#include <algorithm>
+#include <set>
+
+#include "synthweb/vocab.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+const char* InputRoleToString(InputRole role) {
+  switch (role) {
+    case InputRole::kKeywordSearch:
+      return "keyword";
+    case InputRole::kTypedText:
+      return "typed";
+    case InputRole::kSelectEq:
+      return "select";
+    case InputRole::kRangeMin:
+      return "range_min";
+    case InputRole::kRangeMax:
+      return "range_max";
+    case InputRole::kDbSelector:
+      return "db_selector";
+    case InputRole::kPresentation:
+      return "presentation";
+  }
+  return "?";
+}
+
+const char* SemanticTypeToString(SemanticType type) {
+  switch (type) {
+    case SemanticType::kNone:
+      return "none";
+    case SemanticType::kZipCode:
+      return "zipcode";
+    case SemanticType::kCity:
+      return "city";
+    case SemanticType::kState:
+      return "state";
+    case SemanticType::kPrice:
+      return "price";
+    case SemanticType::kDate:
+      return "date";
+    case SemanticType::kYear:
+      return "year";
+    case SemanticType::kMileage:
+      return "mileage";
+    case SemanticType::kGeneric:
+      return "generic";
+  }
+  return "?";
+}
+
+size_t SiteSpec::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables) total += table->num_rows();
+  return total;
+}
+
+std::vector<std::pair<std::string, std::string>> SiteSpec::RangePairs()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& in : inputs) {
+    if (in.role == InputRole::kRangeMin && !in.partner.empty()) {
+      out.emplace_back(in.html_name, in.partner);
+    }
+  }
+  return out;
+}
+
+const FormInputSpec* SiteSpec::FindInput(const std::string& html_name) const {
+  for (const auto& in : inputs) {
+    if (in.html_name == html_name) return &in;
+  }
+  return nullptr;
+}
+
+const std::vector<Domain>& AllDomains() {
+  static const std::vector<Domain> kAll = {
+      Domain::kUsedCars,   Domain::kRealEstate,  Domain::kJobs,
+      Domain::kRestaurants, Domain::kBooks,      Domain::kStoreLocator,
+      Domain::kGovRecords, Domain::kEvents,      Domain::kHotels,
+      Domain::kMediaLibrary};
+  return kAll;
+}
+
+const char* DomainToString(Domain domain) {
+  switch (domain) {
+    case Domain::kUsedCars:
+      return "usedcars";
+    case Domain::kRealEstate:
+      return "realestate";
+    case Domain::kJobs:
+      return "jobs";
+    case Domain::kRestaurants:
+      return "restaurants";
+    case Domain::kBooks:
+      return "books";
+    case Domain::kStoreLocator:
+      return "storelocator";
+    case Domain::kGovRecords:
+      return "govrecords";
+    case Domain::kEvents:
+      return "events";
+    case Domain::kHotels:
+      return "hotels";
+    case Domain::kMediaLibrary:
+      return "medialibrary";
+  }
+  return "?";
+}
+
+namespace {
+
+using db::Column;
+using db::Schema;
+using db::Table;
+using db::Value;
+using db::ValueType;
+
+/// Naming variants: a fresh site picks one spelling family, so the corpus
+/// exhibits the heterogeneity that range-pair mining must survive.
+struct RangeNames {
+  const char* min_name;
+  const char* max_name;
+};
+
+RangeNames PickRangeNames(Rng* rng, const std::string& stem) {
+  static thread_local std::string min_buf;
+  static thread_local std::string max_buf;
+  switch (rng->Uniform(5)) {
+    case 0:
+      min_buf = "min_" + stem;
+      max_buf = "max_" + stem;
+      break;
+    case 1:
+      min_buf = stem + "_from";
+      max_buf = stem + "_to";
+      break;
+    case 2:
+      min_buf = "min" + stem;
+      max_buf = "max" + stem;
+      break;
+    case 3:
+      min_buf = stem + "_low";
+      max_buf = stem + "_high";
+      break;
+    default:
+      min_buf = stem + "min";
+      max_buf = stem + "max";
+      break;
+  }
+  return RangeNames{min_buf.c_str(), max_buf.c_str()};
+}
+
+std::string PickName(Rng* rng, std::vector<std::string> variants) {
+  return variants[rng->Uniform(variants.size())];
+}
+
+std::string TitleCase(const std::string& s) {
+  std::string out = s;
+  bool up = true;
+  for (auto& c : out) {
+    if (up && std::isalpha(static_cast<unsigned char>(c))) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      up = false;
+    } else if (c == ' ' || c == '_') {
+      c = ' ';
+      up = true;
+    }
+  }
+  return out;
+}
+
+/// Occasionally obfuscates input names ("f0", "f1", ...) so that semantics
+/// cannot be read off the markup — probing must discover them (§4.1).
+void MaybeObfuscate(Rng* rng, double probability,
+                    std::vector<FormInputSpec>* inputs) {
+  if (!rng->Bernoulli(probability)) return;
+  int i = 0;
+  for (auto& in : *inputs) {
+    std::string fresh = strings::Format("f%d", i++);
+    // Fix partner references before renaming.
+    for (auto& other : *inputs) {
+      if (other.partner == in.html_name) other.partner = fresh;
+    }
+    in.html_name = fresh;
+  }
+}
+
+/// Numeric band options for a select-based range input: "Any" plus k
+/// ascending values.
+std::vector<std::string> BandOptions(const std::vector<int64_t>& bands) {
+  std::vector<std::string> out;
+  out.push_back("");  // Any
+  for (int64_t b : bands) out.push_back(std::to_string(b));
+  return out;
+}
+
+std::vector<std::string> BandLabels(const std::vector<int64_t>& bands,
+                                    const std::string& prefix) {
+  std::vector<std::string> out;
+  out.push_back("Any");
+  for (int64_t b : bands) out.push_back(prefix + std::to_string(b));
+  return out;
+}
+
+/// Shared select-menu builder: "Any" option plus the given values.
+FormInputSpec SelectInput(std::string name, std::string label,
+                          std::string column,
+                          const std::vector<std::string>& values) {
+  FormInputSpec in;
+  in.html_name = std::move(name);
+  in.is_select = true;
+  in.role = InputRole::kSelectEq;
+  in.column = std::move(column);
+  in.label = std::move(label);
+  in.options.push_back("");
+  in.option_labels.push_back("Any");
+  for (const auto& v : values) {
+    in.options.push_back(v);
+    in.option_labels.push_back(v);
+  }
+  return in;
+}
+
+FormInputSpec TextInput(std::string name, std::string label,
+                        std::string column, InputRole role,
+                        SemanticType semantic) {
+  FormInputSpec in;
+  in.html_name = std::move(name);
+  in.is_select = false;
+  in.role = role;
+  in.column = std::move(column);
+  in.semantic = semantic;
+  in.label = std::move(label);
+  return in;
+}
+
+FormInputSpec SortInput(Rng* rng, const std::vector<std::string>& columns) {
+  FormInputSpec in;
+  in.html_name = PickName(rng, {"sort", "order", "sortby"});
+  in.is_select = true;
+  in.role = InputRole::kPresentation;
+  in.label = "Sort by";
+  in.options.push_back("");
+  in.option_labels.push_back("Relevance");
+  for (const auto& c : columns) {
+    in.options.push_back(c);
+    in.option_labels.push_back(TitleCase(c));
+  }
+  return in;
+}
+
+/// Appends a comparison remark mentioning a *different* make/model — the
+/// paper's §5.1 Honda-Civic-vs-Ford-Focus trap for IR-only indexing.
+std::string MaybeComparisonRemark(Rng* rng, const std::string& own_make) {
+  if (!rng->Bernoulli(0.08)) return "";
+  const auto& makes = CarMakes();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto& other = makes[rng->Uniform(makes.size())];
+    if (own_make == other.make) continue;
+    const char* model = other.models[rng->Uniform(other.models.size())];
+    return strings::Format(" has better mileage than the %s %s", other.make,
+                           model);
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Per-domain table generators.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Table> UsedCarsTable(Rng* rng, size_t n) {
+  Schema schema({{"make", ValueType::kString},
+                 {"model", ValueType::kString},
+                 {"year", ValueType::kInt},
+                 {"price", ValueType::kDouble},
+                 {"mileage", ValueType::kInt},
+                 {"city", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"zip", ValueType::kString},
+                 {"seller", ValueType::kString},
+                 {"description", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  const auto& makes = CarMakes();
+  const auto& cities = Cities();
+  for (size_t i = 0; i < n; ++i) {
+    const auto& mk = makes[rng->Uniform(makes.size())];
+    const char* model = mk.models[rng->Uniform(mk.models.size())];
+    int64_t year = rng->UniformInt(1992, 2008);
+    double age = static_cast<double>(2009 - year);
+    double price =
+        std::max(500.0, 28000.0 / (1.0 + 0.35 * age) +
+                            rng->Normal(0, 1500.0));
+    int64_t mileage = std::max<int64_t>(
+        1000, static_cast<int64_t>(age * 11000 + rng->Normal(0, 8000)));
+    const auto& city = cities[rng->Uniform(cities.size())];
+    std::string desc = strings::Format(
+        "%lld %s %s for sale in %s %s. %s", static_cast<long long>(year),
+        mk.make, model, city.city, city.state,
+        RandomProse(rng, 10).c_str());
+    desc += MaybeComparisonRemark(rng, mk.make);
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(mk.make), Value::String(model), Value::Int(year),
+         Value::Double(price), Value::Int(mileage), Value::String(city.city),
+         Value::String(city.state), Value::String(city.zip),
+         Value::String(RandomPersonName(rng)), Value::String(desc)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> RealEstateTable(Rng* rng, size_t n) {
+  Schema schema({{"address", ValueType::kString},
+                 {"city", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"zip", ValueType::kString},
+                 {"price", ValueType::kDouble},
+                 {"bedrooms", ValueType::kInt},
+                 {"bathrooms", ValueType::kInt},
+                 {"sqft", ValueType::kInt},
+                 {"type", ValueType::kString},
+                 {"listed", ValueType::kDate},
+                 {"description", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  static const std::vector<std::string> kTypes = {
+      "house", "condo", "townhouse", "apartment", "land"};
+  const auto& cities = Cities();
+  for (size_t i = 0; i < n; ++i) {
+    const auto& city = cities[rng->Uniform(cities.size())];
+    int64_t beds = rng->UniformInt(1, 6);
+    double price = 60000.0 + static_cast<double>(beds) * 55000.0 +
+                   rng->Normal(0, 40000.0);
+    price = std::max(30000.0, price);
+    int64_t days = rng->UniformInt(13900, 14240);  // 2008-2009
+    std::string type = rng->Pick(kTypes);
+    std::string desc = strings::Format(
+        "%lld bedroom %s in %s %s. %s", static_cast<long long>(beds),
+        type.c_str(), city.city, city.state, RandomProse(rng, 12).c_str());
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(RandomStreetAddress(rng)), Value::String(city.city),
+         Value::String(city.state), Value::String(city.zip),
+         Value::Double(price), Value::Int(beds),
+         Value::Int(rng->UniformInt(1, 4)),
+         Value::Int(rng->UniformInt(500, 5200)), Value::String(type),
+         Value::Date(days), Value::String(desc)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> JobsTable(Rng* rng, size_t n) {
+  Schema schema({{"title", ValueType::kString},
+                 {"category", ValueType::kString},
+                 {"company", ValueType::kString},
+                 {"city", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"salary", ValueType::kDouble},
+                 {"posted", ValueType::kDate},
+                 {"description", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  const auto& cities = Cities();
+  for (size_t i = 0; i < n; ++i) {
+    const auto& city = cities[rng->Uniform(cities.size())];
+    std::string title = rng->Pick(JobTitles());
+    std::string category = rng->Pick(JobCategories());
+    std::string company =
+        rng->Pick(LastNames()) + " " +
+        PickName(rng, {"Industries", "Systems", "Group", "Partners", "Labs"});
+    double salary = 28000.0 + rng->UniformDouble() * 110000.0;
+    std::string desc = strings::Format(
+        "%s position at %s in %s. %s", title.c_str(), company.c_str(),
+        city.city, RandomProse(rng, 14).c_str());
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(title), Value::String(category),
+         Value::String(company), Value::String(city.city),
+         Value::String(city.state), Value::Double(salary),
+         Value::Date(rng->UniformInt(13950, 14240)), Value::String(desc)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> RestaurantsTable(Rng* rng, size_t n) {
+  Schema schema({{"name", ValueType::kString},
+                 {"cuisine", ValueType::kString},
+                 {"city", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"zip", ValueType::kString},
+                 {"rating", ValueType::kDouble},
+                 {"price_level", ValueType::kInt},
+                 {"description", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  const auto& cities = Cities();
+  static const std::vector<std::string> kSuffix = {
+      "Kitchen", "Bistro", "Grill", "House", "Cafe", "Garden", "Table"};
+  for (size_t i = 0; i < n; ++i) {
+    const auto& city = cities[rng->Uniform(cities.size())];
+    std::string cuisine = rng->Pick(Cuisines());
+    std::string name =
+        TitleCase(cuisine) + " " + rng->Pick(kSuffix) + " " +
+        std::to_string(rng->UniformInt(1, 99));
+    std::string desc = strings::Format(
+        "%s restaurant in %s serving %s dishes. %s", cuisine.c_str(),
+        city.city, cuisine.c_str(), RandomProse(rng, 9).c_str());
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(name), Value::String(cuisine),
+         Value::String(city.city), Value::String(city.state),
+         Value::String(city.zip),
+         Value::Double(2.0 + rng->UniformDouble() * 3.0),
+         Value::Int(rng->UniformInt(1, 4)), Value::String(desc)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> BooksTable(Rng* rng, size_t n) {
+  Schema schema({{"title", ValueType::kString},
+                 {"author", ValueType::kString},
+                 {"subject", ValueType::kString},
+                 {"year", ValueType::kInt},
+                 {"isbn", ValueType::kString},
+                 {"publisher", ValueType::kString},
+                 {"description", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  static const std::vector<std::string> kPublishers = {
+      "Harbor Press", "Summit Books", "Lakeside Publishing",
+      "Meridian House", "Northfield Press", "Crescent Books"};
+  for (size_t i = 0; i < n; ++i) {
+    std::string subject = rng->Pick(BookSubjects());
+    std::string title = strings::Format(
+        "The %s of %s", TitleCase(rng->Pick(EnglishWords())).c_str(),
+        TitleCase(rng->Pick(EnglishWords())).c_str());
+    std::string isbn = strings::Format(
+        "978%010lld", static_cast<long long>(rng->Uniform(9999999999ULL)));
+    std::string desc = strings::Format(
+        "A %s book. %s", subject.c_str(), RandomProse(rng, 11).c_str());
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(title), Value::String(RandomPersonName(rng)),
+         Value::String(subject), Value::Int(rng->UniformInt(1950, 2008)),
+         Value::String(isbn), Value::String(rng->Pick(kPublishers)),
+         Value::String(desc)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> StoreLocatorTable(Rng* rng, size_t n) {
+  Schema schema({{"store", ValueType::kString},
+                 {"address", ValueType::kString},
+                 {"city", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"zip", ValueType::kString},
+                 {"phone", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  const auto& cities = Cities();
+  static const std::vector<std::string> kKinds = {
+      "Hardware", "Grocery", "Pharmacy", "Outlet", "Supply", "Market"};
+  for (size_t i = 0; i < n; ++i) {
+    const auto& city = cities[rng->Uniform(cities.size())];
+    std::string store = strings::Format(
+        "%s %s #%lld", city.city, rng->Pick(kKinds).c_str(),
+        static_cast<long long>(rng->UniformInt(100, 999)));
+    std::string phone = strings::Format(
+        "(%lld) %lld-%04lld", static_cast<long long>(rng->UniformInt(201, 989)),
+        static_cast<long long>(rng->UniformInt(200, 999)),
+        static_cast<long long>(rng->UniformInt(0, 9999)));
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(store), Value::String(RandomStreetAddress(rng)),
+         Value::String(city.city), Value::String(city.state),
+         Value::String(city.zip), Value::String(phone)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> GovRecordsTable(Rng* rng, size_t n) {
+  Schema schema({{"topic", ValueType::kString},
+                 {"department", ValueType::kString},
+                 {"city", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"published", ValueType::kDate},
+                 {"document_id", ValueType::kString},
+                 {"summary", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  static const std::vector<std::string> kDepartments = {
+      "public works", "health services", "planning", "finance",
+      "parks and recreation", "transportation", "environmental quality"};
+  const auto& cities = Cities();
+  for (size_t i = 0; i < n; ++i) {
+    const auto& city = cities[rng->Uniform(cities.size())];
+    std::string topic = rng->Pick(GovernmentTopics());
+    std::string doc_id = strings::Format(
+        "DOC-%06lld", static_cast<long long>(rng->Uniform(999999)));
+    std::string summary = strings::Format(
+        "Report on %s for %s, %s. %s", topic.c_str(), city.city, city.state,
+        RandomProse(rng, 16).c_str());
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(topic), Value::String(rng->Pick(kDepartments)),
+         Value::String(city.city), Value::String(city.state),
+         Value::Date(rng->UniformInt(13600, 14240)), Value::String(doc_id),
+         Value::String(summary)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> EventsTable(Rng* rng, size_t n) {
+  Schema schema({{"name", ValueType::kString},
+                 {"venue", ValueType::kString},
+                 {"city", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"date", ValueType::kDate},
+                 {"price", ValueType::kDouble},
+                 {"category", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  static const std::vector<std::string> kCategories = {
+      "concert", "theater", "sports", "festival", "lecture", "exhibition"};
+  static const std::vector<std::string> kVenues = {
+      "Civic Center", "Grand Hall", "Riverside Arena", "Palace Theater",
+      "Union Stadium", "Memorial Auditorium"};
+  const auto& cities = Cities();
+  for (size_t i = 0; i < n; ++i) {
+    const auto& city = cities[rng->Uniform(cities.size())];
+    std::string category = rng->Pick(kCategories);
+    std::string name = strings::Format(
+        "%s %s %lld", TitleCase(rng->Pick(EnglishWords())).c_str(),
+        TitleCase(category).c_str(),
+        static_cast<long long>(rng->UniformInt(2008, 2009)));
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(name), Value::String(rng->Pick(kVenues)),
+         Value::String(city.city), Value::String(city.state),
+         Value::Date(rng->UniformInt(14100, 14400)),
+         Value::Double(5.0 + rng->UniformDouble() * 195.0),
+         Value::String(category)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> HotelsTable(Rng* rng, size_t n) {
+  Schema schema({{"name", ValueType::kString},
+                 {"city", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"zip", ValueType::kString},
+                 {"price", ValueType::kDouble},
+                 {"stars", ValueType::kInt},
+                 {"amenities", ValueType::kString},
+                 {"description", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  static const std::vector<std::string> kNames = {
+      "Grand", "Plaza", "Harbor", "Summit", "Parkside", "Royal",
+      "Lakeview", "Continental"};
+  static const std::vector<std::string> kAmenities = {
+      "pool", "wifi", "parking", "breakfast", "gym", "spa", "pets"};
+  const auto& cities = Cities();
+  for (size_t i = 0; i < n; ++i) {
+    const auto& city = cities[rng->Uniform(cities.size())];
+    int64_t stars = rng->UniformInt(1, 5);
+    std::string name = strings::Format(
+        "%s %s Hotel", rng->Pick(kNames).c_str(), city.city);
+    std::vector<std::string> chosen;
+    for (const auto& a : kAmenities) {
+      if (rng->Bernoulli(0.4)) chosen.push_back(a);
+    }
+    std::string desc = strings::Format(
+        "%lld star hotel in %s %s. %s", static_cast<long long>(stars),
+        city.city, city.state, RandomProse(rng, 8).c_str());
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(name), Value::String(city.city),
+         Value::String(city.state), Value::String(city.zip),
+         Value::Double(40.0 + static_cast<double>(stars) * 55.0 +
+                       rng->Normal(0, 20.0)),
+         Value::Int(stars), Value::String(strings::Join(chosen, ", ")),
+         Value::String(desc)}));
+  }
+  return table;
+}
+
+std::shared_ptr<Table> MediaTable(Rng* rng, size_t n,
+                                  const std::vector<std::string>& words,
+                                  const std::string& kind) {
+  Schema schema({{"title", ValueType::kString},
+                 {"creator", ValueType::kString},
+                 {"year", ValueType::kInt},
+                 {"genre", ValueType::kString},
+                 {"description", ValueType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  for (size_t i = 0; i < n; ++i) {
+    std::string w1 = rng->Pick(words);
+    std::string w2 = rng->Pick(words);
+    std::string title = TitleCase(w1) + " " + TitleCase(w2);
+    // Catalog prose stays inside the catalog's own vocabulary: movie
+    // blurbs and software release notes genuinely read differently,
+    // which is what makes per-database keyword selection matter (§4.2).
+    std::string prose;
+    for (int w = 0; w < 7; ++w) {
+      prose += rng->Pick(words);
+      prose.push_back(' ');
+    }
+    std::string desc = strings::Format(
+        "%s %s featuring %s and %s. %s", kind.c_str(), w1.c_str(),
+        w2.c_str(), rng->Pick(words).c_str(), prose.c_str());
+    DS_CHECK_OK(table->AppendRow(
+        {Value::String(title), Value::String(RandomPersonName(rng)),
+         Value::Int(rng->UniformInt(1985, 2008)), Value::String(w1),
+         Value::String(desc)}));
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Per-domain form builders.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> DistinctStrings(const Table& table,
+                                         const std::string& column) {
+  std::vector<std::string> out;
+  for (const auto& v : table.DistinctValues(column)) {
+    out.push_back(v.ToDisplayString());
+  }
+  return out;
+}
+
+void BuildUsedCarsForm(Rng* rng, SiteSpec* spec) {
+  const Table& t = spec->main_table();
+  spec->inputs.push_back(SelectInput(
+      "make", "Make", "make", DistinctStrings(t, "make")));
+  // Model: text box plus an embedded make->model map (JS correlation).
+  spec->inputs.push_back(TextInput(PickName(rng, {"model", "car_model"}),
+                                   "Model", "model", InputRole::kTypedText,
+                                   SemanticType::kGeneric));
+  std::string js = "var modelsByMake = {";
+  for (const auto& mk : CarMakes()) {
+    js += strings::Format("\"%s\":[", mk.make);
+    for (size_t i = 0; i < mk.models.size(); ++i) {
+      js += strings::Format("\"%s\"%s", mk.models[i],
+                            i + 1 < mk.models.size() ? "," : "");
+    }
+    js += "],";
+  }
+  js += "};";
+  spec->script_snippet = js;
+
+  // Price range: select bands or text pair.
+  auto price_names = PickRangeNames(rng, "price");
+  std::string price_min = price_names.min_name;
+  std::string price_max = price_names.max_name;
+  if (rng->Bernoulli(0.5)) {
+    std::vector<int64_t> bands = {1000, 2000, 4000,  6000,  9000,
+                                  12000, 16000, 20000, 25000, 32000};
+    FormInputSpec lo;
+    lo.html_name = price_min;
+    lo.is_select = true;
+    lo.role = InputRole::kRangeMin;
+    lo.column = "price";
+    lo.semantic = SemanticType::kPrice;
+    lo.label = "Min Price";
+    lo.options = BandOptions(bands);
+    lo.option_labels = BandLabels(bands, "$");
+    lo.partner = price_max;
+    FormInputSpec hi = lo;
+    hi.html_name = price_max;
+    hi.role = InputRole::kRangeMax;
+    hi.label = "Max Price";
+    hi.partner = price_min;
+    spec->inputs.push_back(std::move(lo));
+    spec->inputs.push_back(std::move(hi));
+  } else {
+    auto lo = TextInput(price_min, "Min Price", "price",
+                        InputRole::kRangeMin, SemanticType::kPrice);
+    lo.partner = price_max;
+    auto hi = TextInput(price_max, "Max Price", "price",
+                        InputRole::kRangeMax, SemanticType::kPrice);
+    hi.partner = price_min;
+    spec->inputs.push_back(std::move(lo));
+    spec->inputs.push_back(std::move(hi));
+  }
+
+  // Year range as selects.
+  auto year_names = PickRangeNames(rng, "year");
+  std::string year_min = year_names.min_name;
+  std::string year_max = year_names.max_name;
+  std::vector<int64_t> years;
+  for (int64_t y = 1992; y <= 2008; y += 2) years.push_back(y);
+  FormInputSpec ylo;
+  ylo.html_name = year_min;
+  ylo.is_select = true;
+  ylo.role = InputRole::kRangeMin;
+  ylo.column = "year";
+  ylo.semantic = SemanticType::kYear;
+  ylo.label = "Year from";
+  ylo.options = BandOptions(years);
+  ylo.option_labels = BandLabels(years, "");
+  ylo.partner = year_max;
+  FormInputSpec yhi = ylo;
+  yhi.html_name = year_max;
+  yhi.role = InputRole::kRangeMax;
+  yhi.label = "Year to";
+  yhi.partner = year_min;
+  spec->inputs.push_back(std::move(ylo));
+  spec->inputs.push_back(std::move(yhi));
+
+  spec->inputs.push_back(TextInput(
+      PickName(rng, {"zip", "zipcode", "zip_code"}), "Zip Code", "zip",
+      InputRole::kTypedText, SemanticType::kZipCode));
+  if (rng->Bernoulli(0.5)) {
+    FormInputSpec kw = TextInput(PickName(rng, {"q", "keywords", "search"}),
+                                 "Keywords", "", InputRole::kKeywordSearch,
+                                 SemanticType::kNone);
+    spec->inputs.push_back(std::move(kw));
+  }
+  if (rng->Bernoulli(0.4)) {
+    spec->inputs.push_back(SortInput(rng, {"price", "year", "mileage"}));
+  }
+}
+
+void BuildRealEstateForm(Rng* rng, SiteSpec* spec) {
+  const Table& t = spec->main_table();
+  spec->inputs.push_back(TextInput(PickName(rng, {"city", "town"}), "City",
+                                   "city", InputRole::kTypedText,
+                                   SemanticType::kCity));
+  spec->inputs.push_back(SelectInput("state", "State", "state",
+                                     DistinctStrings(t, "state")));
+  auto names = PickRangeNames(rng, "price");
+  std::string lo_name = names.min_name;
+  std::string hi_name = names.max_name;
+  auto lo = TextInput(lo_name, "Min Price", "price", InputRole::kRangeMin,
+                      SemanticType::kPrice);
+  lo.partner = hi_name;
+  auto hi = TextInput(hi_name, "Max Price", "price", InputRole::kRangeMax,
+                      SemanticType::kPrice);
+  hi.partner = lo_name;
+  spec->inputs.push_back(std::move(lo));
+  spec->inputs.push_back(std::move(hi));
+  spec->inputs.push_back(SelectInput(
+      "bedrooms", "Bedrooms", "bedrooms", DistinctStrings(t, "bedrooms")));
+  spec->inputs.push_back(SelectInput("type", "Property Type", "type",
+                                     DistinctStrings(t, "type")));
+  if (rng->Bernoulli(0.3)) {
+    spec->inputs.push_back(SortInput(rng, {"price", "listed", "sqft"}));
+  }
+}
+
+void BuildJobsForm(Rng* rng, SiteSpec* spec) {
+  const Table& t = spec->main_table();
+  spec->inputs.push_back(TextInput(PickName(rng, {"q", "keywords", "search"}),
+                                   "Keywords", "",
+                                   InputRole::kKeywordSearch,
+                                   SemanticType::kNone));
+  spec->inputs.push_back(SelectInput("category", "Category", "category",
+                                     DistinctStrings(t, "category")));
+  spec->inputs.push_back(SelectInput("state", "State", "state",
+                                     DistinctStrings(t, "state")));
+  auto names = PickRangeNames(rng, "salary");
+  std::string lo_name = names.min_name;
+  std::string hi_name = names.max_name;
+  auto lo = TextInput(lo_name, "Min Salary", "salary", InputRole::kRangeMin,
+                      SemanticType::kPrice);
+  lo.partner = hi_name;
+  auto hi = TextInput(hi_name, "Max Salary", "salary", InputRole::kRangeMax,
+                      SemanticType::kPrice);
+  hi.partner = lo_name;
+  spec->inputs.push_back(std::move(lo));
+  spec->inputs.push_back(std::move(hi));
+}
+
+void BuildRestaurantsForm(Rng* rng, SiteSpec* spec) {
+  const Table& t = spec->main_table();
+  spec->inputs.push_back(SelectInput("cuisine", "Cuisine", "cuisine",
+                                     DistinctStrings(t, "cuisine")));
+  spec->inputs.push_back(TextInput(
+      PickName(rng, {"zip", "zipcode", "postal_code"}), "Zip Code", "zip",
+      InputRole::kTypedText, SemanticType::kZipCode));
+  if (rng->Bernoulli(0.6)) {
+    spec->inputs.push_back(TextInput(PickName(rng, {"q", "name", "search"}),
+                                     "Search", "",
+                                     InputRole::kKeywordSearch,
+                                     SemanticType::kNone));
+  }
+}
+
+void BuildBooksForm(Rng* rng, SiteSpec* spec) {
+  const Table& t = spec->main_table();
+  spec->inputs.push_back(TextInput(PickName(rng, {"q", "query", "search"}),
+                                   "Search our catalog", "",
+                                   InputRole::kKeywordSearch,
+                                   SemanticType::kNone));
+  spec->inputs.push_back(SelectInput("subject", "Subject", "subject",
+                                     DistinctStrings(t, "subject")));
+  auto names = PickRangeNames(rng, "year");
+  std::string lo_name = names.min_name;
+  std::string hi_name = names.max_name;
+  auto lo = TextInput(lo_name, "Year from", "year", InputRole::kRangeMin,
+                      SemanticType::kYear);
+  lo.partner = hi_name;
+  auto hi = TextInput(hi_name, "Year to", "year", InputRole::kRangeMax,
+                      SemanticType::kYear);
+  hi.partner = lo_name;
+  spec->inputs.push_back(std::move(lo));
+  spec->inputs.push_back(std::move(hi));
+}
+
+void BuildStoreLocatorForm(Rng* rng, SiteSpec* spec) {
+  spec->inputs.push_back(TextInput(
+      PickName(rng, {"zip", "zipcode", "zip_code"}), "Enter Zip Code",
+      "zip", InputRole::kTypedText, SemanticType::kZipCode));
+  // Radius select: presentation-only (the backend matches by zip exactly).
+  FormInputSpec radius;
+  radius.html_name = "radius";
+  radius.is_select = true;
+  radius.role = InputRole::kPresentation;
+  radius.label = "Within";
+  radius.options = {"", "5", "10", "25", "50"};
+  radius.option_labels = {"Any", "5 miles", "10 miles", "25 miles",
+                          "50 miles"};
+  spec->inputs.push_back(std::move(radius));
+}
+
+void BuildGovRecordsForm(Rng* rng, SiteSpec* spec) {
+  const Table& t = spec->main_table();
+  spec->inputs.push_back(TextInput(PickName(rng, {"q", "keywords"}),
+                                   "Search records", "",
+                                   InputRole::kKeywordSearch,
+                                   SemanticType::kNone));
+  spec->inputs.push_back(SelectInput("department", "Department",
+                                     "department",
+                                     DistinctStrings(t, "department")));
+  spec->inputs.push_back(TextInput(PickName(rng, {"date", "published"}),
+                                   "Published on (YYYY-MM-DD)", "published",
+                                   InputRole::kTypedText,
+                                   SemanticType::kDate));
+}
+
+void BuildEventsForm(Rng* rng, SiteSpec* spec) {
+  const Table& t = spec->main_table();
+  spec->inputs.push_back(TextInput(PickName(rng, {"city", "where"}), "City",
+                                   "city", InputRole::kTypedText,
+                                   SemanticType::kCity));
+  spec->inputs.push_back(SelectInput("category", "Category", "category",
+                                     DistinctStrings(t, "category")));
+  spec->inputs.push_back(TextInput(PickName(rng, {"date", "when"}),
+                                   "Date (YYYY-MM-DD)", "date",
+                                   InputRole::kTypedText,
+                                   SemanticType::kDate));
+}
+
+void BuildHotelsForm(Rng* rng, SiteSpec* spec) {
+  const Table& t = spec->main_table();
+  spec->inputs.push_back(TextInput(PickName(rng, {"city", "destination"}),
+                                   "City", "city", InputRole::kTypedText,
+                                   SemanticType::kCity));
+  spec->inputs.push_back(SelectInput("stars", "Stars", "stars",
+                                     DistinctStrings(t, "stars")));
+  auto names = PickRangeNames(rng, "price");
+  std::string lo_name = names.min_name;
+  std::string hi_name = names.max_name;
+  auto lo = TextInput(lo_name, "Min Price", "price", InputRole::kRangeMin,
+                      SemanticType::kPrice);
+  lo.partner = hi_name;
+  auto hi = TextInput(hi_name, "Max Price", "price", InputRole::kRangeMax,
+                      SemanticType::kPrice);
+  hi.partner = lo_name;
+  spec->inputs.push_back(std::move(lo));
+  spec->inputs.push_back(std::move(hi));
+}
+
+void BuildMediaLibraryForm(Rng* rng, SiteSpec* spec) {
+  FormInputSpec db_sel;
+  db_sel.html_name = PickName(rng, {"section", "db", "catalog"});
+  db_sel.is_select = true;
+  db_sel.role = InputRole::kDbSelector;
+  db_sel.label = "Search in";
+  for (const auto& [name, table] : spec->tables) {
+    db_sel.options.push_back(name);
+    db_sel.option_labels.push_back(TitleCase(name));
+  }
+  spec->inputs.push_back(std::move(db_sel));
+  spec->inputs.push_back(TextInput(PickName(rng, {"q", "keywords"}),
+                                   "Keywords", "",
+                                   InputRole::kKeywordSearch,
+                                   SemanticType::kNone));
+}
+
+}  // namespace
+
+SiteSpec GenerateSite(Domain domain, const std::string& host, Rng* rng,
+                      const SiteGenOptions& options) {
+  SiteSpec spec;
+  spec.host = host;
+  spec.domain = DomainToString(domain);
+  spec.use_post = !options.force_get && rng->Bernoulli(options.post_probability);
+  static const std::vector<int> kPageSizes = {2, 5, 10, 10, 20, 20, 50, 200};
+  spec.page_size = kPageSizes[rng->Uniform(kPageSizes.size())];
+  spec.style.result_layout = static_cast<int>(rng->Uniform(3));
+  spec.style.label_style = static_cast<int>(rng->Uniform(3));
+  spec.style.show_result_count = rng->Bernoulli(0.8);
+  spec.style.form_in_table = rng->Bernoulli(0.4);
+
+  size_t n = options.num_rows;
+  // Table rows come from a forked stream so that the form's layout and
+  // naming choices do not depend on the database size — experiments can
+  // sweep `num_rows` with everything else held fixed.
+  Rng table_rng = rng->Fork();
+  switch (domain) {
+    case Domain::kUsedCars:
+      spec.title = "AutoTrader Classifieds at " + host;
+      spec.tables.emplace_back("main", UsedCarsTable(&table_rng, n));
+      BuildUsedCarsForm(rng, &spec);
+      break;
+    case Domain::kRealEstate:
+      spec.title = "HomeFinder Listings at " + host;
+      spec.tables.emplace_back("main", RealEstateTable(&table_rng, n));
+      BuildRealEstateForm(rng, &spec);
+      break;
+    case Domain::kJobs:
+      spec.title = "JobBoard at " + host;
+      spec.tables.emplace_back("main", JobsTable(&table_rng, n));
+      BuildJobsForm(rng, &spec);
+      break;
+    case Domain::kRestaurants:
+      spec.title = "DineGuide at " + host;
+      spec.tables.emplace_back("main", RestaurantsTable(&table_rng, n));
+      BuildRestaurantsForm(rng, &spec);
+      break;
+    case Domain::kBooks:
+      spec.title = "Library Catalog at " + host;
+      spec.tables.emplace_back("main", BooksTable(&table_rng, n));
+      BuildBooksForm(rng, &spec);
+      break;
+    case Domain::kStoreLocator:
+      spec.title = "Store Locator at " + host;
+      spec.tables.emplace_back("main", StoreLocatorTable(&table_rng, n));
+      BuildStoreLocatorForm(rng, &spec);
+      break;
+    case Domain::kGovRecords:
+      spec.title = "Public Records Portal at " + host;
+      spec.tables.emplace_back("main", GovRecordsTable(&table_rng, n));
+      BuildGovRecordsForm(rng, &spec);
+      break;
+    case Domain::kEvents:
+      spec.title = "Event Finder at " + host;
+      spec.tables.emplace_back("main", EventsTable(&table_rng, n));
+      BuildEventsForm(rng, &spec);
+      break;
+    case Domain::kHotels:
+      spec.title = "Hotel Search at " + host;
+      spec.tables.emplace_back("main", HotelsTable(&table_rng, n));
+      BuildHotelsForm(rng, &spec);
+      break;
+    case Domain::kMediaLibrary: {
+      spec.title = "Media Library at " + host;
+      size_t per = std::max<size_t>(8, n / 4);
+      spec.tables.emplace_back("movies", MediaTable(&table_rng, per, MovieWords(),
+                                                    "movie"));
+      spec.tables.emplace_back("music", MediaTable(&table_rng, per, MusicWords(),
+                                                   "album"));
+      spec.tables.emplace_back("software",
+                               MediaTable(&table_rng, per, SoftwareWords(),
+                                          "software"));
+      spec.tables.emplace_back("games", MediaTable(&table_rng, per, GameWords(),
+                                                   "game"));
+      BuildMediaLibraryForm(rng, &spec);
+      break;
+    }
+  }
+  MaybeObfuscate(rng, options.obfuscate_probability, &spec.inputs);
+  return spec;
+}
+
+}  // namespace synthweb
+}  // namespace deepsurf

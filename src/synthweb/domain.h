@@ -1,0 +1,138 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Domain specifications for synthetic deep-web sites. A SiteSpec fully
+// describes one site: its hidden database (schema + generated rows), its
+// HTML form front-end (inputs, their roles, their naming/labeling
+// quirks), and its rendering style. The spec doubles as ground truth for
+// the experiments: every input carries its true role and semantic type,
+// against which the surfacing core's *inferences* are scored.
+
+#ifndef DEEPSURF_SYNTHWEB_DOMAIN_H_
+#define DEEPSURF_SYNTHWEB_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+/// What a form input actually does on the back-end (ground truth).
+enum class InputRole {
+  kKeywordSearch,  ///< full-text search box over all columns
+  kTypedText,      ///< text box bound to a typed column (zip, city, ...)
+  kSelectEq,       ///< select menu: equality on a column
+  kRangeMin,       ///< lower bound of a numeric range pair
+  kRangeMax,       ///< upper bound of a numeric range pair
+  kDbSelector,     ///< select menu choosing among sub-databases
+  kPresentation,   ///< sort order / page size: affects layout, not content
+};
+
+const char* InputRoleToString(InputRole role);
+
+/// Ground-truth semantic type of a typed input (paper §4.1's common data
+/// types). kNone for inputs that are not typed text boxes.
+enum class SemanticType {
+  kNone,
+  kZipCode,
+  kCity,
+  kState,
+  kPrice,
+  kDate,
+  kYear,
+  kMileage,
+  kGeneric,  ///< typed but site-specific (e.g. ISBN)
+};
+
+const char* SemanticTypeToString(SemanticType type);
+
+/// One input of the site's search form.
+struct FormInputSpec {
+  std::string html_name;   ///< submitted parameter name
+  bool is_select = false;  ///< select menu vs text box
+  InputRole role = InputRole::kKeywordSearch;
+  std::string column;      ///< bound table column ("" when not applicable)
+  SemanticType semantic = SemanticType::kNone;
+  std::string label;       ///< human-visible label
+  /// For selects: submitted values; options[i] displays as option_labels[i].
+  std::vector<std::string> options;
+  std::vector<std::string> option_labels;
+  /// html_name of the partner input for range pairs ("" otherwise).
+  std::string partner;
+};
+
+/// Rendering style knobs; varied across sites so that no extractor can
+/// rely on one fixed layout.
+struct RenderStyle {
+  int result_layout = 0;  ///< 0: <table>, 1: <div class=item>, 2: <dl>
+  int label_style = 0;    ///< 0: <label for>, 1: wrapping, 2: preceding text
+  bool show_result_count = true;
+  bool form_in_table = false;  ///< layout-table form markup
+};
+
+/// Complete description of one deep-web site.
+struct SiteSpec {
+  std::string host;
+  std::string title;
+  std::string domain;  ///< e.g. "usedcars"
+  bool use_post = false;
+  int page_size = 10;
+  RenderStyle style;
+  std::vector<FormInputSpec> inputs;
+  /// The hidden database. Multi-database sites (db-selection pattern) have
+  /// several named tables; ordinary sites exactly one named "main".
+  std::vector<std::pair<std::string, std::shared_ptr<db::Table>>> tables;
+  /// Optional <script> snippet embedded in the form page (the make/model
+  /// correlation map the paper says a Javascript emulator would surface).
+  std::string script_snippet;
+
+  const db::Table& main_table() const { return *tables.front().second; }
+
+  /// Total rows across all tables (the site's hidden-content size).
+  size_t TotalRows() const;
+
+  /// Ground truth: names of the (min,max) range pairs.
+  std::vector<std::pair<std::string, std::string>> RangePairs() const;
+
+  const FormInputSpec* FindInput(const std::string& html_name) const;
+};
+
+/// Identifiers of the available domains.
+enum class Domain {
+  kUsedCars,
+  kRealEstate,
+  kJobs,
+  kRestaurants,
+  kBooks,
+  kStoreLocator,
+  kGovRecords,
+  kEvents,
+  kHotels,
+  kMediaLibrary,  ///< db-selection site: movies/music/software/games
+};
+
+/// All domains, for iteration.
+const std::vector<Domain>& AllDomains();
+
+const char* DomainToString(Domain domain);
+
+/// Options controlling site generation.
+struct SiteGenOptions {
+  size_t num_rows = 200;        ///< hidden-database size
+  double post_probability = 0.12;   ///< fraction of POST forms (unsurfaceable)
+  double obfuscate_probability = 0.25;  ///< cryptic input names ("f3")
+  bool force_get = false;       ///< override: always GET
+};
+
+/// Generates a complete site of the given domain. Deterministic in
+/// (domain, host, rng state, options).
+SiteSpec GenerateSite(Domain domain, const std::string& host, Rng* rng,
+                      const SiteGenOptions& options);
+
+}  // namespace synthweb
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SYNTHWEB_DOMAIN_H_

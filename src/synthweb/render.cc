@@ -1,0 +1,210 @@
+#include "synthweb/render.h"
+
+#include "html/tokenizer.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+using html::EscapeHtml;
+
+std::string RenderPage(const std::string& title, const std::string& body) {
+  std::string out;
+  out += "<!DOCTYPE html>\n<html>\n<head><title>";
+  out += EscapeHtml(title);
+  out += "</title></head>\n<body>\n";
+  out += body;
+  out += "\n</body>\n</html>\n";
+  return out;
+}
+
+namespace {
+
+std::string RenderSelect(const FormInputSpec& in) {
+  std::string out = "<select name=\"" + EscapeHtml(in.html_name) + "\" id=\"" +
+                    EscapeHtml(in.html_name) + "\">";
+  for (size_t i = 0; i < in.options.size(); ++i) {
+    const std::string& label =
+        i < in.option_labels.size() ? in.option_labels[i] : in.options[i];
+    out += "<option value=\"" + EscapeHtml(in.options[i]) + "\">" +
+           EscapeHtml(label) + "</option>";
+  }
+  out += "</select>";
+  return out;
+}
+
+std::string RenderControl(const FormInputSpec& in) {
+  if (in.is_select) return RenderSelect(in);
+  return "<input type=\"text\" name=\"" + EscapeHtml(in.html_name) +
+         "\" id=\"" + EscapeHtml(in.html_name) + "\" value=\"\">";
+}
+
+std::string RenderLabeled(const SiteSpec& spec, const FormInputSpec& in) {
+  std::string control = RenderControl(in);
+  std::string label = EscapeHtml(in.label);
+  switch (spec.style.label_style) {
+    case 0:  // <label for=...>
+      return "<label for=\"" + EscapeHtml(in.html_name) + "\">" + label +
+             "</label> " + control;
+    case 1:  // wrapping label
+      return "<label>" + label + " " + control + "</label>";
+    default:  // preceding text
+      return label + ": " + control;
+  }
+}
+
+}  // namespace
+
+std::string RenderForm(const SiteSpec& spec, const std::string& action) {
+  std::string out = "<form action=\"" + EscapeHtml(action) + "\" method=\"" +
+                    (spec.use_post ? "post" : "get") + "\">\n";
+  if (spec.style.form_in_table) {
+    out += "<table class=\"searchform\">\n";
+    for (const auto& in : spec.inputs) {
+      out += "<tr><td>" + EscapeHtml(in.label) + "</td><td>" +
+             RenderControl(in) + "</td></tr>\n";
+    }
+    out += "<tr><td></td><td><input type=\"submit\" value=\"Search\"></td>"
+           "</tr>\n</table>\n";
+  } else {
+    for (const auto& in : spec.inputs) {
+      out += "<p>" + RenderLabeled(spec, in) + "</p>\n";
+    }
+    out += "<p><input type=\"submit\" value=\"Search\"></p>\n";
+  }
+  if (!spec.script_snippet.empty()) {
+    out += "<script>" + spec.script_snippet + "</script>\n";
+  }
+  out += "</form>\n";
+  return out;
+}
+
+namespace {
+
+std::string DetailHref(db::RowId row) {
+  return strings::Format("/item?id=%u", row);
+}
+
+std::string RenderRecordTableRow(const db::Table& table, db::RowId row) {
+  std::string out = "<tr>";
+  const auto& r = table.row(row);
+  for (size_t c = 0; c < r.size(); ++c) {
+    std::string cell = EscapeHtml(r[c].ToDisplayString());
+    if (c == 0) {
+      cell = "<a href=\"" + DetailHref(row) + "\">" + cell + "</a>";
+    }
+    out += "<td>" + cell + "</td>";
+  }
+  out += "</tr>\n";
+  return out;
+}
+
+std::string RenderRecordDiv(const db::Table& table, db::RowId row) {
+  std::string out = "<div class=\"item\">";
+  const auto& schema = table.schema();
+  const auto& r = table.row(row);
+  for (size_t c = 0; c < r.size(); ++c) {
+    std::string cell = EscapeHtml(r[c].ToDisplayString());
+    if (c == 0) {
+      cell = "<a href=\"" + DetailHref(row) + "\">" + cell + "</a>";
+    }
+    out += "<span class=\"" + EscapeHtml(schema.column(c).name) + "\">" +
+           cell + "</span> ";
+  }
+  out += "</div>\n";
+  return out;
+}
+
+std::string RenderRecordDl(const db::Table& table, db::RowId row) {
+  std::string out = "<dl class=\"record\">";
+  const auto& schema = table.schema();
+  const auto& r = table.row(row);
+  for (size_t c = 0; c < r.size(); ++c) {
+    std::string cell = EscapeHtml(r[c].ToDisplayString());
+    if (c == 0) {
+      cell = "<a href=\"" + DetailHref(row) + "\">" + cell + "</a>";
+    }
+    out += "<dt>" + EscapeHtml(schema.column(c).name) + "</dt><dd>" + cell +
+           "</dd>";
+  }
+  out += "</dl>\n";
+  return out;
+}
+
+}  // namespace
+
+std::string RenderResults(const SiteSpec& spec, const db::Table& table,
+                          const std::vector<db::RowId>& rows,
+                          size_t total_matches, size_t page,
+                          const std::string& base_query) {
+  std::string body = "<h1>" + EscapeHtml(spec.title) + "</h1>\n";
+  if (spec.style.show_result_count) {
+    body += strings::Format("<p class=\"count\">%zu results found</p>\n",
+                            total_matches);
+  }
+  switch (spec.style.result_layout) {
+    case 0: {
+      body += "<table class=\"results\">\n<tr>";
+      for (const auto& col : table.schema().columns()) {
+        body += "<th>" + EscapeHtml(col.name) + "</th>";
+      }
+      body += "</tr>\n";
+      for (db::RowId row : rows) body += RenderRecordTableRow(table, row);
+      body += "</table>\n";
+      break;
+    }
+    case 1:
+      for (db::RowId row : rows) body += RenderRecordDiv(table, row);
+      break;
+    default:
+      for (db::RowId row : rows) body += RenderRecordDl(table, row);
+      break;
+  }
+  // Paging links.
+  size_t page_count =
+      (total_matches + spec.page_size - 1) / std::max(1, spec.page_size);
+  if (page_count > 1) {
+    body += "<p class=\"pages\">";
+    if (page > 0) {
+      body += strings::Format("<a href=\"/search?%s&page=%zu\">prev</a> ",
+                              base_query.c_str(), page - 1);
+    }
+    if (page + 1 < page_count) {
+      body += strings::Format("<a href=\"/search?%s&page=%zu\">next</a>",
+                              base_query.c_str(), page + 1);
+    }
+    body += "</p>\n";
+  }
+  return RenderPage(spec.title + " - results", body);
+}
+
+std::string RenderDetail(const SiteSpec& spec, const db::Table& table,
+                         db::RowId row) {
+  const auto& schema = table.schema();
+  const auto& r = table.row(row);
+  std::string title = r[0].ToDisplayString() + " - " + spec.title;
+  std::string body = "<h1>" + EscapeHtml(r[0].ToDisplayString()) + "</h1>\n";
+  body += "<dl class=\"detail\">";
+  for (size_t c = 0; c < r.size(); ++c) {
+    body += "<dt>" + EscapeHtml(schema.column(c).name) + "</dt><dd>" +
+            EscapeHtml(r[c].ToDisplayString()) + "</dd>";
+  }
+  body += "</dl>\n<p><a href=\"/\">Back to search</a></p>\n";
+  return RenderPage(title, body);
+}
+
+std::string RenderNoResults(const SiteSpec& spec) {
+  return RenderPage(
+      spec.title,
+      "<h1>" + EscapeHtml(spec.title) +
+          "</h1>\n<p class=\"noresults\">No results found. Please adjust "
+          "your search criteria and try again.</p>\n");
+}
+
+std::string RenderError(const std::string& message) {
+  return RenderPage("Error", "<h1>Error</h1>\n<p>" + EscapeHtml(message) +
+                                 "</p>\n");
+}
+
+}  // namespace synthweb
+}  // namespace deepsurf

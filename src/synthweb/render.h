@@ -1,0 +1,49 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// HTML renderers for the synthetic sites. Every page is produced through
+// these helpers with per-site style variation (three result layouts, three
+// label-association styles), so that the html/ extraction code and the
+// wrapper-induction code are exercised against realistic heterogeneity.
+
+#ifndef DEEPSURF_SYNTHWEB_RENDER_H_
+#define DEEPSURF_SYNTHWEB_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "synthweb/domain.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+/// Wraps body markup in a full document with the given title.
+std::string RenderPage(const std::string& title, const std::string& body);
+
+/// Renders the site's search form per the spec's label/layout style.
+std::string RenderForm(const SiteSpec& spec, const std::string& action);
+
+/// Renders one result page: heading, optional "N results" count line, the
+/// records in the site's layout, and prev/next paging links (relative
+/// URLs preserving `base_query`).
+std::string RenderResults(const SiteSpec& spec, const db::Table& table,
+                          const std::vector<db::RowId>& rows,
+                          size_t total_matches, size_t page,
+                          const std::string& base_query);
+
+/// Renders a record detail page (all columns, definition-list layout).
+std::string RenderDetail(const SiteSpec& spec, const db::Table& table,
+                         db::RowId row);
+
+/// Renders the "no results" page (identical for all empty queries —
+/// deliberately, so that empty result pages hash equal and surfacing can
+/// recognize them as uninformative).
+std::string RenderNoResults(const SiteSpec& spec);
+
+/// Renders a plain error page with the given HTTP-ish message.
+std::string RenderError(const std::string& message);
+
+}  // namespace synthweb
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SYNTHWEB_RENDER_H_

@@ -1,0 +1,54 @@
+#include "synthweb/surface_site.h"
+
+#include "html/tokenizer.h"
+#include "synthweb/render.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+void SurfaceSite::AddPage(const std::string& path, const std::string& title,
+                          const std::string& body_html) {
+  pages_[path] = Page{title, body_html};
+}
+
+void SurfaceSite::AddRootLink(const std::string& url,
+                              const std::string& anchor) {
+  root_links_.emplace_back(url, anchor);
+}
+
+std::string SurfaceSite::RenderRoot() const {
+  std::string body = "<h1>" + html::EscapeHtml(host_) + "</h1>\n<ul>\n";
+  for (const auto& [path, page] : pages_) {
+    if (path == "/") continue;
+    body += "<li><a href=\"" + html::EscapeHtml(path) + "\">" +
+            html::EscapeHtml(page.title) + "</a></li>\n";
+  }
+  for (const auto& [url, anchor] : root_links_) {
+    body += "<li><a href=\"" + html::EscapeHtml(url) + "\">" +
+            html::EscapeHtml(anchor) + "</a></li>\n";
+  }
+  body += "</ul>\n";
+  return RenderPage(host_, body);
+}
+
+net::HttpResponse SurfaceSite::Handle(const net::HttpRequest& request) {
+  net::HttpResponse resp;
+  const std::string& path = request.url.path();
+  if (path == "/" || path == "/index.html") {
+    resp.body = RenderRoot();
+    return resp;
+  }
+  auto it = pages_.find(path);
+  if (it == pages_.end()) {
+    resp.status_code = 404;
+    resp.body = RenderError("no such page");
+    return resp;
+  }
+  std::string body = "<h1>" + html::EscapeHtml(it->second.title) + "</h1>\n" +
+                     it->second.body + "\n<p><a href=\"/\">home</a></p>\n";
+  resp.body = RenderPage(it->second.title, body);
+  return resp;
+}
+
+}  // namespace synthweb
+}  // namespace deepsurf

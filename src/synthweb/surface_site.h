@@ -1,0 +1,57 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Surface-web sites: plain static pages reachable by link-following. Two
+// kinds exist in the corpus: directory/hub sites that link to everything
+// (crawler seeds), and "SEO'd" content sites that duplicate the popular
+// head of the entity distribution — the paper's explanation of why
+// deep-web content matters mostly in the long tail (§3.2).
+
+#ifndef DEEPSURF_SYNTHWEB_SURFACE_SITE_H_
+#define DEEPSURF_SYNTHWEB_SURFACE_SITE_H_
+
+#include <map>
+#include <string>
+
+#include "net/web.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+/// A static site: path -> page. The root page links to every other page
+/// so that a breadth-first crawler finds all of them.
+class SurfaceSite : public net::WebServer {
+ public:
+  explicit SurfaceSite(std::string host) : host_(std::move(host)) {}
+
+  /// Adds a page; `title` becomes the <title> and <h1>, `body_html` the
+  /// body markup after the heading. Replaces any existing page.
+  void AddPage(const std::string& path, const std::string& title,
+               const std::string& body_html);
+
+  /// Adds a raw link to the root page's link list (for cross-site links,
+  /// e.g. the directory hub linking to deep-web form pages).
+  void AddRootLink(const std::string& url, const std::string& anchor);
+
+  net::HttpResponse Handle(const net::HttpRequest& request) override;
+
+  const std::string& host() const override { return host_; }
+
+  size_t num_pages() const { return pages_.size(); }
+
+ private:
+  struct Page {
+    std::string title;
+    std::string body;
+  };
+
+  std::string RenderRoot() const;
+
+  std::string host_;
+  std::map<std::string, Page> pages_;
+  std::vector<std::pair<std::string, std::string>> root_links_;
+};
+
+}  // namespace synthweb
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SYNTHWEB_SURFACE_SITE_H_

@@ -1,0 +1,465 @@
+#include "synthweb/vocab.h"
+
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+const std::vector<CityInfo>& Cities() {
+  static const std::vector<CityInfo> kCities = {
+      {"New York", "NY", "New York", "10001"},
+      {"Los Angeles", "CA", "California", "90001"},
+      {"Chicago", "IL", "Illinois", "60601"},
+      {"Houston", "TX", "Texas", "77001"},
+      {"Phoenix", "AZ", "Arizona", "85001"},
+      {"Philadelphia", "PA", "Pennsylvania", "19101"},
+      {"San Antonio", "TX", "Texas", "78201"},
+      {"San Diego", "CA", "California", "92101"},
+      {"Dallas", "TX", "Texas", "75201"},
+      {"San Jose", "CA", "California", "95101"},
+      {"Austin", "TX", "Texas", "78701"},
+      {"Jacksonville", "FL", "Florida", "32201"},
+      {"Fort Worth", "TX", "Texas", "76101"},
+      {"Columbus", "OH", "Ohio", "43201"},
+      {"Charlotte", "NC", "North Carolina", "28201"},
+      {"San Francisco", "CA", "California", "94101"},
+      {"Indianapolis", "IN", "Indiana", "46201"},
+      {"Seattle", "WA", "Washington", "98101"},
+      {"Denver", "CO", "Colorado", "80201"},
+      {"Washington", "DC", "District of Columbia", "20001"},
+      {"Boston", "MA", "Massachusetts", "02101"},
+      {"El Paso", "TX", "Texas", "79901"},
+      {"Nashville", "TN", "Tennessee", "37201"},
+      {"Detroit", "MI", "Michigan", "48201"},
+      {"Oklahoma City", "OK", "Oklahoma", "73101"},
+      {"Portland", "OR", "Oregon", "97201"},
+      {"Las Vegas", "NV", "Nevada", "89101"},
+      {"Memphis", "TN", "Tennessee", "38101"},
+      {"Louisville", "KY", "Kentucky", "40201"},
+      {"Baltimore", "MD", "Maryland", "21201"},
+      {"Milwaukee", "WI", "Wisconsin", "53201"},
+      {"Albuquerque", "NM", "New Mexico", "87101"},
+      {"Tucson", "AZ", "Arizona", "85701"},
+      {"Fresno", "CA", "California", "93701"},
+      {"Mesa", "AZ", "Arizona", "85201"},
+      {"Sacramento", "CA", "California", "94203"},
+      {"Atlanta", "GA", "Georgia", "30301"},
+      {"Kansas City", "MO", "Missouri", "64101"},
+      {"Colorado Springs", "CO", "Colorado", "80901"},
+      {"Omaha", "NE", "Nebraska", "68101"},
+      {"Raleigh", "NC", "North Carolina", "27601"},
+      {"Miami", "FL", "Florida", "33101"},
+      {"Long Beach", "CA", "California", "90801"},
+      {"Virginia Beach", "VA", "Virginia", "23450"},
+      {"Oakland", "CA", "California", "94601"},
+      {"Minneapolis", "MN", "Minnesota", "55401"},
+      {"Tulsa", "OK", "Oklahoma", "74101"},
+      {"Tampa", "FL", "Florida", "33601"},
+      {"Arlington", "TX", "Texas", "76001"},
+      {"New Orleans", "LA", "Louisiana", "70112"},
+      {"Wichita", "KS", "Kansas", "67201"},
+      {"Cleveland", "OH", "Ohio", "44101"},
+      {"Bakersfield", "CA", "California", "93301"},
+      {"Aurora", "CO", "Colorado", "80010"},
+      {"Anaheim", "CA", "California", "92801"},
+      {"Honolulu", "HI", "Hawaii", "96801"},
+      {"Santa Ana", "CA", "California", "92701"},
+      {"Riverside", "CA", "California", "92501"},
+      {"Corpus Christi", "TX", "Texas", "78401"},
+      {"Lexington", "KY", "Kentucky", "40502"},
+      {"Stockton", "CA", "California", "95201"},
+      {"Henderson", "NV", "Nevada", "89009"},
+      {"Saint Paul", "MN", "Minnesota", "55101"},
+      {"St. Louis", "MO", "Missouri", "63101"},
+      {"Cincinnati", "OH", "Ohio", "45201"},
+      {"Pittsburgh", "PA", "Pennsylvania", "15201"},
+      {"Greensboro", "NC", "North Carolina", "27401"},
+      {"Anchorage", "AK", "Alaska", "99501"},
+      {"Plano", "TX", "Texas", "75023"},
+      {"Lincoln", "NE", "Nebraska", "68501"},
+      {"Orlando", "FL", "Florida", "32801"},
+      {"Irvine", "CA", "California", "92602"},
+      {"Newark", "NJ", "New Jersey", "07101"},
+      {"Toledo", "OH", "Ohio", "43601"},
+      {"Durham", "NC", "North Carolina", "27701"},
+      {"Chula Vista", "CA", "California", "91909"},
+      {"Fort Wayne", "IN", "Indiana", "46801"},
+      {"Jersey City", "NJ", "New Jersey", "07302"},
+      {"St. Petersburg", "FL", "Florida", "33701"},
+      {"Laredo", "TX", "Texas", "78040"},
+      {"Madison", "WI", "Wisconsin", "53701"},
+      {"Chandler", "AZ", "Arizona", "85224"},
+      {"Buffalo", "NY", "New York", "14201"},
+      {"Lubbock", "TX", "Texas", "79401"},
+      {"Scottsdale", "AZ", "Arizona", "85250"},
+      {"Reno", "NV", "Nevada", "89501"},
+      {"Glendale", "AZ", "Arizona", "85301"},
+      {"Gilbert", "AZ", "Arizona", "85233"},
+      {"Winston-Salem", "NC", "North Carolina", "27101"},
+      {"North Las Vegas", "NV", "Nevada", "89030"},
+      {"Norfolk", "VA", "Virginia", "23501"},
+      {"Chesapeake", "VA", "Virginia", "23320"},
+      {"Garland", "TX", "Texas", "75040"},
+      {"Irving", "TX", "Texas", "75014"},
+      {"Hialeah", "FL", "Florida", "33010"},
+      {"Fremont", "CA", "California", "94536"},
+      {"Boise", "ID", "Idaho", "83701"},
+      {"Richmond", "VA", "Virginia", "23218"},
+      {"Baton Rouge", "LA", "Louisiana", "70801"},
+      {"Spokane", "WA", "Washington", "99201"},
+      {"Des Moines", "IA", "Iowa", "50301"},
+      {"Tacoma", "WA", "Washington", "98401"},
+      {"San Bernardino", "CA", "California", "92401"},
+      {"Modesto", "CA", "California", "95350"},
+      {"Fontana", "CA", "California", "92331"},
+      {"Santa Clarita", "CA", "California", "91350"},
+      {"Birmingham", "AL", "Alabama", "35201"},
+      {"Oxnard", "CA", "California", "93030"},
+      {"Fayetteville", "NC", "North Carolina", "28301"},
+      {"Moreno Valley", "CA", "California", "92551"},
+      {"Rochester", "NY", "New York", "14602"},
+      {"Glendale", "CA", "California", "91201"},
+      {"Huntington Beach", "CA", "California", "92605"},
+      {"Salt Lake City", "UT", "Utah", "84101"},
+      {"Grand Rapids", "MI", "Michigan", "49501"},
+      {"Amarillo", "TX", "Texas", "79101"},
+      {"Yonkers", "NY", "New York", "10701"},
+      {"Aurora", "IL", "Illinois", "60502"},
+      {"Montgomery", "AL", "Alabama", "36101"},
+      {"Akron", "OH", "Ohio", "44301"},
+      {"Little Rock", "AR", "Arkansas", "72201"},
+      {"Huntsville", "AL", "Alabama", "35801"},
+      {"Augusta", "GA", "Georgia", "30901"},
+      {"Port St. Lucie", "FL", "Florida", "34952"},
+      {"Grand Prairie", "TX", "Texas", "75050"},
+      {"Columbus", "GA", "Georgia", "31901"},
+      {"Tallahassee", "FL", "Florida", "32301"},
+      {"Overland Park", "KS", "Kansas", "66204"},
+      {"Tempe", "AZ", "Arizona", "85281"},
+      {"McKinney", "TX", "Texas", "75069"},
+      {"Mobile", "AL", "Alabama", "36601"},
+      {"Cape Coral", "FL", "Florida", "33904"},
+      {"Shreveport", "LA", "Louisiana", "71101"},
+      {"Frisco", "TX", "Texas", "75034"},
+      {"Knoxville", "TN", "Tennessee", "37901"},
+      {"Worcester", "MA", "Massachusetts", "01601"},
+      {"Brownsville", "TX", "Texas", "78520"},
+      {"Vancouver", "WA", "Washington", "98660"},
+      {"Fort Lauderdale", "FL", "Florida", "33301"},
+      {"Sioux Falls", "SD", "South Dakota", "57101"},
+      {"Ontario", "CA", "California", "91758"},
+      {"Chattanooga", "TN", "Tennessee", "37401"},
+      {"Providence", "RI", "Rhode Island", "02901"},
+      {"Newport News", "VA", "Virginia", "23601"},
+  };
+  return kCities;
+}
+
+const std::vector<std::string>& StateCodes() {
+  static const std::vector<std::string> kStates = {
+      "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "DC", "FL", "GA",
+      "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA",
+      "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+      "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX",
+      "UT", "VT", "VA", "WA", "WV", "WI", "WY"};
+  return kStates;
+}
+
+const std::vector<std::string>& StateNames() {
+  static const std::vector<std::string> kNames = {
+      "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+      "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+      "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+      "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+      "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+      "New Hampshire", "New Jersey", "New Mexico", "New York",
+      "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+      "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+      "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+      "West Virginia", "Wisconsin", "Wyoming"};
+  return kNames;
+}
+
+const std::vector<MakeInfo>& CarMakes() {
+  static const std::vector<MakeInfo> kMakes = {
+      {"Toyota", {"Camry", "Corolla", "Prius", "Rav4", "Highlander",
+                  "Tacoma", "Sienna"}},
+      {"Honda", {"Civic", "Accord", "CR-V", "Pilot", "Odyssey", "Fit"}},
+      {"Ford", {"Focus", "Fusion", "Escape", "Explorer", "F-150",
+                "Mustang", "Edge"}},
+      {"Chevrolet", {"Malibu", "Impala", "Cruze", "Equinox", "Tahoe",
+                     "Silverado", "Camaro"}},
+      {"Nissan", {"Altima", "Sentra", "Maxima", "Rogue", "Pathfinder",
+                  "Frontier"}},
+      {"BMW", {"3 Series", "5 Series", "7 Series", "X3", "X5"}},
+      {"Mercedes-Benz", {"C-Class", "E-Class", "S-Class", "GLC", "GLE"}},
+      {"Volkswagen", {"Jetta", "Passat", "Golf", "Tiguan", "Atlas"}},
+      {"Audi", {"A3", "A4", "A6", "Q5", "Q7"}},
+      {"Hyundai", {"Elantra", "Sonata", "Santa Fe", "Tucson", "Accent"}},
+      {"Kia", {"Optima", "Sorento", "Sportage", "Soul", "Forte"}},
+      {"Subaru", {"Outback", "Forester", "Impreza", "Legacy", "Crosstrek"}},
+      {"Mazda", {"Mazda3", "Mazda6", "CX-5", "CX-9", "MX-5"}},
+      {"Jeep", {"Wrangler", "Cherokee", "Grand Cherokee", "Compass"}},
+      {"Dodge", {"Charger", "Challenger", "Durango", "Journey"}},
+      {"Lexus", {"ES", "RX", "NX", "GX", "IS"}},
+      {"Acura", {"TLX", "MDX", "RDX", "ILX"}},
+      {"Volvo", {"S60", "S90", "XC60", "XC90"}},
+      {"Chrysler", {"300", "Pacifica", "Voyager"}},
+      {"GMC", {"Sierra", "Yukon", "Acadia", "Terrain"}},
+  };
+  return kMakes;
+}
+
+const std::vector<std::string>& JobTitles() {
+  static const std::vector<std::string> kTitles = {
+      "software engineer", "data analyst", "project manager",
+      "registered nurse", "accountant", "sales representative",
+      "marketing manager", "graphic designer", "customer service agent",
+      "operations manager", "financial analyst", "product manager",
+      "electrician", "mechanical engineer", "civil engineer",
+      "web developer", "database administrator", "systems analyst",
+      "human resources specialist", "executive assistant", "pharmacist",
+      "physical therapist", "dental hygienist", "truck driver",
+      "warehouse associate", "retail supervisor", "chef", "line cook",
+      "teacher", "paralegal", "attorney", "research scientist",
+      "lab technician", "security officer", "maintenance technician",
+      "business analyst", "network engineer", "quality inspector",
+      "technical writer", "recruiter"};
+  return kTitles;
+}
+
+const std::vector<std::string>& JobCategories() {
+  static const std::vector<std::string> kCategories = {
+      "engineering", "healthcare", "finance", "sales", "marketing",
+      "education", "legal", "hospitality", "transportation",
+      "manufacturing", "retail", "government", "technology",
+      "construction", "administration"};
+  return kCategories;
+}
+
+const std::vector<std::string>& Cuisines() {
+  static const std::vector<std::string> kCuisines = {
+      "italian", "mexican", "chinese", "japanese", "thai", "indian",
+      "french", "greek", "korean", "vietnamese", "spanish", "american",
+      "mediterranean", "ethiopian", "lebanese", "brazilian", "peruvian",
+      "turkish", "moroccan", "german"};
+  return kCuisines;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "James", "Mary", "John", "Patricia", "Robert", "Jennifer",
+      "Michael", "Linda", "William", "Elizabeth", "David", "Barbara",
+      "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+      "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa",
+      "Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra",
+      "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
+      "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy",
+      "Kevin", "Carol", "Brian", "Amanda", "George", "Melissa",
+      "Edward", "Deborah"};
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia",
+      "Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez",
+      "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor", "Moore",
+      "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+      "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson",
+      "Walker", "Young", "Allen", "King", "Wright", "Scott", "Torres",
+      "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker",
+      "Hall", "Rivera", "Campbell", "Mitchell", "Carter", "Roberts"};
+  return kNames;
+}
+
+const std::vector<std::string>& ProductAdjectives() {
+  static const std::vector<std::string> kAdj = {
+      "premium", "deluxe", "classic", "portable", "wireless", "compact",
+      "professional", "ergonomic", "digital", "stainless", "organic",
+      "vintage", "ultra", "smart", "heavy-duty", "lightweight",
+      "rechargeable", "adjustable", "foldable", "waterproof"};
+  return kAdj;
+}
+
+const std::vector<std::string>& ProductNouns() {
+  static const std::vector<std::string> kNouns = {
+      "blender", "headphones", "backpack", "keyboard", "monitor",
+      "lamp", "speaker", "camera", "toaster", "drill", "vacuum",
+      "thermostat", "router", "printer", "microphone", "kettle",
+      "charger", "tripod", "projector", "scanner", "desk", "chair",
+      "mattress", "grill", "cooler"};
+  return kNouns;
+}
+
+const std::vector<std::string>& MovieWords() {
+  static const std::vector<std::string> kWords = {
+      "midnight", "shadow", "return", "legacy", "storm", "empire",
+      "secret", "garden", "river", "winter", "echo", "horizon", "crown",
+      "island", "voyage", "fortune", "silence", "thunder", "mirror",
+      "harvest"};
+  return kWords;
+}
+
+const std::vector<std::string>& MusicWords() {
+  static const std::vector<std::string> kWords = {
+      "acoustic", "nocturne", "rhapsody", "serenade", "anthem",
+      "ballad", "symphony", "groove", "melody", "harmony", "cadence",
+      "overture", "prelude", "refrain", "sonata", "tempo", "chorus",
+      "encore", "interlude", "crescendo"};
+  return kWords;
+}
+
+const std::vector<std::string>& SoftwareWords() {
+  static const std::vector<std::string> kWords = {
+      "microsoft", "antivirus", "compiler", "spreadsheet", "database",
+      "editor", "firewall", "backup", "encryption", "debugger",
+      "emulator", "browser", "toolkit", "framework", "installer",
+      "driver", "utility", "suite", "plugin", "console"};
+  return kWords;
+}
+
+const std::vector<std::string>& GameWords() {
+  static const std::vector<std::string> kWords = {
+      "quest", "dungeon", "arcade", "racing", "puzzle", "strategy",
+      "adventure", "galaxy", "warrior", "kingdom", "legend", "arena",
+      "simulator", "tycoon", "survival", "fantasy", "champion",
+      "commander", "raider", "explorer"};
+  return kWords;
+}
+
+const std::vector<std::string>& BookSubjects() {
+  static const std::vector<std::string> kSubjects = {
+      "history", "biography", "science", "travel", "cooking", "poetry",
+      "philosophy", "economics", "psychology", "astronomy", "botany",
+      "architecture", "photography", "linguistics", "mythology",
+      "geology", "medicine", "music", "painting", "archaeology"};
+  return kSubjects;
+}
+
+const std::vector<std::string>& GovernmentTopics() {
+  static const std::vector<std::string> kTopics = {
+      "building permits", "water quality", "property tax", "census data",
+      "road maintenance", "public health", "zoning regulations",
+      "school enrollment", "voter registration", "business licenses",
+      "air quality", "crime statistics", "park reservations",
+      "recycling schedules", "flood maps", "noise ordinances",
+      "housing assistance", "veterans services", "library hours",
+      "court records"};
+  return kTopics;
+}
+
+const std::vector<std::string>& EnglishWords() {
+  static const std::vector<std::string> kWords = {
+      "ability",  "account",  "action",   "address",  "advance",  "advice",
+      "affair",   "agency",   "airport",  "amount",   "analysis", "animal",
+      "answer",   "anxiety",  "apple",    "area",     "argument", "arrival",
+      "article",  "aspect",   "attempt",  "attention","audience", "author",
+      "balance",  "basket",   "battle",   "beauty",   "bedroom",  "benefit",
+      "bird",     "blood",    "board",    "bonus",    "border",   "bottle",
+      "branch",   "bread",    "breath",   "bridge",   "budget",   "builder",
+      "cabinet",  "camera",   "campaign", "candle",   "capital",  "captain",
+      "career",   "castle",   "catalog",  "ceiling",  "center",   "chamber",
+      "channel",  "chapter",  "charity",  "chicken",  "choice",   "church",
+      "circle",   "citizen",  "climate",  "clothes",  "cloud",    "coast",
+      "coffee",   "collar",   "college",  "comfort",  "command",  "comment",
+      "company",  "concept",  "concert",  "contest",  "context",  "control",
+      "corner",   "cottage",  "cotton",   "council",  "country",  "courage",
+      "cousin",   "credit",   "cricket",  "culture",  "current",  "customer",
+      "dealer",   "debate",   "decade",   "decision", "defense",  "degree",
+      "delivery", "demand",   "density",  "deposit",  "desert",   "design",
+      "detail",   "device",   "dialog",   "diamond",  "dinner",   "direction",
+      "discount", "disease",  "display",  "distance", "doctor",   "dollar",
+      "domain",   "dragon",   "drama",    "driver",   "duration", "economy",
+      "edge",     "editor",   "effect",   "effort",   "election", "element",
+      "emotion",  "employee", "energy",   "engine",   "entrance", "equipment",
+      "escape",   "estate",   "evening",  "evidence", "example",  "exchange",
+      "exercise", "expense",  "experience","expert",  "factor",   "factory",
+      "failure",  "family",   "farmer",   "fashion",  "feature",  "feeling",
+      "fiction",  "field",    "figure",   "finance",  "finding",  "fishing",
+      "flavor",   "flight",   "flower",   "forest",   "formula",  "fortune",
+      "forum",    "freedom",  "friend",   "future",   "gallery",  "garden",
+      "gateway",  "gesture",  "glass",    "growth",   "guard",    "guest",
+      "guide",    "habit",    "harbor",   "health",   "hearing",  "height",
+      "heritage", "highway",  "history",  "holiday",  "honey",    "horizon",
+      "hotel",    "household","housing",  "humor",    "hunter",   "impact",
+      "income",   "industry", "initial",  "injury",   "insight",  "instance",
+      "interest", "interview","island",   "issue",    "jacket",   "journal",
+      "journey",  "judge",    "junction", "jungle",   "justice",  "kitchen",
+      "knowledge","ladder",   "language", "laughter", "leader",   "lecture",
+      "length",   "lesson",   "letter",   "library",  "license",  "lifetime",
+      "lighting", "limit",    "listing",  "loan",     "location", "luxury",
+      "machine",  "magazine", "manager",  "mansion",  "margin",   "market",
+      "marriage", "material", "matter",   "meaning",  "measure",  "medicine",
+      "meeting",  "member",   "memory",   "message",  "metal",    "method",
+      "minute",   "mirror",   "mission",  "mistake",  "mixture",  "moment",
+      "monitor",  "morning",  "mountain", "movement", "muscle",   "museum",
+      "nation",   "nature",   "network",  "notice",   "number",   "object",
+      "ocean",    "office",   "opening",  "opinion",  "option",   "orange",
+      "orchestra","origin",   "outcome",  "oven",     "owner",    "oxygen",
+      "package",  "painting", "palace",   "paper",    "partner",  "passage",
+      "passion",  "patience", "pattern",  "payment",  "penalty",  "pension",
+      "people",   "pepper",   "period",   "person",   "phase",    "phrase",
+      "picture",  "pioneer",  "planet",   "platform", "pleasure", "pocket",
+      "poetry",   "policy",   "portion",  "position", "potato",   "power",
+      "practice", "presence", "pressure", "price",    "pride",    "primary",
+      "printer",  "priority", "prison",   "problem",  "process",  "producer",
+      "profile",  "profit",   "program",  "project",  "promise",  "property",
+      "proposal", "protein",  "province", "purpose",  "quality",  "quarter",
+      "question", "radio",    "railway",  "rainbow",  "ratio",    "reaction",
+      "reader",   "reality",  "reason",   "recipe",   "record",   "reform",
+      "refuge",   "region",   "relation", "release",  "relief",   "remedy",
+      "report",   "republic", "request",  "research", "resident", "resource",
+      "response", "result",   "revenue",  "review",   "reward",   "rhythm",
+      "river",    "safety",   "salad",    "salary",   "sample",   "satellite",
+      "scale",    "scene",    "schedule", "scheme",   "school",   "science",
+      "screen",   "script",   "season",   "second",   "secret",   "section",
+      "sector",   "security", "segment",  "seminar",  "senator",  "sentence",
+      "sequence", "series",   "service",  "session",  "setting",  "shadow",
+      "share",    "shelter",  "shoulder", "signal",   "silence",  "silver",
+      "singer",   "sister",   "skill",    "society",  "soldier",  "solution",
+      "source",   "speaker",  "species",  "speech",   "spirit",   "sport",
+      "spring",   "square",   "stadium",  "standard", "station",  "status",
+      "stomach",  "storage",  "story",    "stranger", "strategy", "stream",
+      "street",   "strength", "student",  "studio",   "subject",  "success",
+      "summer",   "summit",   "supply",   "support",  "surface",  "surgery",
+      "survey",   "symbol",   "system",   "tactic",   "talent",   "target",
+      "teacher",  "team",     "tension",  "terminal", "territory","theater",
+      "theory",   "thunder",  "ticket",   "timber",   "tissue",   "tongue",
+      "topic",    "total",    "tourist",  "tower",    "trade",    "tradition",
+      "traffic",  "training", "transfer", "transport","treasure", "treaty",
+      "trend",    "trial",    "triangle", "tribute",  "trouble",  "tunnel",
+      "uncle",    "uniform",  "union",    "unit",     "universe", "update",
+      "upgrade",  "valley",   "variety",  "vehicle",  "venture",  "version",
+      "victory",  "village",  "violin",   "vision",   "visitor",  "vitamin",
+      "volume",   "voyage",   "wealth",   "weather",  "wedding",  "weekend",
+      "welfare",  "window",   "winner",   "winter",   "wisdom",   "witness",
+      "wonder",   "worker",   "workshop", "writer",   "yesterday","zone",
+  };
+  return kWords;
+}
+
+std::string RandomProse(Rng* rng, size_t n) {
+  const auto& words = EnglishWords();
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(rng->Pick(words));
+  return strings::Join(out, " ");
+}
+
+std::string RandomStreetAddress(Rng* rng) {
+  static const std::vector<std::string> kStreets = {
+      "Oak Street", "Maple Avenue", "Cedar Lane", "Pine Road",
+      "Elm Drive", "Washington Boulevard", "Lake View Terrace",
+      "Sunset Drive", "Hillcrest Road", "River Street", "Park Avenue",
+      "Main Street", "Second Avenue", "Highland Drive", "Meadow Lane"};
+  return std::to_string(rng->UniformInt(100, 9999)) + " " +
+         rng->Pick(kStreets);
+}
+
+std::string RandomPersonName(Rng* rng) {
+  return rng->Pick(FirstNames()) + " " + rng->Pick(LastNames());
+}
+
+}  // namespace synthweb
+}  // namespace deepsurf

@@ -1,0 +1,75 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Static vocabularies for the synthetic web: US cities with zip codes and
+// states, car makes/models, job titles, cuisines, product words, person
+// names, and a general English word pool for filler prose. These give the
+// synthetic deep-web sites realistic value distributions — which is what
+// the typed-input recognizers and the semantic services mine.
+
+#ifndef DEEPSURF_SYNTHWEB_VOCAB_H_
+#define DEEPSURF_SYNTHWEB_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace synthweb {
+
+/// A US city with its state and a representative zip code.
+struct CityInfo {
+  const char* city;
+  const char* state;       ///< two-letter code
+  const char* state_name;  ///< full name
+  const char* zip;         ///< 5 digits
+};
+
+/// All embedded cities (~1 per large US metro, 120 entries).
+const std::vector<CityInfo>& Cities();
+
+/// Two-letter state codes (50 + DC).
+const std::vector<std::string>& StateCodes();
+
+/// Full state names, parallel to nothing in particular (alphabetical).
+const std::vector<std::string>& StateNames();
+
+/// A car make with its models.
+struct MakeInfo {
+  const char* make;
+  std::vector<const char*> models;
+};
+
+/// Car makes and their models (~20 makes, ~100 models).
+const std::vector<MakeInfo>& CarMakes();
+
+const std::vector<std::string>& JobTitles();
+const std::vector<std::string>& JobCategories();
+const std::vector<std::string>& Cuisines();
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& ProductAdjectives();
+const std::vector<std::string>& ProductNouns();
+const std::vector<std::string>& MovieWords();
+const std::vector<std::string>& MusicWords();
+const std::vector<std::string>& SoftwareWords();
+const std::vector<std::string>& GameWords();
+const std::vector<std::string>& BookSubjects();
+const std::vector<std::string>& GovernmentTopics();
+
+/// Pool of ~400 common content words for filler prose.
+const std::vector<std::string>& EnglishWords();
+
+/// Samples `n` words of filler prose.
+std::string RandomProse(Rng* rng, size_t n);
+
+/// A deterministic fake street address ("1423 Oak Street").
+std::string RandomStreetAddress(Rng* rng);
+
+/// A person name "First Last".
+std::string RandomPersonName(Rng* rng);
+
+}  // namespace synthweb
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SYNTHWEB_VOCAB_H_

@@ -1,0 +1,35 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Non-cryptographic hashing: FNV-1a for content signatures and hash
+// combining for composite keys. Content signatures are used to detect
+// distinct result pages during surfacing ("informativeness" tests) and
+// near-duplicate suppression in the index.
+
+#ifndef DEEPSURF_UTIL_HASH_H_
+#define DEEPSURF_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace deepsurf {
+
+/// 64-bit FNV-1a over arbitrary bytes.
+inline uint64_t Fnv1a64(std::string_view data,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // boost::hash_combine extended to 64-bit.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_UTIL_HASH_H_

@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace deepsurf {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogSeverity::kInfo)};
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+}  // namespace
+
+void SetLogThreshold(LogSeverity severity) {
+  g_threshold.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity GetLogThreshold() {
+  return static_cast<LogSeverity>(g_threshold.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(severity_) <
+      g_threshold.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_),
+               Basename(file_), line_, stream_.str().c_str());
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "Check failed: " << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::fprintf(stderr, "[F %s:%d] %s\n", Basename(file_), line_,
+               stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace deepsurf

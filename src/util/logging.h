@@ -1,0 +1,81 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Minimal logging and assertion facility. Log lines go to stderr; the
+// active severity threshold is process-global and settable (benchmarks
+// raise it to keep output clean).
+
+#ifndef DEEPSURF_UTIL_LOGGING_H_
+#define DEEPSURF_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace deepsurf {
+
+enum class LogSeverity : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is actually emitted. Default: kInfo.
+void SetLogThreshold(LogSeverity severity);
+
+/// Current threshold.
+LogSeverity GetLogThreshold();
+
+namespace internal {
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process in the destructor. Used by
+/// DS_CHECK for invariant violations (never for input validation — input
+/// errors travel through Status).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DS_LOG(severity)                                                  \
+  ::deepsurf::internal::LogMessage(::deepsurf::LogSeverity::k##severity, \
+                                   __FILE__, __LINE__)                    \
+      .stream()
+
+/// Invariant check: aborts with a message when `cond` is false. Reserved
+/// for programming errors; recoverable conditions use Status instead.
+#define DS_CHECK(cond)                                                 \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    ::deepsurf::internal::FatalLogMessage(__FILE__, __LINE__, #cond)   \
+        .stream()
+
+#define DS_CHECK_OK(expr)                                       \
+  do {                                                          \
+    ::deepsurf::Status _st = (expr);                            \
+    DS_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_UTIL_LOGGING_H_

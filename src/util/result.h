@@ -1,0 +1,86 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Result<T>: value-or-Status, the StatusOr idiom. Used as the return type
+// of every fallible operation that produces a value.
+
+#ifndef DEEPSURF_UTIL_RESULT_H_
+#define DEEPSURF_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace deepsurf {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored Result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK without value");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Value accessors; require ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`. Usable in functions returning Status or
+/// Result<U>.
+#define DEEPSURF_CONCAT_INNER_(a, b) a##b
+#define DEEPSURF_CONCAT_(a, b) DEEPSURF_CONCAT_INNER_(a, b)
+#define DEEPSURF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) {                                       \
+    return tmp.status();                                 \
+  }                                                      \
+  lhs = std::move(tmp).value();
+#define DEEPSURF_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  DEEPSURF_ASSIGN_OR_RETURN_IMPL_(DEEPSURF_CONCAT_(_res_, __LINE__), lhs, \
+                                  rexpr)
+
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_UTIL_RESULT_H_

@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepsurf {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  DS_CHECK(bound > 0) << "Uniform bound must be positive";
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DS_CHECK(lo <= hi) << "UniformInt requires lo <= hi";
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Irwin-Hall approximation: sum of 12 uniforms has mean 6, variance 1.
+  double acc = 0.0;
+  for (int i = 0; i < 12; ++i) acc += UniformDouble();
+  return mean + stddev * (acc - 6.0);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  ZipfSampler sampler(n, s);
+  return sampler.Sample(this);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DS_CHECK(k <= n) << "sample size exceeds population";
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(Uniform(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefULL); }
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  DS_CHECK(n > 0) << "ZipfSampler needs n > 0";
+  DS_CHECK(s > 0) << "ZipfSampler needs s > 0";
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint64_t rank) const {
+  DS_CHECK(rank < n_) << "rank out of range";
+  double prev = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - prev;
+}
+
+}  // namespace deepsurf

@@ -1,0 +1,105 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Deterministic, explicitly-seeded random number generation. Every
+// randomized component in deepsurf takes a Rng (or a seed) explicitly —
+// there is no global RNG state — so corpus generation, probing, and
+// experiments are reproducible bit-for-bit from a single 64-bit seed.
+
+#ifndef DEEPSURF_UTIL_RNG_H_
+#define DEEPSURF_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace deepsurf {
+
+/// xoshiro256** generator seeded via SplitMix64. Not cryptographic; fast,
+/// high-quality for simulation purposes.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Approximately normal draw (sum of uniforms), mean `mean`, stddev
+  /// `stddev`. Good enough for workload synthesis.
+  double Normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s > 0). Rank 0 is
+  /// the most frequent. Sampled by inverse transform over the exact CDF
+  /// table held by the caller-visible ZipfSampler for large n; this
+  /// convenience method builds a one-off table and is O(n) per call set-up,
+  /// so prefer ZipfSampler in loops.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    DS_CHECK(!v.empty()) << "Pick from empty vector";
+    return v[Uniform(v.size())];
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; used to give each site /
+  /// module its own stream so that adding one site does not perturb the
+  /// randomness of the others.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Precomputed Zipf(n, s) sampler: O(n) construction, O(log n) sampling by
+/// binary search over the CDF.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for ranks [0, n) with exponent `s > 0`.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [0, n); rank 0 most probable.
+  uint64_t Sample(Rng* rng) const;
+
+  /// Probability mass of `rank`.
+  double Pmf(uint64_t rank) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_UTIL_RNG_H_

@@ -1,0 +1,164 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace stats {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  DS_CHECK(p >= 0.0 && p <= 100.0) << "percentile out of range";
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double pos = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50); }
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Sum(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc;
+}
+
+double Gini(std::vector<double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double total = Sum(xs);
+  if (total <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * xs[i];
+  }
+  double n = static_cast<double>(xs.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double EntropyBits(const std::vector<double>& counts) {
+  double total = Sum(counts);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+namespace {
+double KlBits(const std::map<std::string, double>& p,
+              const std::map<std::string, double>& m, double p_total,
+              double m_total) {
+  double kl = 0.0;
+  for (const auto& [k, c] : p) {
+    if (c <= 0.0) continue;
+    double pp = c / p_total;
+    auto it = m.find(k);
+    double pm = (it == m.end() ? 0.0 : it->second) / m_total;
+    if (pm > 0.0) kl += pp * std::log2(pp / pm);
+  }
+  return kl;
+}
+}  // namespace
+
+double JensenShannonBits(const std::map<std::string, double>& a,
+                         const std::map<std::string, double>& b) {
+  double ta = 0.0;
+  double tb = 0.0;
+  for (const auto& [k, c] : a) ta += c;
+  for (const auto& [k, c] : b) tb += c;
+  if (ta <= 0.0 || tb <= 0.0) return 0.0;
+  std::map<std::string, double> m;
+  for (const auto& [k, c] : a) m[k] += (c / ta) * 0.5;
+  for (const auto& [k, c] : b) m[k] += (c / tb) * 0.5;
+  // Normalized copies feed KL against the mixture (mixture total is 1).
+  std::map<std::string, double> an;
+  std::map<std::string, double> bn;
+  for (const auto& [k, c] : a) an[k] = c / ta;
+  for (const auto& [k, c] : b) bn[k] = c / tb;
+  return 0.5 * KlBits(an, m, 1.0, 1.0) + 0.5 * KlBits(bn, m, 1.0, 1.0);
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  DS_CHECK(hi > lo) << "histogram range empty";
+  DS_CHECK(buckets > 0) << "histogram needs buckets";
+}
+
+void Histogram::Add(double x) {
+  double pos = (x - lo_) / width_;
+  int64_t i = static_cast<int64_t>(std::floor(pos));
+  if (i < 0) i = 0;
+  if (i >= static_cast<int64_t>(counts_.size())) {
+    i = static_cast<int64_t>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<size_t>(i)];
+  ++total_;
+}
+
+double Histogram::BucketLow(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out += strings::Format("%.2f..%.2f: %llu\n", BucketLow(i),
+                           BucketLow(i) + width_,
+                           static_cast<unsigned long long>(counts_[i]));
+  }
+  return out;
+}
+
+void RunningStat::Add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace stats
+}  // namespace deepsurf

@@ -1,0 +1,92 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Descriptive statistics and distribution utilities used by the
+// experiment harnesses: moments, percentiles, histograms, entropy and
+// Jensen-Shannon divergence (the db-selection detector compares result
+// vocabularies with JSD), and Gini coefficient (long-tail skew summary).
+
+#ifndef DEEPSURF_UTIL_STATS_H_
+#define DEEPSURF_UTIL_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace deepsurf {
+namespace stats {
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when n < 2.
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. 0 for an empty sample.
+double Percentile(std::vector<double> xs, double p);
+
+double Median(std::vector<double> xs);
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+double Sum(const std::vector<double>& xs);
+
+/// Gini coefficient of a non-negative sample in [0, 1]; 0 = perfectly
+/// equal, ->1 = maximally concentrated. Used to summarize how skewed the
+/// per-form impact distribution is.
+double Gini(std::vector<double> xs);
+
+/// Shannon entropy (bits) of a discrete distribution given as counts.
+double EntropyBits(const std::vector<double>& counts);
+
+/// Jensen-Shannon divergence (bits, in [0, 1]) between two discrete
+/// distributions given as count maps over string categories. Categories
+/// absent from one side are treated as zero-count there.
+double JensenShannonBits(const std::map<std::string, double>& a,
+                         const std::map<std::string, double>& b);
+
+/// Fixed-width histogram over [lo, hi) with `buckets` bins; values outside
+/// are clamped into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  /// Count in bucket `i`.
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+
+  /// Inclusive lower edge of bucket `i`.
+  double BucketLow(size_t i) const;
+
+  /// Renders "lo..hi: count" lines, one per non-empty bucket.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Streaming mean/variance (Welford). Used by long-running benches.
+class RunningStat {
+ public:
+  void Add(double x);
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_UTIL_STATS_H_

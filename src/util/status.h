@@ -1,0 +1,126 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Status-based error handling, following the RocksDB / Abseil idiom: no
+// exceptions anywhere in the library; every fallible operation returns a
+// Status (or a Result<T>, see result.h) that callers must inspect.
+
+#ifndef DEEPSURF_UTIL_STATUS_H_
+#define DEEPSURF_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace deepsurf {
+
+/// Canonical error space for the library. Kept deliberately small; codes
+/// mirror the subset of the canonical (Abseil/gRPC) space that a
+/// crawling / indexing system actually produces.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed something malformed
+  kNotFound = 2,          ///< entity (host, page, column, form) absent
+  kOutOfRange = 3,        ///< index / offset beyond bounds
+  kFailedPrecondition = 4,///< object not in the required state
+  kResourceExhausted = 5, ///< budget (fetches, URLs, memory) exceeded
+  kUnimplemented = 6,     ///< feature intentionally absent (e.g. POST)
+  kInternal = 7,          ///< invariant violation; indicates a bug
+  kAborted = 8,           ///< operation stopped early (e.g. by policy)
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of an operation. Cheap to copy in the
+/// OK case (empty message); movable; comparable on code.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Factory helpers, one per canonical code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error code.
+  StatusCode code() const { return code_; }
+
+  /// The diagnostic message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  /// Predicates matching the factory helpers.
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// "<CodeName>: <message>" rendering, "OK" for success.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Usable only in functions that
+/// themselves return Status.
+#define DEEPSURF_RETURN_IF_ERROR(expr)         \
+  do {                                         \
+    ::deepsurf::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_UTIL_STATUS_H_

@@ -1,0 +1,67 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Small string toolkit used across the library: splitting, trimming, case
+// folding, joining, numeric parsing (Status-based, no exceptions).
+
+#ifndef DEEPSURF_UTIL_STRINGS_H_
+#define DEEPSURF_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace deepsurf {
+namespace strings {
+
+/// Splits `s` on the single character `sep`. Empty fields are kept:
+/// Split("a,,b", ',') -> {"a", "", "b"}; Split("", ',') -> {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any whitespace run; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Case-insensitive (ASCII) equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Strict integer parse of the whole string (optional leading '-').
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Strict floating-point parse of the whole string.
+Result<double> ParseDouble(std::string_view s);
+
+/// True iff every character is an ASCII digit and the string is non-empty.
+bool IsDigits(std::string_view s);
+
+/// True iff every character is an ASCII letter and the string is non-empty.
+bool IsAlpha(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace strings
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_UTIL_STRINGS_H_

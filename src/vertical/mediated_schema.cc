@@ -1,0 +1,86 @@
+#include "vertical/mediated_schema.h"
+
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace vertical {
+
+const MediatedAttribute* MediatedSchema::Match(
+    const std::string& name_or_label) const {
+  std::string haystack = strings::ToLower(name_or_label);
+  for (const auto& attr : attributes) {
+    for (const auto& syn : attr.synonyms) {
+      if (strings::Contains(haystack, syn)) return &attr;
+    }
+  }
+  return nullptr;
+}
+
+const MediatedAttribute* MediatedSchema::Find(
+    const std::string& attribute) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == attribute) return &attr;
+  }
+  return nullptr;
+}
+
+const std::vector<MediatedSchema>& BuiltinSchemas() {
+  static const std::vector<MediatedSchema> kSchemas = {
+      {"usedcars",
+       {{"make", {"make", "brand"}, false},
+        {"model", {"model"}, false},
+        {"year", {"year"}, true},
+        {"price", {"price", "cost"}, true},
+        {"mileage", {"mileage", "miles"}, true},
+        {"zip", {"zip", "postal"}, false},
+        {"keywords", {"keyword", "search", "query"}, false}}},
+      {"realestate",
+       {{"city", {"city", "town"}, false},
+        {"state", {"state"}, false},
+        {"price", {"price", "cost"}, true},
+        {"bedrooms", {"bedroom", "beds"}, true},
+        {"type", {"type", "property"}, false}}},
+      {"jobs",
+       {{"keywords", {"keyword", "search", "query", "title"}, false},
+        {"category", {"category", "field", "industry"}, false},
+        {"state", {"state"}, false},
+        {"salary", {"salary", "pay", "compensation"}, true}}},
+      {"restaurants",
+       {{"cuisine", {"cuisine", "food"}, false},
+        {"zip", {"zip", "postal"}, false},
+        {"keywords", {"keyword", "search", "name", "query"}, false}}},
+      {"books",
+       {{"keywords", {"keyword", "search", "query", "catalog"}, false},
+        {"subject", {"subject", "topic", "genre"}, false},
+        {"year", {"year"}, true}}},
+      {"storelocator",
+       {{"zip", {"zip", "postal"}, false},
+        {"state", {"state"}, false}}},
+      {"govrecords",
+       {{"keywords", {"keyword", "search", "record", "query"}, false},
+        {"department", {"department", "agency"}, false},
+        {"date", {"date", "published"}, false}}},
+      {"events",
+       {{"city", {"city", "where"}, false},
+        {"category", {"category", "kind"}, false},
+        {"date", {"date", "when"}, false}}},
+      {"hotels",
+       {{"city", {"city", "destination"}, false},
+        {"stars", {"stars", "rating"}, true},
+        {"price", {"price", "rate"}, true}}},
+      {"medialibrary",
+       {{"section", {"section", "db", "catalog"}, false},
+        {"keywords", {"keyword", "search", "query"}, false}}},
+  };
+  return kSchemas;
+}
+
+const MediatedSchema* SchemaForDomain(const std::string& domain) {
+  for (const auto& schema : BuiltinSchemas()) {
+    if (schema.domain == domain) return &schema;
+  }
+  return nullptr;
+}
+
+}  // namespace vertical
+}  // namespace deepsurf

@@ -1,0 +1,47 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Mediated schemas for the virtual-integration approach (paper §3.1): one
+// hand-built schema per vertical domain, each attribute carrying the
+// synonym set used to map heterogeneous form-input names onto it. The
+// paper's core criticism — that schemas must be built per domain and do
+// not scale to the whole web — is embodied here: adding a domain means
+// writing another schema.
+
+#ifndef DEEPSURF_VERTICAL_MEDIATED_SCHEMA_H_
+#define DEEPSURF_VERTICAL_MEDIATED_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace deepsurf {
+namespace vertical {
+
+/// One mediated attribute with its name synonyms.
+struct MediatedAttribute {
+  std::string name;
+  std::vector<std::string> synonyms;  ///< lowercased substrings to match
+  bool is_numeric = false;  ///< supports range constraints
+};
+
+/// A domain's mediated schema.
+struct MediatedSchema {
+  std::string domain;
+  std::vector<MediatedAttribute> attributes;
+
+  /// The attribute one of whose synonyms occurs in `name_or_label`
+  /// (lowercased substring match), or nullptr.
+  const MediatedAttribute* Match(const std::string& name_or_label) const;
+
+  const MediatedAttribute* Find(const std::string& attribute) const;
+};
+
+/// The built-in schemas for the ten corpus domains.
+const std::vector<MediatedSchema>& BuiltinSchemas();
+
+/// Schema for `domain`, or nullptr.
+const MediatedSchema* SchemaForDomain(const std::string& domain);
+
+}  // namespace vertical
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_VERTICAL_MEDIATED_SCHEMA_H_

@@ -1,0 +1,145 @@
+// Tests for form analysis and submission-URL construction.
+
+#include <gtest/gtest.h>
+
+#include "core/form_model.h"
+#include "html/forms.h"
+#include "html/parser.h"
+
+namespace deepsurf {
+namespace core {
+namespace {
+
+html::Form ParseOneForm(const std::string& htmlsrc) {
+  auto dom = html::Parse(htmlsrc);
+  auto forms = html::ExtractForms(*dom);
+  EXPECT_EQ(forms.size(), 1u);
+  return forms[0];
+}
+
+net::Url PageUrl() {
+  return net::Url::Parse("http://site.com/find/index.html").value();
+}
+
+TEST(AnalyzeFormTest, ResolvesRelativeAction) {
+  auto form = ParseOneForm(
+      "<form action=\"search\"><input name=\"q\"></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed->action.path(), "/find/search");
+  EXPECT_EQ(analyzed->action.host(), "site.com");
+  EXPECT_FALSE(analyzed->is_post);
+}
+
+TEST(AnalyzeFormTest, AbsoluteAction) {
+  auto form = ParseOneForm(
+      "<form action=\"/search\"><input name=\"q\"></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed->action.path(), "/search");
+}
+
+TEST(AnalyzeFormTest, PostFlagged) {
+  auto form = ParseOneForm(
+      "<form action=\"/s\" method=\"post\"><input name=\"q\"></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_TRUE(analyzed->is_post);
+}
+
+TEST(AnalyzeFormTest, HiddenInputsBecomeFixedParams) {
+  auto form = ParseOneForm(
+      "<form action=\"/s\"><input type=\"hidden\" name=\"sid\" value=\"9\">"
+      "<input name=\"q\"></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form);
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_EQ(analyzed->fixed_params.size(), 1u);
+  EXPECT_EQ(analyzed->fixed_params[0].first, "sid");
+  EXPECT_EQ(analyzed->fixed_params[0].second, "9");
+  EXPECT_EQ(analyzed->inputs.size(), 1u);
+}
+
+TEST(AnalyzeFormTest, SelectKeepsOptionValues) {
+  auto form = ParseOneForm(
+      "<form action=\"/s\"><select name=\"make\">"
+      "<option value=\"\">Any</option><option value=\"Honda\">Honda"
+      "</option></select></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form);
+  ASSERT_TRUE(analyzed.ok());
+  const AnalyzedInput* in = analyzed->FindInput("make");
+  ASSERT_NE(in, nullptr);
+  EXPECT_TRUE(in->is_select);
+  EXPECT_EQ(in->select_values,
+            (std::vector<std::string>{"", "Honda"}));
+}
+
+TEST(AnalyzeFormTest, RadioTreatedAsSelect) {
+  auto form = ParseOneForm(
+      "<form action=\"/s\">"
+      "<input type=radio name=cond value=new>"
+      "<input type=radio name=cond value=used></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form);
+  ASSERT_TRUE(analyzed.ok());
+  const AnalyzedInput* in = analyzed->FindInput("cond");
+  ASSERT_NE(in, nullptr);
+  EXPECT_TRUE(in->is_select);
+  EXPECT_EQ(in->select_values.size(), 2u);
+}
+
+TEST(AnalyzeFormTest, CheckboxIsTwoValuedSelect) {
+  auto form = ParseOneForm(
+      "<form action=\"/s\"><input type=checkbox name=pets value=yes>"
+      "<input name=q></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form);
+  ASSERT_TRUE(analyzed.ok());
+  const AnalyzedInput* in = analyzed->FindInput("pets");
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->select_values, (std::vector<std::string>{"", "yes"}));
+}
+
+TEST(AnalyzeFormTest, UnnamedAndSubmitInputsDropped) {
+  auto form = ParseOneForm(
+      "<form action=\"/s\"><input><input type=submit value=Go>"
+      "<input name=q></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed->inputs.size(), 1u);
+}
+
+TEST(AnalyzeFormTest, NoUsableInputsFails) {
+  auto form = ParseOneForm(
+      "<form action=\"/s\"><input type=submit value=Go></form>");
+  EXPECT_TRUE(AnalyzeForm(PageUrl(), form).status().IsFailedPrecondition());
+}
+
+TEST(SubmissionUrlTest, BindingsAndFixedParams) {
+  auto form = ParseOneForm(
+      "<form action=\"/s\"><input type=hidden name=v value=2>"
+      "<input name=q><select name=make><option value=Honda>H</option>"
+      "</select></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form).value();
+  net::Url url = SubmissionUrl(analyzed, {{"q", "civic"}, {"make", "Honda"}});
+  EXPECT_EQ(url.GetParam("v"), "2");
+  EXPECT_EQ(url.GetParam("q"), "civic");
+  EXPECT_EQ(url.GetParam("make"), "Honda");
+}
+
+TEST(SubmissionUrlTest, EmptyBindingsDropped) {
+  auto form = ParseOneForm("<form action=\"/s\"><input name=q></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form).value();
+  net::Url url = SubmissionUrl(analyzed, {{"q", ""}});
+  EXPECT_FALSE(url.HasParam("q"));
+}
+
+TEST(SubmissionUrlTest, DeterministicUrlForSameBindings) {
+  auto form = ParseOneForm("<form action=\"/s\"><input name=a>"
+                           "<input name=b></form>");
+  auto analyzed = AnalyzeForm(PageUrl(), form).value();
+  net::Url u1 = SubmissionUrl(analyzed, {{"a", "1"}, {"b", "2"}});
+  net::Url u2 = SubmissionUrl(analyzed, {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(u1.ToCanonicalString(), u2.ToCanonicalString());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsurf

@@ -1,0 +1,84 @@
+// Tests for the Javascript correlation-map miner.
+
+#include <gtest/gtest.h>
+
+#include "core/jscorr.h"
+
+namespace deepsurf {
+namespace core {
+namespace {
+
+TEST(JsCorrTest, ParsesSimpleMap) {
+  auto maps = MineCorrelationMaps(
+      "var modelsByMake = {\"Toyota\":[\"Camry\",\"Corolla\"],"
+      "\"Honda\":[\"Civic\"]};");
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_EQ(maps[0].variable, "modelsByMake");
+  ASSERT_EQ(maps[0].values.size(), 2u);
+  EXPECT_EQ(maps[0].values.at("Toyota"),
+            (std::vector<std::string>{"Camry", "Corolla"}));
+  EXPECT_EQ(maps[0].values.at("Honda"),
+            (std::vector<std::string>{"Civic"}));
+}
+
+TEST(JsCorrTest, ToleratesWhitespace) {
+  auto maps = MineCorrelationMaps(
+      "var m = {\n  \"A\" : [ \"x\" , \"y\" ],\n  \"B\": [\"z\"]\n};");
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_EQ(maps[0].values.at("A").size(), 2u);
+}
+
+TEST(JsCorrTest, TrailingCommaTolerated) {
+  auto maps = MineCorrelationMaps("var m = {\"A\":[\"x\"],};");
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_EQ(maps[0].values.size(), 1u);
+}
+
+TEST(JsCorrTest, MultipleMapsFound) {
+  auto maps = MineCorrelationMaps(
+      "var a = {\"K\":[\"v\"]}; var other = 12; var b = {\"L\":[\"w\"]};");
+  ASSERT_EQ(maps.size(), 2u);
+  EXPECT_EQ(maps[0].variable, "a");
+  EXPECT_EQ(maps[1].variable, "b");
+}
+
+TEST(JsCorrTest, NonMapVariablesSkipped) {
+  EXPECT_TRUE(MineCorrelationMaps("var x = 5; var s = \"text\";").empty());
+  EXPECT_TRUE(MineCorrelationMaps("var arr = [1,2,3];").empty());
+  EXPECT_TRUE(
+      MineCorrelationMaps("var obj = {\"k\": \"scalar\"};").empty());
+}
+
+TEST(JsCorrTest, MalformedMapSkipped) {
+  EXPECT_TRUE(MineCorrelationMaps("var m = {\"A\":[\"x\";").empty());
+  EXPECT_TRUE(MineCorrelationMaps("var m = {\"A\" [\"x\"]};").empty());
+}
+
+TEST(JsCorrTest, EscapedQuotesInStrings) {
+  auto maps = MineCorrelationMaps(
+      "var m = {\"O\\\"Brien\":[\"a\\\"b\"]};");
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_EQ(maps[0].values.begin()->first, "O\"Brien");
+  EXPECT_EQ(maps[0].values.begin()->second[0], "a\"b");
+}
+
+TEST(JsCorrTest, EmptyObjectIgnored) {
+  EXPECT_TRUE(MineCorrelationMaps("var m = {};").empty());
+}
+
+TEST(JsCorrTest, SurroundingCodeIgnored) {
+  auto maps = MineCorrelationMaps(
+      "function f() { return 1; }\n"
+      "var models = {\"Ford\":[\"Focus\",\"Fusion\"]};\n"
+      "document.getElementById('model');");
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_EQ(maps[0].values.at("Ford").size(), 2u);
+}
+
+TEST(JsCorrTest, EmptyInput) {
+  EXPECT_TRUE(MineCorrelationMaps("").empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsurf

@@ -1,0 +1,167 @@
+// Tests for typed-input recognition (paper §4.1).
+
+#include <gtest/gtest.h>
+
+#include "core/typed.h"
+#include "test_support.h"
+
+namespace deepsurf {
+namespace core {
+namespace {
+
+using testing_support::MakeSite;
+
+TEST(TypedDictTest, CandidatesAndSamples) {
+  EXPECT_EQ(TypedCandidates().size(), 6u);
+  for (DataType t : TypedCandidates()) {
+    EXPECT_FALSE(SampleValues(t).empty()) << DataTypeToString(t);
+  }
+  EXPECT_TRUE(SampleValues(DataType::kUnknown).empty());
+  EXPECT_TRUE(SampleValues(DataType::kSearchBox).empty());
+}
+
+TEST(TypedDictTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kZipCode), "zipcode");
+  EXPECT_STREQ(DataTypeToString(DataType::kSearchBox), "searchbox");
+  EXPECT_STREQ(DataTypeToString(DataType::kPrice), "price");
+}
+
+TEST(NameHintTest, MatchesNamesAndLabels) {
+  EXPECT_TRUE(NameHint(DataType::kZipCode, "zip_code", ""));
+  EXPECT_TRUE(NameHint(DataType::kZipCode, "f3", "Enter Zip Code"));
+  EXPECT_TRUE(NameHint(DataType::kCity, "city", ""));
+  EXPECT_TRUE(NameHint(DataType::kPrice, "max_price", ""));
+  EXPECT_TRUE(NameHint(DataType::kDate, "posted", ""));
+  EXPECT_FALSE(NameHint(DataType::kZipCode, "q", "Keywords"));
+}
+
+class TypedRecognitionTest : public ::testing::Test {
+ protected:
+  TypeVerdict Recognize(testing_support::SiteHarness* h,
+                        const std::string& input_name,
+                        const std::string& label,
+                        const std::vector<std::string>& context = {}) {
+    FormProber prober(&h->web, h->analyzed);
+    auto verdict = RecognizeType(&prober, input_name, label, context);
+    EXPECT_TRUE(verdict.ok());
+    return *verdict;
+  }
+};
+
+TEST_F(TypedRecognitionTest, ZipInputRecognizedOnStoreLocator) {
+  auto h = MakeSite(synthweb::Domain::kStoreLocator, 41, 400);
+  // Find the ground-truth zip input.
+  std::string zip_name;
+  for (const auto& in : h->site->spec().inputs) {
+    if (in.semantic == synthweb::SemanticType::kZipCode) {
+      zip_name = in.html_name;
+    }
+  }
+  ASSERT_FALSE(zip_name.empty());
+  TypeVerdict v = Recognize(h.get(), zip_name, "Enter Zip Code");
+  EXPECT_EQ(v.type, DataType::kZipCode);
+  EXPECT_GT(v.hit_rate, 0.3);
+  EXPECT_LT(v.garbage_rate, v.hit_rate);
+}
+
+TEST_F(TypedRecognitionTest, ZipRecognizedEvenWithObfuscatedName) {
+  // Probes decide, not names: "f0"-style inputs must still be typed.
+  auto h = MakeSite(synthweb::Domain::kStoreLocator, 43, 400,
+                    /*obfuscate=*/true);
+  std::string zip_name;
+  for (const auto& in : h->site->spec().inputs) {
+    if (in.semantic == synthweb::SemanticType::kZipCode) {
+      zip_name = in.html_name;
+    }
+  }
+  ASSERT_FALSE(zip_name.empty());
+  EXPECT_EQ(zip_name[0], 'f');  // obfuscated
+  TypeVerdict v = Recognize(h.get(), zip_name, "");
+  EXPECT_EQ(v.type, DataType::kZipCode);
+}
+
+TEST_F(TypedRecognitionTest, CityInputRecognizedOnHotels) {
+  auto h = MakeSite(synthweb::Domain::kHotels, 47, 500);
+  std::string city_name;
+  for (const auto& in : h->site->spec().inputs) {
+    if (in.semantic == synthweb::SemanticType::kCity) {
+      city_name = in.html_name;
+    }
+  }
+  ASSERT_FALSE(city_name.empty());
+  TypeVerdict v = Recognize(h.get(), city_name, "City");
+  EXPECT_EQ(v.type, DataType::kCity);
+}
+
+TEST_F(TypedRecognitionTest, SearchBoxRecognizedWithContextWords) {
+  auto h = MakeSite(synthweb::Domain::kBooks, 53, 300);
+  std::string box_name;
+  for (const auto& in : h->site->spec().inputs) {
+    if (in.role == synthweb::InputRole::kKeywordSearch) {
+      box_name = in.html_name;
+    }
+  }
+  ASSERT_FALSE(box_name.empty());
+  // Context words: subjects that definitely appear in book records.
+  TypeVerdict v = Recognize(h.get(), box_name, "Search",
+                            {"history", "science", "travel", "poetry",
+                             "cooking", "biography"});
+  EXPECT_EQ(v.type, DataType::kSearchBox);
+}
+
+TEST_F(TypedRecognitionTest, GarbageOnlyInputStaysUnknown) {
+  // The used-car "model" box accepts only model names; none of the typed
+  // dictionaries nor garbage should pass.
+  auto h = MakeSite(synthweb::Domain::kUsedCars, 59, 200);
+  std::string model_name;
+  for (const auto& in : h->site->spec().inputs) {
+    if (in.semantic == synthweb::SemanticType::kGeneric) {
+      model_name = in.html_name;
+    }
+  }
+  ASSERT_FALSE(model_name.empty());
+  TypeVerdict v = Recognize(h.get(), model_name, "Model");
+  EXPECT_EQ(v.type, DataType::kUnknown);
+}
+
+TEST_F(TypedRecognitionTest, PriceRecognizedOnRangeInput) {
+  // Text min-price inputs behave as >= filters; price samples hit.
+  auto h = MakeSite(synthweb::Domain::kRealEstate, 61, 400);
+  std::string price_name;
+  for (const auto& in : h->site->spec().inputs) {
+    if (in.semantic == synthweb::SemanticType::kPrice && !in.is_select &&
+        in.role == synthweb::InputRole::kRangeMin) {
+      price_name = in.html_name;
+    }
+  }
+  ASSERT_FALSE(price_name.empty());
+  TypeVerdict v = Recognize(h.get(), price_name, "Min Price");
+  EXPECT_EQ(v.type, DataType::kPrice);
+}
+
+TEST_F(TypedRecognitionTest, BudgetExhaustionSurfacesAsError) {
+  auto h = MakeSite(synthweb::Domain::kStoreLocator, 67, 100);
+  FormProber prober(&h->web, h->analyzed, /*budget=*/1);
+  auto verdict = RecognizeType(&prober, h->analyzed.inputs[0].name, "", {});
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_TRUE(verdict.status().IsResourceExhausted());
+}
+
+TEST_F(TypedRecognitionTest, ProbeCountsReported) {
+  auto h = MakeSite(synthweb::Domain::kStoreLocator, 71, 300);
+  FormProber prober(&h->web, h->analyzed);
+  std::string zip_name;
+  for (const auto& in : h->site->spec().inputs) {
+    if (in.semantic == synthweb::SemanticType::kZipCode) {
+      zip_name = in.html_name;
+    }
+  }
+  auto verdict = RecognizeType(&prober, zip_name, "Zip", {});
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_GT(verdict->probes_used, 0u);
+  EXPECT_LE(verdict->probes_used, 60u);  // light analysis load
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsurf

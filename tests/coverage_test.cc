@@ -1,0 +1,142 @@
+// Tests for capture-recapture coverage estimation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coverage/capture_recapture.h"
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace coverage {
+namespace {
+
+/// Draws a uniform sample (without replacement) of `k` record ids from a
+/// population of `n`.
+Sample DrawSample(Rng* rng, size_t n, size_t k) {
+  Sample out;
+  for (size_t idx : rng->SampleWithoutReplacement(n, k)) {
+    out.push_back(static_cast<uint64_t>(idx) * 2654435761ULL + 1);
+  }
+  return out;
+}
+
+TEST(ChapmanTest, KnownOverlapExactValue) {
+  // n1=n2=4, overlap=1: Chapman = 5*5/2 - 1 = 11.5.
+  Sample a = {1, 2, 3, 4};
+  Sample b = {4, 50, 60, 70};
+  auto est = EstimatePopulation(a, b, 0.95, /*bootstrap_rounds=*/50);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->overlap, 1u);
+  EXPECT_NEAR(est->point, 11.5, 1e-9);
+}
+
+TEST(ChapmanTest, EstimateNearTruthForGoodSamples) {
+  Rng rng(5);
+  const size_t truth = 2000;
+  Sample a = DrawSample(&rng, truth, 400);
+  Sample b = DrawSample(&rng, truth, 400);
+  auto est = EstimatePopulation(a, b);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->point, static_cast<double>(truth),
+              0.2 * static_cast<double>(truth));
+  EXPECT_LE(est->lo, est->point + 1e-9);
+  EXPECT_GE(est->hi, est->point - 1e-9);
+}
+
+TEST(ChapmanTest, ConfidenceIntervalCoversTruthUsually) {
+  const size_t truth = 1000;
+  int covered = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + static_cast<uint64_t>(t));
+    Sample a = DrawSample(&rng, truth, 250);
+    Sample b = DrawSample(&rng, truth, 250);
+    auto est = EstimatePopulation(a, b, 0.95, 300,
+                                  /*seed=*/200 + static_cast<uint64_t>(t));
+    ASSERT_TRUE(est.ok());
+    if (est->lo <= truth && truth <= est->hi) ++covered;
+  }
+  // 95% nominal; allow generous slack for 30 trials.
+  EXPECT_GE(covered, 24);
+}
+
+TEST(ChapmanTest, IdenticalSamplesEstimateSampleSize) {
+  Sample a = {1, 2, 3, 4, 5};
+  auto est = EstimatePopulation(a, a);
+  ASSERT_TRUE(est.ok());
+  // Full overlap: Chapman = 36/6 - 1 = 5 == |sample|.
+  EXPECT_NEAR(est->point, 5.0, 1e-9);
+}
+
+TEST(ChapmanTest, DisjointSamplesFloorAtObservedSize) {
+  Sample a = {1, 2, 3};
+  Sample b = {4, 5, 6};
+  auto est = EstimatePopulation(a, b);
+  ASSERT_TRUE(est.ok());
+  // Overlap 0: estimate is large, never below max sample size.
+  EXPECT_GE(est->point, 3.0);
+  EXPECT_GT(est->point, 10.0);
+}
+
+TEST(ChapmanTest, EmptySampleRejected) {
+  Sample a = {};
+  Sample b = {1};
+  EXPECT_TRUE(EstimatePopulation(a, b).status().IsInvalidArgument());
+  EXPECT_TRUE(EstimatePopulation(b, a).status().IsInvalidArgument());
+}
+
+TEST(ChapmanTest, BadConfidenceRejected) {
+  Sample a = {1};
+  Sample b = {1};
+  EXPECT_FALSE(EstimatePopulation(a, b, 0.0).ok());
+  EXPECT_FALSE(EstimatePopulation(a, b, 1.0).ok());
+}
+
+TEST(ChapmanTest, DuplicatesWithinSampleIgnored) {
+  Sample a = {1, 1, 2, 2, 3};
+  Sample b = {3, 3, 4};
+  auto est = EstimatePopulation(a, b);
+  ASSERT_TRUE(est.ok());
+  // Effective sizes 3 and 2, overlap 1: 4*3/2 - 1 = 5.
+  EXPECT_NEAR(est->point, 5.0, 1e-9);
+}
+
+TEST(StatementTest, ConservativeLowerBound) {
+  PopulationEstimate est;
+  est.point = 1000;
+  est.lo = 800;
+  est.hi = 1250;
+  est.confidence = 0.95;
+  auto stmt = MakeStatement(500, est);
+  EXPECT_DOUBLE_EQ(stmt.confidence, 0.95);
+  EXPECT_DOUBLE_EQ(stmt.coverage_lower_bound, 0.4);  // 500/1250
+  EXPECT_DOUBLE_EQ(stmt.point_coverage, 0.5);
+}
+
+TEST(StatementTest, CoverageClampedToOne) {
+  PopulationEstimate est;
+  est.point = 100;
+  est.hi = 100;
+  est.confidence = 0.9;
+  auto stmt = MakeStatement(150, est);
+  EXPECT_DOUBLE_EQ(stmt.coverage_lower_bound, 1.0);
+  EXPECT_DOUBLE_EQ(stmt.point_coverage, 1.0);
+}
+
+TEST(StatementTest, LowerBoundBelowPointCoverage) {
+  Rng rng(9);
+  Sample a = DrawSample(&rng, 1500, 300);
+  Sample b = DrawSample(&rng, 1500, 300);
+  auto est = EstimatePopulation(a, b);
+  ASSERT_TRUE(est.ok());
+  std::set<uint64_t> surfaced(a.begin(), a.end());
+  surfaced.insert(b.begin(), b.end());
+  auto stmt = MakeStatement(surfaced.size(), *est);
+  EXPECT_LE(stmt.coverage_lower_bound, stmt.point_coverage + 1e-9);
+  EXPECT_GT(stmt.coverage_lower_bound, 0.0);
+}
+
+}  // namespace
+}  // namespace coverage
+}  // namespace deepsurf

@@ -1,0 +1,116 @@
+// Tests for the BFS surface crawler.
+
+#include <gtest/gtest.h>
+
+#include "crawler/crawler.h"
+#include "synthweb/corpus.h"
+
+namespace deepsurf {
+namespace crawler {
+namespace {
+
+synthweb::WebCorpus SmallCorpus(uint64_t seed = 31) {
+  synthweb::CorpusOptions opts;
+  opts.num_deep_sites = 5;
+  opts.num_surface_sites = 2;
+  opts.min_rows = 10;
+  opts.max_rows = 40;
+  opts.post_probability = 0.0;
+  opts.seed = seed;
+  return synthweb::BuildCorpus(opts);
+}
+
+TEST(CrawlerTest, FindsAllDeepWebForms) {
+  auto corpus = SmallCorpus();
+  index::InvertedIndex index;
+  Crawler crawler(corpus.web.get(), &index, CrawlOptions{});
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  // One form per deep site.
+  EXPECT_EQ(crawler.forms().size(), corpus.deep_sites.size());
+  EXPECT_GT(crawler.stats().pages_fetched, corpus.deep_sites.size());
+}
+
+TEST(CrawlerTest, IndexesCrawledPages) {
+  auto corpus = SmallCorpus();
+  index::InvertedIndex index;
+  Crawler crawler(corpus.web.get(), &index, CrawlOptions{});
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  EXPECT_GT(index.num_docs(), 0u);
+  EXPECT_EQ(crawler.stats().pages_indexed, index.num_docs());
+}
+
+TEST(CrawlerTest, CannotReachDeepContent) {
+  // The crawler sees form pages but no /search result pages: those
+  // require form submission — the Deep Web by definition.
+  auto corpus = SmallCorpus();
+  index::InvertedIndex index;
+  Crawler crawler(corpus.web.get(), &index, CrawlOptions{});
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  for (size_t d = 0; d < index.num_docs(); ++d) {
+    EXPECT_EQ(index.doc(static_cast<index::DocId>(d)).url.find("/search"),
+              std::string::npos);
+  }
+}
+
+TEST(CrawlerTest, GlobalPageBudgetRespected) {
+  auto corpus = SmallCorpus();
+  CrawlOptions opts;
+  opts.max_pages = 3;
+  index::InvertedIndex index;
+  Crawler crawler(corpus.web.get(), &index, opts);
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  EXPECT_LE(crawler.stats().pages_fetched, 3u);
+}
+
+TEST(CrawlerTest, PerHostBudgetRespected) {
+  auto corpus = SmallCorpus();
+  CrawlOptions opts;
+  opts.max_pages_per_host = 1;
+  index::InvertedIndex index;
+  Crawler crawler(corpus.web.get(), &index, opts);
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  for (const auto& host : corpus.web->Hosts()) {
+    EXPECT_LE(corpus.web->TrafficFor(host).get_requests, 1u) << host;
+  }
+}
+
+TEST(CrawlerTest, RecrawlSkipsVisited) {
+  auto corpus = SmallCorpus();
+  index::InvertedIndex index;
+  Crawler crawler(corpus.web.get(), &index, CrawlOptions{});
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  size_t first = crawler.stats().pages_fetched;
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  EXPECT_EQ(crawler.stats().pages_fetched, first);  // nothing new
+}
+
+TEST(CrawlerTest, VisitedQuery) {
+  auto corpus = SmallCorpus();
+  index::InvertedIndex index;
+  Crawler crawler(corpus.web.get(), &index, CrawlOptions{});
+  auto url = net::Url::Parse(corpus.directory_url).value();
+  EXPECT_FALSE(crawler.Visited(url));
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  EXPECT_TRUE(crawler.Visited(url));
+}
+
+TEST(CrawlerTest, BadSeedFails) {
+  auto corpus = SmallCorpus();
+  index::InvertedIndex index;
+  Crawler crawler(corpus.web.get(), &index, CrawlOptions{});
+  EXPECT_FALSE(crawler.Crawl({"not a url"}).ok());
+}
+
+TEST(CrawlerTest, NoIndexMode) {
+  auto corpus = SmallCorpus();
+  CrawlOptions opts;
+  opts.index_pages = false;
+  Crawler crawler(corpus.web.get(), nullptr, opts);
+  ASSERT_TRUE(crawler.Crawl({corpus.directory_url}).ok());
+  EXPECT_GT(crawler.stats().pages_fetched, 0u);
+  EXPECT_EQ(crawler.stats().pages_indexed, 0u);
+}
+
+}  // namespace
+}  // namespace crawler
+}  // namespace deepsurf

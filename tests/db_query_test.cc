@@ -1,0 +1,144 @@
+// Tests for the conjunctive query engine.
+
+#include <gtest/gtest.h>
+
+#include "db/query.h"
+
+namespace deepsurf {
+namespace db {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest()
+      : table_(Schema({{"make", ValueType::kString},
+                       {"year", ValueType::kInt},
+                       {"price", ValueType::kDouble},
+                       {"desc", ValueType::kString}})) {
+    Add("Honda", 2001, 4500, "clean civic runs great");
+    Add("Ford", 1999, 2200, "focus needs work");
+    Add("Honda", 2005, 9800, "accord one owner");
+    Add("Toyota", 2003, 6700, "camry highway miles");
+    Add("Ford", 2005, 8800, "mustang red");
+  }
+
+  void Add(const char* make, int year, double price, const char* desc) {
+    ASSERT_TRUE(table_.AppendRow({Value::String(make), Value::Int(year),
+                                  Value::Double(price),
+                                  Value::String(desc)}).ok());
+  }
+
+  std::vector<RowId> Run(Query q) { return *Execute(table_, q); }
+
+  Table table_;
+};
+
+TEST_F(QueryTest, EmptyQueryReturnsEverything) {
+  EXPECT_EQ(Run({}).size(), 5u);
+}
+
+TEST_F(QueryTest, EqualityPredicate) {
+  Query q;
+  q.conjuncts.push_back({"make", Op::kEq, Value::String("Honda")});
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 2u);
+}
+
+TEST_F(QueryTest, RangePredicates) {
+  Query q;
+  q.conjuncts.push_back({"price", Op::kGe, Value::Double(4000)});
+  q.conjuncts.push_back({"price", Op::kLe, Value::Double(9000)});
+  EXPECT_EQ(Run(q).size(), 3u);  // 4500, 6700, 8800
+}
+
+TEST_F(QueryTest, InvalidRangeEmpty) {
+  Query q;
+  q.conjuncts.push_back({"price", Op::kGe, Value::Double(9000)});
+  q.conjuncts.push_back({"price", Op::kLe, Value::Double(4000)});
+  EXPECT_TRUE(Run(q).empty());
+}
+
+TEST_F(QueryTest, ComparisonOperators) {
+  Query lt;
+  lt.conjuncts.push_back({"year", Op::kLt, Value::Int(2001)});
+  EXPECT_EQ(Run(lt).size(), 1u);
+  Query ne;
+  ne.conjuncts.push_back({"make", Op::kNe, Value::String("Ford")});
+  EXPECT_EQ(Run(ne).size(), 3u);
+  Query gt;
+  gt.conjuncts.push_back({"year", Op::kGt, Value::Int(2003)});
+  EXPECT_EQ(Run(gt).size(), 2u);
+}
+
+TEST_F(QueryTest, ContainsPredicate) {
+  Query q;
+  q.conjuncts.push_back({"desc", Op::kContains, Value::String("CIVIC")});
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+}
+
+TEST_F(QueryTest, KeywordSearchAcrossColumns) {
+  Query q;
+  q.keywords = {"honda"};
+  EXPECT_EQ(Run(q).size(), 2u);
+  q.keywords = {"honda", "accord"};
+  EXPECT_EQ(Run(q).size(), 1u);
+  q.keywords = {"honda", "mustang"};  // no row has both
+  EXPECT_TRUE(Run(q).empty());
+}
+
+TEST_F(QueryTest, KeywordMatchesNumericDisplayForm) {
+  Query q;
+  q.keywords = {"2003"};
+  EXPECT_EQ(Run(q).size(), 1u);
+}
+
+TEST_F(QueryTest, ConjunctsAndKeywordsCombine) {
+  Query q;
+  q.conjuncts.push_back({"make", Op::kEq, Value::String("Ford")});
+  q.keywords = {"red"};
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 4u);
+}
+
+TEST_F(QueryTest, LimitAndOffset) {
+  Query q;
+  q.limit = 2;
+  EXPECT_EQ(Run(q).size(), 2u);
+  q.offset = 4;
+  q.limit = 0;
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 4u);
+  q.offset = 99;
+  EXPECT_TRUE(Run(q).empty());
+}
+
+TEST_F(QueryTest, UnknownColumnFails) {
+  Query q;
+  q.conjuncts.push_back({"ghost", Op::kEq, Value::Int(1)});
+  EXPECT_TRUE(Execute(table_, q).status().IsNotFound());
+}
+
+TEST_F(QueryTest, NullCellsNeverMatch) {
+  ASSERT_TRUE(table_.AppendRow({Value::Null(), Value::Int(2001),
+                                Value::Double(1), Value::String("x")}).ok());
+  Query q;
+  q.conjuncts.push_back({"make", Op::kNe, Value::String("zzz")});
+  // All five originals match kNe; the null row does not.
+  EXPECT_EQ(Run(q).size(), 5u);
+}
+
+TEST_F(QueryTest, CountIgnoresLimit) {
+  Query q;
+  q.limit = 1;
+  EXPECT_EQ(*CountMatches(table_, q), 5u);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace deepsurf

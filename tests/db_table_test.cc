@@ -1,0 +1,112 @@
+// Tests for Schema and Table.
+
+#include <gtest/gtest.h>
+
+#include "db/table.h"
+
+namespace deepsurf {
+namespace db {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"name", ValueType::kString},
+                 {"year", ValueType::kInt},
+                 {"price", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(*s.ColumnIndex("year"), 1u);
+  EXPECT_TRUE(s.ColumnIndex("missing").status().IsNotFound());
+  EXPECT_EQ(s.ColumnNames(),
+            (std::vector<std::string>{"name", "year", "price"}));
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("civic"), Value::Int(2001),
+                           Value::Double(4500)}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0)[0].AsString(), "civic");
+  EXPECT_EQ(t.At(0, "year")->AsInt(), 2001);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.AppendRow({Value::String("x")}).IsInvalidArgument());
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.AppendRow({Value::String("x"), Value::String("not an int"),
+                           Value::Double(1)})
+                  .IsInvalidArgument());
+}
+
+TEST(TableTest, NullsAllowedAnywhere) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, AtChecksBounds) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.At(0, "name").status().IsOutOfRange());
+  ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::Int(1),
+                           Value::Double(1)}).ok());
+  EXPECT_TRUE(t.At(0, "ghost").status().IsNotFound());
+}
+
+TEST(TableTest, DistinctValuesSortedAndDeduped) {
+  Table t(TestSchema());
+  for (int year : {2003, 2001, 2003, 2002, 2001}) {
+    ASSERT_TRUE(t.AppendRow({Value::String("x"), Value::Int(year),
+                             Value::Double(1)}).ok());
+  }
+  auto distinct = t.DistinctValues("year");
+  ASSERT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(distinct[0].AsInt(), 2001);
+  EXPECT_EQ(distinct[2].AsInt(), 2003);
+}
+
+TEST(TableTest, DistinctValuesExcludesNulls) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::Null(),
+                           Value::Double(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::String("b"), Value::Int(2000),
+                           Value::Double(2)}).ok());
+  EXPECT_EQ(t.DistinctValues("year").size(), 1u);
+}
+
+TEST(TableTest, DistinctValuesUnknownColumnEmpty) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.DistinctValues("nope").empty());
+}
+
+TEST(TableTest, NumericRange) {
+  Table t(TestSchema());
+  for (double p : {4500.0, 900.0, 12000.0}) {
+    ASSERT_TRUE(t.AppendRow({Value::String("x"), Value::Int(2000),
+                             Value::Double(p)}).ok());
+  }
+  auto range = t.NumericRange("price");
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->first, 900.0);
+  EXPECT_DOUBLE_EQ(range->second, 12000.0);
+}
+
+TEST(TableTest, NumericRangeOnStringFails) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("x"), Value::Int(2000),
+                           Value::Double(1)}).ok());
+  EXPECT_FALSE(t.NumericRange("name").ok());
+}
+
+TEST(TableTest, NumericRangeEmptyTableFails) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.NumericRange("price").status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace deepsurf

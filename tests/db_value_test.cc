@@ -1,0 +1,119 @@
+// Tests for typed values, dates, parsing.
+
+#include <gtest/gtest.h>
+
+#include "db/value.h"
+
+namespace deepsurf {
+namespace db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Date(100).AsDateDays(), 100);
+}
+
+TEST(ValueTest, NumericWidening) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).AsNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(1.5).AsNumeric(), 1.5);
+  EXPECT_DOUBLE_EQ(*Value::Date(10).AsNumeric(), 10.0);
+  EXPECT_FALSE(Value::String("x").AsNumeric().ok());
+  EXPECT_FALSE(Value::Null().AsNumeric().ok());
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value::Null().ToDisplayString(), "");
+  EXPECT_EQ(Value::Int(42).ToDisplayString(), "42");
+  EXPECT_EQ(Value::Double(12.50).ToDisplayString(), "12.5");
+  EXPECT_EQ(Value::Double(12.0).ToDisplayString(), "12");
+  EXPECT_EQ(Value::Double(0.25).ToDisplayString(), "0.25");
+  EXPECT_EQ(Value::Bool(false).ToDisplayString(), "false");
+  EXPECT_EQ(Value::String("hi").ToDisplayString(), "hi");
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::String("a").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_LT(Value::Bool(false), Value::Bool(true));
+}
+
+TEST(ValueTest, NumericFamilyComparesAcrossTypes) {
+  EXPECT_EQ(Value::Int(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_LT(Value::Int(4), Value::Double(4.5));
+  EXPECT_EQ(Value::Date(3).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NullComparesLowest) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(DateTest, EpochIsDayZero) {
+  EXPECT_EQ(FormatDateDays(0), "1970-01-01");
+  EXPECT_EQ(*ParseDateToDays("1970-01-01"), 0);
+}
+
+TEST(DateTest, RoundTripModernDates) {
+  for (const char* date : {"2008-01-01", "2008-02-29", "2008-12-31",
+                           "2009-06-15", "1999-07-04", "2000-02-29"}) {
+    auto days = ParseDateToDays(date);
+    ASSERT_TRUE(days.ok()) << date;
+    EXPECT_EQ(FormatDateDays(*days), date);
+  }
+}
+
+TEST(DateTest, KnownOffset) {
+  // 2008-09-13 is 14135 days after the epoch.
+  EXPECT_EQ(*ParseDateToDays("2008-09-13"), 14135);
+  EXPECT_EQ(FormatDateDays(14135), "2008-09-13");
+}
+
+TEST(DateTest, RejectsBadDates) {
+  EXPECT_FALSE(ParseDateToDays("2009-02-29").ok());  // not a leap year
+  EXPECT_FALSE(ParseDateToDays("2008-13-01").ok());
+  EXPECT_FALSE(ParseDateToDays("2008-00-10").ok());
+  EXPECT_FALSE(ParseDateToDays("2008-01-32").ok());
+  EXPECT_FALSE(ParseDateToDays("garbage").ok());
+  EXPECT_FALSE(ParseDateToDays("2008/01/01").ok());
+}
+
+TEST(DateTest, PreEpochDates) {
+  auto days = ParseDateToDays("1969-12-31");
+  ASSERT_TRUE(days.ok());
+  EXPECT_EQ(*days, -1);
+  EXPECT_EQ(FormatDateDays(-1), "1969-12-31");
+}
+
+TEST(ParseValueTest, EveryType) {
+  EXPECT_EQ(ParseValue(ValueType::kInt, "12")->AsInt(), 12);
+  EXPECT_DOUBLE_EQ(ParseValue(ValueType::kDouble, "1.5")->AsDouble(), 1.5);
+  EXPECT_EQ(ParseValue(ValueType::kString, "txt")->AsString(), "txt");
+  EXPECT_TRUE(ParseValue(ValueType::kBool, "true")->AsBool());
+  EXPECT_FALSE(ParseValue(ValueType::kBool, "0")->AsBool());
+  EXPECT_EQ(ParseValue(ValueType::kDate, "1970-01-02")->AsDateDays(), 1);
+  EXPECT_TRUE(ParseValue(ValueType::kNull, "anything")->is_null());
+}
+
+TEST(ParseValueTest, Failures) {
+  EXPECT_FALSE(ParseValue(ValueType::kInt, "1.5").ok());
+  EXPECT_FALSE(ParseValue(ValueType::kDouble, "x").ok());
+  EXPECT_FALSE(ParseValue(ValueType::kBool, "maybe").ok());
+  EXPECT_FALSE(ParseValue(ValueType::kDate, "not-a-date").ok());
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kDate), "date");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace deepsurf

@@ -1,0 +1,199 @@
+// Tests for record extraction and annotation-based re-ranking.
+
+#include <gtest/gtest.h>
+
+#include "extract/annotator.h"
+#include "extract/record_extractor.h"
+#include "html/parser.h"
+
+namespace deepsurf {
+namespace extract {
+namespace {
+
+TEST(RecordExtractorTest, TableRows) {
+  auto dom = html::Parse(
+      "<table><tr><th>make</th><th>price</th></tr>"
+      "<tr><td>Honda Civic clean title</td><td>4500</td></tr>"
+      "<tr><td>Ford Focus needs work</td><td>2200</td></tr>"
+      "<tr><td>Toyota Camry one owner</td><td>6700</td></tr></table>");
+  auto result = ExtractRecords(*dom);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].fields[0], "Honda Civic clean title");
+  EXPECT_EQ(result.records[1].fields[1], "2200");
+}
+
+TEST(RecordExtractorTest, HeaderRowExcluded) {
+  auto dom = html::Parse(
+      "<table><tr><th>a</th><th>b</th></tr>"
+      "<tr><td>record one content</td><td>1</td></tr>"
+      "<tr><td>record two content</td><td>2</td></tr></table>");
+  EXPECT_EQ(CountRecords(*dom), 2u);
+}
+
+TEST(RecordExtractorTest, DivItems) {
+  auto dom = html::Parse(
+      "<div class=\"list\">"
+      "<div class=\"item\"><span>Alpha listing with details</span></div>"
+      "<div class=\"item\"><span>Beta listing with details</span></div>"
+      "<div class=\"item\"><span>Gamma listing with details</span></div>"
+      "</div>");
+  auto result = ExtractRecords(*dom);
+  EXPECT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.region_signature, "div.item");
+}
+
+TEST(RecordExtractorTest, DlRecords) {
+  auto dom = html::Parse(
+      "<dl class=\"record\"><dt>name</dt><dd>First record body</dd></dl>"
+      "<dl class=\"record\"><dt>name</dt><dd>Second record body</dd></dl>");
+  auto result = ExtractRecords(*dom);
+  EXPECT_EQ(result.records.size(), 2u);
+}
+
+TEST(RecordExtractorTest, NoRepetitionNoRecords) {
+  auto dom = html::Parse("<p>Just a single paragraph of prose.</p>");
+  EXPECT_EQ(CountRecords(*dom), 0u);
+}
+
+TEST(RecordExtractorTest, NavigationLinksIgnored) {
+  // Short repeated nav entries must not be mistaken for records.
+  auto dom = html::Parse(
+      "<ul><li><a href=\"/a\">Home</a></li><li><a href=\"/b\">About</a>"
+      "</li><li><a href=\"/c\">Help</a></li></ul>");
+  EXPECT_EQ(CountRecords(*dom), 0u);
+}
+
+TEST(RecordExtractorTest, LargestRegionWins) {
+  auto dom = html::Parse(
+      "<div><p class=x>short one here okay</p><p class=x>short two also "
+      "okay</p></div>"
+      "<table><tr><td>row one with plenty of text</td><td>1</td></tr>"
+      "<tr><td>row two with plenty of text</td><td>2</td></tr>"
+      "<tr><td>row three with plenty of text</td><td>3</td></tr></table>");
+  auto result = ExtractRecords(*dom);
+  EXPECT_EQ(result.records.size(), 3u);
+}
+
+TEST(RecordExtractorTest, JoinedConcatenatesFields) {
+  Record r;
+  r.fields = {"a", "b", "c"};
+  EXPECT_EQ(r.Joined(), "a b c");
+}
+
+TEST(InducedWrapperTest, ReappliesLearnedSignature) {
+  auto sample = html::Parse(
+      "<div class=\"item\"><span>First sample listing text</span></div>"
+      "<div class=\"item\"><span>Second sample listing text</span></div>");
+  auto wrapper = InducedWrapper::Induce(*sample);
+  ASSERT_TRUE(wrapper.valid());
+  EXPECT_EQ(wrapper.signature(), "div.item");
+
+  auto page = html::Parse(
+      "<div class=\"ad\"><span>Advertisement one extra long</span></div>"
+      "<div class=\"ad\"><span>Advertisement two extra long</span></div>"
+      "<div class=\"ad\"><span>Advertisement three long</span></div>"
+      "<div class=\"item\"><span>Real record alpha content</span></div>"
+      "<div class=\"item\"><span>Real record beta content</span></div>");
+  auto records = wrapper.Apply(*page);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].Joined().find("Real record"), std::string::npos);
+}
+
+TEST(InducedWrapperTest, FallsBackWhenSignatureMissing) {
+  auto sample = html::Parse(
+      "<div class=\"item\"><span>Sample one listing body</span></div>"
+      "<div class=\"item\"><span>Sample two listing body</span></div>");
+  auto wrapper = InducedWrapper::Induce(*sample);
+  auto page = html::Parse(
+      "<table><tr><td>table record one body</td><td>1</td></tr>"
+      "<tr><td>table record two body</td><td>2</td></tr></table>");
+  EXPECT_EQ(wrapper.Apply(*page).size(), 2u);
+}
+
+TEST(InducedWrapperTest, InvalidOnEmptyPage) {
+  auto empty = html::Parse("<p>nothing repeated here at all</p>");
+  auto wrapper = InducedWrapper::Induce(*empty);
+  EXPECT_FALSE(wrapper.valid());
+}
+
+TEST(AnnotationStoreTest, AddAndLookup) {
+  AnnotationStore store;
+  store.Add("u1", {"make", "Honda"});
+  store.Add("u1", {"year", "2001"});
+  EXPECT_EQ(store.For("u1").size(), 2u);
+  EXPECT_TRUE(store.For("unknown").empty());
+  EXPECT_EQ(store.num_annotated_urls(), 1u);
+}
+
+TEST(QueryRecognizerTest, RecognizesUnigramsAndBigrams) {
+  QueryRecognizer rec;
+  rec.AddValue("make", "Ford");
+  rec.AddValue("make", "Honda");
+  rec.AddValue("city", "San Diego");
+  auto anns = rec.Recognize("used ford focus in san diego");
+  ASSERT_EQ(anns.size(), 2u);
+  EXPECT_EQ(anns[0].attribute, "city");  // bigram found first
+  EXPECT_EQ(anns[0].value, "san diego");
+  EXPECT_EQ(anns[1].attribute, "make");
+  EXPECT_EQ(anns[1].value, "ford");
+}
+
+TEST(QueryRecognizerTest, AmbiguousValuesSkipped) {
+  QueryRecognizer rec;
+  rec.AddValue("make", "Lincoln");   // a car make...
+  rec.AddValue("city", "Lincoln");   // ...and a city
+  EXPECT_TRUE(rec.Recognize("lincoln for sale").empty());
+}
+
+TEST(RerankTest, ContradictingAnnotationDemoted) {
+  index::InvertedIndex idx;
+  // The Honda page mentions Ford in a comparison remark — the paper's
+  // §5.1 trap.
+  auto honda = *idx.AddDocument(
+      "http://cars/honda", "used honda civic",
+      "1993 honda civic has better mileage than the ford focus", true,
+      "cars");
+  auto ford = *idx.AddDocument(
+      "http://cars/ford", "used ford focus",
+      "1993 ford focus clean title runs well", true, "cars");
+  AnnotationStore store;
+  store.Add("http://cars/honda", {"make", "Honda"});
+  store.Add("http://cars/ford", {"make", "Ford"});
+
+  auto hits = idx.Search("used ford focus 1993", 10);
+  ASSERT_EQ(hits.size(), 2u);
+
+  std::vector<Annotation> constraints = {{"make", "ford"}};
+  auto reranked = RerankWithAnnotations(hits, idx, store, constraints);
+  ASSERT_EQ(reranked.size(), 2u);
+  EXPECT_EQ(reranked[0].doc, ford);
+  EXPECT_EQ(reranked[1].doc, honda);
+  EXPECT_LT(reranked[1].score, reranked[0].score);
+}
+
+TEST(RerankTest, NoConstraintsNoChange) {
+  index::InvertedIndex idx;
+  (void)*idx.AddDocument("u1", "t", "body text alpha", true, "h");
+  AnnotationStore store;
+  auto hits = idx.Search("alpha", 5);
+  auto reranked = RerankWithAnnotations(hits, idx, store, {});
+  ASSERT_EQ(reranked.size(), hits.size());
+  EXPECT_EQ(reranked[0].score, hits[0].score);
+}
+
+TEST(RerankTest, MatchingAnnotationNotDemoted) {
+  index::InvertedIndex idx;
+  auto doc = *idx.AddDocument("u1", "t", "honda civic body", true, "h");
+  AnnotationStore store;
+  store.Add("u1", {"make", "Honda"});
+  auto hits = idx.Search("honda", 5);
+  auto reranked =
+      RerankWithAnnotations(hits, idx, store, {{"make", "honda"}});
+  ASSERT_EQ(reranked.size(), 1u);
+  EXPECT_EQ(reranked[0].doc, doc);
+  EXPECT_DOUBLE_EQ(reranked[0].score, hits[0].score);
+}
+
+}  // namespace
+}  // namespace extract
+}  // namespace deepsurf

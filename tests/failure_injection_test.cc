@@ -1,0 +1,171 @@
+// Failure-injection tests: the pipeline must degrade gracefully on an
+// unreliable web (transient 500s, truncated HTML), never crash, and
+// still produce useful (if smaller) output.
+
+#include <gtest/gtest.h>
+
+#include "core/surfacer.h"
+#include "crawler/crawler.h"
+#include "html/forms.h"
+#include "html/parser.h"
+#include "html/text.h"
+#include "net/flaky_server.h"
+#include "synthweb/deep_site.h"
+#include "synthweb/surface_site.h"
+
+namespace deepsurf {
+namespace {
+
+struct FlakyFixture {
+  net::SimulatedWeb web;
+  std::shared_ptr<synthweb::DeepWebSite> site;
+  std::shared_ptr<net::FlakyServer> flaky;
+  net::Url page_url;
+  html::Form form;
+  std::string scripts;
+};
+
+std::unique_ptr<FlakyFixture> MakeFlaky(double error_probability,
+                                        double truncate_probability,
+                                        uint64_t seed = 77) {
+  auto f = std::make_unique<FlakyFixture>();
+  Rng rng(seed);
+  synthweb::SiteGenOptions gen;
+  gen.num_rows = 200;
+  gen.force_get = true;
+  gen.obfuscate_probability = 0.0;
+  f->site = std::make_shared<synthweb::DeepWebSite>(
+      synthweb::GenerateSite(synthweb::Domain::kUsedCars,
+                             "flaky.example.com", &rng, gen));
+  net::FlakyOptions fopts;
+  fopts.error_probability = error_probability;
+  fopts.truncate_probability = truncate_probability;
+  fopts.seed = seed;
+  f->flaky = std::make_shared<net::FlakyServer>(f->site, fopts);
+  EXPECT_TRUE(f->web.Register(f->flaky).ok());
+  // Fetch the form page, retrying past injected failures.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    auto resp = f->web.Get("http://flaky.example.com/");
+    if (!resp.ok() || resp->status_code != 200) continue;
+    auto dom = html::Parse(resp->body);
+    auto forms = html::ExtractForms(*dom);
+    if (forms.size() != 1) continue;
+    f->form = forms[0];
+    f->scripts = html::ExtractScriptText(*dom);
+    break;
+  }
+  EXPECT_FALSE(f->form.fields.empty());
+  f->page_url = net::Url::Parse("http://flaky.example.com/").value();
+  return f;
+}
+
+TEST(FlakyServerTest, InjectsConfiguredFailures) {
+  auto f = MakeFlaky(0.5, 0.0);
+  size_t errors = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto resp = f->web.Get("http://flaky.example.com/");
+    ASSERT_TRUE(resp.ok());
+    if (resp->status_code == 500) ++errors;
+  }
+  EXPECT_GT(errors, 50u);
+  EXPECT_LT(errors, 150u);
+  EXPECT_GT(f->flaky->failures_injected(), 0u);
+}
+
+TEST(FlakyServerTest, SurfacerSurvivesTransientErrors) {
+  auto f = MakeFlaky(0.15, 0.0);
+  core::SurfacerOptions opts;
+  opts.templates.sample_assignments = 8;
+  opts.probing.rounds = 1;
+  core::Surfacer surfacer(&f->web, nullptr, opts);
+  auto result = surfacer.Surface(f->page_url, f->form, f->scripts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->skipped_post);
+  // Analysis under 15% failures still finds work to do.
+  EXPECT_FALSE(result->urls.empty());
+}
+
+TEST(FlakyServerTest, SurfacerSurvivesTruncatedHtml) {
+  auto f = MakeFlaky(0.0, 0.3);
+  core::SurfacerOptions opts;
+  opts.templates.sample_assignments = 8;
+  opts.probing.rounds = 1;
+  core::Surfacer surfacer(&f->web, nullptr, opts);
+  auto result = surfacer.Surface(f->page_url, f->form, f->scripts);
+  // Must not crash; either outcome (urls or none) is acceptable on a
+  // badly truncating site, but the call itself must succeed.
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(FlakyServerTest, IndexingSkipsFailedFetches) {
+  auto f = MakeFlaky(0.3, 0.0);
+  core::SurfacerOptions opts;
+  opts.templates.sample_assignments = 8;
+  opts.probing.rounds = 1;
+  opts.max_urls_per_form = 60;
+  core::Surfacer surfacer(&f->web, nullptr, opts);
+  auto result = surfacer.Surface(f->page_url, f->form, f->scripts);
+  ASSERT_TRUE(result.ok());
+  index::InvertedIndex index;
+  auto indexed = core::IndexSurfacedUrls(&f->web, &index, result->urls);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_LE(*indexed, result->urls.size());
+  // Everything indexed is a real page, not an error body.
+  for (size_t d = 0; d < index.num_docs(); ++d) {
+    EXPECT_GT(index.doc(static_cast<index::DocId>(d)).length, 0u);
+  }
+}
+
+TEST(FlakyServerTest, CrawlerCountsErrorsAndContinues) {
+  net::SimulatedWeb web;
+  // A healthy hub linking to a flaky site and a healthy site.
+  auto hub = std::make_shared<synthweb::SurfaceSite>("hub.example.org");
+  hub->AddRootLink("http://flaky.example.com/", "flaky");
+  hub->AddRootLink("http://ok.example.com/", "ok");
+  ASSERT_TRUE(web.Register(hub).ok());
+  {
+    Rng rng(5);
+    synthweb::SiteGenOptions gen;
+    gen.num_rows = 50;
+    gen.force_get = true;
+    auto site = std::make_shared<synthweb::DeepWebSite>(
+        synthweb::GenerateSite(synthweb::Domain::kBooks,
+                               "flaky.example.com", &rng, gen));
+    net::FlakyOptions fopts;
+    fopts.error_probability = 1.0;  // always down
+    ASSERT_TRUE(web.Register(std::make_shared<net::FlakyServer>(
+                                 site, fopts))
+                    .ok());
+  }
+  {
+    Rng rng(6);
+    synthweb::SiteGenOptions gen;
+    gen.num_rows = 50;
+    gen.force_get = true;
+    auto site = std::make_shared<synthweb::DeepWebSite>(
+        synthweb::GenerateSite(synthweb::Domain::kJobs, "ok.example.com",
+                               &rng, gen));
+    ASSERT_TRUE(web.Register(site).ok());
+  }
+  index::InvertedIndex index;
+  crawler::Crawler crawler(&web, &index, {});
+  ASSERT_TRUE(crawler.Crawl({"http://hub.example.org/"}).ok());
+  EXPECT_GT(crawler.stats().fetch_errors, 0u);
+  // The healthy site's form is still found.
+  ASSERT_EQ(crawler.forms().size(), 1u);
+  EXPECT_EQ(crawler.forms()[0].page_url.host(), "ok.example.com");
+}
+
+TEST(FlakyServerTest, DeterministicInjection) {
+  auto f1 = MakeFlaky(0.3, 0.0, 99);
+  auto f2 = MakeFlaky(0.3, 0.0, 99);
+  for (int i = 0; i < 50; ++i) {
+    auto r1 = f1->web.Get("http://flaky.example.com/search?page=1");
+    auto r2 = f2->web.Get("http://flaky.example.com/search?page=1");
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    EXPECT_EQ(r1->status_code, r2->status_code);
+  }
+}
+
+}  // namespace
+}  // namespace deepsurf

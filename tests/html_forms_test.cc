@@ -1,0 +1,177 @@
+// Tests for HTML form extraction.
+
+#include <gtest/gtest.h>
+
+#include "html/forms.h"
+#include "html/parser.h"
+
+namespace deepsurf {
+namespace html {
+namespace {
+
+std::vector<Form> Extract(const std::string& htmlsrc) {
+  auto root = Parse(htmlsrc);
+  return ExtractForms(*root);
+}
+
+TEST(FormsTest, BasicGetForm) {
+  auto forms = Extract(
+      "<form action=\"/search\" method=\"get\">"
+      "<input type=\"text\" name=\"q\">"
+      "<input type=\"submit\" value=\"Go\"></form>");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].action, "/search");
+  EXPECT_EQ(forms[0].method, "get");
+  EXPECT_TRUE(forms[0].IsGet());
+  ASSERT_EQ(forms[0].fields.size(), 2u);
+  EXPECT_EQ(forms[0].fields[0].name, "q");
+  EXPECT_EQ(forms[0].fields[0].kind, FieldKind::kText);
+  EXPECT_EQ(forms[0].fields[1].kind, FieldKind::kSubmit);
+}
+
+TEST(FormsTest, MethodDefaultsToGet) {
+  auto forms = Extract("<form action=\"/s\"><input name=\"a\"></form>");
+  EXPECT_EQ(forms[0].method, "get");
+}
+
+TEST(FormsTest, PostMethodDetected) {
+  auto forms = Extract(
+      "<form action=\"/buy\" method=\"POST\"><input name=\"a\"></form>");
+  EXPECT_EQ(forms[0].method, "post");
+  EXPECT_FALSE(forms[0].IsGet());
+}
+
+TEST(FormsTest, SelectWithOptions) {
+  auto forms = Extract(
+      "<form action=\"/s\"><select name=\"make\">"
+      "<option value=\"\">Any</option>"
+      "<option value=\"Honda\">Honda</option>"
+      "<option value=\"Ford\" selected>Ford</option>"
+      "</select></form>");
+  ASSERT_EQ(forms.size(), 1u);
+  const FormField& f = forms[0].fields[0];
+  EXPECT_EQ(f.kind, FieldKind::kSelect);
+  ASSERT_EQ(f.options.size(), 3u);
+  EXPECT_EQ(f.options[0].value, "");
+  EXPECT_EQ(f.options[0].label, "Any");
+  EXPECT_EQ(f.options[1].value, "Honda");
+  EXPECT_TRUE(f.options[2].selected);
+  EXPECT_EQ(f.default_value, "Ford");  // selected wins
+}
+
+TEST(FormsTest, OptionWithoutValueUsesLabel) {
+  auto forms = Extract(
+      "<form action=\"/s\"><select name=\"c\">"
+      "<option>Red</option><option>Blue</option></select></form>");
+  const FormField& f = forms[0].fields[0];
+  EXPECT_EQ(f.options[0].value, "Red");
+  EXPECT_EQ(f.options[1].value, "Blue");
+}
+
+TEST(FormsTest, HiddenInput) {
+  auto forms = Extract(
+      "<form action=\"/s\"><input type=\"hidden\" name=\"sid\" value=\"42\">"
+      "<input name=\"q\"></form>");
+  EXPECT_EQ(forms[0].fields[0].kind, FieldKind::kHidden);
+  EXPECT_EQ(forms[0].fields[0].default_value, "42");
+  // UserFields excludes hidden/submit.
+  auto user = forms[0].UserFields();
+  ASSERT_EQ(user.size(), 1u);
+  EXPECT_EQ(user[0]->name, "q");
+}
+
+TEST(FormsTest, RadioGroupMergedByName) {
+  auto forms = Extract(
+      "<form action=\"/s\">"
+      "<input type=\"radio\" name=\"cond\" value=\"new\" checked>"
+      "<input type=\"radio\" name=\"cond\" value=\"used\">"
+      "</form>");
+  ASSERT_EQ(forms[0].fields.size(), 1u);
+  const FormField& f = forms[0].fields[0];
+  EXPECT_EQ(f.kind, FieldKind::kRadio);
+  ASSERT_EQ(f.options.size(), 2u);
+  EXPECT_TRUE(f.options[0].selected);
+  EXPECT_EQ(f.options[1].value, "used");
+}
+
+TEST(FormsTest, CheckboxAndPassword) {
+  auto forms = Extract(
+      "<form action=\"/s\">"
+      "<input type=\"checkbox\" name=\"pets\" value=\"yes\">"
+      "<input type=\"password\" name=\"pw\"></form>");
+  EXPECT_EQ(forms[0].fields[0].kind, FieldKind::kCheckbox);
+  EXPECT_EQ(forms[0].fields[1].kind, FieldKind::kPassword);
+  EXPECT_TRUE(forms[0].UserFields().size() == 1);  // password excluded
+}
+
+TEST(FormsTest, TextareaIsTextField) {
+  auto forms = Extract(
+      "<form action=\"/s\"><textarea name=\"notes\">prefill</textarea>"
+      "</form>");
+  EXPECT_EQ(forms[0].fields[0].kind, FieldKind::kText);
+  EXPECT_EQ(forms[0].fields[0].default_value, "prefill");
+}
+
+TEST(FormsTest, LabelForAssociation) {
+  auto forms = Extract(
+      "<form action=\"/s\"><label for=\"zipf\">Zip Code</label>"
+      "<input type=\"text\" name=\"zip\" id=\"zipf\"></form>");
+  EXPECT_EQ(forms[0].fields[0].label, "Zip Code");
+}
+
+TEST(FormsTest, WrappingLabelAssociation) {
+  auto forms = Extract(
+      "<form action=\"/s\"><label>City <input name=\"city\"></label>"
+      "</form>");
+  EXPECT_EQ(forms[0].fields[0].label, "City");
+}
+
+TEST(FormsTest, PrecedingTextLabelInTableRow) {
+  auto forms = Extract(
+      "<form action=\"/s\"><table>"
+      "<tr><td>Max Price:</td><td><input name=\"maxp\"></td></tr>"
+      "</table></form>");
+  EXPECT_EQ(forms[0].fields[0].label, "Max Price");
+}
+
+TEST(FormsTest, MultipleFormsExtractedSeparately) {
+  auto forms = Extract(
+      "<form action=\"/a\"><input name=\"x\"></form>"
+      "<form action=\"/b\" method=\"post\"><input name=\"y\"></form>");
+  ASSERT_EQ(forms.size(), 2u);
+  EXPECT_EQ(forms[0].action, "/a");
+  EXPECT_EQ(forms[1].action, "/b");
+  EXPECT_EQ(forms[1].method, "post");
+}
+
+TEST(FormsTest, FindFieldByName) {
+  auto forms = Extract(
+      "<form action=\"/s\"><input name=\"a\"><input name=\"b\"></form>");
+  EXPECT_NE(forms[0].FindField("a"), nullptr);
+  EXPECT_NE(forms[0].FindField("b"), nullptr);
+  EXPECT_EQ(forms[0].FindField("c"), nullptr);
+}
+
+TEST(FormsTest, SearchTypeInputIsText) {
+  auto forms = Extract(
+      "<form action=\"/s\"><input type=\"search\" name=\"q\"></form>");
+  EXPECT_EQ(forms[0].fields[0].kind, FieldKind::kText);
+}
+
+TEST(FormsTest, ButtonIsSubmit) {
+  auto forms = Extract(
+      "<form action=\"/s\"><input name=\"q\">"
+      "<button name=\"go\">Search</button></form>");
+  EXPECT_EQ(forms[0].fields[1].kind, FieldKind::kSubmit);
+}
+
+TEST(FormsTest, FieldKindNames) {
+  EXPECT_STREQ(FieldKindToString(FieldKind::kText), "text");
+  EXPECT_STREQ(FieldKindToString(FieldKind::kSelect), "select");
+  EXPECT_STREQ(FieldKindToString(FieldKind::kHidden), "hidden");
+  EXPECT_STREQ(FieldKindToString(FieldKind::kRadio), "radio");
+}
+
+}  // namespace
+}  // namespace html
+}  // namespace deepsurf

@@ -1,0 +1,143 @@
+// Tests for DOM construction (tree builder + Node helpers).
+
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+
+namespace deepsurf {
+namespace html {
+namespace {
+
+TEST(ParserTest, SimpleTree) {
+  auto root = Parse("<html><body><p>hi</p></body></html>");
+  const Node* p = root->FirstDescendant("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->InnerText(), "hi");
+  EXPECT_EQ(p->Ancestor("body")->tag(), "body");
+}
+
+TEST(ParserTest, VoidElementsTakeNoChildren) {
+  auto root = Parse("<p><br>text after br</p>");
+  const Node* br = root->FirstDescendant("br");
+  ASSERT_NE(br, nullptr);
+  EXPECT_TRUE(br->children().empty());
+  EXPECT_EQ(root->FirstDescendant("p")->InnerText(), "text after br");
+}
+
+TEST(ParserTest, InputIsVoid) {
+  auto root = Parse("<form><input name=a><input name=b></form>");
+  auto inputs = root->Descendants("input");
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0]->parent()->tag(), "form");
+  EXPECT_EQ(inputs[1]->parent()->tag(), "form");
+}
+
+TEST(ParserTest, ImpliedLiClose) {
+  auto root = Parse("<ul><li>one<li>two<li>three</ul>");
+  auto lis = root->Descendants("li");
+  ASSERT_EQ(lis.size(), 3u);
+  for (const Node* li : lis) {
+    EXPECT_EQ(li->parent()->tag(), "ul");
+  }
+  EXPECT_EQ(lis[0]->InnerText(), "one");
+  EXPECT_EQ(lis[2]->InnerText(), "three");
+}
+
+TEST(ParserTest, ImpliedOptionClose) {
+  auto root = Parse(
+      "<select><option value=a>A<option value=b>B</select>");
+  auto options = root->Descendants("option");
+  ASSERT_EQ(options.size(), 2u);
+  EXPECT_EQ(options[0]->InnerText(), "A");
+  EXPECT_EQ(options[1]->InnerText(), "B");
+}
+
+TEST(ParserTest, ImpliedTableRowAndCellClose) {
+  auto root = Parse(
+      "<table><tr><td>1<td>2<tr><td>3<td>4</table>");
+  auto trs = root->Descendants("tr");
+  ASSERT_EQ(trs.size(), 2u);
+  EXPECT_EQ(trs[0]->Descendants("td").size(), 2u);
+  EXPECT_EQ(trs[1]->Descendants("td").size(), 2u);
+}
+
+TEST(ParserTest, ImpliedParagraphClose) {
+  auto root = Parse("<p>one<p>two");
+  auto ps = root->Descendants("p");
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->InnerText(), "one");
+  EXPECT_EQ(ps[1]->InnerText(), "two");
+}
+
+TEST(ParserTest, StrayEndTagIgnored) {
+  auto root = Parse("<div>a</span>b</div>");
+  EXPECT_EQ(root->FirstDescendant("div")->InnerText(), "a b");
+}
+
+TEST(ParserTest, UnclosedElementsClosedAtEof) {
+  auto root = Parse("<div><p>unclosed");
+  EXPECT_NE(root->FirstDescendant("p"), nullptr);
+  EXPECT_EQ(root->FirstDescendant("p")->InnerText(), "unclosed");
+}
+
+TEST(ParserTest, GetAttrAndHasAttr) {
+  auto root = Parse("<a href=\"/x\" data-k>link</a>");
+  const Node* a = root->FirstDescendant("a");
+  EXPECT_EQ(a->GetAttr("href"), "/x");
+  EXPECT_TRUE(a->HasAttr("data-k"));
+  EXPECT_FALSE(a->HasAttr("missing"));
+  EXPECT_EQ(a->GetAttr("missing"), "");
+}
+
+TEST(ParserTest, InnerTextSkipsScriptAndStyle) {
+  auto root = Parse(
+      "<body>visible<script>var hidden = 1;</script>"
+      "<style>.x{color:red}</style>more</body>");
+  EXPECT_EQ(root->InnerText(), "visible more");
+}
+
+TEST(ParserTest, InnerTextCollapsesWhitespace) {
+  auto root = Parse("<p>  a \n\n  b\t c  </p>");
+  EXPECT_EQ(root->FirstDescendant("p")->InnerText(), "a b c");
+}
+
+TEST(ParserTest, DescendantsAllElements) {
+  auto root = Parse("<div><p><b>x</b></p><p>y</p></div>");
+  EXPECT_EQ(root->Descendants("").size(), 4u);  // div, p, b, p
+  EXPECT_EQ(root->Descendants("p").size(), 2u);
+}
+
+TEST(ParserTest, TagPath) {
+  auto root = Parse("<html><body><table><tr><td>x</td></tr></table></body>");
+  const Node* td = root->FirstDescendant("td");
+  EXPECT_EQ(td->TagPath(), "#document/html/body/table/tr/td");
+}
+
+TEST(ParserTest, ElementCount) {
+  auto root = Parse("<div><p>a</p><p>b</p></div>");
+  EXPECT_EQ(root->ElementCount(), 4u);  // #document + div + 2 p
+}
+
+TEST(ParserTest, SelfClosingDoesNotNest) {
+  auto root = Parse("<div><img src=x/>text</div>");
+  EXPECT_EQ(root->FirstDescendant("div")->InnerText(), "text");
+  EXPECT_TRUE(root->FirstDescendant("img")->children().empty());
+}
+
+TEST(ParserTest, IsVoidElementList) {
+  EXPECT_TRUE(IsVoidElement("br"));
+  EXPECT_TRUE(IsVoidElement("input"));
+  EXPECT_TRUE(IsVoidElement("img"));
+  EXPECT_FALSE(IsVoidElement("div"));
+  EXPECT_FALSE(IsVoidElement("select"));
+}
+
+TEST(ParserTest, DlDtDdImpliedCloses) {
+  auto root = Parse("<dl><dt>k1<dd>v1<dt>k2<dd>v2</dl>");
+  EXPECT_EQ(root->Descendants("dt").size(), 2u);
+  EXPECT_EQ(root->Descendants("dd").size(), 2u);
+}
+
+}  // namespace
+}  // namespace html
+}  // namespace deepsurf

@@ -1,0 +1,115 @@
+// Tests for page-level extraction: text, links, tables, title.
+
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+#include "html/text.h"
+
+namespace deepsurf {
+namespace html {
+namespace {
+
+TEST(TextTest, ExtractTitle) {
+  auto root = Parse("<html><head><title>My Page</title></head></html>");
+  EXPECT_EQ(ExtractTitle(*root), "My Page");
+}
+
+TEST(TextTest, MissingTitleIsEmpty) {
+  auto root = Parse("<html><body>x</body></html>");
+  EXPECT_EQ(ExtractTitle(*root), "");
+}
+
+TEST(TextTest, ExtractLinks) {
+  auto root = Parse(
+      "<body><a href=\"/a\">first</a> <a href=\"http://x.com/\">second</a>"
+      "<a>no href</a></body>");
+  auto links = ExtractLinks(*root);
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].href, "/a");
+  EXPECT_EQ(links[0].anchor, "first");
+  EXPECT_EQ(links[1].href, "http://x.com/");
+}
+
+TEST(TablesTest, HeaderFromThRow) {
+  auto root = Parse(
+      "<table><tr><th>Name</th><th>Year</th></tr>"
+      "<tr><td>Alice</td><td>2001</td></tr>"
+      "<tr><td>Bob</td><td>2002</td></tr></table>");
+  auto tables = ExtractTables(*root);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(tables[0].header_was_th);
+  EXPECT_EQ(tables[0].header, (std::vector<std::string>{"Name", "Year"}));
+  ASSERT_EQ(tables[0].num_rows(), 2u);
+  EXPECT_EQ(tables[0].rows[0][0], "Alice");
+  EXPECT_EQ(tables[0].rows[1][1], "2002");
+}
+
+TEST(TablesTest, HeaderInferredFromLabelishFirstRow) {
+  auto root = Parse(
+      "<table><tr><td>City</td><td>State</td></tr>"
+      "<tr><td>Austin</td><td>TX</td></tr>"
+      "<tr><td>Boston</td><td>MA</td></tr></table>");
+  auto tables = ExtractTables(*root);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_FALSE(tables[0].header_was_th);
+  EXPECT_EQ(tables[0].header[0], "City");
+  EXPECT_EQ(tables[0].num_rows(), 2u);
+}
+
+TEST(TablesTest, NumericFirstRowGetsSyntheticHeader) {
+  auto root = Parse(
+      "<table><tr><td>12</td><td>34</td></tr>"
+      "<tr><td>56</td><td>78</td></tr>"
+      "<tr><td>90</td><td>11</td></tr></table>");
+  auto tables = ExtractTables(*root);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].header[0], "col0");
+  EXPECT_EQ(tables[0].num_rows(), 3u);  // no row consumed as header
+}
+
+TEST(TablesTest, TinyTablesRejected) {
+  auto root = Parse("<table><tr><td>only</td><td>row</td></tr></table>");
+  EXPECT_TRUE(ExtractTables(*root).empty());
+}
+
+TEST(TablesTest, SingleColumnRejected) {
+  auto root = Parse(
+      "<table><tr><td>a</td></tr><tr><td>b</td></tr>"
+      "<tr><td>c</td></tr></table>");
+  EXPECT_TRUE(ExtractTables(*root).empty());
+}
+
+TEST(TablesTest, NestedTablesExtractedIndependently) {
+  auto root = Parse(
+      "<table><tr><th>A</th><th>B</th></tr>"
+      "<tr><td><table><tr><th>X</th><th>Y</th></tr>"
+      "<tr><td>1</td><td>2</td></tr><tr><td>3</td><td>4</td></tr>"
+      "</table></td><td>z</td></tr>"
+      "<tr><td>p</td><td>q</td></tr></table>");
+  auto tables = ExtractTables(*root);
+  EXPECT_EQ(tables.size(), 2u);
+}
+
+TEST(TablesTest, RaggedRowsPadded) {
+  auto root = Parse(
+      "<table><tr><th>A</th><th>B</th></tr>"
+      "<tr><td>1</td><td>2</td></tr>"
+      "<tr><td>3</td><td>4</td></tr>"
+      "<tr><td>5</td><td>6</td></tr>"
+      "<tr><td>7</td><td>8</td></tr>"
+      "<tr><td>lonely</td></tr></table>");
+  auto tables = ExtractTables(*root);
+  ASSERT_EQ(tables.size(), 1u);
+  for (const auto& row : tables[0].rows) {
+    EXPECT_EQ(row.size(), 2u);
+  }
+}
+
+TEST(TextTest, ExtractTextSkipsMarkup) {
+  auto root = Parse("<body><h1>Title</h1><p>one <b>two</b> three</p></body>");
+  EXPECT_EQ(ExtractText(*root), "Title one two three");
+}
+
+}  // namespace
+}  // namespace html
+}  // namespace deepsurf

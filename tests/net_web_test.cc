@@ -1,0 +1,125 @@
+// Tests for the simulated web: registration, dispatch, traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/web.h"
+
+namespace deepsurf {
+namespace net {
+namespace {
+
+/// Trivial server echoing the path.
+class EchoServer : public WebServer {
+ public:
+  explicit EchoServer(std::string host) : host_(std::move(host)) {}
+
+  HttpResponse Handle(const HttpRequest& request) override {
+    HttpResponse resp;
+    if (request.url.path() == "/missing") {
+      resp.status_code = 404;
+      resp.body = "not found";
+      return resp;
+    }
+    resp.body = "path=" + request.url.path() +
+                " method=" +
+                (request.method == Method::kGet ? "GET" : "POST");
+    return resp;
+  }
+
+  const std::string& host() const override { return host_; }
+
+ private:
+  std::string host_;
+};
+
+TEST(SimulatedWebTest, RegisterAndGet) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  auto resp = web.Get("http://a.com/hello");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 200);
+  EXPECT_EQ(resp->body, "path=/hello method=GET");
+}
+
+TEST(SimulatedWebTest, DuplicateHostRejected) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  EXPECT_TRUE(web.Register(std::make_shared<EchoServer>("a.com"))
+                  .IsInvalidArgument());
+}
+
+TEST(SimulatedWebTest, UnknownHostIsNotFound) {
+  SimulatedWeb web;
+  auto resp = web.Get("http://nowhere.com/");
+  EXPECT_TRUE(resp.status().IsNotFound());
+}
+
+TEST(SimulatedWebTest, MalformedUrlFails) {
+  SimulatedWeb web;
+  EXPECT_FALSE(web.Get("not a url").ok());
+}
+
+TEST(SimulatedWebTest, PostDispatch) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  auto url = Url::Parse("http://a.com/submit").value();
+  auto resp = web.Post(url, {{"k", "v"}});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "path=/submit method=POST");
+}
+
+TEST(SimulatedWebTest, TrafficAccounting) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("b.com")).ok());
+  (void)web.Get("http://a.com/1");
+  (void)web.Get("http://a.com/2");
+  (void)web.Get("http://b.com/1");
+  auto url = Url::Parse("http://a.com/p").value();
+  (void)web.Post(url, {});
+  HostTraffic a = web.TrafficFor("a.com");
+  HostTraffic b = web.TrafficFor("b.com");
+  EXPECT_EQ(a.get_requests, 2u);
+  EXPECT_EQ(a.post_requests, 1u);
+  EXPECT_EQ(b.get_requests, 1u);
+  EXPECT_GT(a.bytes_served, 0u);
+  EXPECT_EQ(web.total_requests(), 4u);
+}
+
+TEST(SimulatedWebTest, ErrorsCounted) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  (void)web.Get("http://a.com/missing");
+  EXPECT_EQ(web.TrafficFor("a.com").errors, 1u);
+}
+
+TEST(SimulatedWebTest, ResetTraffic) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  (void)web.Get("http://a.com/");
+  web.ResetTraffic();
+  EXPECT_EQ(web.total_requests(), 0u);
+  EXPECT_EQ(web.TrafficFor("a.com").get_requests, 0u);
+}
+
+TEST(SimulatedWebTest, HostsSorted) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("c.com")).ok());
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  EXPECT_EQ(web.Hosts(), (std::vector<std::string>{"a.com", "c.com"}));
+  EXPECT_TRUE(web.HasHost("a.com"));
+  EXPECT_FALSE(web.HasHost("z.com"));
+}
+
+TEST(SimulatedWebTest, UnknownHostCountsNothing) {
+  SimulatedWeb web;
+  HostTraffic t = web.TrafficFor("ghost.com");
+  EXPECT_EQ(t.get_requests, 0u);
+  EXPECT_EQ(t.bytes_served, 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace deepsurf

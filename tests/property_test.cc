@@ -1,0 +1,231 @@
+// Property-based sweeps (TEST_P) over domains and seeds: invariants that
+// must hold for *every* generated site, form, and query — not just the
+// fixtures the unit tests pin down.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/surfacer.h"
+#include "db/query.h"
+#include "html/forms.h"
+#include "html/parser.h"
+#include "html/text.h"
+#include "net/url.h"
+#include "synthweb/deep_site.h"
+#include "test_support.h"
+
+namespace deepsurf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Every domain x several seeds: structural invariants of generated sites.
+// ---------------------------------------------------------------------------
+
+using DomainSeed = std::tuple<synthweb::Domain, uint64_t>;
+
+class SiteInvariantsTest : public ::testing::TestWithParam<DomainSeed> {};
+
+TEST_P(SiteInvariantsTest, FormRoundTripsThroughExtractionAndAnalysis) {
+  auto [domain, seed] = GetParam();
+  auto h = testing_support::MakeSite(domain, seed, 60);
+  // Every ground-truth input appears in the extracted/analyzed form.
+  for (const auto& in : h->site->spec().inputs) {
+    const core::AnalyzedInput* analyzed = h->analyzed.FindInput(in.html_name);
+    ASSERT_NE(analyzed, nullptr) << in.html_name;
+    EXPECT_EQ(analyzed->is_select, in.is_select) << in.html_name;
+    if (in.is_select) {
+      // Every ground-truth option value survives extraction.
+      for (const auto& opt : in.options) {
+        EXPECT_NE(std::find(analyzed->select_values.begin(),
+                            analyzed->select_values.end(), opt),
+                  analyzed->select_values.end())
+            << in.html_name << "=" << opt;
+      }
+    }
+  }
+}
+
+TEST_P(SiteInvariantsTest, EverySubmissionReturnsWellFormedHtml) {
+  auto [domain, seed] = GetParam();
+  auto h = testing_support::MakeSite(domain, seed, 60);
+  core::FormProber prober(&h->web, h->analyzed);
+  // Unconstrained, single-input, and junk submissions all yield pages
+  // that parse and contain a <title>.
+  std::vector<core::Bindings> submissions = {{}};
+  for (const auto& in : h->analyzed.inputs) {
+    if (in.is_select && in.select_values.size() > 1) {
+      submissions.push_back({{in.name, in.select_values.back()}});
+    } else if (!in.is_select) {
+      submissions.push_back({{in.name, "zzz_no_such_value"}});
+    }
+  }
+  for (const auto& bindings : submissions) {
+    net::Url url = core::SubmissionUrl(h->analyzed, bindings);
+    auto resp = h->web.Get(url);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status_code, 200) << url.ToString();
+    auto dom = html::Parse(resp->body);
+    EXPECT_FALSE(html::ExtractTitle(*dom).empty()) << url.ToString();
+  }
+}
+
+TEST_P(SiteInvariantsTest, PaginationPartitionsResults) {
+  auto [domain, seed] = GetParam();
+  auto h = testing_support::MakeSite(domain, seed, 60);
+  // Walk all pages of the unconstrained query; no record may repeat and
+  // the union must equal the first table's row count.
+  std::set<uint64_t> seen;
+  size_t pages = 0;
+  for (size_t page = 0; page < 200; ++page) {
+    core::FormProber prober(&h->web, h->analyzed);
+    auto result =
+        prober.Probe({{"page", std::to_string(page)}});
+    ASSERT_TRUE(result.ok());
+    if (!result->HasResults()) break;
+    ++pages;
+    for (uint64_t rec : result->record_hashes) {
+      EXPECT_TRUE(seen.insert(rec).second)
+          << "duplicate record on page " << page;
+    }
+  }
+  ASSERT_GT(pages, 0u);
+  EXPECT_EQ(seen.size(), h->site->spec().main_table().num_rows());
+}
+
+TEST_P(SiteInvariantsTest, SurfacingIsDeterministic) {
+  auto [domain, seed] = GetParam();
+  core::SurfacerOptions opts;
+  opts.templates.sample_assignments = 6;
+  opts.probing.rounds = 1;
+  opts.max_urls_per_form = 50;
+
+  auto run = [&](std::vector<std::string>* urls) {
+    auto h = testing_support::MakeSite(domain, seed, 60);
+    core::Surfacer surfacer(&h->web, nullptr, opts);
+    auto result = surfacer.Surface(h->page_url, h->form, h->scripts);
+    ASSERT_TRUE(result.ok());
+    for (const auto& surfaced : result->urls) {
+      urls->push_back(surfaced.url.ToCanonicalString());
+    }
+  };
+  std::vector<std::string> first;
+  std::vector<std::string> second;
+  run(&first);
+  run(&second);
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomains, SiteInvariantsTest,
+    ::testing::Combine(::testing::ValuesIn(synthweb::AllDomains()),
+                       ::testing::Values(1001u, 2002u)),
+    [](const ::testing::TestParamInfo<DomainSeed>& info) {
+      return std::string(
+                 synthweb::DomainToString(std::get<0>(info.param))) +
+             "_" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// db::Execute invariants under parameter sweeps.
+// ---------------------------------------------------------------------------
+
+class QueryPagingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QueryPagingTest, LimitOffsetPartitionsMatches) {
+  size_t page_size = GetParam();
+  db::Table table(db::Schema({{"v", db::ValueType::kInt}}));
+  for (int i = 0; i < 37; ++i) {
+    ASSERT_TRUE(table.AppendRow({db::Value::Int(i % 7)}).ok());
+  }
+  db::Query base;
+  base.conjuncts.push_back({"v", db::Op::kLe, db::Value::Int(4)});
+  auto all = *db::Execute(table, base);
+  std::vector<db::RowId> paged;
+  for (size_t offset = 0;; offset += page_size) {
+    db::Query q = base;
+    q.limit = page_size;
+    q.offset = offset;
+    auto rows = *db::Execute(table, q);
+    if (rows.empty()) break;
+    paged.insert(paged.end(), rows.begin(), rows.end());
+    ASSERT_LE(rows.size(), page_size);
+  }
+  EXPECT_EQ(paged, all);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, QueryPagingTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 100u));
+
+// ---------------------------------------------------------------------------
+// URL codec round-trips over adversarial inputs.
+// ---------------------------------------------------------------------------
+
+class UrlRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UrlRoundTripTest, ParseSerializeFixedPoint) {
+  std::string value = GetParam();
+  net::Url url;
+  url.set_host("h.example.com");
+  url.set_path("/search");
+  url.AddParam("q", value);
+  auto reparsed = net::Url::Parse(url.ToString());
+  ASSERT_TRUE(reparsed.ok()) << url.ToString();
+  EXPECT_EQ(reparsed->GetParam("q"), value);
+  // Serialization is a fixed point after one round trip.
+  EXPECT_EQ(reparsed->ToString(), url.ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdversarialValues, UrlRoundTripTest,
+    ::testing::Values("plain", "two words", "a&b=c", "50%", "x+y",
+                      "semi;colon", "slash/path", "quote\"mark",
+                      "hash#frag", "uni~tilde", "eq=eq", "trailing ",
+                      "?question"));
+
+// ---------------------------------------------------------------------------
+// HTML parser never crashes and always yields a usable DOM on mutations.
+// ---------------------------------------------------------------------------
+
+class HtmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HtmlFuzzTest, MutatedMarkupParsesWithoutCrash) {
+  auto h = testing_support::MakeSite(synthweb::Domain::kUsedCars,
+                                     GetParam(), 30);
+  auto resp = h->web.Get(h->site->FormPageUrl());
+  ASSERT_TRUE(resp.ok());
+  std::string page = resp->body;
+  Rng rng(GetParam());
+  // Apply byte-level mutations: deletions, duplications, bracket noise.
+  for (int round = 0; round < 40; ++round) {
+    std::string mutated = page;
+    size_t pos = rng.Uniform(mutated.size());
+    switch (rng.Uniform(4)) {
+      case 0:
+        mutated.erase(pos, rng.Uniform(20) + 1);
+        break;
+      case 1:
+        mutated.insert(pos, "<");
+        break;
+      case 2:
+        mutated.insert(pos, "</div><td><");
+        break;
+      default:
+        mutated.insert(pos, mutated.substr(pos / 2, 30));
+        break;
+    }
+    auto dom = html::Parse(mutated);
+    ASSERT_NE(dom, nullptr);
+    // These must not crash either.
+    (void)html::ExtractForms(*dom);
+    (void)html::ExtractLinks(*dom);
+    (void)html::ExtractTables(*dom);
+    (void)html::ExtractText(*dom);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace deepsurf

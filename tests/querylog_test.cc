@@ -1,0 +1,145 @@
+// Tests for the query stream and impact analysis.
+
+#include <gtest/gtest.h>
+
+#include "index/analyzer.h"
+#include "querylog/impact.h"
+#include "querylog/query_stream.h"
+#include "synthweb/corpus.h"
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace querylog {
+namespace {
+
+synthweb::WebCorpus SmallCorpus() {
+  synthweb::CorpusOptions opts;
+  opts.num_deep_sites = 6;
+  opts.num_surface_sites = 3;
+  opts.min_rows = 15;
+  opts.max_rows = 60;
+  opts.seed = 77;
+  return synthweb::BuildCorpus(opts);
+}
+
+TEST(QueryStreamTest, QueriesTargetEntities) {
+  auto corpus = SmallCorpus();
+  QueryStream stream(&corpus, {});
+  for (int i = 0; i < 200; ++i) {
+    QueryRecord q = stream.Next();
+    EXPECT_FALSE(q.text.empty());
+    EXPECT_LT(q.entity_rank, corpus.entities.size());
+    // The query's terms come from the entity's record text.
+    std::string entity_text = strings::ToLower(
+        corpus.EntityText(corpus.entities[q.entity_rank]));
+    for (const auto& term : index::Tokenize(q.text)) {
+      EXPECT_NE(entity_text.find(term), std::string::npos)
+          << term << " not in: " << entity_text;
+    }
+  }
+}
+
+TEST(QueryStreamTest, DeterministicForSeed) {
+  auto corpus = SmallCorpus();
+  QueryStreamOptions opts;
+  opts.seed = 5;
+  QueryStream a(&corpus, opts);
+  QueryStream b(&corpus, opts);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next().text, b.Next().text);
+  }
+}
+
+TEST(QueryStreamTest, PopularEntitiesQueriedMoreOften) {
+  auto corpus = SmallCorpus();
+  QueryStream stream(&corpus, {});
+  size_t head = 0;
+  size_t tail = 0;
+  size_t half = corpus.entities.size() / 2;
+  for (int i = 0; i < 5000; ++i) {
+    QueryRecord q = stream.Next();
+    if (q.entity_rank < half) {
+      ++head;
+    } else {
+      ++tail;
+    }
+  }
+  EXPECT_GT(head, tail * 2);  // Zipf concentrates on the head
+}
+
+TEST(QueryStreamTest, TermCountWithinBounds) {
+  auto corpus = SmallCorpus();
+  QueryStreamOptions opts;
+  opts.min_terms = 2;
+  opts.max_terms = 3;
+  QueryStream stream(&corpus, opts);
+  for (int i = 0; i < 100; ++i) {
+    auto terms = index::Tokenize(stream.Next().text);
+    EXPECT_GE(terms.size(), 1u);
+    EXPECT_LE(terms.size(), 3u);
+  }
+}
+
+TEST(ImpactReportTest, CumulativeCurveMonotone) {
+  ImpactReport report;
+  report.clicks_by_host = {{"a", 50}, {"b", 30}, {"c", 15}, {"d", 5}};
+  auto curve = report.CumulativeHostCurve();
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_NEAR(curve[0], 0.5, 1e-9);
+  EXPECT_NEAR(curve[3], 1.0, 1e-9);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(ImpactReportTest, HostsForFraction) {
+  ImpactReport report;
+  report.clicks_by_host = {{"a", 50}, {"b", 30}, {"c", 15}, {"d", 5}};
+  EXPECT_EQ(report.HostsForFraction(0.5), 1u);
+  EXPECT_EQ(report.HostsForFraction(0.8), 2u);
+  EXPECT_EQ(report.HostsForFraction(0.95), 3u);
+  EXPECT_EQ(report.HostsForFraction(1.0), 4u);
+}
+
+TEST(MeasureImpactTest, SurfaceOnlyIndexHasNoDeepClicks) {
+  auto corpus = SmallCorpus();
+  index::InvertedIndex index;
+  // Index only surface pages.
+  (void)*index.AddDocument("u1", "t", "some page body", false, "web");
+  QueryStream stream(&corpus, {});
+  ImpactOptions opts;
+  opts.num_queries = 200;
+  auto report = MeasureImpact(&stream, index, opts);
+  EXPECT_EQ(report.queries, 200u);
+  EXPECT_EQ(report.deep_web_clicks, 0u);
+  EXPECT_EQ(report.deep_web_in_top_k, 0u);
+}
+
+TEST(MeasureImpactTest, DeepWebPagesAttractClicks) {
+  auto corpus = SmallCorpus();
+  index::InvertedIndex index;
+  // Index the entity texts of tail entities as deep-web docs (simulating
+  // perfect surfacing), and the head entities as surface docs.
+  size_t head = corpus.entities.size() / 10;
+  for (size_t rank = 0; rank < corpus.entities.size(); ++rank) {
+    const auto& e = corpus.entities[rank];
+    std::string host =
+        corpus.deep_sites[e.site_index]->spec().host;
+    (void)*index.AddDocument(
+        "http://" + host + "/r" + std::to_string(rank), "record",
+        corpus.EntityText(e), /*is_deep_web=*/rank >= head, host);
+  }
+  QueryStream stream(&corpus, {});
+  ImpactOptions opts;
+  opts.num_queries = 1500;
+  auto report = MeasureImpact(&stream, index, opts);
+  EXPECT_GT(report.deep_web_clicks, 0u);
+  EXPECT_GE(report.deep_web_in_top_k, report.deep_web_clicks);
+  // Deep clicks concentrate on rarer (higher-rank) entities.
+  EXPECT_GT(report.mean_rank_deep_clicks, report.mean_rank_surface_clicks);
+  EXPECT_FALSE(report.clicks_by_host.empty());
+}
+
+}  // namespace
+}  // namespace querylog
+}  // namespace deepsurf

@@ -1,0 +1,193 @@
+// Tests for the ACSDb and the semantic services (paper §6).
+
+#include <gtest/gtest.h>
+
+#include "html/forms.h"
+#include "html/parser.h"
+#include "html/text.h"
+#include "semantic/acsdb.h"
+#include "semantic/services.h"
+
+namespace deepsurf {
+namespace semantic {
+namespace {
+
+TEST(AcsDbTest, NormalizationCollapsesRangeAffixes) {
+  EXPECT_EQ(AcsDb::NormalizeAttribute("min_price"), "price");
+  EXPECT_EQ(AcsDb::NormalizeAttribute("price_from"), "price");
+  EXPECT_EQ(AcsDb::NormalizeAttribute("maxprice"), "price");
+  EXPECT_EQ(AcsDb::NormalizeAttribute("price_high"), "price");
+  EXPECT_EQ(AcsDb::NormalizeAttribute("Price"), "price");
+  EXPECT_EQ(AcsDb::NormalizeAttribute("zip code"), "zip_code");
+  EXPECT_EQ(AcsDb::NormalizeAttribute("make"), "make");
+}
+
+TEST(AcsDbTest, SchemaCounting) {
+  AcsDb db;
+  db.AddSchema({"make", "model", "price"});
+  db.AddSchema({"make", "price"});
+  db.AddSchema({"city", "state"});
+  EXPECT_EQ(db.schema_count(), 3u);
+  EXPECT_EQ(db.AttributeFrequency("make"), 2u);
+  EXPECT_EQ(db.AttributeFrequency("city"), 1u);
+  EXPECT_EQ(db.AttributeFrequency("ghost"), 0u);
+  EXPECT_EQ(db.PairFrequency("make", "price"), 2u);
+  EXPECT_EQ(db.PairFrequency("make", "city"), 0u);
+  EXPECT_DOUBLE_EQ(db.AttributeProbability("make"), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(db.ConditionalProbability("price", "make"), 1.0);
+  EXPECT_DOUBLE_EQ(db.ConditionalProbability("model", "make"), 0.5);
+}
+
+TEST(AcsDbTest, PairFrequencySymmetric) {
+  AcsDb db;
+  db.AddSchema({"a", "b"});
+  EXPECT_EQ(db.PairFrequency("a", "b"), db.PairFrequency("b", "a"));
+}
+
+TEST(AcsDbTest, MinMaxVariantsCountAsOneAttribute) {
+  AcsDb db;
+  db.AddSchema({"min_price", "max_price", "make"});
+  EXPECT_EQ(db.AttributeFrequency("price"), 1u);
+  EXPECT_EQ(db.schema_count(), 1u);
+}
+
+TEST(AcsDbTest, AddFormIngestsInputsAndSelectValues) {
+  auto dom = html::Parse(
+      "<form action=\"/s\">"
+      "<select name=\"make\"><option value=\"Honda\">Honda</option>"
+      "<option value=\"Ford\">Ford</option></select>"
+      "<input name=\"zip\"><input type=submit></form>");
+  auto forms = html::ExtractForms(*dom);
+  ASSERT_EQ(forms.size(), 1u);
+  AcsDb db;
+  db.AddForm(forms[0]);
+  EXPECT_EQ(db.schema_count(), 1u);
+  EXPECT_EQ(db.AttributeFrequency("make"), 1u);
+  EXPECT_EQ(db.AttributeFrequency("zip"), 1u);
+  auto values = db.ValuesOf("make");
+  EXPECT_EQ(values.size(), 2u);
+  auto attrs = db.AttributesWithValue("honda");
+  ASSERT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(attrs[0], "make");
+}
+
+TEST(AcsDbTest, AddTableIngestsHeaderAndColumns) {
+  html::ExtractedTable table;
+  table.header = {"city", "state"};
+  table.rows = {{"Austin", "TX"}, {"Boston", "MA"}};
+  AcsDb db;
+  db.AddTable(table);
+  EXPECT_EQ(db.schema_count(), 1u);
+  EXPECT_EQ(db.ValuesOf("city").size(), 2u);
+  EXPECT_EQ(db.AttributesWithValue("tx")[0], "state");
+}
+
+TEST(AcsDbTest, FrequentAttributesOrdered) {
+  AcsDb db;
+  db.AddSchema({"a", "b"});
+  db.AddSchema({"a", "c"});
+  db.AddSchema({"a", "b"});
+  auto freq = db.FrequentAttributes(2);
+  ASSERT_EQ(freq.size(), 2u);
+  EXPECT_EQ(freq[0], "a");
+  EXPECT_EQ(freq[1], "b");
+}
+
+TEST(AcsDbTest, OverlongValuesIgnored) {
+  AcsDb db;
+  db.AddValues("note", {std::string(100, 'x')});
+  EXPECT_TRUE(db.ValuesOf("note").empty());
+}
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  ServicesTest() {
+    // A corpus where "zip" and "zipcode" are synonyms: similar contexts
+    // (make/model/price), never co-occurring.
+    for (int i = 0; i < 10; ++i) {
+      db_.AddSchema({"make", "model", "price", "zip"});
+      db_.AddSchema({"make", "model", "price", "zipcode"});
+      db_.AddSchema({"city", "state", "population"});
+    }
+    db_.AddSchema({"make", "model"});
+    db_.AddValues("make", {"Honda", "Ford", "Toyota"});
+    db_.AddValues("city", {"Austin", "Boston"});
+    server_ = std::make_unique<SemanticServer>(&db_);
+  }
+
+  AcsDb db_;
+  std::unique_ptr<SemanticServer> server_;
+};
+
+TEST_F(ServicesTest, SynonymsFindSpellingVariants) {
+  auto synonyms = server_->Synonyms("zip", 3);
+  ASSERT_FALSE(synonyms.empty());
+  EXPECT_EQ(synonyms[0].attribute, "zipcode");
+  EXPECT_GT(synonyms[0].score, 0.5);
+}
+
+TEST_F(ServicesTest, SynonymsExcludeCooccurringAttributes) {
+  // "model" co-occurs with "make" in every schema: similarity is high but
+  // the co-occurrence penalty must push it below the true synonym.
+  auto synonyms = server_->Synonyms("zip", 5);
+  for (const auto& s : synonyms) {
+    if (s.attribute == "model" || s.attribute == "make") {
+      EXPECT_LT(s.score, synonyms[0].score);
+    }
+  }
+}
+
+TEST_F(ServicesTest, UnknownAttributeHasNoSynonyms) {
+  EXPECT_TRUE(server_->Synonyms("nonexistent", 5).empty());
+}
+
+TEST_F(ServicesTest, ValuesService) {
+  auto values = server_->Values("make");
+  EXPECT_EQ(values.size(), 3u);
+  EXPECT_TRUE(server_->Values("nothing").empty());
+}
+
+TEST_F(ServicesTest, PropertiesService) {
+  auto props = server_->Properties("Honda", 8);
+  ASSERT_FALSE(props.empty());
+  // The owning attribute comes back with top score...
+  EXPECT_EQ(props[0].attribute, "make");
+  // ...and co-occurring attributes follow.
+  bool has_model = false;
+  for (const auto& p : props) {
+    if (p.attribute == "model") has_model = true;
+  }
+  EXPECT_TRUE(has_model);
+}
+
+TEST_F(ServicesTest, PropertiesUnknownValueEmpty) {
+  EXPECT_TRUE(server_->Properties("xyzzy", 5).empty());
+}
+
+TEST_F(ServicesTest, AutoCompleteSuggestsDomainAttributes) {
+  auto suggestions = server_->AutoComplete({"make"}, 5);
+  ASSERT_GE(suggestions.size(), 2u);
+  // model and price dominate; geography attributes score ~0.
+  EXPECT_TRUE(suggestions[0].attribute == "model" ||
+              suggestions[0].attribute == "price");
+  for (const auto& s : suggestions) {
+    EXPECT_NE(s.attribute, "population");
+  }
+}
+
+TEST_F(ServicesTest, AutoCompleteNormalizesGivenNames) {
+  auto a = server_->AutoComplete({"make"}, 3);
+  auto b = server_->AutoComplete({"MAKE"}, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].attribute, b[i].attribute);
+  }
+}
+
+TEST_F(ServicesTest, AutoCompleteEmptyGivenEmptyResult) {
+  EXPECT_TRUE(server_->AutoComplete({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace semantic
+}  // namespace deepsurf

@@ -1,0 +1,302 @@
+// Tests for the synthetic web substrate: vocab, site generation, the
+// deep-web site server, and the corpus builder.
+
+#include <gtest/gtest.h>
+
+#include "db/query.h"
+#include "html/forms.h"
+#include "html/parser.h"
+#include "html/text.h"
+#include "synthweb/corpus.h"
+#include "synthweb/deep_site.h"
+#include "synthweb/domain.h"
+#include "synthweb/vocab.h"
+
+namespace deepsurf {
+namespace synthweb {
+namespace {
+
+SiteGenOptions SmallGet() {
+  SiteGenOptions opts;
+  opts.num_rows = 60;
+  opts.force_get = true;
+  opts.obfuscate_probability = 0.0;
+  return opts;
+}
+
+TEST(VocabTest, ListsNonEmptyAndPlausible) {
+  EXPECT_GE(Cities().size(), 100u);
+  EXPECT_EQ(StateCodes().size(), 51u);  // 50 states + DC
+  EXPECT_EQ(StateNames().size(), 50u);
+  EXPECT_GE(CarMakes().size(), 15u);
+  for (const auto& c : Cities()) {
+    EXPECT_EQ(std::string(c.zip).size(), 5u) << c.city;
+    EXPECT_EQ(std::string(c.state).size(), 2u) << c.city;
+  }
+  EXPECT_GE(EnglishWords().size(), 400u);
+}
+
+TEST(VocabTest, RandomHelpersDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(RandomProse(&a, 10), RandomProse(&b, 10));
+  EXPECT_EQ(RandomPersonName(&a), RandomPersonName(&b));
+  EXPECT_EQ(RandomStreetAddress(&a), RandomStreetAddress(&b));
+}
+
+TEST(DomainTest, GenerateEveryDomain) {
+  for (Domain d : AllDomains()) {
+    Rng rng(42);
+    SiteSpec spec = GenerateSite(d, "host.example.com", &rng, SmallGet());
+    EXPECT_EQ(spec.host, "host.example.com");
+    EXPECT_FALSE(spec.inputs.empty()) << DomainToString(d);
+    EXPECT_FALSE(spec.tables.empty());
+    EXPECT_GT(spec.TotalRows(), 0u);
+    EXPECT_FALSE(spec.use_post);  // force_get
+  }
+}
+
+TEST(DomainTest, DeterministicGeneration) {
+  Rng a(7);
+  Rng b(7);
+  SiteSpec s1 = GenerateSite(Domain::kUsedCars, "h", &a, SmallGet());
+  SiteSpec s2 = GenerateSite(Domain::kUsedCars, "h", &b, SmallGet());
+  ASSERT_EQ(s1.inputs.size(), s2.inputs.size());
+  for (size_t i = 0; i < s1.inputs.size(); ++i) {
+    EXPECT_EQ(s1.inputs[i].html_name, s2.inputs[i].html_name);
+  }
+  EXPECT_EQ(s1.main_table().num_rows(), s2.main_table().num_rows());
+}
+
+TEST(DomainTest, UsedCarsHasRangePairsAndScript) {
+  Rng rng(11);
+  SiteSpec spec = GenerateSite(Domain::kUsedCars, "h", &rng, SmallGet());
+  auto pairs = spec.RangePairs();
+  EXPECT_GE(pairs.size(), 2u);  // price + year
+  EXPECT_FALSE(spec.script_snippet.empty());
+  // Partner links are symmetric.
+  for (const auto& [min_name, max_name] : pairs) {
+    const FormInputSpec* min_in = spec.FindInput(min_name);
+    const FormInputSpec* max_in = spec.FindInput(max_name);
+    ASSERT_NE(min_in, nullptr);
+    ASSERT_NE(max_in, nullptr);
+    EXPECT_EQ(min_in->partner, max_name);
+    EXPECT_EQ(max_in->partner, min_name);
+    EXPECT_EQ(min_in->column, max_in->column);
+  }
+}
+
+TEST(DomainTest, MediaLibraryHasFourTablesAndDbSelector) {
+  Rng rng(13);
+  SiteSpec spec = GenerateSite(Domain::kMediaLibrary, "h", &rng, SmallGet());
+  EXPECT_EQ(spec.tables.size(), 4u);
+  bool has_selector = false;
+  for (const auto& in : spec.inputs) {
+    if (in.role == InputRole::kDbSelector) has_selector = true;
+  }
+  EXPECT_TRUE(has_selector);
+}
+
+TEST(DomainTest, ObfuscationRenamesInputsButKeepsPartners) {
+  SiteGenOptions opts = SmallGet();
+  opts.obfuscate_probability = 1.0;
+  Rng rng(17);
+  SiteSpec spec = GenerateSite(Domain::kRealEstate, "h", &rng, opts);
+  for (const auto& in : spec.inputs) {
+    EXPECT_EQ(in.html_name[0], 'f') << in.html_name;
+  }
+  for (const auto& [min_name, max_name] : spec.RangePairs()) {
+    EXPECT_NE(spec.FindInput(min_name), nullptr);
+    EXPECT_NE(spec.FindInput(max_name), nullptr);
+  }
+}
+
+class DeepSiteTest : public ::testing::Test {
+ protected:
+  DeepSiteTest() {
+    Rng rng(23);
+    site_ = std::make_shared<DeepWebSite>(
+        GenerateSite(Domain::kUsedCars, "cars.example.com", &rng,
+                     SmallGet()));
+    EXPECT_TRUE(web_.Register(site_).ok());
+  }
+
+  net::HttpResponse Get(const std::string& url) {
+    auto resp = web_.Get(url);
+    EXPECT_TRUE(resp.ok());
+    return *resp;
+  }
+
+  net::SimulatedWeb web_;
+  std::shared_ptr<DeepWebSite> site_;
+};
+
+TEST_F(DeepSiteTest, FormPageContainsTheForm) {
+  auto resp = Get("http://cars.example.com/");
+  EXPECT_EQ(resp.status_code, 200);
+  auto dom = html::Parse(resp.body);
+  auto forms = html::ExtractForms(*dom);
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].method, "get");
+  EXPECT_FALSE(forms[0].UserFields().empty());
+}
+
+TEST_F(DeepSiteTest, UnconstrainedSearchReturnsFirstPage) {
+  auto resp = Get("http://cars.example.com/search");
+  EXPECT_EQ(resp.status_code, 200);
+  // Page shows at most page_size records.
+  auto dom = html::Parse(resp.body);
+  EXPECT_NE(resp.body.find("results"), std::string::npos);
+}
+
+TEST_F(DeepSiteTest, SelectEqualityFiltersRows) {
+  // Bind make to the first distinct make in the hidden table.
+  auto makes = site_->spec().main_table().DistinctValues("make");
+  ASSERT_FALSE(makes.empty());
+  std::string make = makes[0].ToDisplayString();
+  auto resp = Get("http://cars.example.com/search?make=" +
+                  net::FormUrlEncode(make));
+  EXPECT_NE(resp.body.find(make), std::string::npos);
+}
+
+TEST_F(DeepSiteTest, ImpossibleFilterGivesNoResultsPage) {
+  auto resp = Get("http://cars.example.com/search?make=Zeppelin");
+  EXPECT_NE(resp.body.find("No results"), std::string::npos);
+}
+
+TEST_F(DeepSiteTest, EmptyPagesAreIdentical) {
+  auto r1 = Get("http://cars.example.com/search?make=Zeppelin");
+  auto r2 = Get("http://cars.example.com/search?make=Airship");
+  EXPECT_EQ(r1.body, r2.body);
+}
+
+TEST_F(DeepSiteTest, InvalidRangeIsEmpty) {
+  auto pairs = site_->spec().RangePairs();
+  ASSERT_FALSE(pairs.empty());
+  // Find the price pair (text or select) and invert it.
+  const auto& [min_name, max_name] = pairs[0];
+  auto resp = Get("http://cars.example.com/search?" + min_name +
+                  "=999999&" + max_name + "=1");
+  EXPECT_NE(resp.body.find("No results"), std::string::npos);
+}
+
+TEST_F(DeepSiteTest, DetailPageServesRecord) {
+  auto resp = Get("http://cars.example.com/item?id=0");
+  EXPECT_EQ(resp.status_code, 200);
+  auto dom = html::Parse(resp.body);
+  std::string text = html::ExtractText(*dom);
+  // The detail page carries the record's make.
+  std::string make =
+      site_->spec().main_table().row(0)[0].ToDisplayString();
+  EXPECT_NE(text.find(make), std::string::npos);
+}
+
+TEST_F(DeepSiteTest, MissingItemIs404) {
+  auto resp = Get("http://cars.example.com/item?id=999999");
+  EXPECT_EQ(resp.status_code, 404);
+  auto resp2 = Get("http://cars.example.com/item");
+  EXPECT_EQ(resp2.status_code, 404);
+}
+
+TEST_F(DeepSiteTest, UnknownPathIs404) {
+  EXPECT_EQ(Get("http://cars.example.com/nothing").status_code, 404);
+}
+
+TEST_F(DeepSiteTest, PagingWalksAllRecords) {
+  // Collect record links across pages; expect them to grow with pages.
+  auto r0 = Get("http://cars.example.com/search?page=0");
+  auto r1 = Get("http://cars.example.com/search?page=1");
+  EXPECT_NE(r0.body, r1.body);
+}
+
+TEST(DeepSitePostTest, PostFormRejectsGetSearch) {
+  Rng rng(29);
+  SiteGenOptions opts;
+  opts.num_rows = 30;
+  opts.post_probability = 1.0;
+  opts.obfuscate_probability = 0.0;
+  auto spec = GenerateSite(Domain::kJobs, "jobs.example.com", &rng, opts);
+  ASSERT_TRUE(spec.use_post);
+  net::SimulatedWeb web;
+  auto site = std::make_shared<DeepWebSite>(std::move(spec));
+  ASSERT_TRUE(web.Register(site).ok());
+  // GET /search shows the form page again, not results.
+  auto get_resp = web.Get("http://jobs.example.com/search?q=engineer");
+  ASSERT_TRUE(get_resp.ok());
+  auto dom = html::Parse(get_resp->body);
+  EXPECT_EQ(html::ExtractForms(*dom).size(), 1u);
+  // POST works.
+  auto url = net::Url::Parse("http://jobs.example.com/search").value();
+  auto post_resp = web.Post(url, {{"q", "engineer"}});
+  ASSERT_TRUE(post_resp.ok());
+  EXPECT_EQ(post_resp->status_code, 200);
+}
+
+TEST(CorpusTest, BuildSmallCorpus) {
+  CorpusOptions opts;
+  opts.num_deep_sites = 6;
+  opts.num_surface_sites = 3;
+  opts.min_rows = 10;
+  opts.max_rows = 60;
+  opts.seed = 99;
+  WebCorpus corpus = BuildCorpus(opts);
+  EXPECT_EQ(corpus.deep_sites.size(), 6u);
+  EXPECT_GE(corpus.surface_sites.size(), 3u);  // + directory hub
+  EXPECT_FALSE(corpus.entities.empty());
+  EXPECT_EQ(corpus.entities.size(), corpus.TotalDeepRows());
+  // Directory hub resolves.
+  auto resp = corpus.web->Get(corpus.directory_url);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 200);
+}
+
+TEST(CorpusTest, SurfaceCoverageMarksHead) {
+  CorpusOptions opts;
+  opts.num_deep_sites = 4;
+  opts.num_surface_sites = 2;
+  opts.min_rows = 20;
+  opts.max_rows = 50;
+  opts.surface_coverage = 0.25;
+  opts.seed = 101;
+  WebCorpus corpus = BuildCorpus(opts);
+  size_t covered = 0;
+  for (const auto& e : corpus.entities) {
+    if (e.has_surface_page) ++covered;
+  }
+  double frac = static_cast<double>(covered) /
+                static_cast<double>(corpus.entities.size());
+  EXPECT_NEAR(frac, 0.25, 0.02);
+  // Coverage is a prefix of the popularity ranking.
+  for (size_t i = 0; i < covered; ++i) {
+    EXPECT_TRUE(corpus.entities[i].has_surface_page);
+  }
+  EXPECT_FALSE(corpus.entities.back().has_surface_page);
+}
+
+TEST(CorpusTest, DeterministicAcrossBuilds) {
+  CorpusOptions opts;
+  opts.num_deep_sites = 3;
+  opts.min_rows = 10;
+  opts.max_rows = 30;
+  opts.seed = 7;
+  WebCorpus a = BuildCorpus(opts);
+  WebCorpus b = BuildCorpus(opts);
+  ASSERT_EQ(a.entities.size(), b.entities.size());
+  EXPECT_EQ(a.EntityText(a.entities[0]), b.EntityText(b.entities[0]));
+  EXPECT_EQ(a.deep_sites[0]->spec().host, b.deep_sites[0]->spec().host);
+}
+
+TEST(CorpusTest, EntityTextNonEmpty) {
+  CorpusOptions opts;
+  opts.num_deep_sites = 2;
+  opts.min_rows = 5;
+  opts.max_rows = 10;
+  WebCorpus corpus = BuildCorpus(opts);
+  for (size_t i = 0; i < std::min<size_t>(20, corpus.entities.size()); ++i) {
+    EXPECT_FALSE(corpus.EntityText(corpus.entities[i]).empty());
+  }
+}
+
+}  // namespace
+}  // namespace synthweb
+}  // namespace deepsurf

@@ -1,0 +1,63 @@
+// Shared fixtures for core-module tests: builds a small deep-web site,
+// registers it on a simulated web, and extracts its analyzed form the same
+// way the production pipeline would (fetch form page -> parse -> analyze).
+
+#ifndef DEEPSURF_TESTS_TEST_SUPPORT_H_
+#define DEEPSURF_TESTS_TEST_SUPPORT_H_
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/form_model.h"
+#include "html/forms.h"
+#include "html/parser.h"
+#include "html/text.h"
+#include "net/web.h"
+#include "synthweb/deep_site.h"
+#include "synthweb/domain.h"
+
+namespace deepsurf {
+namespace testing_support {
+
+struct SiteHarness {
+  net::SimulatedWeb web;
+  std::shared_ptr<synthweb::DeepWebSite> site;
+  net::Url page_url;
+  html::Form form;
+  std::string scripts;
+  core::AnalyzedForm analyzed;
+};
+
+/// Builds one GET deep-web site of the given domain and analyzes its form.
+inline std::unique_ptr<SiteHarness> MakeSite(
+    synthweb::Domain domain, uint64_t seed, size_t rows,
+    bool obfuscate = false) {
+  auto h = std::make_unique<SiteHarness>();
+  Rng rng(seed);
+  synthweb::SiteGenOptions opts;
+  opts.num_rows = rows;
+  opts.force_get = true;
+  opts.obfuscate_probability = obfuscate ? 1.0 : 0.0;
+  h->site = std::make_shared<synthweb::DeepWebSite>(
+      synthweb::GenerateSite(domain, "site.example.com", &rng, opts));
+  EXPECT_TRUE(h->web.Register(h->site).ok());
+  auto resp = h->web.Get(h->site->FormPageUrl());
+  EXPECT_TRUE(resp.ok());
+  auto dom = html::Parse(resp->body);
+  auto forms = html::ExtractForms(*dom);
+  EXPECT_EQ(forms.size(), 1u);
+  h->form = forms[0];
+  h->scripts = html::ExtractScriptText(*dom);
+  h->page_url = net::Url::Parse(h->site->FormPageUrl()).value();
+  auto analyzed = core::AnalyzeForm(h->page_url, h->form, h->scripts);
+  EXPECT_TRUE(analyzed.ok());
+  h->analyzed = std::move(analyzed).value();
+  return h;
+}
+
+}  // namespace testing_support
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_TESTS_TEST_SUPPORT_H_

@@ -1,0 +1,120 @@
+// Tests for the small utilities not covered elsewhere: hashing, logging
+// thresholds, and the HTML rendering helpers of the synthetic web.
+
+#include <gtest/gtest.h>
+
+#include "extract/record_extractor.h"
+#include "synthweb/render.h"
+#include "html/parser.h"
+#include "html/forms.h"
+#include "html/text.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace deepsurf {
+namespace {
+
+TEST(HashTest, Fnv1aDeterministicAndSpreads) {
+  EXPECT_EQ(Fnv1a64("deep web"), Fnv1a64("deep web"));
+  EXPECT_NE(Fnv1a64("deep web"), Fnv1a64("deep wec"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+  // Seeded variant differs from the default.
+  EXPECT_NE(Fnv1a64("x", 1), Fnv1a64("x"));
+}
+
+TEST(HashTest, CombineOrderDependent) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+TEST(LoggingTest, ThresholdRoundTrip) {
+  LogSeverity before = GetLogThreshold();
+  SetLogThreshold(LogSeverity::kError);
+  EXPECT_EQ(GetLogThreshold(), LogSeverity::kError);
+  DS_LOG(Info) << "suppressed at error threshold";  // must not crash
+  SetLogThreshold(before);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  DS_CHECK(1 + 1 == 2) << "never printed";
+  DS_CHECK_OK(Status::OK());
+}
+
+TEST(RenderTest, PageSkeletonParses) {
+  std::string page = synthweb::RenderPage("My <Title>", "<p>body & text</p>");
+  auto dom = html::Parse(page);
+  EXPECT_EQ(html::ExtractTitle(*dom), "My <Title>");
+  EXPECT_EQ(dom->FirstDescendant("p")->InnerText(), "body & text");
+}
+
+TEST(RenderTest, FormStylesAllExtractable) {
+  Rng rng(3);
+  synthweb::SiteGenOptions gen;
+  gen.num_rows = 20;
+  gen.force_get = true;
+  auto spec = synthweb::GenerateSite(synthweb::Domain::kRealEstate, "h",
+                                     &rng, gen);
+  for (int label_style = 0; label_style < 3; ++label_style) {
+    for (bool in_table : {false, true}) {
+      spec.style.label_style = label_style;
+      spec.style.form_in_table = in_table;
+      std::string markup = synthweb::RenderForm(spec, "/search");
+      auto dom = html::Parse(markup);
+      auto forms = html::ExtractForms(*dom);
+      ASSERT_EQ(forms.size(), 1u)
+          << "style " << label_style << " table " << in_table;
+      EXPECT_EQ(forms[0].UserFields().size(), spec.inputs.size());
+    }
+  }
+}
+
+TEST(RenderTest, ResultLayoutsAllCountable) {
+  Rng rng(5);
+  synthweb::SiteGenOptions gen;
+  gen.num_rows = 30;
+  gen.force_get = true;
+  auto spec = synthweb::GenerateSite(synthweb::Domain::kJobs, "h", &rng,
+                                     gen);
+  std::vector<db::RowId> rows = {0, 1, 2, 3, 4};
+  for (int layout = 0; layout < 3; ++layout) {
+    spec.style.result_layout = layout;
+    std::string markup = synthweb::RenderResults(
+        spec, spec.main_table(), rows, rows.size(), 0, "q=x");
+    auto dom = html::Parse(markup);
+    // The record extractor must find exactly the rendered records in
+    // every layout.
+    auto extraction = extract::ExtractRecords(*dom);
+    EXPECT_EQ(extraction.records.size(), rows.size())
+        << "layout " << layout;
+  }
+}
+
+TEST(RenderTest, NoResultsPageStable) {
+  Rng rng(7);
+  synthweb::SiteGenOptions gen;
+  gen.num_rows = 10;
+  gen.force_get = true;
+  auto spec = synthweb::GenerateSite(synthweb::Domain::kBooks, "h", &rng,
+                                     gen);
+  EXPECT_EQ(synthweb::RenderNoResults(spec), synthweb::RenderNoResults(spec));
+  auto dom = html::Parse(synthweb::RenderNoResults(spec));
+  EXPECT_EQ(extract::CountRecords(*dom), 0u);
+}
+
+TEST(RenderTest, DetailPageCarriesEveryColumn) {
+  Rng rng(9);
+  synthweb::SiteGenOptions gen;
+  gen.num_rows = 5;
+  gen.force_get = true;
+  auto spec = synthweb::GenerateSite(synthweb::Domain::kHotels, "h", &rng,
+                                     gen);
+  std::string markup = synthweb::RenderDetail(spec, spec.main_table(), 0);
+  auto dom = html::Parse(markup);
+  std::string text = html::ExtractText(*dom);
+  for (const auto& col : spec.main_table().schema().columns()) {
+    EXPECT_NE(text.find(col.name), std::string::npos) << col.name;
+  }
+}
+
+}  // namespace
+}  // namespace deepsurf

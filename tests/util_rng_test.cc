@@ -1,0 +1,187 @@
+// Tests for the deterministic RNG and the Zipf sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool differed = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalHasRequestedMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(21);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 30u);
+  EXPECT_EQ(distinct.size(), 30u);
+  for (size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(23);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng fork = a.Fork();
+  // The fork should not replay the parent stream.
+  bool differed = false;
+  Rng b(31);
+  b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    if (fork.Next() != a.Next()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler sampler(1000, 1.1);
+  double total = 0.0;
+  for (uint64_t r = 0; r < sampler.n(); ++r) total += sampler.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, RankZeroMostProbable) {
+  ZipfSampler sampler(100, 1.0);
+  for (uint64_t r = 1; r < 100; ++r) {
+    EXPECT_GT(sampler.Pmf(0), sampler.Pmf(r));
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalHeadFrequencyMatchesPmf) {
+  ZipfSampler sampler(500, 1.0);
+  Rng rng(37);
+  const int n = 50000;
+  int head = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(&rng) == 0) ++head;
+  }
+  double rate = static_cast<double>(head) / n;
+  EXPECT_NEAR(rate, sampler.Pmf(0), 0.01);
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  ZipfSampler sampler(64, 1.4);
+  Rng rng(39);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(sampler.Sample(&rng), 64u);
+  }
+}
+
+/// Property sweep: Zipf head mass grows with the exponent.
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, HeadMassMonotoneInExponent) {
+  double s = GetParam();
+  ZipfSampler low(1000, s);
+  ZipfSampler high(1000, s + 0.5);
+  // Mass of the top-10 ranks.
+  double mass_low = 0.0;
+  double mass_high = 0.0;
+  for (uint64_t r = 0; r < 10; ++r) {
+    mass_low += low.Pmf(r);
+    mass_high += high.Pmf(r);
+  }
+  EXPECT_LT(mass_low, mass_high);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 1.5));
+
+}  // namespace
+}  // namespace deepsurf

@@ -1,0 +1,115 @@
+// Tests for descriptive statistics.
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace deepsurf {
+namespace stats {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({7}), 7.0);
+}
+
+TEST(StdDevTest, KnownSample) {
+  // Sample {2,4,4,4,5,5,7,9}: sample stddev ~ 2.138.
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(MinMaxSumTest, Basic) {
+  std::vector<double> xs = {3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(Min(xs), -1);
+  EXPECT_DOUBLE_EQ(Max(xs), 5);
+  EXPECT_DOUBLE_EQ(Sum(xs), 12);
+}
+
+TEST(GiniTest, EqualDistributionIsZero) {
+  EXPECT_NEAR(Gini({5, 5, 5, 5}), 0.0, 1e-9);
+}
+
+TEST(GiniTest, ConcentratedDistributionNearOne) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 1000.0;
+  EXPECT_GT(Gini(xs), 0.95);
+}
+
+TEST(GiniTest, MonotoneInConcentration) {
+  EXPECT_LT(Gini({4, 5, 6}), Gini({1, 2, 12}));
+}
+
+TEST(EntropyTest, UniformIsLogN) {
+  EXPECT_NEAR(EntropyBits({1, 1, 1, 1}), 2.0, 1e-9);
+}
+
+TEST(EntropyTest, PointMassIsZero) {
+  EXPECT_NEAR(EntropyBits({5, 0, 0}), 0.0, 1e-9);
+}
+
+TEST(JensenShannonTest, IdenticalDistributionsDivergeZero) {
+  std::map<std::string, double> p = {{"a", 3}, {"b", 1}};
+  EXPECT_NEAR(JensenShannonBits(p, p), 0.0, 1e-9);
+}
+
+TEST(JensenShannonTest, DisjointDistributionsDivergeOne) {
+  std::map<std::string, double> p = {{"a", 1}, {"b", 1}};
+  std::map<std::string, double> q = {{"c", 1}, {"d", 1}};
+  EXPECT_NEAR(JensenShannonBits(p, q), 1.0, 1e-9);
+}
+
+TEST(JensenShannonTest, SymmetricAndBounded) {
+  std::map<std::string, double> p = {{"a", 4}, {"b", 1}, {"c", 2}};
+  std::map<std::string, double> q = {{"b", 3}, {"c", 1}, {"d", 5}};
+  double pq = JensenShannonBits(p, q);
+  double qp = JensenShannonBits(q, p);
+  EXPECT_NEAR(pq, qp, 1e-9);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_LT(pq, 1.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.Add(0.5);   // bucket 0
+  h.Add(9.5);   // bucket 4
+  h.Add(-3);    // clamped to 0
+  h.Add(42);    // clamped to 4
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+}
+
+TEST(RunningStatTest, MatchesBatchStatistics) {
+  RunningStat rs;
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), StdDev(xs), 1e-9);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace deepsurf

@@ -1,0 +1,124 @@
+// Tests for the string toolkit.
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace deepsurf {
+namespace strings {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(SplitTest, EmptyStringYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, NoSeparator) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitWhitespaceTest, AllWhitespaceYieldsNothing) {
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, RemovesBothEnds) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(CaseTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToUpper("MiXeD 123"), "MIXED 123");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("min_price", "min_"));
+  EXPECT_FALSE(StartsWith("price", "min_"));
+  EXPECT_TRUE(EndsWith("price_from", "_from"));
+  EXPECT_FALSE(EndsWith("price", "_from"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ContainsTest, Substring) {
+  EXPECT_TRUE(Contains("the deep web", "deep"));
+  EXPECT_FALSE(Contains("the deep web", "shallow"));
+}
+
+TEST(EqualsIgnoreCaseTest, Basic) {
+  EXPECT_TRUE(EqualsIgnoreCase("Honda", "hONDA"));
+  EXPECT_FALSE(EqualsIgnoreCase("Honda", "Hond"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // empty from is a no-op
+}
+
+TEST(ParseIntTest, Valid) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-17"), -17);
+  EXPECT_EQ(*ParseInt("0"), 0);
+}
+
+TEST(ParseIntTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseInt("42x").ok());
+  EXPECT_FALSE(ParseInt("4 2").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("abc").ok());
+}
+
+TEST(ParseIntTest, Overflow) {
+  EXPECT_TRUE(ParseInt("999999999999999999999999").status().IsOutOfRange());
+}
+
+TEST(ParseDoubleTest, Valid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-0.5"), -0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("3.2.5").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+}
+
+TEST(IsDigitsTest, Basic) {
+  EXPECT_TRUE(IsDigits("90210"));
+  EXPECT_FALSE(IsDigits("90210x"));
+  EXPECT_FALSE(IsDigits(""));
+}
+
+TEST(IsAlphaTest, Basic) {
+  EXPECT_TRUE(IsAlpha("abc"));
+  EXPECT_FALSE(IsAlpha("a1"));
+  EXPECT_FALSE(IsAlpha(""));
+}
+
+TEST(FormatTest, PrintfStyle) {
+  EXPECT_EQ(Format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(Format("%.2f", 1.0 / 3.0), "0.33");
+  EXPECT_EQ(Format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace strings
+}  // namespace deepsurf
