@@ -3,19 +3,19 @@
 //   1. build a small simulated web (one deep-web site, one hub page);
 //   2. crawl the surface — the crawler finds the form but cannot reach
 //      the content behind it;
-//   3. surface the form: analyze inputs, probe, generate GET URLs;
-//   4. insert the surfaced pages into the search index;
+//   3 + 4. hand the discovered forms to the SurfacingDriver, which fans
+//      the analyses out over worker threads through a shared probe
+//      scheduler and batch-ingests the surfaced pages into the index;
 //   5. answer a keyword query that only deep-web content can answer.
 //
 // Run:  ./quickstart
 
 #include <cstdio>
 
-#include "core/surfacer.h"
 #include "crawler/crawler.h"
-#include "html/parser.h"
-#include "html/text.h"
+#include "crawler/surfacing_driver.h"
 #include "index/analyzer.h"
+#include "net/fetcher.h"
 #include "synthweb/corpus.h"
 
 using namespace deepsurf;
@@ -47,34 +47,39 @@ int main() {
               crawler.stats().pages_fetched, crawler.stats().forms_found,
               index.num_docs());
 
-  // 3 + 4. Surface every discovered form and index the generated pages.
-  core::Surfacer surfacer(corpus.web.get(), &index, {});
-  extract::AnnotationStore annotations;
-  for (const auto& discovered : crawler.forms()) {
-    std::string scripts;
-    if (auto page = corpus.web->Get(discovered.page_url); page.ok()) {
-      auto dom = html::Parse(page->body);
-      scripts = html::ExtractScriptText(*dom);
-    }
-    auto result = surfacer.Surface(discovered.page_url, discovered.form,
-                                   scripts);
-    if (!result.ok()) {
-      std::printf("  surface failed: %s\n",
-                  result.status().ToString().c_str());
-      continue;
-    }
-    if (result->skipped_post) {
-      std::printf("  %s: POST form, cannot surface\n",
-                  discovered.page_url.host().c_str());
-      continue;
-    }
-    auto indexed = core::IndexSurfacedUrls(corpus.web.get(), &index,
-                                           result->urls, &annotations);
-    std::printf("  %s: %zu probes -> %zu URLs -> %zu pages indexed\n",
-                discovered.page_url.host().c_str(), result->probes_used,
-                result->urls.size(), indexed.ok() ? *indexed : 0);
+  // 3 + 4. Surface every discovered form through the corpus driver: two
+  // worker threads share one probe scheduler (deduplicating probe cache,
+  // per-host accounting) and batch-ingest surfaced pages into the index.
+  // Note the seed index stays null: the output index must not seed its
+  // own run (see SurfacingDriverOptions::seed_index).
+  net::ProbeScheduler scheduler(corpus.web.get());
+  crawler::SurfacingDriverOptions dopts;
+  dopts.num_threads = 2;
+  crawler::SurfacingDriver driver(&scheduler, &index, dopts);
+  auto stats = driver.Run(crawler.forms());
+  if (!stats.ok()) {
+    std::printf("surfacing failed: %s\n", stats.status().ToString().c_str());
+    return 1;
   }
-  std::printf("index now has %zu docs\n", index.num_docs());
+  for (const auto& outcome : driver.outcomes()) {
+    if (!outcome.status.ok()) {
+      std::printf("  %s: surface failed: %s\n",
+                  outcome.page_url.host().c_str(),
+                  outcome.status.ToString().c_str());
+    } else if (outcome.result.skipped_post) {
+      std::printf("  %s: POST form, cannot surface\n",
+                  outcome.page_url.host().c_str());
+    } else {
+      std::printf("  %s: %zu probes -> %zu URLs -> %zu pages indexed\n",
+                  outcome.page_url.host().c_str(),
+                  outcome.result.probes_used, outcome.result.urls.size(),
+                  outcome.pages_indexed);
+    }
+  }
+  std::printf("index now has %zu docs (probe cache: %.0f%% hit rate, %zu "
+              "pages in %.2fs)\n",
+              index.num_docs(), 100.0 * stats->scheduler.HitRate(),
+              stats->pages_indexed, stats->wall_seconds);
 
   // 5. A query about a *tail* record: only a surfaced page can answer.
   const auto& entity = corpus.entities.back();

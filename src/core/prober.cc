@@ -46,9 +46,16 @@ ProbeResult ReducePage(int status_code, const std::string& body) {
   return out;
 }
 
+FormProber::FormProber(net::ProbeScheduler* scheduler,
+                       const AnalyzedForm& form, size_t budget)
+    : scheduler_(scheduler), form_(form), budget_(budget) {}
+
 FormProber::FormProber(net::SimulatedWeb* web, const AnalyzedForm& form,
                        size_t budget)
-    : web_(web), form_(form), budget_(budget) {}
+    : owned_scheduler_(std::make_unique<net::ProbeScheduler>(web)),
+      scheduler_(owned_scheduler_.get()),
+      form_(form),
+      budget_(budget) {}
 
 Result<ProbeResult> FormProber::Probe(const Bindings& bindings) {
   if (form_.is_post) {
@@ -66,7 +73,7 @@ Result<ProbeResult> FormProber::Probe(const Bindings& bindings) {
     return Status::ResourceExhausted("probe budget exhausted");
   }
   ++fetches_;
-  auto resp = web_->Get(url);
+  auto resp = scheduler_->Fetch(url);
   if (!resp.ok()) return resp.status();
   ProbeResult result = ReducePage(resp->status_code, resp->body);
   cache_[key] = result;

@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/form_model.h"
+#include "net/fetcher.h"
 #include "net/web.h"
 #include "util/result.h"
 
@@ -43,11 +45,25 @@ struct ProbeResult {
   bool HasResults() const { return status_code == 200 && record_count > 0; }
 };
 
-/// Probe executor with per-form caching and budget accounting.
+/// Probe executor with per-form caching and budget accounting. All probe
+/// traffic flows through a ProbeScheduler (the shared fetch layer), which
+/// adds cross-form response caching, politeness budgets, and thread-safe
+/// host accounting underneath. One FormProber analyzes one form and is
+/// not itself thread-safe; concurrency happens at the form level, with
+/// many probers sharing one scheduler.
 class FormProber {
  public:
-  /// `budget` caps the number of *network* fetches (cache hits are free);
-  /// 0 means unlimited.
+  /// Probes via `scheduler` (not owned; must outlive the prober).
+  /// `budget` caps the number of probes that miss this prober's own
+  /// reduced-result cache (such probes are charged to the budget even
+  /// when the scheduler serves the raw response from its shared cache,
+  /// so a form's analysis is deterministic regardless of what other
+  /// forms were analyzed before it); 0 means unlimited.
+  FormProber(net::ProbeScheduler* scheduler, const AnalyzedForm& form,
+             size_t budget = 0);
+
+  /// Convenience for single-form callers (tests, benches): probes `web`
+  /// through an internally owned scheduler.
   FormProber(net::SimulatedWeb* web, const AnalyzedForm& form,
              size_t budget = 0);
 
@@ -55,16 +71,19 @@ class FormProber {
   /// stated limitation). Budget exhaustion fails with ResourceExhausted.
   Result<ProbeResult> Probe(const Bindings& bindings);
 
-  /// Fetches issued so far (excluding cache hits).
+  /// Budget-charged probes so far (excluding this prober's cache hits).
   size_t fetches() const { return fetches_; }
 
-  /// Cache hits served so far.
+  /// Cache hits served so far (from this prober's own cache).
   size_t cache_hits() const { return cache_hits_; }
 
   const AnalyzedForm& form() const { return form_; }
 
+  net::ProbeScheduler* scheduler() { return scheduler_; }
+
  private:
-  net::SimulatedWeb* web_;
+  std::unique_ptr<net::ProbeScheduler> owned_scheduler_;
+  net::ProbeScheduler* scheduler_;
   AnalyzedForm form_;
   size_t budget_;
   size_t fetches_ = 0;

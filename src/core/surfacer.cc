@@ -1,316 +1,40 @@
 #include "core/surfacer.h"
 
-#include <algorithm>
 #include <set>
 
-#include "core/jscorr.h"
 #include "html/parser.h"
 #include "html/text.h"
-#include "util/strings.h"
 
 namespace deepsurf {
 namespace core {
 
+Surfacer::Surfacer(net::ProbeScheduler* scheduler,
+                   const index::InvertedIndex* seed_index,
+                   SurfacerOptions options)
+    : scheduler_(scheduler),
+      seed_index_(seed_index),
+      options_(std::move(options)) {}
+
 Surfacer::Surfacer(net::SimulatedWeb* web,
                    const index::InvertedIndex* seed_index,
                    SurfacerOptions options)
-    : web_(web), seed_index_(seed_index), options_(std::move(options)) {}
-
-namespace {
-
-/// Numeric parses of a type's sample dictionary (range probe seeds).
-std::vector<double> NumericSamples(DataType type) {
-  std::vector<double> out;
-  for (const auto& v : SampleValues(type)) {
-    auto parsed = strings::ParseDouble(v);
-    if (parsed.ok()) out.push_back(*parsed);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-/// Single-parameter choices from a list of values.
-std::vector<Bindings> SingleChoices(const std::string& input,
-                                    const std::vector<std::string>& values,
-                                    size_t cap) {
-  std::vector<Bindings> out;
-  for (const auto& v : values) {
-    if (v.empty()) continue;
-    if (out.size() >= cap) break;
-    out.push_back(Bindings{{input, v}});
-  }
-  return out;
-}
-
-}  // namespace
+    : owned_scheduler_(std::make_unique<net::ProbeScheduler>(web)),
+      scheduler_(owned_scheduler_.get()),
+      seed_index_(seed_index),
+      options_(std::move(options)) {}
 
 Result<FormSurfacingResult> Surfacer::Surface(
     const net::Url& page_url, const html::Form& form,
     const std::string& page_scripts) {
-  FormSurfacingResult result;
-  DEEPSURF_ASSIGN_OR_RETURN(AnalyzedForm analyzed,
-                            AnalyzeForm(page_url, form, page_scripts));
-  if (analyzed.is_post) {
-    result.skipped_post = true;
-    return result;
-  }
-  FormProber prober(web_, analyzed, options_.probe_budget);
-
-  std::vector<std::string> context_words;
-  if (seed_index_ != nullptr) {
-    context_words = seed_index_->CharacteristicTerms(
-        analyzed.action.host(), options_.probing.seed_count);
-  }
-  if (context_words.empty()) {
-    // No index knowledge about this host: characterize the site from its
-    // own unconstrained submission (most sites answer it with the first
-    // result page) — the probe is cached and reused by all later steps.
-    auto default_page = prober.Probe({});
-    if (default_page.ok() && default_page->HasResults()) {
-      std::vector<std::pair<double, std::string>> ranked;
-      for (const auto& [term, tf] : default_page->term_frequencies) {
-        ranked.emplace_back(tf, term);
-      }
-      std::sort(ranked.begin(), ranked.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.first != b.first) return a.first > b.first;
-                  return a.second < b.second;
-                });
-      for (const auto& [tf, term] : ranked) {
-        if (context_words.size() >= options_.probing.seed_count) break;
-        context_words.push_back(term);
-      }
-    }
-  }
-  auto df_lookup = [this](const std::string& term) -> double {
-    if (seed_index_ == nullptr || seed_index_->num_docs() == 0) return 0.0;
-    return static_cast<double>(seed_index_->DocFrequency(term)) /
-           static_cast<double>(seed_index_->num_docs());
-  };
-
-  std::set<std::string> consumed;
-  std::vector<TemplateInput> template_inputs;
-
-  // --- Typed-input recognition on every text box. ---
-  if (options_.enable_typed) {
-    for (const auto& input : analyzed.inputs) {
-      if (input.is_select) continue;
-      auto verdict = RecognizeType(&prober, input.name, input.label,
-                                   context_words, options_.typed);
-      if (!verdict.ok()) {
-        if (verdict.status().IsResourceExhausted()) break;
-        return verdict.status();
-      }
-      result.typed_verdicts[input.name] = *verdict;
-    }
-  }
-
-  // --- Javascript correlations (make -> model). ---
-  if (options_.enable_jscorr && !analyzed.scripts.empty()) {
-    for (const auto& corr : MineCorrelationMaps(analyzed.scripts)) {
-      // Find a select whose options overlap the map keys.
-      const AnalyzedInput* controller = nullptr;
-      for (const auto& input : analyzed.inputs) {
-        if (!input.is_select || consumed.count(input.name)) continue;
-        size_t overlap = 0;
-        for (const auto& v : input.select_values) {
-          if (corr.values.count(v)) ++overlap;
-        }
-        if (overlap * 2 >= corr.values.size()) {
-          controller = &input;
-          break;
-        }
-      }
-      if (controller == nullptr) continue;
-      // The dependent input: an unconsumed text box that is not a search
-      // box and not range-typed — i.e. one probing could not fill.
-      const AnalyzedInput* dependent = nullptr;
-      for (const auto& input : analyzed.inputs) {
-        if (input.is_select || consumed.count(input.name)) continue;
-        auto it = result.typed_verdicts.find(input.name);
-        DataType t = it == result.typed_verdicts.end() ? DataType::kUnknown
-                                                       : it->second.type;
-        if (t == DataType::kUnknown || t == DataType::kCity) {
-          dependent = &input;
-          break;
-        }
-      }
-      if (dependent == nullptr) continue;
-      TemplateInput ti;
-      ti.name = controller->name + "*" + dependent->name;
-      for (const auto& [key, deps] : corr.values) {
-        size_t used = 0;
-        for (const auto& dep : deps) {
-          if (used >= options_.max_js_values_per_key) break;
-          ++used;
-          ti.choices.push_back(
-              Bindings{{controller->name, key}, {dependent->name, dep}});
-        }
-      }
-      if (!ti.choices.empty()) {
-        consumed.insert(controller->name);
-        consumed.insert(dependent->name);
-        template_inputs.push_back(std::move(ti));
-      }
-    }
-  }
-
-  // --- Range pairs. ---
-  if (options_.enable_ranges) {
-    std::vector<std::pair<std::string, std::vector<double>>> numeric_seed;
-    for (const auto& [name, verdict] : result.typed_verdicts) {
-      if (verdict.type == DataType::kPrice ||
-          verdict.type == DataType::kYear) {
-        numeric_seed.emplace_back(name, NumericSamples(verdict.type));
-      }
-    }
-    auto ranges = DetectRanges(&prober, numeric_seed, options_.ranges);
-    if (ranges.ok()) {
-      for (auto& pair : *ranges) {
-        if (pair.confirmed && !consumed.count(pair.min_input) &&
-            !consumed.count(pair.max_input)) {
-          TemplateInput ti;
-          ti.name = pair.min_input + ".." + pair.max_input;
-          for (const auto& [lo, hi] : pair.bands) {
-            ti.choices.push_back(
-                Bindings{{pair.min_input, lo}, {pair.max_input, hi}});
-          }
-          if (!ti.choices.empty()) {
-            consumed.insert(pair.min_input);
-            consumed.insert(pair.max_input);
-            template_inputs.push_back(std::move(ti));
-          }
-        }
-        result.probes_used += pair.probes_used;
-      }
-      result.ranges = std::move(*ranges);
-    } else if (!ranges.status().IsResourceExhausted()) {
-      return ranges.status();
-    }
-  }
-
-  // --- Database selection. ---
-  if (options_.enable_dbselect) {
-    // Pattern: a search-box text input plus a select menu.
-    std::string search_box;
-    for (const auto& [name, verdict] : result.typed_verdicts) {
-      if (verdict.type == DataType::kSearchBox && !consumed.count(name)) {
-        search_box = name;
-        break;
-      }
-    }
-    if (!search_box.empty()) {
-      for (const auto& input : analyzed.inputs) {
-        if (!input.is_select || consumed.count(input.name)) continue;
-        if (input.select_values.size() < 2) continue;
-        auto verdict = MineDbSelector(&prober, input.name, search_box,
-                                      context_words, df_lookup,
-                                      options_.dbselect);
-        if (!verdict.ok()) {
-          if (verdict.status().IsResourceExhausted()) break;
-          return verdict.status();
-        }
-        bool detected = verdict->is_db_selector &&
-                        !verdict->keywords_by_option.empty();
-        if (detected) {
-          TemplateInput ti;
-          ti.name = input.name + "#" + search_box;
-          for (const auto& [option, keywords] :
-               verdict->keywords_by_option) {
-            for (const auto& kw : keywords) {
-              ti.choices.push_back(
-                  Bindings{{input.name, option}, {search_box, kw}});
-            }
-          }
-          if (!ti.choices.empty()) {
-            consumed.insert(input.name);
-            consumed.insert(search_box);
-            template_inputs.push_back(std::move(ti));
-          }
-        }
-        result.dbselect.push_back(std::move(*verdict));
-        if (detected) break;  // one db-selection pattern per form
-      }
-    }
-  }
-
-  // --- Remaining inputs become plain template inputs. ---
-  for (const auto& input : analyzed.inputs) {
-    if (consumed.count(input.name)) continue;
-    TemplateInput ti;
-    ti.name = input.name;
-    if (input.is_select) {
-      ti.choices = SingleChoices(input.name, input.select_values,
-                                 options_.max_select_options);
-    } else {
-      auto it = result.typed_verdicts.find(input.name);
-      DataType type = it == result.typed_verdicts.end()
-                          ? DataType::kUnknown
-                          : it->second.type;
-      if (type == DataType::kSearchBox) {
-        auto mined = IterativeProbe(&prober, input.name, context_words,
-                                    df_lookup, options_.probing);
-        if (!mined.ok()) {
-          if (mined.status().IsResourceExhausted()) continue;
-          return mined.status();
-        }
-        result.search_keywords += mined->selected.size();
-        std::vector<std::string> kept = mined->selected;
-        if (kept.size() > options_.max_keywords) {
-          kept.resize(options_.max_keywords);
-        }
-        ti.choices = SingleChoices(input.name, kept, options_.max_keywords);
-      } else if (type != DataType::kUnknown) {
-        ti.choices = SingleChoices(input.name, SampleValues(type),
-                                   options_.max_typed_samples);
-      }
-    }
-    if (!ti.choices.empty()) template_inputs.push_back(std::move(ti));
-  }
-
-  // --- Informative-template search. ---
   DEEPSURF_ASSIGN_OR_RETURN(
-      TemplateSearchResult search,
-      SearchTemplates(&prober, template_inputs, options_.templates));
-  result.templates_evaluated = search.evaluated.size();
-  result.templates_informative = search.Informative().size();
-
-  // --- Scheme selection (indexability) and URL generation. ---
-  std::vector<const EvaluatedTemplate*> chosen;
-  if (options_.enable_indexability) {
-    IndexabilityOptions idx_opts = options_.indexability;
-    idx_opts.max_urls_per_form = options_.max_urls_per_form;
-    SurfacingScheme scheme = SelectScheme(template_inputs, search, idx_opts);
-    chosen = scheme.templates;
-    result.estimated_distinct_records = scheme.estimated_distinct_records;
-  } else {
-    for (const auto* t : search.Informative()) chosen.push_back(t);
-    std::set<uint64_t> records;
-    for (const auto* t : chosen) {
-      for (uint64_t h : t->sample_record_hashes) records.insert(h);
-    }
-    result.estimated_distinct_records = records.size();
-  }
-  result.templates_selected = chosen.size();
-
-  std::set<std::string> seen_urls;
-  for (const EvaluatedTemplate* tmpl : chosen) {
-    for (auto& bindings :
-         ExpandTemplate(template_inputs, *tmpl, options_.max_urls_per_form)) {
-      net::Url url = SubmissionUrl(analyzed, bindings);
-      std::string canonical = url.ToCanonicalString();
-      if (seen_urls.count(canonical)) continue;
-      if (options_.max_urls_per_form != 0 &&
-          result.urls.size() >= options_.max_urls_per_form) {
-        break;
-      }
-      seen_urls.insert(canonical);
-      result.urls.push_back(SurfacedUrl{std::move(url), std::move(bindings)});
-    }
-  }
-  result.probes_used = prober.fetches();
-  result.template_inputs = std::move(template_inputs);
-  return result;
+      FormAnalysisContext ctx,
+      AnalyzeInputs(scheduler_, seed_index_, options_, page_url, form,
+                    page_scripts));
+  if (ctx.result.skipped_post) return std::move(ctx.result);
+  if (Status s = MineCandidates(&ctx); !s.ok()) return s;
+  if (Status s = SearchTemplates(&ctx); !s.ok()) return s;
+  if (Status s = EmitUrls(&ctx); !s.ok()) return s;
+  return std::move(ctx.result);
 }
 
 Result<NaiveSurfacingResult> Surfacer::NaiveSurface(
@@ -320,7 +44,7 @@ Result<NaiveSurfacingResult> Surfacer::NaiveSurface(
   DEEPSURF_ASSIGN_OR_RETURN(AnalyzedForm analyzed,
                             AnalyzeForm(page_url, form, page_scripts));
   if (analyzed.is_post) return result;
-  FormProber prober(web_, analyzed, options_.probe_budget);
+  FormProber prober(scheduler_, analyzed, options_.probe_budget);
 
   std::vector<std::string> context_words;
   if (seed_index_ != nullptr) {
@@ -391,13 +115,17 @@ Result<NaiveSurfacingResult> Surfacer::NaiveSurface(
   return result;
 }
 
-Result<size_t> IndexSurfacedUrls(net::SimulatedWeb* web,
-                                 index::InvertedIndex* index,
-                                 const std::vector<SurfacedUrl>& urls,
-                                 extract::AnnotationStore* store) {
+namespace {
+
+/// Shared implementation: `fetch` abstracts over web / scheduler.
+template <typename Fetch>
+Result<size_t> IndexSurfacedUrlsImpl(Fetch&& fetch,
+                                     index::InvertedIndex* index,
+                                     const std::vector<SurfacedUrl>& urls,
+                                     extract::AnnotationStore* store) {
   size_t indexed = 0;
   for (const auto& surfaced : urls) {
-    auto resp = web->Get(surfaced.url);
+    auto resp = fetch(surfaced.url);
     if (!resp.ok() || resp->status_code != 200) continue;
     auto dom = html::Parse(resp->body);
     std::string canonical = surfaced.url.ToCanonicalString();
@@ -417,6 +145,25 @@ Result<size_t> IndexSurfacedUrls(net::SimulatedWeb* web,
     }
   }
   return indexed;
+}
+
+}  // namespace
+
+Result<size_t> IndexSurfacedUrls(net::SimulatedWeb* web,
+                                 index::InvertedIndex* index,
+                                 const std::vector<SurfacedUrl>& urls,
+                                 extract::AnnotationStore* store) {
+  return IndexSurfacedUrlsImpl(
+      [web](const net::Url& u) { return web->Get(u); }, index, urls, store);
+}
+
+Result<size_t> IndexSurfacedUrls(net::ProbeScheduler* scheduler,
+                                 index::InvertedIndex* index,
+                                 const std::vector<SurfacedUrl>& urls,
+                                 extract::AnnotationStore* store) {
+  return IndexSurfacedUrlsImpl(
+      [scheduler](const net::Url& u) { return scheduler->Fetch(u); }, index,
+      urls, store);
 }
 
 }  // namespace core

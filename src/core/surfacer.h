@@ -1,85 +1,32 @@
 // Copyright 2026 The deepsurf Authors.
 //
 // The surfacer: end-to-end offline analysis of one HTML form into a set
-// of indexable GET URLs. Orchestrates every §4 technique — typed-input
+// of indexable GET URLs. A thin facade over the staged pipeline
+// (core/pipeline.h) — AnalyzeInputs -> MineCandidates -> SearchTemplates
+// -> EmitUrls — which orchestrates every §4 technique: typed-input
 // recognition, iterative probing for search boxes, Javascript-correlation
-// mining, range-pair compilation, database-selection detection — feeds
-// the results into informative-template search, applies the indexability
-// criterion, and emits the surfacing scheme's URLs. Each technique can be
-// disabled independently for ablation experiments.
+// mining, range-pair compilation, database-selection detection,
+// informative-template search, the indexability criterion, and URL
+// emission. Each technique can be disabled independently for ablation
+// experiments, and each stage can be driven separately through the
+// pipeline functions. All fetches flow through a shared ProbeScheduler.
 
 #ifndef DEEPSURF_CORE_SURFACER_H_
 #define DEEPSURF_CORE_SURFACER_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/dbselect.h"
-#include "core/form_model.h"
-#include "core/indexability.h"
-#include "core/probing.h"
-#include "core/ranges.h"
-#include "core/templates.h"
-#include "core/typed.h"
+#include "core/pipeline.h"
 #include "extract/annotator.h"
 #include "index/inverted_index.h"
+#include "net/fetcher.h"
 #include "net/web.h"
 #include "util/result.h"
 
 namespace deepsurf {
 namespace core {
-
-/// Feature switches + budgets for the whole pipeline.
-struct SurfacerOptions {
-  bool enable_typed = true;
-  bool enable_ranges = true;
-  bool enable_dbselect = true;
-  bool enable_jscorr = true;
-  bool enable_indexability = true;
-  /// Probe budget per form during offline analysis (0 = unlimited).
-  size_t probe_budget = 600;
-  /// URL cap per form.
-  size_t max_urls_per_form = 5000;
-  /// Candidate-value caps.
-  size_t max_select_options = 40;
-  size_t max_keywords = 25;
-  size_t max_typed_samples = 10;
-  size_t max_js_values_per_key = 3;
-
-  TypeRecognizerOptions typed;
-  ProbingOptions probing;
-  RangeDetectorOptions ranges;
-  DbSelectOptions dbselect;
-  TemplateOptions templates;
-  IndexabilityOptions indexability;
-};
-
-/// One generated URL with the bindings that produced it (the bindings are
-/// the page's semantic annotations — paper §5.1).
-struct SurfacedUrl {
-  net::Url url;
-  Bindings bindings;
-};
-
-/// Full per-form analysis outcome.
-struct FormSurfacingResult {
-  bool skipped_post = false;
-  std::vector<SurfacedUrl> urls;
-  size_t probes_used = 0;  ///< fetches during offline analysis
-
-  std::map<std::string, TypeVerdict> typed_verdicts;  ///< per text input
-  std::vector<RangePair> ranges;
-  std::vector<DbSelectVerdict> dbselect;
-  size_t search_keywords = 0;       ///< keywords mined for search boxes
-  size_t templates_evaluated = 0;
-  size_t templates_informative = 0;
-  size_t templates_selected = 0;
-  size_t estimated_distinct_records = 0;
-  /// The compiled analysis inputs (exposed for experiments).
-  std::vector<TemplateInput> template_inputs;
-};
 
 /// Baseline result: what naive Cartesian enumeration would do.
 struct NaiveSurfacingResult {
@@ -87,15 +34,22 @@ struct NaiveSurfacingResult {
   std::vector<SurfacedUrl> urls;  ///< capped expansion
 };
 
-/// The surfacing engine. Holds a reference to the web (for probing) and
-/// optionally the search index (for characteristic-term seeds).
+/// The surfacing engine. Probes through a ProbeScheduler (shared with
+/// other surfacers when analyses run concurrently) and optionally reads
+/// the search index for characteristic-term seeds.
 class Surfacer {
  public:
+  /// Probes through `scheduler` (not owned; must outlive the surfacer).
+  Surfacer(net::ProbeScheduler* scheduler,
+           const index::InvertedIndex* seed_index,
+           SurfacerOptions options = {});
+
+  /// Convenience: probes `web` through an internally owned scheduler.
   Surfacer(net::SimulatedWeb* web, const index::InvertedIndex* seed_index,
            SurfacerOptions options = {});
 
   /// Analyzes one form (as discovered by the crawler) and produces its
-  /// surfacing URLs.
+  /// surfacing URLs. Runs the four pipeline stages in order.
   Result<FormSurfacingResult> Surface(const net::Url& page_url,
                                       const html::Form& form,
                                       const std::string& page_scripts = "");
@@ -109,9 +63,11 @@ class Surfacer {
       const std::string& page_scripts = "");
 
   const SurfacerOptions& options() const { return options_; }
+  net::ProbeScheduler* scheduler() { return scheduler_; }
 
  private:
-  net::SimulatedWeb* web_;
+  std::unique_ptr<net::ProbeScheduler> owned_scheduler_;
+  net::ProbeScheduler* scheduler_;
   const index::InvertedIndex* seed_index_;
   SurfacerOptions options_;
 };
@@ -121,6 +77,14 @@ class Surfacer {
 /// (when non-null). Returns the number of pages actually indexed (exact
 /// duplicates are suppressed by the index).
 Result<size_t> IndexSurfacedUrls(net::SimulatedWeb* web,
+                                 index::InvertedIndex* index,
+                                 const std::vector<SurfacedUrl>& urls,
+                                 extract::AnnotationStore* store = nullptr);
+
+/// As above, but fetching through `scheduler` — when it is the scheduler
+/// the analysis probed through, pages already fetched during analysis are
+/// served from the probe cache instead of hitting the site again.
+Result<size_t> IndexSurfacedUrls(net::ProbeScheduler* scheduler,
                                  index::InvertedIndex* index,
                                  const std::vector<SurfacedUrl>& urls,
                                  extract::AnnotationStore* store = nullptr);

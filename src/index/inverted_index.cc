@@ -18,6 +18,34 @@ Result<DocId> InvertedIndex::AddDocument(const std::string& url,
                                          const std::string& body,
                                          bool is_deep_web,
                                          const std::string& source_host) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return AddDocumentLocked(url, title, body, is_deep_web, source_host);
+}
+
+Result<size_t> InvertedIndex::InsertBatch(const std::vector<Document>& docs,
+                                          std::vector<bool>* newly_added) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (newly_added != nullptr) newly_added->assign(docs.size(), false);
+  size_t added = 0;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const auto& d = docs[i];
+    size_t before = docs_.size();
+    auto id = AddDocumentLocked(d.url, d.title, d.body, d.is_deep_web,
+                                d.source_host);
+    if (!id.ok()) return id.status();
+    if (docs_.size() > before) {
+      ++added;
+      if (newly_added != nullptr) (*newly_added)[i] = true;
+    }
+  }
+  return added;
+}
+
+Result<DocId> InvertedIndex::AddDocumentLocked(const std::string& url,
+                                               const std::string& title,
+                                               const std::string& body,
+                                               bool is_deep_web,
+                                               const std::string& source_host) {
   uint64_t hash = Fnv1a64(body);
   if (options_.suppress_duplicates) {
     auto it = by_hash_.find(hash);

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,7 +49,22 @@ struct IndexOptions {
   bool suppress_duplicates = true;
 };
 
+/// One document prepared for batch ingestion.
+struct Document {
+  std::string url;
+  std::string title;
+  std::string body;
+  bool is_deep_web = false;
+  std::string source_host;
+};
+
 /// In-memory inverted index with BM25 ranking.
+///
+/// Thread safety: writes (AddDocument, InsertBatch) may be issued from
+/// many threads concurrently — a single ingest lock serializes them.
+/// Reads are NOT synchronized against concurrent writes; run queries
+/// either before ingestion starts or after it completes (the surfacing
+/// driver obeys this: its seed index is distinct from its output index).
 class InvertedIndex {
  public:
   explicit InvertedIndex(IndexOptions options = {});
@@ -56,9 +72,18 @@ class InvertedIndex {
   /// Indexes a document; returns its DocId. With duplicate suppression on,
   /// returns the DocId of the already-indexed duplicate instead of adding
   /// a new one (the status distinguishes: Aborted means duplicate).
+  /// Thread-safe.
   Result<DocId> AddDocument(const std::string& url, const std::string& title,
                             const std::string& body, bool is_deep_web,
                             const std::string& source_host);
+
+  /// Ingests a batch under one lock acquisition; returns how many
+  /// documents were newly added (duplicates suppressed, not counted).
+  /// When `newly_added` is non-null it is resized to the batch and marks,
+  /// per position, whether that document entered the index (false =
+  /// suppressed as a duplicate). Thread-safe.
+  Result<size_t> InsertBatch(const std::vector<Document>& docs,
+                             std::vector<bool>* newly_added = nullptr);
 
   /// Top-k BM25 hits for a keyword query.
   std::vector<SearchHit> Search(const std::string& query, size_t k) const;
@@ -90,6 +115,13 @@ class InvertedIndex {
     float weight;  ///< tf with title boost applied
   };
 
+  /// AddDocument without the ingest lock (callers hold ingest_mu_).
+  Result<DocId> AddDocumentLocked(const std::string& url,
+                                  const std::string& title,
+                                  const std::string& body, bool is_deep_web,
+                                  const std::string& source_host);
+
+  mutable std::mutex ingest_mu_;
   IndexOptions options_;
   std::vector<DocInfo> docs_;
   std::unordered_map<std::string, std::vector<Posting>> postings_;

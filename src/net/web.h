@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,14 @@ struct HostTraffic {
 };
 
 /// Registry + fetch facade over all simulated sites.
+///
+/// Thread safety: fetches (Get/Post) and traffic reads may be issued from
+/// any number of threads concurrently. Requests to one host are serialized
+/// on a per-host lock — servers may keep mutable state (FlakyServer does)
+/// and a polite fetch layer holds one connection per site anyway — while
+/// requests to different hosts proceed in parallel. Register is intended
+/// for single-threaded setup, but takes the registry lock so a stray
+/// concurrent call is safe rather than undefined.
 class SimulatedWeb {
  public:
   SimulatedWeb() = default;
@@ -87,7 +96,7 @@ class SimulatedWeb {
   HostTraffic TrafficFor(const std::string& host) const;
 
   /// Total requests across all hosts.
-  uint64_t total_requests() const { return total_requests_; }
+  uint64_t total_requests() const;
 
   /// Resets all traffic counters (e.g. between the offline-analysis and
   /// serving phases of an experiment).
@@ -97,9 +106,19 @@ class SimulatedWeb {
   std::vector<std::string> Hosts() const;
 
  private:
+  /// One registered host: its server plus the lock serializing Handle
+  /// calls (heap-allocated so the registry map can grow without moving
+  /// live mutexes).
+  struct HostEntry {
+    std::shared_ptr<WebServer> server;
+    std::unique_ptr<std::mutex> serve_mu;
+  };
+
   Result<HttpResponse> Dispatch(const HttpRequest& request);
 
-  std::map<std::string, std::shared_ptr<WebServer>> servers_;
+  /// Guards the registry, the traffic counters, and total_requests_.
+  mutable std::mutex mu_;
+  std::map<std::string, HostEntry> servers_;
   std::map<std::string, HostTraffic> traffic_;
   uint64_t total_requests_ = 0;
 };

@@ -1,0 +1,149 @@
+// Tests for the staged surfacing pipeline: each stage drivable on its
+// own over a shared FormAnalysisContext, and the staged path equivalent
+// to the Surfacer facade.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/surfacer.h"
+#include "net/fetcher.h"
+#include "test_support.h"
+
+namespace deepsurf {
+namespace core {
+namespace {
+
+using testing_support::MakeSite;
+
+SurfacerOptions FastOptions() {
+  SurfacerOptions opts;
+  opts.templates.sample_assignments = 8;
+  opts.probing.rounds = 2;
+  opts.probe_budget = 1200;
+  return opts;
+}
+
+TEST(PipelineTest, AnalyzeInputsRecognizesTypes) {
+  auto h = MakeSite(synthweb::Domain::kStoreLocator, 613, 300);
+  net::ProbeScheduler scheduler(&h->web);
+  auto ctx = AnalyzeInputs(&scheduler, nullptr, FastOptions(), h->page_url,
+                           h->form, h->scripts);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_FALSE(ctx->result.skipped_post);
+  ASSERT_NE(ctx->prober, nullptr);
+  EXPECT_FALSE(ctx->context_words.empty());
+  bool zip_found = false;
+  for (const auto& [name, verdict] : ctx->result.typed_verdicts) {
+    if (verdict.type == DataType::kZipCode) zip_found = true;
+  }
+  EXPECT_TRUE(zip_found);
+  // Nothing mined or emitted yet.
+  EXPECT_TRUE(ctx->template_inputs.empty());
+  EXPECT_TRUE(ctx->result.urls.empty());
+}
+
+TEST(PipelineTest, StagesRunIndependently) {
+  auto h = MakeSite(synthweb::Domain::kUsedCars, 617, 300);
+  net::ProbeScheduler scheduler(&h->web);
+  auto ctx = AnalyzeInputs(&scheduler, nullptr, FastOptions(), h->page_url,
+                           h->form, h->scripts);
+  ASSERT_TRUE(ctx.ok());
+
+  ASSERT_TRUE(MineCandidates(&*ctx).ok());
+  EXPECT_FALSE(ctx->template_inputs.empty());
+  EXPECT_TRUE(ctx->search.evaluated.empty());
+
+  ASSERT_TRUE(SearchTemplates(&*ctx).ok());
+  EXPECT_GT(ctx->result.templates_evaluated, 0u);
+  EXPECT_GT(ctx->result.templates_informative, 0u);
+  EXPECT_TRUE(ctx->result.urls.empty());
+
+  ASSERT_TRUE(EmitUrls(&*ctx).ok());
+  EXPECT_FALSE(ctx->result.urls.empty());
+  EXPECT_GT(ctx->result.probes_used, 0u);
+}
+
+TEST(PipelineTest, StagedPathMatchesSurfacerFacade) {
+  SurfacerOptions opts = FastOptions();
+
+  auto h1 = MakeSite(synthweb::Domain::kUsedCars, 619, 250);
+  net::ProbeScheduler scheduler(&h1->web);
+  auto ctx = AnalyzeInputs(&scheduler, nullptr, opts, h1->page_url,
+                           h1->form, h1->scripts);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(MineCandidates(&*ctx).ok());
+  ASSERT_TRUE(SearchTemplates(&*ctx).ok());
+  ASSERT_TRUE(EmitUrls(&*ctx).ok());
+
+  // Same site generated from the same seed, through the facade.
+  auto h2 = MakeSite(synthweb::Domain::kUsedCars, 619, 250);
+  Surfacer surfacer(&h2->web, nullptr, opts);
+  auto whole = surfacer.Surface(h2->page_url, h2->form, h2->scripts);
+  ASSERT_TRUE(whole.ok());
+
+  std::set<std::string> staged, facade;
+  for (const auto& s : ctx->result.urls) {
+    staged.insert(s.url.ToCanonicalString());
+  }
+  for (const auto& s : whole->urls) {
+    facade.insert(s.url.ToCanonicalString());
+  }
+  EXPECT_EQ(staged, facade);
+  EXPECT_EQ(ctx->result.probes_used, whole->probes_used);
+  EXPECT_EQ(ctx->result.templates_evaluated, whole->templates_evaluated);
+}
+
+TEST(PipelineTest, PostFormStopsAtAnalyzeInputs) {
+  Rng rng(623);
+  synthweb::SiteGenOptions gen;
+  gen.num_rows = 50;
+  gen.post_probability = 1.0;
+  auto spec = synthweb::GenerateSite(synthweb::Domain::kJobs,
+                                     "post.example.com", &rng, gen);
+  net::SimulatedWeb web;
+  auto site = std::make_shared<synthweb::DeepWebSite>(spec);
+  ASSERT_TRUE(web.Register(site).ok());
+  auto resp = web.Get(site->FormPageUrl());
+  auto dom = html::Parse(resp->body);
+  auto forms = html::ExtractForms(*dom);
+  ASSERT_EQ(forms.size(), 1u);
+  net::ProbeScheduler scheduler(&web);
+  auto page_url = net::Url::Parse(site->FormPageUrl()).value();
+  auto ctx = AnalyzeInputs(&scheduler, nullptr, FastOptions(), page_url,
+                           forms[0], "");
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_TRUE(ctx->result.skipped_post);
+  EXPECT_EQ(ctx->prober, nullptr);
+  // Later stages refuse to run on it.
+  EXPECT_TRUE(MineCandidates(&*ctx).IsFailedPrecondition());
+  EXPECT_TRUE(SearchTemplates(&*ctx).IsFailedPrecondition());
+  EXPECT_TRUE(EmitUrls(&*ctx).IsFailedPrecondition());
+}
+
+TEST(PipelineTest, SharedSchedulerCachesAcrossAnalysisAndIndexing) {
+  auto h = MakeSite(synthweb::Domain::kUsedCars, 629, 200);
+  net::ProbeScheduler scheduler(&h->web);
+  SurfacerOptions opts = FastOptions();
+  opts.max_urls_per_form = 40;
+  Surfacer surfacer(&scheduler, nullptr, opts);
+  auto result = surfacer.Surface(h->page_url, h->form, h->scripts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->urls.empty());
+
+  // Indexing through the same scheduler re-fetches surfaced URLs that
+  // analysis already probed — those are probe-cache hits, the cross-form
+  // economy the scheduler exists for.
+  uint64_t hits_before = scheduler.stats().cache_hits;
+  index::InvertedIndex index;
+  auto indexed = IndexSurfacedUrls(&scheduler, &index, result->urls);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_GT(*indexed, 0u);
+  EXPECT_GT(scheduler.stats().cache_hits, hits_before);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsurf

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "index/analyzer.h"
 #include "index/inverted_index.h"
 #include "util/hash.h"
@@ -102,6 +106,45 @@ TEST_F(IndexTest, ContainsContent) {
   Add("u1", "t", "some body");
   EXPECT_TRUE(index_.ContainsContent(Fnv1a64("some body")));
   EXPECT_FALSE(index_.ContainsContent(Fnv1a64("other body")));
+}
+
+TEST_F(IndexTest, InsertBatchAddsAndSuppressesDuplicates) {
+  std::vector<Document> batch;
+  batch.push_back(Document{"u1", "t1", "first body text", true, "h.com"});
+  batch.push_back(Document{"u2", "t2", "second body text", true, "h.com"});
+  batch.push_back(Document{"u3", "t3", "first body text", true, "h.com"});
+  auto added = index_.InsertBatch(batch);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 2u);  // u3 duplicates u1's content
+  EXPECT_EQ(index_.num_docs(), 2u);
+  EXPECT_TRUE(index_.doc(0).is_deep_web);
+}
+
+TEST_F(IndexTest, ConcurrentInsertBatchLosesNothing) {
+  // 4 writers x 50 distinct documents each; every insert must land.
+  static constexpr size_t kWriters = 4;
+  static constexpr size_t kDocsPerWriter = 50;
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([this, w] {
+      std::vector<Document> batch;
+      for (size_t i = 0; i < kDocsPerWriter; ++i) {
+        std::string tag =
+            "w" + std::to_string(w) + "d" + std::to_string(i);
+        batch.push_back(Document{"url-" + tag, "title", "body text " + tag,
+                                 false, "h" + std::to_string(w) + ".com"});
+      }
+      auto added = index_.InsertBatch(batch);
+      EXPECT_TRUE(added.ok());
+      EXPECT_EQ(*added, kDocsPerWriter);
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(index_.num_docs(), kWriters * kDocsPerWriter);
+  for (size_t w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(index_.DocsForHost("h" + std::to_string(w) + ".com").size(),
+              kDocsPerWriter);
+  }
 }
 
 TEST_F(IndexTest, DocFrequency) {

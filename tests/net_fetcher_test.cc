@@ -1,0 +1,263 @@
+// Tests for the probe scheduler: cache hit/miss/eviction accounting,
+// normalized-URL deduplication, per-host politeness budgets, and
+// concurrency safety of the shared fetch layer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/fetcher.h"
+#include "net/web.h"
+
+namespace deepsurf {
+namespace net {
+namespace {
+
+/// Deterministic server echoing the canonical URL.
+class EchoServer : public WebServer {
+ public:
+  explicit EchoServer(std::string host) : host_(std::move(host)) {}
+
+  HttpResponse Handle(const HttpRequest& request) override {
+    HttpResponse resp;
+    resp.body = "echo:" + request.url.ToCanonicalString();
+    return resp;
+  }
+
+  const std::string& host() const override { return host_; }
+
+ private:
+  std::string host_;
+};
+
+Url MakeUrl(const std::string& s) { return Url::Parse(s).value(); }
+
+TEST(ProbeSchedulerTest, CacheHitAndMissAccounting) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  ProbeScheduler scheduler(&web);
+
+  auto first = scheduler.Fetch(MakeUrl("http://a.com/search?q=x"));
+  ASSERT_TRUE(first.ok());
+  auto second = scheduler.Fetch(MakeUrl("http://a.com/search?q=x"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->body, second->body);
+
+  auto stats = scheduler.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+  // Only one request reached the site.
+  EXPECT_EQ(web.TrafficFor("a.com").get_requests, 1u);
+}
+
+TEST(ProbeSchedulerTest, NormalizedUrlDedup) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  ProbeScheduler scheduler(&web);
+
+  // Same submission, different parameter order: one cache entry.
+  Url u1 = MakeUrl("http://a.com/search");
+  u1.AddParam("make", "honda");
+  u1.AddParam("year", "2004");
+  Url u2 = MakeUrl("http://a.com/search");
+  u2.AddParam("year", "2004");
+  u2.AddParam("make", "honda");
+  ASSERT_NE(u1.ToString(), u2.ToString());
+
+  ASSERT_TRUE(scheduler.Fetch(u1).ok());
+  ASSERT_TRUE(scheduler.Fetch(u2).ok());
+  auto stats = scheduler.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(scheduler.cache_size(), 1u);
+}
+
+TEST(ProbeSchedulerTest, LruEviction) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  ProbeSchedulerOptions opts;
+  opts.cache_capacity = 2;
+  ProbeScheduler scheduler(&web, opts);
+
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=2")).ok());
+  // Touch p=1 so p=2 is the LRU victim.
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=3")).ok());
+  EXPECT_EQ(scheduler.cache_size(), 2u);
+  EXPECT_GE(scheduler.stats().evictions, 1u);
+
+  // p=1 survived; p=2 was evicted and refetches as a miss.
+  uint64_t misses_before = scheduler.stats().cache_misses;
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  EXPECT_EQ(scheduler.stats().cache_misses, misses_before);
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=2")).ok());
+  EXPECT_EQ(scheduler.stats().cache_misses, misses_before + 1);
+}
+
+TEST(ProbeSchedulerTest, ZeroCapacityDisablesCaching) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  ProbeSchedulerOptions opts;
+  opts.cache_capacity = 0;
+  ProbeScheduler scheduler(&web, opts);
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  EXPECT_EQ(scheduler.stats().cache_misses, 2u);
+  EXPECT_EQ(web.TrafficFor("a.com").get_requests, 2u);
+}
+
+TEST(ProbeSchedulerTest, PerHostBudgetEnforced) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("b.com")).ok());
+  ProbeSchedulerOptions opts;
+  opts.per_host_budget = 2;
+  ProbeScheduler scheduler(&web, opts);
+
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=2")).ok());
+  auto denied = scheduler.Fetch(MakeUrl("http://a.com/?p=3"));
+  EXPECT_FALSE(denied.ok());
+  EXPECT_TRUE(denied.status().IsResourceExhausted());
+  // Cache hits stay free after exhaustion — that is the point of the
+  // budget counting only network fetches.
+  EXPECT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  // Another host: independent budget.
+  EXPECT_TRUE(scheduler.Fetch(MakeUrl("http://b.com/?p=1")).ok());
+  EXPECT_EQ(scheduler.HostFetches("a.com"), 2u);
+  EXPECT_EQ(scheduler.HostFetches("b.com"), 1u);
+  EXPECT_EQ(scheduler.stats().budget_denials, 1u);
+}
+
+/// Fails with 500 for the first `failures` requests, then succeeds.
+class RecoveringServer : public WebServer {
+ public:
+  RecoveringServer(std::string host, int failures)
+      : host_(std::move(host)), failures_left_(failures) {}
+
+  HttpResponse Handle(const HttpRequest& request) override {
+    HttpResponse resp;
+    if (failures_left_ > 0) {
+      --failures_left_;
+      resp.status_code = 500;
+      resp.body = "transient error";
+      return resp;
+    }
+    resp.body = "ok:" + request.url.ToCanonicalString();
+    return resp;
+  }
+
+  const std::string& host() const override { return host_; }
+
+ private:
+  std::string host_;
+  int failures_left_;
+};
+
+TEST(ProbeSchedulerTest, TransientErrorsAreNotCached) {
+  SimulatedWeb web;
+  ASSERT_TRUE(
+      web.Register(std::make_shared<RecoveringServer>("flaky.com", 1)).ok());
+  ProbeScheduler scheduler(&web);
+
+  // First fetch sees the transient 500; it must not poison the cache.
+  auto first = scheduler.Fetch(MakeUrl("http://flaky.com/?p=1"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status_code, 500);
+  EXPECT_EQ(scheduler.cache_size(), 0u);
+  // The retry reaches the recovered site and the 200 is cached.
+  auto second = scheduler.Fetch(MakeUrl("http://flaky.com/?p=1"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status_code, 200);
+  EXPECT_EQ(scheduler.cache_size(), 1u);
+  EXPECT_EQ(scheduler.stats().cache_misses, 2u);
+
+  // Transport errors (unknown host) are not cached either.
+  EXPECT_FALSE(scheduler.Fetch(MakeUrl("http://ghost.com/")).ok());
+  EXPECT_FALSE(scheduler.Fetch(MakeUrl("http://ghost.com/")).ok());
+  EXPECT_EQ(scheduler.stats().cache_misses, 4u);
+}
+
+TEST(ProbeSchedulerTest, ClearCacheKeepsCounters) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  ProbeScheduler scheduler(&web);
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  scheduler.ClearCache();
+  EXPECT_EQ(scheduler.cache_size(), 0u);
+  EXPECT_EQ(scheduler.stats().cache_misses, 1u);
+  ASSERT_TRUE(scheduler.Fetch(MakeUrl("http://a.com/?p=1")).ok());
+  EXPECT_EQ(scheduler.stats().cache_misses, 2u);
+}
+
+TEST(ProbeSchedulerTest, FetchBatchPositionalResults) {
+  SimulatedWeb web;
+  ASSERT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+  ProbeSchedulerOptions opts;
+  opts.num_workers = 4;
+  ProbeScheduler scheduler(&web, opts);
+
+  std::vector<Url> urls;
+  for (int i = 0; i < 50; ++i) {
+    urls.push_back(MakeUrl("http://a.com/?p=" + std::to_string(i)));
+  }
+  auto results = scheduler.FetchBatch(urls);
+  ASSERT_EQ(results.size(), urls.size());
+  for (size_t i = 0; i < urls.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;
+    EXPECT_EQ(results[i]->body, "echo:" + urls[i].ToCanonicalString());
+  }
+}
+
+TEST(ProbeSchedulerTest, ConcurrentFetchTotalsMatchSingleThreaded) {
+  // The same URL list fetched through 8 workers and through a fresh
+  // single-threaded scheduler must charge identical totals to the web:
+  // dedup and budget accounting lose nothing under concurrency.
+  std::vector<std::string> urls;
+  for (int i = 0; i < 40; ++i) {
+    // Each URL appears three times: dedup must collapse them everywhere.
+    for (int rep = 0; rep < 3; ++rep) {
+      urls.push_back("http://site" + std::to_string(i % 4) +
+                     ".com/?p=" + std::to_string(i));
+    }
+  }
+
+  auto run = [&](size_t workers) {
+    SimulatedWeb web;
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_TRUE(web.Register(std::make_shared<EchoServer>(
+                                   "site" + std::to_string(s) + ".com"))
+                      .ok());
+    }
+    ProbeSchedulerOptions opts;
+    opts.num_workers = workers;
+    ProbeScheduler scheduler(&web, opts);
+    std::vector<Url> parsed;
+    for (const auto& u : urls) parsed.push_back(MakeUrl(u));
+    auto results = scheduler.FetchBatch(parsed);
+    for (const auto& r : results) EXPECT_TRUE(r.ok());
+    std::vector<uint64_t> per_host;
+    for (int s = 0; s < 4; ++s) {
+      per_host.push_back(
+          web.TrafficFor("site" + std::to_string(s) + ".com").get_requests);
+    }
+    return std::make_pair(web.total_requests(), per_host);
+  };
+
+  auto [total1, hosts1] = run(0);
+  auto [total8, hosts8] = run(8);
+  EXPECT_EQ(total1, total8);
+  EXPECT_EQ(hosts1, hosts8);
+  EXPECT_EQ(total1, 40u);  // 120 requests, 40 distinct URLs
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace deepsurf

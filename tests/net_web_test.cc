@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
 
 #include "net/web.h"
 
@@ -118,6 +121,43 @@ TEST(SimulatedWebTest, UnknownHostCountsNothing) {
   HostTraffic t = web.TrafficFor("ghost.com");
   EXPECT_EQ(t.get_requests, 0u);
   EXPECT_EQ(t.bytes_served, 0u);
+}
+
+TEST(SimulatedWebTest, ConcurrentTrafficTotalsMatchSingleThreaded) {
+  // The per-host counters must not lose updates under concurrent
+  // fetches: the totals must equal what a single-threaded run records.
+  constexpr size_t kThreads = 8;
+  constexpr size_t kFetchesPerThread = 200;
+
+  auto run = [&](size_t num_threads) {
+    SimulatedWeb web;
+    EXPECT_TRUE(web.Register(std::make_shared<EchoServer>("a.com")).ok());
+    EXPECT_TRUE(web.Register(std::make_shared<EchoServer>("b.com")).ok());
+    auto fetches = [&web] {
+      for (size_t i = 0; i < kFetchesPerThread; ++i) {
+        EXPECT_TRUE(web.Get("http://a.com/p" + std::to_string(i)).ok());
+        EXPECT_TRUE(web.Get("http://b.com/missing").ok());
+      }
+    };
+    if (num_threads <= 1) {
+      for (size_t t = 0; t < kThreads; ++t) fetches();
+    } else {
+      std::vector<std::thread> pool;
+      for (size_t t = 0; t < num_threads; ++t) pool.emplace_back(fetches);
+      for (auto& th : pool) th.join();
+    }
+    return std::make_tuple(web.total_requests(), web.TrafficFor("a.com"),
+                           web.TrafficFor("b.com"));
+  };
+
+  auto [total1, a1, b1] = run(1);
+  auto [totalN, aN, bN] = run(kThreads);
+  EXPECT_EQ(total1, totalN);
+  EXPECT_EQ(a1.get_requests, aN.get_requests);
+  EXPECT_EQ(a1.bytes_served, aN.bytes_served);
+  EXPECT_EQ(b1.get_requests, bN.get_requests);
+  EXPECT_EQ(b1.errors, bN.errors);
+  EXPECT_EQ(bN.errors, kThreads * kFetchesPerThread);
 }
 
 }  // namespace
