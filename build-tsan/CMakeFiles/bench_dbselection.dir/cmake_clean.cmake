@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbselection.dir/bench/bench_dbselection.cc.o"
+  "CMakeFiles/bench_dbselection.dir/bench/bench_dbselection.cc.o.d"
+  "bench_dbselection"
+  "bench_dbselection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbselection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_html.dir/bench/bench_html.cc.o"
+  "CMakeFiles/bench_html.dir/bench/bench_html.cc.o.d"
+  "bench_html"
+  "bench_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

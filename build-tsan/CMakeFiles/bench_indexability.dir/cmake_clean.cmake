@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indexability.dir/bench/bench_indexability.cc.o"
+  "CMakeFiles/bench_indexability.dir/bench/bench_indexability.cc.o.d"
+  "bench_indexability"
+  "bench_indexability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indexability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

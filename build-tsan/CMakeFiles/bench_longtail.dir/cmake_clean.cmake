@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_longtail.dir/bench/bench_longtail.cc.o"
+  "CMakeFiles/bench_longtail.dir/bench/bench_longtail.cc.o.d"
+  "bench_longtail"
+  "bench_longtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ranges.dir/bench/bench_ranges.cc.o"
+  "CMakeFiles/bench_ranges.dir/bench/bench_ranges.cc.o.d"
+  "bench_ranges"
+  "bench_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

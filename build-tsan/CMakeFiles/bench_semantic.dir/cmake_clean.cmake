@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantic.dir/bench/bench_semantic.cc.o"
+  "CMakeFiles/bench_semantic.dir/bench/bench_semantic.cc.o.d"
+  "bench_semantic"
+  "bench_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typed_inputs.dir/bench/bench_typed_inputs.cc.o"
+  "CMakeFiles/bench_typed_inputs.dir/bench/bench_typed_inputs.cc.o.d"
+  "bench_typed_inputs"
+  "bench_typed_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typed_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_url_generation.dir/bench/bench_url_generation.cc.o"
+  "CMakeFiles/bench_url_generation.dir/bench/bench_url_generation.cc.o.d"
+  "bench_url_generation"
+  "bench_url_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_url_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

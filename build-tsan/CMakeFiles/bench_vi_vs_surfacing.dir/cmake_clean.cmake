@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vi_vs_surfacing.dir/bench/bench_vi_vs_surfacing.cc.o"
+  "CMakeFiles/bench_vi_vs_surfacing.dir/bench/bench_vi_vs_surfacing.cc.o.d"
+  "bench_vi_vs_surfacing"
+  "bench_vi_vs_surfacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vi_vs_surfacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

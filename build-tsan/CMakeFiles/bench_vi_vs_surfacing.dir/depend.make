@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_vi_vs_surfacing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dbselect_test.dir/tests/core_dbselect_test.cc.o"
+  "CMakeFiles/core_dbselect_test.dir/tests/core_dbselect_test.cc.o.d"
+  "core_dbselect_test"
+  "core_dbselect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dbselect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

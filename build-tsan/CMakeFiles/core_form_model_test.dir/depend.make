@@ -1,0 +1,2 @@
+# Empty dependencies file for core_form_model_test.
+# This may be replaced when dependencies are built.

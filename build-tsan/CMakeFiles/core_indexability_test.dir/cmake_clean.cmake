@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_indexability_test.dir/tests/core_indexability_test.cc.o"
+  "CMakeFiles/core_indexability_test.dir/tests/core_indexability_test.cc.o.d"
+  "core_indexability_test"
+  "core_indexability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_indexability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_jscorr_test.dir/tests/core_jscorr_test.cc.o"
+  "CMakeFiles/core_jscorr_test.dir/tests/core_jscorr_test.cc.o.d"
+  "core_jscorr_test"
+  "core_jscorr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_jscorr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

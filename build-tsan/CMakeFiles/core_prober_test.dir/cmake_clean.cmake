@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_prober_test.dir/tests/core_prober_test.cc.o"
+  "CMakeFiles/core_prober_test.dir/tests/core_prober_test.cc.o.d"
+  "core_prober_test"
+  "core_prober_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_prober_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_probing_test.dir/tests/core_probing_test.cc.o"
+  "CMakeFiles/core_probing_test.dir/tests/core_probing_test.cc.o.d"
+  "core_probing_test"
+  "core_probing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_probing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

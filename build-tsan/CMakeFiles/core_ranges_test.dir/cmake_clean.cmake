@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ranges_test.dir/tests/core_ranges_test.cc.o"
+  "CMakeFiles/core_ranges_test.dir/tests/core_ranges_test.cc.o.d"
+  "core_ranges_test"
+  "core_ranges_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ranges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

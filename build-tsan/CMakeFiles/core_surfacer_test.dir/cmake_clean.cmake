@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_surfacer_test.dir/tests/core_surfacer_test.cc.o"
+  "CMakeFiles/core_surfacer_test.dir/tests/core_surfacer_test.cc.o.d"
+  "core_surfacer_test"
+  "core_surfacer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_surfacer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dbselect.cc" "CMakeFiles/deepsurf.dir/src/core/dbselect.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/dbselect.cc.o.d"
+  "/root/repo/src/core/form_model.cc" "CMakeFiles/deepsurf.dir/src/core/form_model.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/form_model.cc.o.d"
+  "/root/repo/src/core/indexability.cc" "CMakeFiles/deepsurf.dir/src/core/indexability.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/indexability.cc.o.d"
+  "/root/repo/src/core/jscorr.cc" "CMakeFiles/deepsurf.dir/src/core/jscorr.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/jscorr.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "CMakeFiles/deepsurf.dir/src/core/pipeline.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/pipeline.cc.o.d"
+  "/root/repo/src/core/prober.cc" "CMakeFiles/deepsurf.dir/src/core/prober.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/prober.cc.o.d"
+  "/root/repo/src/core/probing.cc" "CMakeFiles/deepsurf.dir/src/core/probing.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/probing.cc.o.d"
+  "/root/repo/src/core/ranges.cc" "CMakeFiles/deepsurf.dir/src/core/ranges.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/ranges.cc.o.d"
+  "/root/repo/src/core/surfacer.cc" "CMakeFiles/deepsurf.dir/src/core/surfacer.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/surfacer.cc.o.d"
+  "/root/repo/src/core/templates.cc" "CMakeFiles/deepsurf.dir/src/core/templates.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/templates.cc.o.d"
+  "/root/repo/src/core/typed.cc" "CMakeFiles/deepsurf.dir/src/core/typed.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/core/typed.cc.o.d"
+  "/root/repo/src/coverage/capture_recapture.cc" "CMakeFiles/deepsurf.dir/src/coverage/capture_recapture.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/coverage/capture_recapture.cc.o.d"
+  "/root/repo/src/crawler/crawler.cc" "CMakeFiles/deepsurf.dir/src/crawler/crawler.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/crawler/crawler.cc.o.d"
+  "/root/repo/src/crawler/surfacing_driver.cc" "CMakeFiles/deepsurf.dir/src/crawler/surfacing_driver.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/crawler/surfacing_driver.cc.o.d"
+  "/root/repo/src/db/query.cc" "CMakeFiles/deepsurf.dir/src/db/query.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/db/query.cc.o.d"
+  "/root/repo/src/db/table.cc" "CMakeFiles/deepsurf.dir/src/db/table.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/db/table.cc.o.d"
+  "/root/repo/src/db/value.cc" "CMakeFiles/deepsurf.dir/src/db/value.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/db/value.cc.o.d"
+  "/root/repo/src/extract/annotator.cc" "CMakeFiles/deepsurf.dir/src/extract/annotator.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/extract/annotator.cc.o.d"
+  "/root/repo/src/extract/reconstruct.cc" "CMakeFiles/deepsurf.dir/src/extract/reconstruct.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/extract/reconstruct.cc.o.d"
+  "/root/repo/src/extract/record_extractor.cc" "CMakeFiles/deepsurf.dir/src/extract/record_extractor.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/extract/record_extractor.cc.o.d"
+  "/root/repo/src/html/dom.cc" "CMakeFiles/deepsurf.dir/src/html/dom.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/html/dom.cc.o.d"
+  "/root/repo/src/html/forms.cc" "CMakeFiles/deepsurf.dir/src/html/forms.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/html/forms.cc.o.d"
+  "/root/repo/src/html/parser.cc" "CMakeFiles/deepsurf.dir/src/html/parser.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/html/parser.cc.o.d"
+  "/root/repo/src/html/text.cc" "CMakeFiles/deepsurf.dir/src/html/text.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/html/text.cc.o.d"
+  "/root/repo/src/html/tokenizer.cc" "CMakeFiles/deepsurf.dir/src/html/tokenizer.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/html/tokenizer.cc.o.d"
+  "/root/repo/src/index/analyzer.cc" "CMakeFiles/deepsurf.dir/src/index/analyzer.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/index/analyzer.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "CMakeFiles/deepsurf.dir/src/index/inverted_index.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/index/inverted_index.cc.o.d"
+  "/root/repo/src/net/fetcher.cc" "CMakeFiles/deepsurf.dir/src/net/fetcher.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/net/fetcher.cc.o.d"
+  "/root/repo/src/net/url.cc" "CMakeFiles/deepsurf.dir/src/net/url.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/net/url.cc.o.d"
+  "/root/repo/src/net/web.cc" "CMakeFiles/deepsurf.dir/src/net/web.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/net/web.cc.o.d"
+  "/root/repo/src/querylog/impact.cc" "CMakeFiles/deepsurf.dir/src/querylog/impact.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/querylog/impact.cc.o.d"
+  "/root/repo/src/querylog/query_stream.cc" "CMakeFiles/deepsurf.dir/src/querylog/query_stream.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/querylog/query_stream.cc.o.d"
+  "/root/repo/src/semantic/acsdb.cc" "CMakeFiles/deepsurf.dir/src/semantic/acsdb.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/semantic/acsdb.cc.o.d"
+  "/root/repo/src/semantic/services.cc" "CMakeFiles/deepsurf.dir/src/semantic/services.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/semantic/services.cc.o.d"
+  "/root/repo/src/synthweb/corpus.cc" "CMakeFiles/deepsurf.dir/src/synthweb/corpus.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/synthweb/corpus.cc.o.d"
+  "/root/repo/src/synthweb/deep_site.cc" "CMakeFiles/deepsurf.dir/src/synthweb/deep_site.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/synthweb/deep_site.cc.o.d"
+  "/root/repo/src/synthweb/domain.cc" "CMakeFiles/deepsurf.dir/src/synthweb/domain.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/synthweb/domain.cc.o.d"
+  "/root/repo/src/synthweb/render.cc" "CMakeFiles/deepsurf.dir/src/synthweb/render.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/synthweb/render.cc.o.d"
+  "/root/repo/src/synthweb/surface_site.cc" "CMakeFiles/deepsurf.dir/src/synthweb/surface_site.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/synthweb/surface_site.cc.o.d"
+  "/root/repo/src/synthweb/vocab.cc" "CMakeFiles/deepsurf.dir/src/synthweb/vocab.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/synthweb/vocab.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/deepsurf.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/deepsurf.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/deepsurf.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/deepsurf.dir/src/util/status.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "CMakeFiles/deepsurf.dir/src/util/strings.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/util/strings.cc.o.d"
+  "/root/repo/src/vertical/mediated_schema.cc" "CMakeFiles/deepsurf.dir/src/vertical/mediated_schema.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/vertical/mediated_schema.cc.o.d"
+  "/root/repo/src/vertical/source.cc" "CMakeFiles/deepsurf.dir/src/vertical/source.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/vertical/source.cc.o.d"
+  "/root/repo/src/vertical/vertical_engine.cc" "CMakeFiles/deepsurf.dir/src/vertical/vertical_engine.cc.o" "gcc" "CMakeFiles/deepsurf.dir/src/vertical/vertical_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

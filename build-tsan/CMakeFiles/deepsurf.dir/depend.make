@@ -1,0 +1,2 @@
+# Empty dependencies file for deepsurf.
+# This may be replaced when dependencies are built.

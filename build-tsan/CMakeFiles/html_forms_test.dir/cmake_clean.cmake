@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_forms_test.dir/tests/html_forms_test.cc.o"
+  "CMakeFiles/html_forms_test.dir/tests/html_forms_test.cc.o.d"
+  "html_forms_test"
+  "html_forms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_forms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

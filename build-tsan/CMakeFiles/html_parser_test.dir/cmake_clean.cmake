@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_parser_test.dir/tests/html_parser_test.cc.o"
+  "CMakeFiles/html_parser_test.dir/tests/html_parser_test.cc.o.d"
+  "html_parser_test"
+  "html_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_text_test.dir/tests/html_text_test.cc.o"
+  "CMakeFiles/html_text_test.dir/tests/html_text_test.cc.o.d"
+  "html_text_test"
+  "html_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_explorer.dir/examples/longtail_explorer.cpp.o"
+  "CMakeFiles/longtail_explorer.dir/examples/longtail_explorer.cpp.o.d"
+  "longtail_explorer"
+  "longtail_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_fetcher_test.dir/tests/net_fetcher_test.cc.o"
+  "CMakeFiles/net_fetcher_test.dir/tests/net_fetcher_test.cc.o.d"
+  "net_fetcher_test"
+  "net_fetcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_fetcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_url_test.dir/tests/net_url_test.cc.o"
+  "CMakeFiles/net_url_test.dir/tests/net_url_test.cc.o.d"
+  "net_url_test"
+  "net_url_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_url_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_web_test.dir/tests/net_web_test.cc.o"
+  "CMakeFiles/net_web_test.dir/tests/net_web_test.cc.o.d"
+  "net_web_test"
+  "net_web_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_web_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

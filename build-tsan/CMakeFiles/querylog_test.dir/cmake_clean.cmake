@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querylog_test.dir/tests/querylog_test.cc.o"
+  "CMakeFiles/querylog_test.dir/tests/querylog_test.cc.o.d"
+  "querylog_test"
+  "querylog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querylog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconstruct_test.dir/tests/reconstruct_test.cc.o"
+  "CMakeFiles/reconstruct_test.dir/tests/reconstruct_test.cc.o.d"
+  "reconstruct_test"
+  "reconstruct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconstruct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_services.dir/examples/semantic_services.cpp.o"
+  "CMakeFiles/semantic_services.dir/examples/semantic_services.cpp.o.d"
+  "semantic_services"
+  "semantic_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

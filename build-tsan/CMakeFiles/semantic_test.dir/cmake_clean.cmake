@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_test.dir/tests/semantic_test.cc.o"
+  "CMakeFiles/semantic_test.dir/tests/semantic_test.cc.o.d"
+  "semantic_test"
+  "semantic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfacing_driver_test.dir/tests/surfacing_driver_test.cc.o"
+  "CMakeFiles/surfacing_driver_test.dir/tests/surfacing_driver_test.cc.o.d"
+  "surfacing_driver_test"
+  "surfacing_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfacing_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

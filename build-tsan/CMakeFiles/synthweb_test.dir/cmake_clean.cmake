@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthweb_test.dir/tests/synthweb_test.cc.o"
+  "CMakeFiles/synthweb_test.dir/tests/synthweb_test.cc.o.d"
+  "synthweb_test"
+  "synthweb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthweb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

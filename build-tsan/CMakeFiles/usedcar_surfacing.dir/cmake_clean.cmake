@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usedcar_surfacing.dir/examples/usedcar_surfacing.cpp.o"
+  "CMakeFiles/usedcar_surfacing.dir/examples/usedcar_surfacing.cpp.o.d"
+  "usedcar_surfacing"
+  "usedcar_surfacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usedcar_surfacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for usedcar_surfacing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for usedcar_surfacing.
+# This may be replaced when dependencies are built.

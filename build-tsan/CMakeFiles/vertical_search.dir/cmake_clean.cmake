@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertical_search.dir/examples/vertical_search.cpp.o"
+  "CMakeFiles/vertical_search.dir/examples/vertical_search.cpp.o.d"
+  "vertical_search"
+  "vertical_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertical_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vertical_search.
+# This may be replaced when dependencies are built.

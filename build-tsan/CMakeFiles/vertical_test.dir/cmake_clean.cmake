@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertical_test.dir/tests/vertical_test.cc.o"
+  "CMakeFiles/vertical_test.dir/tests/vertical_test.cc.o.d"
+  "vertical_test"
+  "vertical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
