@@ -1,0 +1,184 @@
+// E9: the serving layer. The paper's surfaced pages only pay off at
+// query-serving time, across a huge, heavily repetitive (Zipfian) query
+// stream (§3.2). This harness measures that serving path: a sharded
+// index behind the caching serve engine, swept over 1/2/4/8 shards x
+// 1/2/4/8 query worker threads, reporting throughput and result-cache
+// hit rates — plus the contract that makes sharding safe to deploy:
+// sharded top-k results are byte-identical to a single index.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/inverted_index.h"
+#include "index/sharded_index.h"
+#include "querylog/query_stream.h"
+#include "serve/engine.h"
+#include "synthweb/corpus.h"
+
+namespace deepsurf {
+namespace {
+
+std::vector<index::Document> CorpusDocs(const synthweb::WebCorpus& corpus) {
+  std::vector<index::Document> docs;
+  size_t head = corpus.entities.size() / 10;
+  for (size_t rank = 0; rank < corpus.entities.size(); ++rank) {
+    const auto& e = corpus.entities[rank];
+    const std::string& host = corpus.deep_sites[e.site_index]->spec().host;
+    index::Document d;
+    d.url = "http://" + host + "/r" + std::to_string(rank);
+    d.title = "record " + std::to_string(rank);
+    d.body = corpus.EntityText(e);
+    d.is_deep_web = rank >= head;
+    d.source_host = host;
+    docs.push_back(std::move(d));
+  }
+  return docs;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int Run() {
+  bench::Header(
+      "E9: sharded serving with result caching",
+      "surfaced pages pay off at serving time, over a Zipf-repetitive "
+      "query stream; sharding must not change a single result");
+
+  synthweb::CorpusOptions copts;
+  copts.num_deep_sites = 10;
+  copts.num_surface_sites = 4;
+  copts.min_rows = 40;
+  copts.max_rows = 120;
+  copts.seed = 99;
+  auto corpus = synthweb::BuildCorpus(copts);
+  auto docs = CorpusDocs(corpus);
+
+  // The serving workload: queries themselves follow a power law (the
+  // same lookup is issued verbatim by many users), modeled as Zipf
+  // draws over a pool of distinct stream queries. That repetition is
+  // what the result cache exists to absorb.
+  querylog::QueryStreamOptions qopts;
+  qopts.seed = 515;
+  querylog::QueryStream stream(&corpus, qopts);
+  constexpr size_t kDistinctQueries = 1500;
+  constexpr size_t kQueries = 4000;
+  constexpr size_t kTopK = 10;
+  std::vector<std::string> pool;
+  pool.reserve(kDistinctQueries);
+  for (size_t i = 0; i < kDistinctQueries; ++i) {
+    pool.push_back(stream.Next().text);
+  }
+  Rng rng(717);
+  ZipfSampler query_popularity(kDistinctQueries, 1.0);
+  std::vector<std::string> queries;
+  queries.reserve(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    queries.push_back(pool[query_popularity.Sample(&rng)]);
+  }
+
+  std::printf(
+      "corpus: %zu docs, query stream: %zu queries drawn zipf(1.0) from "
+      "%zu distinct\n",
+      docs.size(), kQueries, kDistinctQueries);
+
+  // The single-index reference every sharded configuration must match.
+  index::InvertedIndex reference;
+  DS_CHECK(reference.InsertBatch(docs).ok());
+  constexpr size_t kEquivalenceQueries = 500;
+  std::vector<std::vector<index::SearchHit>> expected;
+  expected.reserve(kEquivalenceQueries);
+  for (size_t i = 0; i < kEquivalenceQueries; ++i) {
+    expected.push_back(reference.Search(queries[i], kTopK));
+  }
+
+  bool all_identical = true;
+  std::printf(
+      "\n%7s %8s | %9s %9s %7s | %9s %7s\n", "shards", "threads",
+      "cold ms", "cold q/s", "hit%", "warm q/s", "hit%");
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    index::ShardedIndexOptions sopts;
+    sopts.num_shards = shards;
+    // Throughput mode: parallelism comes from the query workers; shard
+    // fan-out threads per query would only add spawn overhead here.
+    sopts.parallel_search = false;
+    index::ShardedIndex index(sopts);
+    DS_CHECK(index.InsertBatch(docs).ok());
+
+    for (size_t i = 0; i < kEquivalenceQueries; ++i) {
+      auto hits = index.Search(queries[i], kTopK);
+      bool same = hits.size() == expected[i].size();
+      for (size_t r = 0; same && r < hits.size(); ++r) {
+        same = hits[r].doc == expected[i][r].doc &&
+               std::memcmp(&hits[r].score, &expected[i][r].score,
+                           sizeof(double)) == 0;
+      }
+      if (!same) all_identical = false;
+    }
+
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      serve::EngineOptions eopts;
+      eopts.cache_capacity = 1024;
+      eopts.default_top_k = kTopK;
+      serve::Engine engine(&index, eopts);
+
+      // Cold pass: empty cache, hits come only from the stream's own
+      // repetition. Warm pass: steady state over the same stream.
+      auto start = std::chrono::steady_clock::now();
+      engine.SearchBatch(queries, threads);
+      double cold = Seconds(start);
+      uint64_t cold_hits = engine.stats().cache_hits;
+
+      start = std::chrono::steady_clock::now();
+      engine.SearchBatch(queries, threads);
+      double warm = Seconds(start);
+      uint64_t warm_hits = engine.stats().cache_hits - cold_hits;
+
+      std::printf(
+          "%7zu %8zu | %9.1f %9.0f %6.1f%% | %9.0f %6.1f%%\n", shards,
+          threads, cold * 1e3, static_cast<double>(kQueries) / cold,
+          100.0 * static_cast<double>(cold_hits) /
+              static_cast<double>(kQueries),
+          static_cast<double>(kQueries) / warm,
+          100.0 * static_cast<double>(warm_hits) /
+              static_cast<double>(kQueries));
+    }
+  }
+
+  // Per-query shard fan-out (latency mode) must not change results
+  // either; spot-check it at 8 shards.
+  {
+    index::ShardedIndexOptions sopts;
+    sopts.num_shards = 8;
+    sopts.parallel_search = true;
+    index::ShardedIndex index(sopts);
+    DS_CHECK(index.InsertBatch(docs).ok());
+    for (size_t i = 0; i < kEquivalenceQueries; ++i) {
+      auto hits = index.Search(queries[i], kTopK);
+      bool same = hits.size() == expected[i].size();
+      for (size_t r = 0; same && r < hits.size(); ++r) {
+        same = hits[r].doc == expected[i][r].doc &&
+               std::memcmp(&hits[r].score, &expected[i][r].score,
+                           sizeof(double)) == 0;
+      }
+      if (!same) all_identical = false;
+    }
+  }
+
+  bench::Verdict(all_identical,
+                 "sharded top-k (1/2/4/8 shards, sequential and parallel "
+                 "shard search) byte-identical to the single index");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace deepsurf
+
+int main() { return deepsurf::Run(); }

@@ -9,7 +9,7 @@
 namespace deepsurf {
 namespace crawler {
 
-Crawler::Crawler(net::SimulatedWeb* web, index::InvertedIndex* index,
+Crawler::Crawler(net::SimulatedWeb* web, index::WritableIndex* index,
                  CrawlOptions options)
     : web_(web), index_(index), options_(options) {
   DS_CHECK(web_ != nullptr) << "crawler needs a web";

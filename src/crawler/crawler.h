@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "html/forms.h"
-#include "index/inverted_index.h"
+#include "index/search_index.h"
 #include "net/web.h"
 #include "util/result.h"
 
@@ -50,7 +50,7 @@ struct CrawlStats {
 class Crawler {
  public:
   /// `index` may be null when options.index_pages is false.
-  Crawler(net::SimulatedWeb* web, index::InvertedIndex* index,
+  Crawler(net::SimulatedWeb* web, index::WritableIndex* index,
           CrawlOptions options);
 
   /// Crawls from the given seed URLs. Can be called repeatedly; the
@@ -65,7 +65,7 @@ class Crawler {
 
  private:
   net::SimulatedWeb* web_;
-  index::InvertedIndex* index_;
+  index::WritableIndex* index_;
   CrawlOptions options_;
   std::set<std::string> visited_;          // canonical URLs
   std::set<std::string> seen_form_keys_;   // host+action dedup

@@ -26,7 +26,7 @@ uint64_t DeriveStream(uint64_t seed, uint64_t index) {
 }  // namespace
 
 SurfacingDriver::SurfacingDriver(net::ProbeScheduler* scheduler,
-                                 index::InvertedIndex* out_index,
+                                 index::WritableIndex* out_index,
                                  SurfacingDriverOptions options)
     : scheduler_(scheduler),
       out_index_(out_index),
@@ -128,7 +128,8 @@ Result<SurfacingDriverStats> SurfacingDriver::Run(
         "index_pages requires an output index");
   }
   if (options_.seed_index != nullptr &&
-      options_.seed_index == out_index_) {
+      static_cast<const index::SearchIndex*>(options_.seed_index) ==
+          static_cast<const index::SearchIndex*>(out_index_)) {
     return Status::InvalidArgument(
         "seed index must be distinct from the output index (unsynchronized "
         "reads against a growing index, and nondeterministic seeds)");

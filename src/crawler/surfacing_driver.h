@@ -3,8 +3,9 @@
 // The corpus-level surfacing driver: takes the crawler's DiscoveredForm
 // work-list and fans per-form analyses out across N worker threads, all
 // probing through one shared ProbeScheduler (cross-form probe cache,
-// per-host accounting) and batch-ingesting surfaced pages into a
-// thread-safe InvertedIndex. This is the paper's deployment shape — one
+// per-host accounting) and batch-ingesting surfaced pages into any
+// thread-safe WritableIndex (a lone InvertedIndex or the sharded serving
+// index). This is the paper's deployment shape — one
 // offline system analyzing millions of forms with a light load on each
 // site — scaled down to the simulated web.
 //
@@ -32,6 +33,7 @@
 #include "extract/annotator.h"
 #include "crawler/crawler.h"
 #include "index/inverted_index.h"
+#include "index/search_index.h"
 #include "net/fetcher.h"
 #include "util/result.h"
 
@@ -91,7 +93,7 @@ class SurfacingDriver {
   /// `scheduler` and `out_index` are borrowed and must outlive the
   /// driver. `out_index` may be null when options.index_pages is false.
   SurfacingDriver(net::ProbeScheduler* scheduler,
-                  index::InvertedIndex* out_index,
+                  index::WritableIndex* out_index,
                   SurfacingDriverOptions options = {});
 
   /// Analyzes every discovered form and (optionally) ingests the surfaced
@@ -110,7 +112,7 @@ class SurfacingDriver {
   void ProcessForm(const std::vector<DiscoveredForm>& forms, size_t i);
 
   net::ProbeScheduler* scheduler_;
-  index::InvertedIndex* out_index_;
+  index::WritableIndex* out_index_;
   SurfacingDriverOptions options_;
   std::vector<FormOutcome> outcomes_;
   /// Serializes writes to options_.annotations (AnnotationStore is not

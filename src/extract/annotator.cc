@@ -55,7 +55,7 @@ std::vector<Annotation> QueryRecognizer::Recognize(
 }
 
 std::vector<index::SearchHit> RerankWithAnnotations(
-    const std::vector<index::SearchHit>& hits, const index::InvertedIndex& idx,
+    const std::vector<index::SearchHit>& hits, const index::SearchIndex& idx,
     const AnnotationStore& store, const std::vector<Annotation>& constraints,
     double demotion_factor) {
   if (constraints.empty()) return hits;

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "index/inverted_index.h"
+#include "index/search_index.h"
 
 namespace deepsurf {
 namespace extract {
@@ -65,7 +65,7 @@ class QueryRecognizer {
 /// demoted below every non-contradicting hit (scores multiplied by
 /// `demotion_factor`). Hits without annotations are left in place.
 std::vector<index::SearchHit> RerankWithAnnotations(
-    const std::vector<index::SearchHit>& hits, const index::InvertedIndex& idx,
+    const std::vector<index::SearchHit>& hits, const index::SearchIndex& idx,
     const AnnotationStore& store, const std::vector<Annotation>& constraints,
     double demotion_factor = 0.1);
 

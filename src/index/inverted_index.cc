@@ -87,15 +87,29 @@ std::vector<SearchHit> InvertedIndex::Search(const std::string& query,
 
 std::vector<SearchHit> InvertedIndex::SearchTerms(
     const std::vector<std::string>& terms, size_t k) const {
+  return SearchTermsScored(terms, k, nullptr);
+}
+
+std::vector<SearchHit> InvertedIndex::SearchTermsScored(
+    const std::vector<std::string>& terms, size_t k,
+    const CorpusStats* stats) const {
   if (terms.empty() || docs_.empty()) return {};
-  double avg_len = total_length_ / static_cast<double>(docs_.size());
+  double n = stats != nullptr ? stats->num_docs
+                              : static_cast<double>(docs_.size());
+  double total_len = stats != nullptr ? stats->total_length : total_length_;
+  double avg_len = n > 0.0 ? total_len / n : 1.0;
   if (avg_len <= 0.0) avg_len = 1.0;
   std::unordered_map<DocId, double> scores;
-  double n = static_cast<double>(docs_.size());
   for (const auto& term : terms) {
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     double df = static_cast<double>(it->second.size());
+    if (stats != nullptr) {
+      auto df_it = stats->doc_frequency.find(term);
+      if (df_it != stats->doc_frequency.end()) {
+        df = static_cast<double>(df_it->second);
+      }
+    }
     double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     for (const auto& posting : it->second) {
       double tf = posting.weight;
@@ -120,7 +134,7 @@ std::vector<SearchHit> InvertedIndex::SearchTerms(
   return hits;
 }
 
-const DocInfo& InvertedIndex::doc(DocId id) const {
+DocInfo InvertedIndex::doc(DocId id) const {
   DS_CHECK(id < docs_.size()) << "doc id out of range";
   return docs_[id];
 }

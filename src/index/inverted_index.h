@@ -16,28 +16,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "index/search_index.h"
 #include "util/result.h"
 
 namespace deepsurf {
 namespace index {
-
-using DocId = uint32_t;
-
-/// Metadata kept per indexed document.
-struct DocInfo {
-  std::string url;
-  std::string title;
-  uint32_t length = 0;        ///< content tokens
-  uint64_t content_hash = 0;  ///< for duplicate suppression
-  bool is_deep_web = false;   ///< provenance: produced by surfacing
-  std::string source_host;    ///< host the page came from
-};
-
-/// One search hit.
-struct SearchHit {
-  DocId doc = 0;
-  double score = 0.0;
-};
 
 /// Options controlling scoring.
 struct IndexOptions {
@@ -49,13 +32,15 @@ struct IndexOptions {
   bool suppress_duplicates = true;
 };
 
-/// One document prepared for batch ingestion.
-struct Document {
-  std::string url;
-  std::string title;
-  std::string body;
-  bool is_deep_web = false;
-  std::string source_host;
+/// Corpus-wide statistics a sharded wrapper injects so that every shard
+/// scores with *global* BM25 statistics. Without this a document's score
+/// would depend on which shard it landed in, and sharded results could
+/// never be byte-identical to a single index over the same corpus.
+struct CorpusStats {
+  double num_docs = 0.0;
+  double total_length = 0.0;  ///< content tokens across the corpus
+  /// Per query term: number of corpus documents containing it.
+  std::unordered_map<std::string, size_t> doc_frequency;
 };
 
 /// In-memory inverted index with BM25 ranking.
@@ -65,7 +50,8 @@ struct Document {
 /// Reads are NOT synchronized against concurrent writes; run queries
 /// either before ingestion starts or after it completes (the surfacing
 /// driver obeys this: its seed index is distinct from its output index).
-class InvertedIndex {
+/// ShardedIndex (even with one shard) is the read-during-ingest option.
+class InvertedIndex : public WritableIndex {
  public:
   explicit InvertedIndex(IndexOptions options = {});
 
@@ -75,7 +61,7 @@ class InvertedIndex {
   /// Thread-safe.
   Result<DocId> AddDocument(const std::string& url, const std::string& title,
                             const std::string& body, bool is_deep_web,
-                            const std::string& source_host);
+                            const std::string& source_host) override;
 
   /// Ingests a batch under one lock acquisition; returns how many
   /// documents were newly added (duplicates suppressed, not counted).
@@ -83,17 +69,34 @@ class InvertedIndex {
   /// per position, whether that document entered the index (false =
   /// suppressed as a duplicate). Thread-safe.
   Result<size_t> InsertBatch(const std::vector<Document>& docs,
-                             std::vector<bool>* newly_added = nullptr);
+                             std::vector<bool>* newly_added =
+                                 nullptr) override;  // same default as base
 
   /// Top-k BM25 hits for a keyword query.
-  std::vector<SearchHit> Search(const std::string& query, size_t k) const;
+  std::vector<SearchHit> Search(const std::string& query,
+                                size_t k) const override;
 
   /// As Search, but with pre-tokenized terms.
   std::vector<SearchHit> SearchTerms(const std::vector<std::string>& terms,
-                                     size_t k) const;
+                                     size_t k) const override;
 
-  const DocInfo& doc(DocId id) const;
-  size_t num_docs() const { return docs_.size(); }
+  /// As SearchTerms, but scored with the given corpus-wide statistics
+  /// instead of this index's own (null falls back to local statistics).
+  /// This is the primitive ShardedIndex builds its per-shard searches on.
+  std::vector<SearchHit> SearchTermsScored(
+      const std::vector<std::string>& terms, size_t k,
+      const CorpusStats* stats) const;
+
+  DocInfo doc(DocId id) const override;
+  size_t num_docs() const override { return docs_.size(); }
+
+  /// Documents only ever enter, so the document count is the epoch.
+  uint64_t ingest_epoch() const override { return docs_.size(); }
+
+  /// Sum of content-token counts over all documents. Exact (token counts
+  /// are integers far below 2^53), so a sharded wrapper summing shard
+  /// totals reconstructs the single-index value bit-for-bit.
+  double total_content_length() const { return total_length_; }
 
   /// Document frequency of a term (0 when unseen).
   size_t DocFrequency(const std::string& term) const;

@@ -1,0 +1,104 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The index abstraction split out of InvertedIndex so that serving-side
+// code (querylog replay, the serve::Engine, the surfacing driver's
+// ingestion) is written against an interface with two implementations:
+// the single InvertedIndex and the sharded index that partitions a
+// corpus across many of them. The contract every implementation must
+// honor: Search results are fully deterministic — ranked by score
+// descending, ties broken by ascending DocId — and two implementations
+// holding the same documents in the same insertion order return
+// byte-identical hit lists.
+
+#ifndef DEEPSURF_INDEX_SEARCH_INDEX_H_
+#define DEEPSURF_INDEX_SEARCH_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace deepsurf {
+namespace index {
+
+using DocId = uint32_t;
+
+/// Metadata kept per indexed document.
+struct DocInfo {
+  std::string url;
+  std::string title;
+  uint32_t length = 0;        ///< content tokens
+  uint64_t content_hash = 0;  ///< for duplicate suppression
+  bool is_deep_web = false;   ///< provenance: produced by surfacing
+  std::string source_host;    ///< host the page came from
+};
+
+/// One search hit.
+struct SearchHit {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// One document prepared for batch ingestion.
+struct Document {
+  std::string url;
+  std::string title;
+  std::string body;
+  bool is_deep_web = false;
+  std::string source_host;
+};
+
+/// Read side of an index: everything query serving needs.
+///
+/// Thread safety is implementation-defined: InvertedIndex reads are not
+/// synchronized against concurrent writes, ShardedIndex reads are.
+class SearchIndex {
+ public:
+  virtual ~SearchIndex() = default;
+
+  /// Top-k BM25 hits for a keyword query.
+  virtual std::vector<SearchHit> Search(const std::string& query,
+                                        size_t k) const = 0;
+
+  /// As Search, but with pre-tokenized terms.
+  virtual std::vector<SearchHit> SearchTerms(
+      const std::vector<std::string>& terms, size_t k) const = 0;
+
+  /// Document metadata by id. Returned by value: implementations that
+  /// allow reads during concurrent ingest hand the caller a snapshot,
+  /// never a reference into storage that ingest may reallocate.
+  virtual DocInfo doc(DocId id) const = 0;
+  virtual size_t num_docs() const = 0;
+
+  /// Monotone counter that advances whenever a document enters the index.
+  /// A cached query result taken at epoch E is valid exactly while
+  /// ingest_epoch() == E (documents are never removed); the serve-layer
+  /// result cache keys its invalidation on this.
+  virtual uint64_t ingest_epoch() const = 0;
+};
+
+/// Write side: ingestion of surfaced (and crawled) pages.
+class WritableIndex : public SearchIndex {
+ public:
+  /// Indexes a document; returns its DocId. With duplicate suppression
+  /// on, returns the DocId of the already-indexed duplicate instead of
+  /// adding a new one.
+  virtual Result<DocId> AddDocument(const std::string& url,
+                                    const std::string& title,
+                                    const std::string& body, bool is_deep_web,
+                                    const std::string& source_host) = 0;
+
+  /// Ingests a batch; returns how many documents were newly added
+  /// (duplicates suppressed, not counted). When `newly_added` is
+  /// non-null it is resized to the batch and marks, per position,
+  /// whether that document entered the index.
+  virtual Result<size_t> InsertBatch(
+      const std::vector<Document>& docs,
+      std::vector<bool>* newly_added = nullptr) = 0;
+};
+
+}  // namespace index
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_INDEX_SEARCH_INDEX_H_

@@ -31,7 +31,7 @@ size_t ImpactReport::HostsForFraction(double fraction) const {
 }
 
 ImpactReport MeasureImpact(QueryStream* stream,
-                           const index::InvertedIndex& index,
+                           const index::SearchIndex& index,
                            const ImpactOptions& options) {
   ImpactReport report;
   double deep_rank_sum = 0.0;

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "index/inverted_index.h"
+#include "index/search_index.h"
 #include "querylog/query_stream.h"
 
 namespace deepsurf {
@@ -53,9 +53,11 @@ struct ImpactReport {
   size_t HostsForFraction(double fraction) const;
 };
 
-/// Replays `options.num_queries` queries and measures impact.
+/// Replays `options.num_queries` queries and measures impact. Serving
+/// goes through the SearchIndex interface, so the replay runs unchanged
+/// against a single InvertedIndex or the sharded serving path.
 ImpactReport MeasureImpact(QueryStream* stream,
-                           const index::InvertedIndex& index,
+                           const index::SearchIndex& index,
                            const ImpactOptions& options);
 
 }  // namespace querylog

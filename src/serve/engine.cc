@@ -1,0 +1,153 @@
+#include "serve/engine.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "index/analyzer.h"
+
+namespace deepsurf {
+namespace serve {
+
+namespace {
+
+std::string JoinTerms(const std::vector<std::string>& terms) {
+  std::string joined;
+  for (const auto& term : terms) {
+    if (!joined.empty()) joined.push_back(' ');
+    joined += term;
+  }
+  return joined;
+}
+
+}  // namespace
+
+Engine::Engine(const index::SearchIndex* index, EngineOptions options)
+    : index_(index), options_(options) {}
+
+std::string Engine::NormalizeQuery(const std::string& query) {
+  return JoinTerms(index::ContentTokens(query));
+}
+
+ServeResult Engine::Search(const std::string& query) {
+  return Search(query, options_.default_top_k);
+}
+
+ServeResult Engine::Search(const std::string& query, size_t k) {
+  auto terms = index::ContentTokens(query);
+  if (options_.cache_capacity == 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.queries;
+      ++stats_.cache_misses;
+    }
+    return ServeResult{index_->SearchTerms(terms, k), false};
+  }
+
+  std::string key = JoinTerms(terms);
+  key.push_back('\x01');  // terms cannot contain this
+  key += std::to_string(k);
+
+  // Read the epoch BEFORE searching: if an ingest lands in between, the
+  // entry we store carries the pre-ingest epoch and is discarded on its
+  // next lookup — results can be needlessly recomputed, never served
+  // stale.
+  uint64_t epoch = index_->ingest_epoch();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      bool valid = it->second.epoch == epoch;
+      if (!valid && it->second.epoch > epoch) {
+        // The entry was refilled after our snapshot (a concurrent miss
+        // raced an ingest); it is still servable if nothing has been
+        // ingested since the refill.
+        valid = it->second.epoch == index_->ingest_epoch();
+      }
+      if (valid) {
+        ++stats_.cache_hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return ServeResult{it->second.hits, true};
+      }
+      ++stats_.invalidations;
+      EraseLocked(it);
+    }
+    ++stats_.cache_misses;
+  }
+
+  auto hits = index_->SearchTerms(terms, k);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A concurrent miss on the same key got here first; keep the fresher
+    // of the two fills.
+    if (it->second.epoch <= epoch) {
+      it->second.hits = hits;
+      it->second.epoch = epoch;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    }
+  } else {
+    lru_.push_front(key);
+    cache_.emplace(key, CacheEntry{hits, epoch, lru_.begin()});
+    while (cache_.size() > options_.cache_capacity) {
+      auto victim = cache_.find(lru_.back());
+      EraseLocked(victim);
+      ++stats_.evictions;
+    }
+  }
+  return ServeResult{std::move(hits), false};
+}
+
+std::vector<ServeResult> Engine::SearchBatch(
+    const std::vector<std::string>& queries, size_t concurrency) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+  }
+  std::vector<ServeResult> results(queries.size());
+  std::atomic<size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = cursor.fetch_add(1);
+      if (i >= queries.size()) return;
+      results[i] = Search(queries[i]);
+    }
+  };
+  if (concurrency < 2 || queries.size() < 2) {
+    worker();
+    return results;
+  }
+  size_t threads = std::min(concurrency, queries.size());
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+void Engine::EraseLocked(
+    std::unordered_map<std::string, CacheEntry>::iterator it) {
+  lru_.erase(it->second.lru_it);
+  cache_.erase(it);
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t Engine::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void Engine::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace serve
+}  // namespace deepsurf

@@ -1,0 +1,134 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The query-serving engine: the front door between user traffic and the
+// (sharded) index. The paper's payoff happens here — surfaced deep-web
+// pages only matter because they are served across millions of queries
+// (§3.2) — and real query logs are heavily repetitive (Zipfian), so a
+// result cache absorbs most of the load before it reaches the index.
+//
+// The engine wraps any SearchIndex with:
+//   * a thread-safe LRU result cache keyed on the *normalized* query
+//     (analyzer tokens joined, so "Honda  CIVIC" and "honda civic"
+//     share one entry) plus k, with hit/miss/eviction counters;
+//   * epoch-based invalidation: an entry remembers the index's
+//     ingest_epoch at fill time and is discarded the moment the index
+//     has grown past it, so a cached result is never stale;
+//   * SearchBatch(queries, concurrency): a worker pool answering a
+//     query batch with positional results.
+//
+// Serving and caching never change ranking: for any query stream the
+// engine's hits are byte-identical to calling the index directly.
+//
+// Concurrent ingest: safe exactly when the underlying index's reads are
+// synchronized against its writes (ShardedIndex yes, bare InvertedIndex
+// no). The epoch is read *before* the index search, so an ingest racing
+// a fill can only make the new entry immediately invalid, never stale.
+
+#ifndef DEEPSURF_SERVE_ENGINE_H_
+#define DEEPSURF_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/search_index.h"
+
+namespace deepsurf {
+namespace serve {
+
+struct EngineOptions {
+  /// Cached query results kept, least-recently-used evicted first.
+  /// 0 disables caching (every query goes to the index).
+  size_t cache_capacity = 4096;
+  /// Hits retrieved when Search is called without an explicit k.
+  size_t default_top_k = 10;
+};
+
+/// Cumulative serving counters (all since construction).
+struct EngineStats {
+  uint64_t queries = 0;        ///< Search calls (batch members included)
+  uint64_t cache_hits = 0;     ///< served from the result cache
+  uint64_t cache_misses = 0;   ///< went to the index
+  uint64_t evictions = 0;      ///< LRU entries dropped
+  uint64_t invalidations = 0;  ///< entries discarded because the index grew
+  uint64_t batches = 0;        ///< SearchBatch calls
+
+  double HitRate() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(queries);
+  }
+};
+
+/// One served query.
+struct ServeResult {
+  std::vector<index::SearchHit> hits;
+  bool from_cache = false;
+};
+
+/// Thread-safe caching front end over a SearchIndex. All methods may be
+/// called from any thread.
+class Engine {
+ public:
+  /// `index` is borrowed and must outlive the engine.
+  explicit Engine(const index::SearchIndex* index, EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Answers one query (top default_top_k).
+  ServeResult Search(const std::string& query);
+
+  /// Answers one query (top k).
+  ServeResult Search(const std::string& query, size_t k);
+
+  /// Answers a batch with `concurrency` worker threads (values < 2 run
+  /// on the calling thread). Results are positional. Identical queries
+  /// inside one batch are not coalesced; later ones simply hit the cache
+  /// when it is enabled.
+  std::vector<ServeResult> SearchBatch(const std::vector<std::string>& queries,
+                                       size_t concurrency);
+
+  /// The normalized form of a query — the analyzer tokens joined by
+  /// single spaces — which prefixes its cache key (the key also encodes
+  /// k). Exposed for tests.
+  static std::string NormalizeQuery(const std::string& query);
+
+  /// Counter snapshot.
+  EngineStats stats() const;
+
+  /// Entries currently cached.
+  size_t cache_size() const;
+
+  /// Drops every cached result (counters are kept).
+  void ClearCache();
+
+  const index::SearchIndex* index() const { return index_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct CacheEntry {
+    std::vector<index::SearchHit> hits;
+    uint64_t epoch = 0;  ///< index ingest_epoch when this was computed
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Removes `it`'s entry from cache_ and lru_. Requires mu_ held.
+  void EraseLocked(std::unordered_map<std::string, CacheEntry>::iterator it);
+
+  const index::SearchIndex* index_;
+  const EngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> lru_;  ///< front = most recent
+  EngineStats stats_;
+};
+
+}  // namespace serve
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_SERVE_ENGINE_H_

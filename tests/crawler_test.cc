@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crawler/crawler.h"
+#include "index/inverted_index.h"
 #include "synthweb/corpus.h"
 
 namespace deepsurf {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "extract/annotator.h"
+#include "index/inverted_index.h"
 #include "extract/record_extractor.h"
 #include "html/parser.h"
 

@@ -11,9 +11,13 @@
 #include "html/forms.h"
 #include "html/parser.h"
 #include "html/text.h"
+#include "index/analyzer.h"
+#include "index/inverted_index.h"
 #include "net/url.h"
+#include "synthweb/corpus.h"
 #include "synthweb/deep_site.h"
 #include "test_support.h"
+#include "util/hash.h"
 
 namespace deepsurf {
 namespace {
@@ -226,6 +230,138 @@ TEST_P(HtmlFuzzTest, MutatedMarkupParsesWithoutCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HtmlFuzzTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Index ingestion invariants over generated corpora.
+// ---------------------------------------------------------------------------
+
+class IndexIngestTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// Entity pages of a seeded corpus, with every third document
+  /// duplicated in content under a fresh URL (duplicate-suppression
+  /// fodder that crosses any URL-based partition).
+  static std::vector<index::Document> CorpusDocsWithDuplicates(
+      uint64_t seed) {
+    synthweb::CorpusOptions opts;
+    opts.num_deep_sites = 4;
+    opts.num_surface_sites = 2;
+    opts.min_rows = 10;
+    opts.max_rows = 30;
+    opts.seed = seed;
+    auto corpus = synthweb::BuildCorpus(opts);
+    std::vector<index::Document> docs;
+    for (size_t rank = 0; rank < corpus.entities.size(); ++rank) {
+      const auto& e = corpus.entities[rank];
+      const std::string& host =
+          corpus.deep_sites[e.site_index]->spec().host;
+      index::Document d;
+      d.url = "http://" + host + "/r" + std::to_string(rank);
+      d.title = "record";
+      d.body = corpus.EntityText(e);
+      d.source_host = host;
+      docs.push_back(d);
+      if (rank % 3 == 0) {
+        d.url = "http://mirror.example.org/m" + std::to_string(rank);
+        d.source_host = "mirror.example.org";
+        docs.push_back(std::move(d));
+      }
+    }
+    return docs;
+  }
+
+  /// A deterministic query sweep drawn from the documents themselves.
+  static std::vector<std::vector<std::string>> QuerySweep(
+      const std::vector<index::Document>& docs) {
+    std::vector<std::vector<std::string>> queries;
+    for (size_t i = 0; i < docs.size(); i += 5) {
+      auto tokens = index::ContentTokens(docs[i].body);
+      if (tokens.size() < 2) continue;
+      queries.push_back({tokens[0], tokens[1]});
+      queries.push_back({tokens[tokens.size() / 2]});
+    }
+    return queries;
+  }
+};
+
+TEST_P(IndexIngestTest, InsertBatchEqualsSequentialAddDocument) {
+  auto docs = CorpusDocsWithDuplicates(GetParam());
+
+  index::InvertedIndex batched;
+  ASSERT_TRUE(batched.InsertBatch(docs).ok());
+  index::InvertedIndex sequential;
+  for (const auto& d : docs) {
+    ASSERT_TRUE(sequential
+                    .AddDocument(d.url, d.title, d.body, d.is_deep_web,
+                                 d.source_host)
+                    .ok());
+  }
+
+  // Identical corpus state: same docs, same ids, same term statistics...
+  ASSERT_EQ(batched.num_docs(), sequential.num_docs());
+  for (index::DocId id = 0; id < batched.num_docs(); ++id) {
+    EXPECT_EQ(batched.doc(id).url, sequential.doc(id).url);
+    EXPECT_EQ(batched.doc(id).content_hash, sequential.doc(id).content_hash);
+  }
+  // ...and identical search results, scores included.
+  for (const auto& terms : QuerySweep(docs)) {
+    auto a = batched.SearchTerms(terms, 10);
+    auto b = sequential.SearchTerms(terms, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST_P(IndexIngestTest, DuplicateSuppressionIsOrderIndependent) {
+  auto docs = CorpusDocsWithDuplicates(GetParam());
+  std::vector<index::Document> reversed(docs.rbegin(), docs.rend());
+  std::vector<index::Document> shuffled = docs;
+  Rng rng(GetParam() * 13 + 1);
+  rng.Shuffle(&shuffled);
+
+  index::InvertedIndex forward;
+  index::InvertedIndex backward;
+  index::InvertedIndex permuted;
+  ASSERT_TRUE(forward.InsertBatch(docs).ok());
+  ASSERT_TRUE(backward.InsertBatch(reversed).ok());
+  ASSERT_TRUE(permuted.InsertBatch(shuffled).ok());
+
+  // Which URL survives a duplicate group depends on order (first wins),
+  // but the indexed *content* must not: same document count, same
+  // content-hash set, same term document frequencies.
+  ASSERT_EQ(forward.num_docs(), backward.num_docs());
+  ASSERT_EQ(forward.num_docs(), permuted.num_docs());
+  for (const auto& d : docs) {
+    uint64_t h = Fnv1a64(d.body);
+    EXPECT_TRUE(forward.ContainsContent(h));
+    EXPECT_TRUE(backward.ContainsContent(h));
+    EXPECT_TRUE(permuted.ContainsContent(h));
+  }
+
+  // Search must rank the same *content* with the same scores. Doc ids
+  // follow insertion order, so compare order-invariantly: the multiset
+  // of (score bits, content hash) with k = everything (no tie-cutoff).
+  size_t k = forward.num_docs();
+  auto canonical = [](const index::InvertedIndex& idx,
+                      const std::vector<index::SearchHit>& hits) {
+    std::vector<std::pair<double, uint64_t>> out;
+    for (const auto& h : hits) {
+      out.emplace_back(h.score, idx.doc(h.doc).content_hash);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (const auto& terms : QuerySweep(docs)) {
+    auto f = canonical(forward, forward.SearchTerms(terms, k));
+    EXPECT_EQ(f, canonical(backward, backward.SearchTerms(terms, k)));
+    EXPECT_EQ(f, canonical(permuted, permuted.SearchTerms(terms, k)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexIngestTest,
+                         ::testing::Values(11u, 22u, 33u));
 
 }  // namespace
 }  // namespace deepsurf

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "index/analyzer.h"
+#include "index/inverted_index.h"
 #include "querylog/impact.h"
 #include "querylog/query_stream.h"
 #include "synthweb/corpus.h"

@@ -1,0 +1,257 @@
+// Tests for the serving engine: LRU result-cache semantics (eviction
+// order, hit/miss counters, epoch invalidation on ingest), batch
+// serving, and SearchBatch hammered during concurrent ingest — the
+// latter is what the TSan CI job is for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/sharded_index.h"
+#include "serve/engine.h"
+
+namespace deepsurf {
+namespace serve {
+namespace {
+
+index::Document Doc(const std::string& url, const std::string& body) {
+  index::Document d;
+  d.url = url;
+  d.title = "t";
+  d.body = body;
+  d.source_host = "h.example.com";
+  return d;
+}
+
+class ServeEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index::ShardedIndexOptions sopts;
+    sopts.num_shards = 2;
+    index_ = std::make_unique<index::ShardedIndex>(sopts);
+    ASSERT_TRUE(index_
+                    ->InsertBatch({Doc("u1", "alpha document body"),
+                                   Doc("u2", "beta document body"),
+                                   Doc("u3", "gamma document body"),
+                                   Doc("u4", "delta document body")})
+                    .ok());
+  }
+
+  std::unique_ptr<index::ShardedIndex> index_;
+};
+
+TEST_F(ServeEngineTest, HitAndMissCounters) {
+  Engine engine(index_.get(), {});
+  EXPECT_FALSE(engine.Search("alpha").from_cache);
+  EXPECT_TRUE(engine.Search("alpha").from_cache);
+  EXPECT_TRUE(engine.Search("alpha").from_cache);
+  EXPECT_FALSE(engine.Search("beta").from_cache);
+
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_NEAR(stats.HitRate(), 0.5, 1e-12);
+  EXPECT_EQ(engine.cache_size(), 2u);
+}
+
+TEST_F(ServeEngineTest, CachedHitsAreIdenticalToFreshOnes) {
+  Engine engine(index_.get(), {});
+  auto fresh = engine.Search("alpha document");
+  auto cached = engine.Search("alpha document");
+  ASSERT_TRUE(cached.from_cache);
+  ASSERT_EQ(fresh.hits.size(), cached.hits.size());
+  for (size_t i = 0; i < fresh.hits.size(); ++i) {
+    EXPECT_EQ(fresh.hits[i].doc, cached.hits[i].doc);
+    EXPECT_EQ(fresh.hits[i].score, cached.hits[i].score);
+  }
+}
+
+TEST_F(ServeEngineTest, LruEvictionDropsLeastRecentlyUsed) {
+  EngineOptions opts;
+  opts.cache_capacity = 2;
+  Engine engine(index_.get(), opts);
+
+  (void)engine.Search("alpha");  // cache: [alpha]
+  (void)engine.Search("beta");   // cache: [beta, alpha]
+  EXPECT_EQ(engine.cache_size(), 2u);
+
+  // Touch alpha so beta becomes the LRU entry, then insert gamma.
+  EXPECT_TRUE(engine.Search("alpha").from_cache);  // cache: [alpha, beta]
+  (void)engine.Search("gamma");                    // evicts beta
+
+  EXPECT_EQ(engine.stats().evictions, 1u);
+  EXPECT_EQ(engine.cache_size(), 2u);
+  EXPECT_TRUE(engine.Search("alpha").from_cache);
+  EXPECT_TRUE(engine.Search("gamma").from_cache);
+  EXPECT_FALSE(engine.Search("beta").from_cache);  // was evicted
+}
+
+TEST_F(ServeEngineTest, QueryNormalizationSharesEntries)  {
+  Engine engine(index_.get(), {});
+  EXPECT_EQ(Engine::NormalizeQuery("  ALPHA   Document!"), "alpha document");
+  EXPECT_FALSE(engine.Search("alpha document").from_cache);
+  EXPECT_TRUE(engine.Search("  ALPHA   Document!").from_cache);
+  EXPECT_TRUE(engine.Search("Alpha, DOCUMENT").from_cache);
+  EXPECT_EQ(engine.cache_size(), 1u);
+}
+
+TEST_F(ServeEngineTest, DifferentTopKIsADifferentEntry) {
+  Engine engine(index_.get(), {});
+  EXPECT_FALSE(engine.Search("document", 2).from_cache);
+  EXPECT_FALSE(engine.Search("document", 3).from_cache);
+  EXPECT_TRUE(engine.Search("document", 2).from_cache);
+  EXPECT_EQ(engine.Search("document", 2).hits.size(), 2u);
+  EXPECT_EQ(engine.Search("document", 3).hits.size(), 3u);
+}
+
+TEST_F(ServeEngineTest, IngestInvalidatesStaleCachedResults) {
+  Engine engine(index_.get(), {});
+  auto before = engine.Search("epsilon");
+  EXPECT_TRUE(before.hits.empty());
+  EXPECT_TRUE(engine.Search("epsilon").from_cache);
+
+  // New content arrives (the surfacing driver ingesting mid-serve).
+  ASSERT_TRUE(index_->InsertBatch({Doc("u5", "epsilon document body")}).ok());
+
+  auto after = engine.Search("epsilon");
+  EXPECT_FALSE(after.from_cache) << "stale entry must not be served";
+  ASSERT_EQ(after.hits.size(), 1u);
+  EXPECT_EQ(index_->doc(after.hits[0].doc).url, "u5");
+  EXPECT_EQ(engine.stats().invalidations, 1u);
+
+  // The refreshed result is cached again at the new epoch.
+  EXPECT_TRUE(engine.Search("epsilon").from_cache);
+}
+
+TEST_F(ServeEngineTest, SuppressedDuplicateIngestKeepsCacheValid) {
+  Engine engine(index_.get(), {});
+  (void)engine.Search("alpha");
+  // Duplicate content: nothing enters the index, results cannot change,
+  // so the cache entry stays valid.
+  ASSERT_TRUE(index_->InsertBatch({Doc("dup", "alpha document body")}).ok());
+  EXPECT_TRUE(engine.Search("alpha").from_cache);
+  EXPECT_EQ(engine.stats().invalidations, 0u);
+}
+
+TEST_F(ServeEngineTest, ZeroCapacityDisablesCaching) {
+  EngineOptions opts;
+  opts.cache_capacity = 0;
+  Engine engine(index_.get(), opts);
+  EXPECT_FALSE(engine.Search("alpha").from_cache);
+  EXPECT_FALSE(engine.Search("alpha").from_cache);
+  EXPECT_EQ(engine.cache_size(), 0u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.stats().cache_misses, 2u);
+}
+
+TEST_F(ServeEngineTest, ClearCacheDropsEntriesButKeepsCounters) {
+  Engine engine(index_.get(), {});
+  (void)engine.Search("alpha");
+  EXPECT_TRUE(engine.Search("alpha").from_cache);
+  engine.ClearCache();
+  EXPECT_EQ(engine.cache_size(), 0u);
+  EXPECT_FALSE(engine.Search("alpha").from_cache);
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+}
+
+TEST_F(ServeEngineTest, SearchBatchIsPositionalAndEqualsSequential) {
+  std::vector<std::string> queries = {"alpha", "beta", "document body",
+                                      "gamma", "alpha", "nosuchterm"};
+  Engine sequential(index_.get(), {});
+  std::vector<ServeResult> expected;
+  for (const auto& q : queries) expected.push_back(sequential.Search(q));
+
+  Engine batched(index_.get(), {});
+  auto results = batched.SearchBatch(queries, 4);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].hits.size(), expected[i].hits.size()) << i;
+    for (size_t j = 0; j < results[i].hits.size(); ++j) {
+      EXPECT_EQ(results[i].hits[j].doc, expected[i].hits[j].doc);
+      EXPECT_EQ(results[i].hits[j].score, expected[i].hits[j].score);
+    }
+  }
+  EXPECT_EQ(batched.stats().batches, 1u);
+  EXPECT_EQ(batched.stats().queries, queries.size());
+}
+
+TEST(ServeEngineConcurrencyTest, SearchBatchDuringConcurrentIngest) {
+  // The serving contract under concurrent ingest: no data races (TSan
+  // job), every query answered, and afterwards the engine agrees with
+  // the index. Results mid-race may reflect pre- or post-ingest state —
+  // either is correct serving, staleness is not.
+  index::ShardedIndexOptions sopts;
+  sopts.num_shards = 4;
+  index::ShardedIndex index(sopts);
+  std::vector<index::Document> seed_docs;
+  for (int i = 0; i < 40; ++i) {
+    seed_docs.push_back(Doc("seed" + std::to_string(i),
+                            "common term seed body " + std::to_string(i)));
+  }
+  ASSERT_TRUE(index.InsertBatch(seed_docs).ok());
+
+  EngineOptions eopts;
+  eopts.cache_capacity = 32;
+  Engine engine(&index, eopts);
+
+  std::vector<std::string> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(i % 3 == 0 ? "common term" : "body " + std::to_string(i));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      // Keep serving while ingest runs; a floor of three passes keeps
+      // the test meaningful even if the writer wins every race.
+      int iterations = 0;
+      do {
+        auto results = engine.SearchBatch(queries, 2);
+        EXPECT_EQ(results.size(), queries.size());
+        for (const auto& res : results) {
+          answered += res.hits.size() + 1;
+        }
+        ++iterations;
+      } while (!done || iterations < 3);
+    });
+  }
+  std::thread writer([&] {
+    for (int batch = 0; batch < 25; ++batch) {
+      std::vector<index::Document> docs;
+      for (int d = 0; d < 4; ++d) {
+        std::string tag = std::to_string(batch) + "_" + std::to_string(d);
+        docs.push_back(Doc("new" + tag, "common term fresh body " + tag));
+      }
+      EXPECT_TRUE(index.InsertBatch(docs).ok());
+    }
+    done = true;
+  });
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(answered, 0u);
+  EXPECT_EQ(index.num_docs(), 40u + 25u * 4u);
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries);
+
+  // Settled state: the engine now serves exactly what the index holds.
+  auto final_hits = engine.Search("common term", 20);
+  auto direct = index.Search("common term", 20);
+  ASSERT_EQ(final_hits.hits.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(final_hits.hits[i].doc, direct[i].doc);
+    EXPECT_EQ(final_hits.hits[i].score, direct[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace deepsurf
