@@ -1,71 +1,429 @@
-// M2 — substrate micro-benchmark: inverted-index build and BM25 query
-// throughput.
+// M2 — substrate micro-benchmark: inverted-index ingest and BM25 query
+// throughput, pruned (maxscore) vs exhaustive vs the pre-overhaul
+// scorer, swept across corpus size x query length x k. Emits a JSON
+// record (--json PATH) so the perf trajectory is comparable across PRs,
+// and verifies the pruning equivalence contract (byte-identical hits)
+// as it measures.
+//
+// The "legacy" configuration is a faithful replica of the index's
+// pre-overhaul hot path — string-keyed postings map, per-document
+// std::map term weighting, unordered_map<DocId,double> score
+// accumulation, full result sort — kept here so the speedup claim stays
+// measurable long after that code is gone.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "bench_common.h"
+#include "index/analyzer.h"
 #include "index/inverted_index.h"
 #include "synthweb/vocab.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace deepsurf {
 namespace {
 
-std::vector<std::string> MakeDocs(size_t n) {
-  Rng rng(11);
-  std::vector<std::string> docs;
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------
+// Pre-overhaul index replica (see file comment).
+
+struct LegacyIndex {
+  struct Posting {
+    index::DocId doc;
+    float weight;
+  };
+  double k1 = 1.2, b = 0.75, title_boost = 2.0;
+  std::unordered_map<std::string, std::vector<Posting>> postings;
+  std::unordered_map<uint64_t, index::DocId> by_hash;
+  std::vector<uint32_t> lengths;
+  double total_length = 0.0;
+
+  void Add(const std::string& title, const std::string& body) {
+    uint64_t hash = Fnv1a64(body);
+    if (by_hash.count(hash)) return;
+    index::DocId id = static_cast<index::DocId>(lengths.size());
+    std::map<std::string, double> weights;
+    auto body_tokens = index::ContentTokens(body);
+    for (const auto& t : body_tokens) weights[t] += 1.0;
+    for (const auto& t : index::ContentTokens(title)) {
+      weights[t] += title_boost;
+    }
+    lengths.push_back(static_cast<uint32_t>(body_tokens.size()));
+    total_length += static_cast<double>(body_tokens.size());
+    for (const auto& [term, w] : weights) {
+      postings[term].push_back(Posting{id, static_cast<float>(w)});
+    }
+    by_hash.emplace(hash, id);
+  }
+
+  std::vector<index::SearchHit> Search(const std::vector<std::string>& terms,
+                                       size_t k) const {
+    if (terms.empty() || lengths.empty()) return {};
+    double n = static_cast<double>(lengths.size());
+    double avg_len = n > 0.0 ? total_length / n : 1.0;
+    std::unordered_map<index::DocId, double> scores;
+    for (const auto& term : terms) {
+      auto it = postings.find(term);
+      if (it == postings.end()) continue;
+      double df = static_cast<double>(it->second.size());
+      double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+      for (const auto& posting : it->second) {
+        double tf = posting.weight;
+        double len = static_cast<double>(lengths[posting.doc]);
+        double denom = tf + k1 * (1.0 - b + b * len / avg_len);
+        scores[posting.doc] += idf * (tf * (k1 + 1.0)) / denom;
+      }
+    }
+    std::vector<index::SearchHit> hits;
+    hits.reserve(scores.size());
+    for (const auto& [doc, score] : scores) {
+      hits.push_back(index::SearchHit{doc, score});
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const index::SearchHit& a, const index::SearchHit& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    if (hits.size() > k) hits.resize(k);
+    return hits;
+  }
+
+  std::vector<std::string> CharacteristicTerms(
+      const std::vector<index::DocId>& host_docs, size_t k) const {
+    std::map<std::string, double> host_tf;
+    std::unordered_map<index::DocId, bool> in_host;
+    for (index::DocId d : host_docs) in_host[d] = true;
+    for (const auto& [term, plist] : postings) {
+      double acc = 0.0;
+      for (const auto& p : plist) {
+        if (in_host.count(p.doc)) acc += p.weight;
+      }
+      if (acc > 0.0) host_tf[term] = acc;
+    }
+    double n = static_cast<double>(lengths.size());
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto& [term, tf] : host_tf) {
+      double df = static_cast<double>(postings.at(term).size());
+      ranked.emplace_back(tf * std::log(1.0 + n / df), term);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    std::vector<std::string> out;
+    for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+      out.push_back(ranked[i].second);
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Workload: a Zipf-skewed synthetic corpus (a popular head vocabulary
+// plus a long tail, as real text has) and queries drawn from the same
+// distribution with extra tail mass — the mixed common/rare query shape
+// maxscore exists for.
+
+struct Doc {
+  std::string title;
+  std::string body;
+  std::string host;
+};
+
+std::vector<Doc> MakeDocs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const auto& words = synthweb::EnglishWords();
+  ZipfSampler zipf(words.size(), 1.0);
+  std::vector<Doc> docs;
   docs.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    docs.push_back(synthweb::RandomProse(&rng, 80));
+    size_t len = 40 + static_cast<size_t>(rng.Uniform(80));
+    std::string body;
+    body.reserve(len * 8);
+    for (size_t w = 0; w < len; ++w) {
+      body += words[zipf.Sample(&rng)];
+      body.push_back(' ');
+    }
+    // A sprinkle of titles that actually carry terms (title boost).
+    std::string title = rng.Bernoulli(0.25)
+                            ? words[zipf.Sample(&rng)] + " " +
+                                  words[rng.Uniform(words.size())]
+                            : "d" + std::to_string(i);
+    docs.push_back(Doc{std::move(title), std::move(body),
+                       "host" + std::to_string(i % 20) + ".example.com"});
   }
   return docs;
 }
 
-void BM_IndexBuild(benchmark::State& state) {
-  auto docs = MakeDocs(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    index::InvertedIndex idx;
-    for (size_t i = 0; i < docs.size(); ++i) {
-      benchmark::DoNotOptimize(
-          idx.AddDocument("u" + std::to_string(i), "title", docs[i], false,
-                          "h"));
+std::vector<std::vector<std::string>> MakeQueries(size_t n, size_t len,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  const auto& words = synthweb::EnglishWords();
+  ZipfSampler zipf(words.size(), 1.0);
+  std::vector<std::vector<std::string>> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> terms;
+    terms.reserve(len);
+    for (size_t t = 0; t < len; ++t) {
+      terms.push_back(rng.Bernoulli(0.5) ? words[zipf.Sample(&rng)]
+                                         : words[rng.Uniform(words.size())]);
+    }
+    queries.push_back(std::move(terms));
+  }
+  return queries;
+}
+
+/// Runs `search` over the query pool until `min_time` elapses (whole
+/// passes, at least one); returns queries per second.
+template <typename SearchFn>
+double MeasureQps(const std::vector<std::vector<std::string>>& queries,
+                  double min_time, SearchFn&& search) {
+  size_t done = 0;
+  volatile size_t sink = 0;  // keeps the search from being optimized out
+  auto start = Clock::now();
+  do {
+    for (const auto& q : queries) {
+      sink = sink + search(q).size();
+    }
+    done += queries.size();
+  } while (Seconds(start) < min_time);
+  return static_cast<double>(done) / Seconds(start);
+}
+
+struct QueryRow {
+  size_t docs, query_len, k;
+  double legacy_qps, exhaustive_qps, pruned_qps;
+  bool equivalent;
+};
+
+struct CorpusRow {
+  size_t docs = 0;
+  double legacy_ingest_dps = 0, new_ingest_dps = 0;
+  double legacy_chterms_ms = 0, new_chterms_ms = 0;
+  std::vector<QueryRow> queries;
+};
+
+std::string JsonEscapeNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void WriteJson(const std::vector<CorpusRow>& rows, bool all_equivalent,
+               double speedup_50k_k10, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_index\",\n  \"corpora\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"docs\": %zu,\n"
+                 "     \"ingest_docs_per_s\": {\"legacy\": %s, \"new\": %s},\n"
+                 "     \"characteristic_terms_ms\": {\"legacy\": %s, "
+                 "\"new\": %s},\n"
+                 "     \"queries\": [\n",
+                 r.docs, JsonEscapeNumber(r.legacy_ingest_dps).c_str(),
+                 JsonEscapeNumber(r.new_ingest_dps).c_str(),
+                 JsonEscapeNumber(r.legacy_chterms_ms).c_str(),
+                 JsonEscapeNumber(r.new_chterms_ms).c_str());
+    for (size_t j = 0; j < r.queries.size(); ++j) {
+      const auto& q = r.queries[j];
+      std::fprintf(
+          f,
+          "      {\"query_len\": %zu, \"k\": %zu, \"legacy_qps\": %s, "
+          "\"exhaustive_qps\": %s, \"pruned_qps\": %s, "
+          "\"pruned_vs_legacy\": %s, \"pruned_vs_exhaustive\": %s, "
+          "\"equivalent\": %s}%s\n",
+          q.query_len, q.k, JsonEscapeNumber(q.legacy_qps).c_str(),
+          JsonEscapeNumber(q.exhaustive_qps).c_str(),
+          JsonEscapeNumber(q.pruned_qps).c_str(),
+          JsonEscapeNumber(q.pruned_qps / q.legacy_qps).c_str(),
+          JsonEscapeNumber(q.pruned_qps / q.exhaustive_qps).c_str(),
+          q.equivalent ? "true" : "false",
+          j + 1 < r.queries.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"verdict\": {\"all_equivalent\": %s, "
+               "\"pruned_vs_legacy_at_largest_corpus_k10_mean\": %s}\n}\n",
+               all_equivalent ? "true" : "false",
+               JsonEscapeNumber(speedup_50k_k10).c_str());
+  std::fclose(f);
+  std::printf("json written to %s\n", path);
+}
+
+int Run(int argc, char** argv) {
+  std::vector<size_t> corpus_sizes = {5000, 50000};
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--docs") == 0 && i + 1 < argc) {
+      corpus_sizes = {static_cast<size_t>(std::atol(argv[++i]))};
     }
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000);
 
-void BM_Bm25Query(benchmark::State& state) {
-  auto docs = MakeDocs(static_cast<size_t>(state.range(0)));
-  index::InvertedIndex idx;
-  for (size_t i = 0; i < docs.size(); ++i) {
-    (void)idx.AddDocument("u" + std::to_string(i), "title", docs[i], false,
-                          "h");
-  }
-  Rng rng(13);
-  const auto& words = synthweb::EnglishWords();
-  for (auto _ : state) {
-    std::string query = rng.Pick(words) + " " + rng.Pick(words);
-    auto hits = idx.Search(query, 10);
-    benchmark::DoNotOptimize(hits);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-}
-BENCHMARK(BM_Bm25Query)->Arg(1000)->Arg(10000);
+  bench::Header(
+      "M2: index ingest + query throughput (pruned vs exhaustive vs "
+      "pre-overhaul)",
+      "surfaced pages are served at web-search speed: exact maxscore "
+      "top-k must beat exhaustive scoring without changing one bit of "
+      "any result");
 
-void BM_CharacteristicTerms(benchmark::State& state) {
-  auto docs = MakeDocs(2000);
-  index::InvertedIndex idx;
-  for (size_t i = 0; i < docs.size(); ++i) {
-    (void)idx.AddDocument("u" + std::to_string(i), "t", docs[i], false,
-                          "host" + std::to_string(i % 20));
+  const std::vector<size_t> query_lens = {1, 2, 4, 8};
+  const std::vector<size_t> ks = {1, 10, 100};
+  constexpr size_t kQueryPool = 192;
+  constexpr double kMinTime = 0.15;
+
+  std::vector<CorpusRow> rows;
+  bool all_equivalent = true;
+
+  for (size_t num_docs : corpus_sizes) {
+    CorpusRow row;
+    row.docs = num_docs;
+    auto docs = MakeDocs(num_docs, 11);
+
+    // Ingest throughput: pre-overhaul replica vs the real index.
+    LegacyIndex legacy;
+    auto start = Clock::now();
+    for (const auto& d : docs) legacy.Add(d.title, d.body);
+    row.legacy_ingest_dps = static_cast<double>(num_docs) / Seconds(start);
+
+    index::InvertedIndex pruned;  // pruning on by default
+    start = Clock::now();
+    for (size_t i = 0; i < docs.size(); ++i) {
+      (void)pruned.AddDocument("http://" + docs[i].host + "/p" +
+                                   std::to_string(i),
+                               docs[i].title, docs[i].body, false,
+                               docs[i].host);
+    }
+    row.new_ingest_dps = static_cast<double>(num_docs) / Seconds(start);
+
+    index::IndexOptions ex_opts;
+    ex_opts.enable_pruning = false;
+    index::InvertedIndex exhaustive(ex_opts);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      (void)exhaustive.AddDocument("http://" + docs[i].host + "/p" +
+                                       std::to_string(i),
+                                   docs[i].title, docs[i].body, false,
+                                   docs[i].host);
+    }
+
+    // CharacteristicTerms: the old full-postings walk vs the forward-
+    // list aggregation (results must agree).
+    auto host_docs = pruned.DocsForHost("host7.example.com");
+    start = Clock::now();
+    auto legacy_terms = legacy.CharacteristicTerms(host_docs, 15);
+    row.legacy_chterms_ms = Seconds(start) * 1e3;
+    start = Clock::now();
+    auto new_terms =
+        pruned.CharacteristicTerms("host7.example.com", 15);
+    row.new_chterms_ms = Seconds(start) * 1e3;
+    if (legacy_terms != new_terms) all_equivalent = false;
+
+    std::printf(
+        "\ncorpus %zu docs | ingest legacy %.0f docs/s, new %.0f docs/s "
+        "(%.2fx) | chterms legacy %.2f ms, new %.3f ms\n",
+        num_docs, row.legacy_ingest_dps, row.new_ingest_dps,
+        row.new_ingest_dps / row.legacy_ingest_dps, row.legacy_chterms_ms,
+        row.new_chterms_ms);
+    std::printf("%6s %4s | %11s %11s %11s | %8s %8s | %s\n", "qlen", "k",
+                "legacy q/s", "exhst q/s", "pruned q/s", "vs lgcy",
+                "vs exhst", "equiv");
+
+    for (size_t qlen : query_lens) {
+      auto queries = MakeQueries(kQueryPool, qlen, 13 * qlen + num_docs);
+      for (size_t k : ks) {
+        QueryRow qr;
+        qr.docs = num_docs;
+        qr.query_len = qlen;
+        qr.k = k;
+
+        // Equivalence before speed: pruned must be byte-identical to
+        // exhaustive on every query of the pool.
+        qr.equivalent = true;
+        for (const auto& q : queries) {
+          auto a = exhaustive.SearchTerms(q, k);
+          auto b = pruned.SearchTerms(q, k);
+          bool same = a.size() == b.size();
+          for (size_t r = 0; same && r < a.size(); ++r) {
+            same = a[r].doc == b[r].doc &&
+                   std::memcmp(&a[r].score, &b[r].score, sizeof(double)) == 0;
+          }
+          if (!same) {
+            qr.equivalent = false;
+            all_equivalent = false;
+          }
+        }
+
+        qr.legacy_qps = MeasureQps(queries, kMinTime, [&](const auto& q) {
+          return legacy.Search(q, k);
+        });
+        qr.exhaustive_qps = MeasureQps(queries, kMinTime, [&](const auto& q) {
+          return exhaustive.SearchTerms(q, k);
+        });
+        qr.pruned_qps = MeasureQps(queries, kMinTime, [&](const auto& q) {
+          return pruned.SearchTerms(q, k);
+        });
+
+        std::printf("%6zu %4zu | %11.0f %11.0f %11.0f | %7.2fx %7.2fx | %s\n",
+                    qlen, k, qr.legacy_qps, qr.exhaustive_qps, qr.pruned_qps,
+                    qr.pruned_qps / qr.legacy_qps,
+                    qr.pruned_qps / qr.exhaustive_qps,
+                    qr.equivalent ? "yes" : "NO");
+        row.queries.push_back(qr);
+      }
+    }
+    rows.push_back(std::move(row));
   }
-  for (auto _ : state) {
-    auto terms = idx.CharacteristicTerms("host7", 15);
-    benchmark::DoNotOptimize(terms);
+
+  // Headline number: mean pruned-vs-legacy speedup at k=10 on the
+  // largest corpus in the sweep.
+  double speedup_k10 = 0.0;
+  size_t k10_rows = 0;
+  for (const auto& q : rows.back().queries) {
+    if (q.k == 10) {
+      speedup_k10 += q.pruned_qps / q.legacy_qps;
+      ++k10_rows;
+    }
   }
+  if (k10_rows > 0) speedup_k10 /= static_cast<double>(k10_rows);
+
+  if (json_path != nullptr) {
+    WriteJson(rows, all_equivalent, speedup_k10, json_path);
+  }
+
+  // Only the (deterministic) equivalence verdict gates the exit code;
+  // the speedup is timing and belongs in the report, not in a CI gate
+  // that would flake on throttled runners.
+  std::printf("\nmean pruned-vs-pre-overhaul speedup at k=10, %zu docs: "
+              "%.2fx (target >= 2x; informational, not exit-gating)\n",
+              rows.back().docs, speedup_k10);
+  bench::Verdict(all_equivalent,
+                 "pruned top-k byte-identical to exhaustive at every corpus "
+                 "size x query length x k");
+  return all_equivalent ? 0 : 1;
 }
-BENCHMARK(BM_CharacteristicTerms);
 
 }  // namespace
 }  // namespace deepsurf
+
+int main(int argc, char** argv) { return deepsurf::Run(argc, argv); }

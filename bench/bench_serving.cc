@@ -3,8 +3,9 @@
 // stream (§3.2). This harness measures that serving path: a sharded
 // index behind the caching serve engine, swept over 1/2/4/8 shards x
 // 1/2/4/8 query worker threads, reporting throughput and result-cache
-// hit rates — plus the contract that makes sharding safe to deploy:
-// sharded top-k results are byte-identical to a single index.
+// hit rates — plus the contract that makes sharding (and maxscore
+// pruning, on by default in every shard) safe to deploy: served top-k
+// results are byte-identical to an exhaustive single index.
 
 #include <chrono>
 #include <cstdio>
@@ -46,7 +47,19 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-int Run() {
+struct GridRow {
+  size_t shards, threads;
+  double cold_qps, cold_hit, warm_qps, warm_hit;
+};
+
+int Run(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   bench::Header(
       "E9: sharded serving with result caching",
       "surfaced pages pay off at serving time, over a Zipf-repetitive "
@@ -90,7 +103,12 @@ int Run() {
       docs.size(), kQueries, kDistinctQueries);
 
   // The single-index reference every sharded configuration must match.
-  index::InvertedIndex reference;
+  // It scores EXHAUSTIVELY, so the equivalence check below also pins the
+  // serving stack's maxscore pruning (on by default in every shard) to
+  // the exhaustive results, byte for byte.
+  index::IndexOptions ref_opts;
+  ref_opts.enable_pruning = false;
+  index::InvertedIndex reference(ref_opts);
   DS_CHECK(reference.InsertBatch(docs).ok());
   constexpr size_t kEquivalenceQueries = 500;
   std::vector<std::vector<index::SearchHit>> expected;
@@ -100,6 +118,7 @@ int Run() {
   }
 
   bool all_identical = true;
+  std::vector<GridRow> grid;
   std::printf(
       "\n%7s %8s | %9s %9s %7s | %9s %7s\n", "shards", "threads",
       "cold ms", "cold q/s", "hit%", "warm q/s", "hit%");
@@ -149,8 +168,37 @@ int Run() {
           static_cast<double>(kQueries) / warm,
           100.0 * static_cast<double>(warm_hits) /
               static_cast<double>(kQueries));
+      grid.push_back(GridRow{
+          shards, threads, static_cast<double>(kQueries) / cold,
+          static_cast<double>(cold_hits) / static_cast<double>(kQueries),
+          static_cast<double>(kQueries) / warm,
+          static_cast<double>(warm_hits) / static_cast<double>(kQueries)});
     }
   }
+
+  // Serving-level pruning payoff: the same 4-shard engine, pruning off
+  // vs on, cold cache (so every query reaches the index), 4 workers.
+  std::printf("\npruning sweep (4 shards, 4 threads, cold cache):\n");
+  double pruned_qps = 0.0, exhaustive_qps = 0.0;
+  for (bool enable_pruning : {false, true}) {
+    index::ShardedIndexOptions sopts;
+    sopts.num_shards = 4;
+    sopts.parallel_search = false;
+    sopts.index.enable_pruning = enable_pruning;
+    index::ShardedIndex index(sopts);
+    DS_CHECK(index.InsertBatch(docs).ok());
+    serve::EngineOptions eopts;
+    eopts.cache_capacity = 0;  // every query hits the index
+    eopts.default_top_k = kTopK;
+    serve::Engine engine(&index, eopts);
+    auto start = std::chrono::steady_clock::now();
+    engine.SearchBatch(queries, 4);
+    double qps = static_cast<double>(kQueries) / Seconds(start);
+    std::printf("  %-10s %9.0f q/s\n",
+                enable_pruning ? "pruned" : "exhaustive", qps);
+    (enable_pruning ? pruned_qps : exhaustive_qps) = qps;
+  }
+  std::printf("  pruned/exhaustive: %.2fx\n", pruned_qps / exhaustive_qps);
 
   // Per-query shard fan-out (latency mode) must not change results
   // either; spot-check it at 8 shards.
@@ -172,13 +220,41 @@ int Run() {
     }
   }
 
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n  \"bench\": \"bench_serving\",\n  \"docs\": %zu,\n"
+                   "  \"grid\": [\n",
+                   docs.size());
+      for (size_t i = 0; i < grid.size(); ++i) {
+        const auto& g = grid[i];
+        std::fprintf(f,
+                     "    {\"shards\": %zu, \"threads\": %zu, "
+                     "\"cold_qps\": %.0f, \"cold_hit_rate\": %.3f, "
+                     "\"warm_qps\": %.0f, \"warm_hit_rate\": %.3f}%s\n",
+                     g.shards, g.threads, g.cold_qps, g.cold_hit, g.warm_qps,
+                     g.warm_hit, i + 1 < grid.size() ? "," : "");
+      }
+      std::fprintf(f,
+                   "  ],\n  \"pruning_cold_4shards_4threads\": "
+                   "{\"exhaustive_qps\": %.0f, \"pruned_qps\": %.0f},\n"
+                   "  \"verdict\": {\"all_identical\": %s}\n}\n",
+                   exhaustive_qps, pruned_qps,
+                   all_identical ? "true" : "false");
+      std::fclose(f);
+      std::printf("json written to %s\n", json_path);
+    }
+  }
+
   bench::Verdict(all_identical,
-                 "sharded top-k (1/2/4/8 shards, sequential and parallel "
-                 "shard search) byte-identical to the single index");
+                 "sharded + pruned top-k (1/2/4/8 shards, sequential and "
+                 "parallel shard search) byte-identical to the exhaustive "
+                 "single index");
   return all_identical ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace deepsurf
 
-int main() { return deepsurf::Run(); }
+int main(int argc, char** argv) { return deepsurf::Run(argc, argv); }

@@ -61,7 +61,7 @@ std::vector<index::SearchHit> RerankWithAnnotations(
   if (constraints.empty()) return hits;
   std::vector<index::SearchHit> out = hits;
   for (auto& hit : out) {
-    const auto& annotations = store.For(idx.doc(hit.doc).url);
+    const auto& annotations = store.For(idx.doc_ref(hit.doc).url);
     for (const auto& a : annotations) {
       for (const auto& c : constraints) {
         if (a.attribute == c.attribute &&

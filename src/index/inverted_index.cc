@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "index/analyzer.h"
 #include "util/hash.h"
@@ -9,6 +11,48 @@
 
 namespace deepsurf {
 namespace index {
+
+namespace {
+
+/// One query term's score contribution to one document. Both the
+/// exhaustive and the maxscore path call exactly this expression, so a
+/// candidate's score is bit-for-bit the same however it was computed.
+inline double Contribution(double idf, double tf, double norm, double k1) {
+  return idf * (tf * (k1 + 1.0)) / (tf + norm);
+}
+
+/// Conservative round-up for score bounds: the handful of floating-point
+/// operations behind a bound can each err by ~1 ulp (relative 2^-52);
+/// a relative 1e-9 margin dwarfs that while costing effectively no
+/// pruning power. Bounds are nonnegative.
+inline double RoundUp(double x) { return x * (1.0 + 1e-9); }
+
+/// The ranking order: score descending, doc id ascending. Total, so any
+/// correct selection of the top k is unique.
+inline bool Better(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+/// First position >= target in `docs`, at or after `cur` (galloping, so
+/// a DAAT cursor advances in O(log gap) rather than O(gap)).
+size_t AdvanceTo(const std::vector<DocId>& docs, size_t cur, DocId target) {
+  const size_t n = docs.size();
+  if (cur >= n || docs[cur] >= target) return cur;
+  size_t lo = cur;
+  size_t step = 1;
+  while (lo + step < n && docs[lo + step] < target) {
+    lo += step;
+    step <<= 1;
+  }
+  const size_t hi = std::min(n, lo + step + 1);
+  return static_cast<size_t>(
+      std::lower_bound(docs.begin() + static_cast<ptrdiff_t>(lo) + 1,
+                       docs.begin() + static_cast<ptrdiff_t>(hi), target) -
+      docs.begin());
+}
+
+}  // namespace
 
 InvertedIndex::InvertedIndex(IndexOptions options)
     : options_(options) {}
@@ -26,6 +70,8 @@ Result<size_t> InvertedIndex::InsertBatch(const std::vector<Document>& docs,
                                           std::vector<bool>* newly_added) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   if (newly_added != nullptr) newly_added->assign(docs.size(), false);
+  doc_lengths_.reserve(doc_lengths_.size() + docs.size());
+  forward_.reserve(forward_.size() + docs.size());
   size_t added = 0;
   for (size_t i = 0; i < docs.size(); ++i) {
     const auto& d = docs[i];
@@ -39,6 +85,16 @@ Result<size_t> InvertedIndex::InsertBatch(const std::vector<Document>& docs,
     }
   }
   return added;
+}
+
+TermId InvertedIndex::InternLocked(const std::string& term) {
+  auto [it, inserted] =
+      dict_.emplace(term, static_cast<TermId>(term_names_.size()));
+  if (inserted) {
+    term_names_.push_back(term);
+    postings_.emplace_back();
+  }
+  return it->second;
 }
 
 Result<DocId> InvertedIndex::AddDocumentLocked(const std::string& url,
@@ -55,11 +111,15 @@ Result<DocId> InvertedIndex::AddDocumentLocked(const std::string& url,
   }
   DocId id = static_cast<DocId>(docs_.size());
 
-  std::map<std::string, double> weights;
+  // Single pass over the tokens: intern each term and accumulate its
+  // weight by dense id (body counts first, then title boosts — per-term
+  // addition order is part of the scoring contract).
   auto body_tokens = ContentTokens(body);
-  for (const auto& t : body_tokens) weights[t] += 1.0;
+  std::unordered_map<TermId, double> weights;
+  weights.reserve(body_tokens.size());
+  for (const auto& t : body_tokens) weights[InternLocked(t)] += 1.0;
   for (const auto& t : ContentTokens(title)) {
-    weights[t] += options_.title_boost;
+    weights[InternLocked(t)] += options_.title_boost;
   }
 
   DocInfo info;
@@ -70,14 +130,65 @@ Result<DocId> InvertedIndex::AddDocumentLocked(const std::string& url,
   info.is_deep_web = is_deep_web;
   info.source_host = source_host;
   docs_.push_back(std::move(info));
+  doc_lengths_.push_back(static_cast<float>(body_tokens.size()));
   total_length_ += static_cast<double>(body_tokens.size());
-
-  for (const auto& [term, w] : weights) {
-    postings_[term].push_back(Posting{id, static_cast<float>(w)});
+  if (body_tokens.size() < min_length_) {
+    min_length_ = static_cast<uint32_t>(body_tokens.size());
   }
+
+  std::vector<std::pair<TermId, float>> fwd;
+  fwd.reserve(weights.size());
+  for (const auto& [tid, w] : weights) {
+    fwd.emplace_back(tid, static_cast<float>(w));
+  }
+  std::sort(fwd.begin(), fwd.end());  // by TermId; ids unique per doc
+  for (const auto& [tid, w] : fwd) {
+    PostingList& pl = postings_[tid];
+    if (pl.docs.empty()) {
+      pl.docs.reserve(4);
+      pl.weights.reserve(4);
+    }
+    pl.docs.push_back(id);  // ids only grow, so lists stay ascending
+    pl.weights.push_back(w);
+    if (w > pl.max_weight) pl.max_weight = w;
+  }
+  forward_.push_back(std::move(fwd));
   by_hash_.emplace(hash, id);
   by_host_[source_host].push_back(id);
   return id;
+}
+
+std::shared_ptr<const InvertedIndex::NormCache> InvertedIndex::Norms(
+    double avg_len, size_t total_postings) const {
+  {
+    std::lock_guard<std::mutex> lock(norm_mu_);
+    if (norms_ != nullptr && norms_->avg_len == avg_len &&
+        norms_->num_docs == docs_.size()) {
+      return norms_;
+    }
+  }
+  // Stale (or absent) cache: only pay the O(num_docs) rebuild for a
+  // query whose postings volume amortizes it — otherwise the caller
+  // scores inline from the length array (same float bits) and the cache
+  // is left for a bigger query or a quieter index to build.
+  if (total_postings * 8 < docs_.size()) return nullptr;
+  // Build outside the lock so concurrent queries are never stalled
+  // behind an O(num_docs) fill; racing builders produce identical
+  // content for the same (avg_len, num_docs) key, so last-write-wins
+  // is harmless.
+  auto cache = std::make_shared<NormCache>();
+  cache->avg_len = avg_len;
+  cache->num_docs = docs_.size();
+  cache->norm.resize(docs_.size());
+  const double k1 = options_.bm25_k1;
+  const double b = options_.bm25_b;
+  for (size_t i = 0; i < cache->norm.size(); ++i) {
+    double len = static_cast<double>(doc_lengths_[i]);
+    cache->norm[i] = static_cast<float>(k1 * (1.0 - b + b * len / avg_len));
+  }
+  std::lock_guard<std::mutex> lock(norm_mu_);
+  norms_ = cache;
+  return cache;
 }
 
 std::vector<SearchHit> InvertedIndex::Search(const std::string& query,
@@ -93,45 +204,251 @@ std::vector<SearchHit> InvertedIndex::SearchTerms(
 std::vector<SearchHit> InvertedIndex::SearchTermsScored(
     const std::vector<std::string>& terms, size_t k,
     const CorpusStats* stats) const {
-  if (terms.empty() || docs_.empty()) return {};
+  if (terms.empty() || docs_.empty() || k == 0) return {};
   double n = stats != nullptr ? stats->num_docs
                               : static_cast<double>(docs_.size());
   double total_len = stats != nullptr ? stats->total_length : total_length_;
   double avg_len = n > 0.0 ? total_len / n : 1.0;
   if (avg_len <= 0.0) avg_len = 1.0;
-  std::unordered_map<DocId, double> scores;
-  for (const auto& term : terms) {
-    auto it = postings_.find(term);
-    if (it == postings_.end()) continue;
-    double df = static_cast<double>(it->second.size());
-    if (stats != nullptr) {
-      auto df_it = stats->doc_frequency.find(term);
-      if (df_it != stats->doc_frequency.end()) {
-        df = static_cast<double>(df_it->second);
+
+  // Resolve the query once: per present term position, its posting list,
+  // idf, and a conservative per-document score cap (max posting weight
+  // against the smallest length norm, rounded up). The norm is monotone
+  // in document length and float rounding preserves order, so the
+  // shortest document's norm is exactly the smallest norm any document
+  // scores with — no array scan needed for the bound floor.
+  const double k1 = options_.bm25_k1;
+  const double b = options_.bm25_b;
+  const double min_norm = static_cast<float>(
+      k1 * (1.0 - b + b * static_cast<double>(min_length_) / avg_len));
+  // A mis-sized term_df would silently fall back to shard-local
+  // frequencies and quietly break cross-shard byte equivalence — fail
+  // loudly instead (empty means "use local stats" by design).
+  DS_CHECK(stats == nullptr || stats->term_df.empty() ||
+           stats->term_df.size() == terms.size())
+      << "CorpusStats::term_df must parallel the query terms";
+  const bool injected_df =
+      stats != nullptr && !stats->term_df.empty();
+  std::vector<QueryTerm> query;
+  query.reserve(terms.size());
+  size_t total_postings = 0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    auto it = dict_.find(terms[i]);
+    if (it == dict_.end()) continue;
+    const PostingList& pl = postings_[it->second];
+    double df = injected_df ? static_cast<double>(stats->term_df[i])
+                            : static_cast<double>(pl.docs.size());
+    QueryTerm qt;
+    qt.postings = &pl;
+    qt.idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    qt.upper_bound = RoundUp(Contribution(
+        qt.idf, static_cast<double>(pl.max_weight), min_norm, k1));
+    query.push_back(qt);
+    total_postings += pl.docs.size();
+  }
+  if (query.empty()) return {};
+
+  auto cache = Norms(avg_len, total_postings);  // null -> inline norms
+  NormView norms{cache != nullptr ? cache->norm.data() : nullptr,
+                 doc_lengths_.data(), k1, b, avg_len};
+
+  // Pruning cannot help when k covers everything that could match, and
+  // does not pay below a postings volume where the exhaustive scan is
+  // already cheap; the exhaustive scorer doubles as the explicit
+  // fallback (results are byte-identical either way).
+  if (!options_.enable_pruning || k >= docs_.size() || k >= total_postings ||
+      total_postings < options_.pruning_min_postings) {
+    return SearchExhaustive(query, norms, total_postings, k);
+  }
+  return SearchMaxScore(query, norms, k);
+}
+
+std::vector<SearchHit> InvertedIndex::SearchExhaustive(
+    const std::vector<QueryTerm>& query, const NormView& norms,
+    size_t total_postings, size_t k) const {
+  const double k1 = options_.bm25_k1;
+  std::vector<SearchHit> hits;
+
+  // Accumulate per document, terms in query order (the addition sequence
+  // is part of the byte-identity contract). Contributions are strictly
+  // positive, so 0 doubles as the "untouched" sentinel in the flat
+  // accumulator. A sparse map accumulator is used when the query touches
+  // far fewer documents than the corpus holds — same additions in the
+  // same per-document order, so identical score bits either way.
+  if (docs_.size() > 4096 && total_postings * 16 < docs_.size()) {
+    std::unordered_map<DocId, double> acc;
+    acc.reserve(total_postings);
+    for (const QueryTerm& qt : query) {
+      const auto& docs = qt.postings->docs;
+      const auto& weights = qt.postings->weights;
+      for (size_t j = 0; j < docs.size(); ++j) {
+        acc[docs[j]] += Contribution(qt.idf,
+                                     static_cast<double>(weights[j]),
+                                     norms.Of(docs[j]), k1);
       }
     }
-    double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
-    for (const auto& posting : it->second) {
-      double tf = posting.weight;
-      double len = static_cast<double>(docs_[posting.doc].length);
-      double denom =
-          tf + options_.bm25_k1 *
-                   (1.0 - options_.bm25_b + options_.bm25_b * len / avg_len);
-      scores[posting.doc] += idf * (tf * (options_.bm25_k1 + 1.0)) / denom;
+    hits.reserve(acc.size());
+    for (const auto& [d, score] : acc) hits.push_back(SearchHit{d, score});
+  } else {
+    std::vector<double> acc(docs_.size(), 0.0);
+    std::vector<DocId> touched;
+    touched.reserve(total_postings);
+    for (const QueryTerm& qt : query) {
+      const auto& docs = qt.postings->docs;
+      const auto& weights = qt.postings->weights;
+      for (size_t j = 0; j < docs.size(); ++j) {
+        DocId d = docs[j];
+        if (acc[d] == 0.0) touched.push_back(d);
+        acc[d] += Contribution(qt.idf, static_cast<double>(weights[j]),
+                               norms.Of(d), k1);
+      }
+    }
+    hits.reserve(touched.size());
+    for (DocId d : touched) hits.push_back(SearchHit{d, acc[d]});
+  }
+
+  if (hits.size() > k) {
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(k),
+                      hits.end(), Better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), Better);
+  }
+  return hits;
+}
+
+std::vector<SearchHit> InvertedIndex::SearchMaxScore(
+    std::vector<QueryTerm>& query, const NormView& norms, size_t k) const {
+  const double k1 = options_.bm25_k1;
+  const size_t m = query.size();
+
+  // Process lists in ascending upper-bound order; the low-cap prefix
+  // becomes "non-essential" once the top-k threshold proves that prefix
+  // alone can never promote a document. Ties break on query position so
+  // the schedule (not the result, which is order-independent) is
+  // deterministic.
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (query[a].upper_bound != query[b].upper_bound) {
+      return query[a].upper_bound < query[b].upper_bound;
+    }
+    return a < b;
+  });
+  // prefix[j]: conservative cap on the total contribution of the j+1
+  // lowest-bound lists.
+  std::vector<double> prefix(m);
+  double run = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    run += query[order[j]].upper_bound;
+    prefix[j] = RoundUp(run);
+  }
+
+  // Min-heap of the current top k under the ranking order: heap front is
+  // the weakest kept hit, i.e. the pruning threshold.
+  std::vector<SearchHit> heap;
+  heap.reserve(k + 1);
+  double threshold = 0.0;  // meaningful only once the heap is full
+  size_t ne = 0;           // order[0..ne) are non-essential
+
+  auto demote = [&] {
+    while (ne < m && prefix[ne] <= threshold) ++ne;
+  };
+
+  constexpr DocId kNoDoc = static_cast<DocId>(-1);
+  for (;;) {
+    // Document-at-a-time over the essential lists. Once every list is
+    // non-essential (their combined cap is below the threshold), no
+    // remaining document can enter the top k: any tie would lose to an
+    // incumbent with a smaller doc id, since DAAT visits ids in
+    // ascending order.
+    DocId frontier = kNoDoc;
+    for (size_t j = ne; j < m; ++j) {
+      const QueryTerm& qt = query[order[j]];
+      if (qt.cursor < qt.postings->docs.size()) {
+        frontier = std::min(frontier, qt.postings->docs[qt.cursor]);
+      }
+    }
+    if (frontier == kNoDoc) break;
+
+    for (QueryTerm& qt : query) qt.at_frontier = false;
+
+    // Contributions from the essential lists sitting on the frontier.
+    double partial = 0.0;
+    for (size_t j = ne; j < m; ++j) {
+      QueryTerm& qt = query[order[j]];
+      if (qt.cursor < qt.postings->docs.size() &&
+          qt.postings->docs[qt.cursor] == frontier) {
+        qt.contribution =
+            Contribution(qt.idf,
+                         static_cast<double>(qt.postings->weights[qt.cursor]),
+                         norms.Of(frontier), k1);
+        qt.at_frontier = true;
+        partial += qt.contribution;
+      }
+    }
+
+    bool full = heap.size() == k;
+    bool viable =
+        !full ||
+        RoundUp(partial + (ne > 0 ? prefix[ne - 1] : 0.0)) > threshold;
+    if (viable) {
+      // Probe the non-essential lists, highest cap first, re-checking
+      // what the still-unprobed prefix could add before each probe.
+      double running = partial;
+      for (size_t j = ne; j-- > 0;) {
+        if (full && RoundUp(running + prefix[j]) <= threshold) {
+          viable = false;
+          break;
+        }
+        QueryTerm& qt = query[order[j]];
+        qt.cursor = AdvanceTo(qt.postings->docs, qt.cursor, frontier);
+        if (qt.cursor < qt.postings->docs.size() &&
+            qt.postings->docs[qt.cursor] == frontier) {
+          qt.contribution = Contribution(
+              qt.idf, static_cast<double>(qt.postings->weights[qt.cursor]),
+              norms.Of(frontier), k1);
+          qt.at_frontier = true;
+          running += qt.contribution;
+        }
+      }
+    }
+    if (viable) {
+      // The candidate survives every bound: compute its real score by
+      // summing contributions in original query order — the exhaustive
+      // accumulator's exact addition sequence.
+      double score = 0.0;
+      for (const QueryTerm& qt : query) {
+        if (qt.at_frontier) score += qt.contribution;
+      }
+      SearchHit cand{frontier, score};
+      if (!full) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), Better);
+        if (heap.size() == k) {
+          threshold = heap.front().score;
+          demote();
+        }
+      } else if (Better(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), Better);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), Better);
+        threshold = heap.front().score;
+        demote();
+      }
+    }
+
+    for (size_t j = ne; j < m; ++j) {
+      QueryTerm& qt = query[order[j]];
+      if (qt.cursor < qt.postings->docs.size() &&
+          qt.postings->docs[qt.cursor] == frontier) {
+        ++qt.cursor;
+      }
     }
   }
-  std::vector<SearchHit> hits;
-  hits.reserve(scores.size());
-  for (const auto& [doc, score] : scores) {
-    hits.push_back(SearchHit{doc, score});
-  }
-  std::sort(hits.begin(), hits.end(), [](const SearchHit& a,
-                                         const SearchHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;  // deterministic tie-break
-  });
-  if (hits.size() > k) hits.resize(k);
-  return hits;
+
+  std::sort(heap.begin(), heap.end(), Better);
+  return heap;
 }
 
 DocInfo InvertedIndex::doc(DocId id) const {
@@ -139,9 +456,19 @@ DocInfo InvertedIndex::doc(DocId id) const {
   return docs_[id];
 }
 
+const DocInfo& InvertedIndex::doc_ref(DocId id) const {
+  DS_CHECK(id < docs_.size()) << "doc id out of range";
+  return docs_[id];
+}
+
 size_t InvertedIndex::DocFrequency(const std::string& term) const {
-  auto it = postings_.find(term);
-  return it == postings_.end() ? 0 : it->second.size();
+  auto it = dict_.find(term);
+  return it == dict_.end() ? 0 : postings_[it->second].docs.size();
+}
+
+TermId InvertedIndex::LookupTerm(const std::string& term) const {
+  auto it = dict_.find(term);
+  return it == dict_.end() ? kInvalidTerm : it->second;
 }
 
 bool InvertedIndex::ContainsContent(uint64_t content_hash) const {
@@ -152,33 +479,33 @@ std::vector<std::string> InvertedIndex::CharacteristicTerms(
     const std::string& host, size_t k) const {
   auto it = by_host_.find(host);
   if (it == by_host_.end()) return {};
-  // Aggregate term weights across the host's documents.
-  std::map<std::string, double> host_tf;
-  // Walking postings per term is expensive; instead re-derive from the
-  // postings map once: term -> sum of weights over this host's docs.
-  std::unordered_map<DocId, bool> in_host;
-  for (DocId d : it->second) in_host[d] = true;
-  for (const auto& [term, plist] : postings_) {
-    double acc = 0.0;
-    for (const auto& p : plist) {
-      if (in_host.count(p.doc)) acc += p.weight;
+  // Aggregate term weights over the host's documents via their forward
+  // lists: O(host docs × terms per doc), independent of vocabulary size.
+  // Host doc lists are in ascending id order, so each term's weights are
+  // summed in the same order a postings walk would use.
+  std::unordered_map<TermId, double> host_tf;
+  for (DocId d : it->second) {
+    for (const auto& [tid, w] : forward_[d]) {
+      host_tf[tid] += static_cast<double>(w);
     }
-    if (acc > 0.0) host_tf[term] = acc;
   }
   double n = static_cast<double>(docs_.size());
-  std::vector<std::pair<double, std::string>> ranked;
-  for (const auto& [term, tf] : host_tf) {
-    double df = static_cast<double>(postings_.at(term).size());
+  std::vector<std::pair<double, TermId>> ranked;
+  ranked.reserve(host_tf.size());
+  for (const auto& [tid, tf] : host_tf) {
+    double df = static_cast<double>(postings_[tid].docs.size());
     double idf = std::log(1.0 + n / df);
-    ranked.emplace_back(tf * idf, term);
+    ranked.emplace_back(tf * idf, tid);
   }
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  });
+  std::sort(ranked.begin(), ranked.end(),
+            [this](const std::pair<double, TermId>& a,
+                   const std::pair<double, TermId>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return term_names_[a.second] < term_names_[b.second];
+            });
   std::vector<std::string> out;
   for (size_t i = 0; i < ranked.size() && i < k; ++i) {
-    out.push_back(ranked[i].second);
+    out.push_back(term_names_[ranked[i].second]);
   }
   return out;
 }

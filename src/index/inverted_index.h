@@ -5,12 +5,36 @@
 // whole corpus — this is precisely the mechanism by which surfacing
 // sidesteps the virtual-integration routing problem, so the index is a
 // load-bearing substrate, not a mock.
+//
+// Query-time layout: terms are interned to dense TermIds through a
+// dictionary, postings live in contiguous per-term arrays (doc ids and
+// weights in parallel vectors, ascending doc id), and each document's
+// BM25 length normalization is precomputed into a flat float array, so
+// the scoring loop never touches DocInfo or hashes a string.
+//
+// Top-k is answered by exact maxscore pruning (document-at-a-time with
+// non-essential-list skipping, driven by per-term score upper bounds
+// from the max posting weight kept at ingest). Equivalence contract:
+// the pruned path returns results BYTE-IDENTICAL to the exhaustive
+// scorer — the same documents, the same IEEE-754 score bits, the same
+// (score desc, doc id asc) tie-break order — for every query and every
+// k. This holds because (a) upper bounds are conservatively rounded up
+// before any comparison, so a document is skipped only when its true
+// score provably cannot enter the top-k (ties lose to the incumbent's
+// smaller doc id), and (b) a surviving candidate's score is summed over
+// the query terms in original query order, the exact addition sequence
+// the exhaustive accumulator performs. pruning_test and bench_index
+// enforce the contract on randomized corpora; IndexOptions::
+// enable_pruning = false selects the exhaustive path outright.
 
 #ifndef DEEPSURF_INDEX_INVERTED_INDEX_H_
 #define DEEPSURF_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -22,6 +46,9 @@
 namespace deepsurf {
 namespace index {
 
+/// Dense id of an interned term (per-index; assigned in first-seen order).
+using TermId = uint32_t;
+
 /// Options controlling scoring.
 struct IndexOptions {
   double bm25_k1 = 1.2;
@@ -30,6 +57,17 @@ struct IndexOptions {
   double title_boost = 2.0;
   /// When true, AddDocument refuses exact-duplicate content (same hash).
   bool suppress_duplicates = true;
+  /// When true, top-k queries run maxscore pruning; when false, the
+  /// exhaustive scorer. Results are byte-identical either way (see the
+  /// file comment); this is purely a performance knob for corpora or k
+  /// where pruning does not pay (the index falls back to exhaustive on
+  /// its own when k covers the whole corpus).
+  bool enable_pruning = true;
+  /// Below this many candidate postings per query, the exhaustive scan
+  /// is cheaper than maxscore's cursor machinery and is used even with
+  /// pruning enabled (tiny corpora, rare-term-only queries). 0 forces
+  /// maxscore whenever pruning is on (tests use this).
+  size_t pruning_min_postings = 4096;
 };
 
 /// Corpus-wide statistics a sharded wrapper injects so that every shard
@@ -39,8 +77,10 @@ struct IndexOptions {
 struct CorpusStats {
   double num_docs = 0.0;
   double total_length = 0.0;  ///< content tokens across the corpus
-  /// Per query term: number of corpus documents containing it.
-  std::unordered_map<std::string, size_t> doc_frequency;
+  /// Per query-term *position* (parallel to the terms vector handed to
+  /// SearchTermsScored): corpus document frequency of that term. Leave
+  /// empty to fall back to the index's local frequencies.
+  std::vector<size_t> term_df;
 };
 
 /// In-memory inverted index with BM25 ranking.
@@ -51,6 +91,8 @@ struct CorpusStats {
 /// either before ingestion starts or after it completes (the surfacing
 /// driver obeys this: its seed index is distinct from its output index).
 /// ShardedIndex (even with one shard) is the read-during-ingest option.
+/// Concurrent reads are safe with each other (the lazily rebuilt length-
+/// normalization cache is internally synchronized).
 class InvertedIndex : public WritableIndex {
  public:
   explicit InvertedIndex(IndexOptions options = {});
@@ -88,6 +130,13 @@ class InvertedIndex : public WritableIndex {
       const CorpusStats* stats) const;
 
   DocInfo doc(DocId id) const override;
+
+  /// Borrowed reference into document storage — the serving path's
+  /// no-copy accessor. Documents are only ever appended and never moved
+  /// (deque storage), so the reference stays valid for the life of the
+  /// index, across later ingests included.
+  const DocInfo& doc_ref(DocId id) const override;
+
   size_t num_docs() const override { return docs_.size(); }
 
   /// Documents only ever enter, so the document count is the epoch.
@@ -101,11 +150,21 @@ class InvertedIndex : public WritableIndex {
   /// Document frequency of a term (0 when unseen).
   size_t DocFrequency(const std::string& term) const;
 
+  /// Interned id of a term, or kInvalidTerm when unseen.
+  TermId LookupTerm(const std::string& term) const;
+
+  /// Distinct terms interned so far.
+  size_t vocabulary_size() const { return term_names_.size(); }
+
+  static constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
   /// True iff a document with this exact content hash exists.
   bool ContainsContent(uint64_t content_hash) const;
 
   /// Terms most characteristic of a host's already-indexed pages: ranked
   /// by tf(host) * idf(corpus). This seeds the iterative prober (§4.1).
+  /// O(host documents × terms per document) via the per-document forward
+  /// term lists maintained at ingest.
   std::vector<std::string> CharacteristicTerms(const std::string& host,
                                                size_t k) const;
 
@@ -113,9 +172,50 @@ class InvertedIndex : public WritableIndex {
   std::vector<DocId> DocsForHost(const std::string& host) const;
 
  private:
-  struct Posting {
-    DocId doc;
-    float weight;  ///< tf with title boost applied
+  /// Contiguous postings of one term, ascending doc id. `docs` and
+  /// `weights` are parallel; `max_weight` is maintained at ingest and
+  /// drives the maxscore upper bounds.
+  struct PostingList {
+    std::vector<DocId> docs;
+    std::vector<float> weights;  ///< tf with title boost applied
+    float max_weight = 0.0f;
+  };
+
+  /// Per-document BM25 length normalization, rebuilt lazily whenever the
+  /// average document length it was computed against changes (ingest, or
+  /// a different injected corpus average): norm[d] = k1*(1-b+b*len/avg).
+  struct NormCache {
+    double avg_len = -1.0;
+    size_t num_docs = 0;
+    std::vector<float> norm;
+  };
+
+  /// How the scoring loops read a document's norm: from the cache when
+  /// one is valid, otherwise computed inline from the flat length array
+  /// with the exact expression the cache builder uses — identical float
+  /// bits either way, so which mode served a query is unobservable in
+  /// the results. The inline mode keeps queries O(matched postings)
+  /// while ingest is actively invalidating the cache.
+  struct NormView {
+    const float* cached;  ///< null -> compute inline
+    const float* lengths;
+    double k1, b, avg_len;
+    float Of(DocId d) const {
+      if (cached != nullptr) return cached[d];
+      return static_cast<float>(
+          k1 * (1.0 - b + b * static_cast<double>(lengths[d]) / avg_len));
+    }
+  };
+
+  /// Resolved query: one entry per query-term position present in the
+  /// dictionary, in original query order.
+  struct QueryTerm {
+    const PostingList* postings;
+    double idf;
+    double upper_bound;  ///< conservative per-doc score cap (rounded up)
+    size_t cursor = 0;   ///< DAAT position (maxscore only)
+    double contribution = 0.0;  ///< cached score at the current frontier
+    bool at_frontier = false;
   };
 
   /// AddDocument without the ingest lock (callers hold ingest_mu_).
@@ -124,13 +224,48 @@ class InvertedIndex : public WritableIndex {
                                   const std::string& body, bool is_deep_web,
                                   const std::string& source_host);
 
+  /// Interns `term`, assigning the next dense id on first sight.
+  TermId InternLocked(const std::string& term);
+
+  /// The norm array for this average length. Returns the cache when it
+  /// is already valid; otherwise builds it only when the query is big
+  /// enough (`total_postings`) to amortize the O(num_docs) build, so
+  /// interleaved ingest cannot make small queries pay a full rebuild.
+  /// Null means "score inline from the length array instead".
+  std::shared_ptr<const NormCache> Norms(double avg_len,
+                                         size_t total_postings) const;
+
+  std::vector<SearchHit> SearchExhaustive(const std::vector<QueryTerm>& query,
+                                          const NormView& norms,
+                                          size_t total_postings,
+                                          size_t k) const;
+  std::vector<SearchHit> SearchMaxScore(std::vector<QueryTerm>& query,
+                                        const NormView& norms,
+                                        size_t k) const;
+
   mutable std::mutex ingest_mu_;
   IndexOptions options_;
-  std::vector<DocInfo> docs_;
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  /// Deque, not vector: appends never move existing elements, which is
+  /// what lets doc_ref() hand out references that survive later ingest.
+  std::deque<DocInfo> docs_;
+  /// Flat copy of docs_[i].length, so scoring never touches DocInfo.
+  std::vector<float> doc_lengths_;
+  /// Per document: (term, weight) pairs sorted by TermId — the forward
+  /// index CharacteristicTerms aggregates over.
+  std::vector<std::vector<std::pair<TermId, float>>> forward_;
+  std::unordered_map<std::string, TermId> dict_;
+  std::vector<std::string> term_names_;  ///< TermId -> term
+  std::vector<PostingList> postings_;    ///< by TermId
   std::unordered_map<uint64_t, DocId> by_hash_;
   std::map<std::string, std::vector<DocId>> by_host_;
   double total_length_ = 0.0;
+  /// Shortest document so far. The norm is monotone in length and float
+  /// rounding is monotone, so norm(min_length) IS the smallest norm —
+  /// the maxscore bound floor — without scanning the norm array.
+  uint32_t min_length_ = std::numeric_limits<uint32_t>::max();
+
+  mutable std::mutex norm_mu_;
+  mutable std::shared_ptr<const NormCache> norms_;
 };
 
 }  // namespace index

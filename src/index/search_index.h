@@ -69,6 +69,15 @@ class SearchIndex {
   /// allow reads during concurrent ingest hand the caller a snapshot,
   /// never a reference into storage that ingest may reallocate.
   virtual DocInfo doc(DocId id) const = 0;
+
+  /// Borrowed reference to document metadata — the serving path's
+  /// no-copy accessor (doc() copies two strings per call). Both
+  /// implementations keep documents in append-only, non-relocating
+  /// storage, so the reference stays valid for the life of the index,
+  /// across concurrent and later ingest included (documents are never
+  /// removed or moved).
+  virtual const DocInfo& doc_ref(DocId id) const = 0;
+
   virtual size_t num_docs() const = 0;
 
   /// Monotone counter that advances whenever a document enters the index.

@@ -158,11 +158,16 @@ std::vector<SearchHit> ShardedIndex::SearchTermsLocked(
     stats.num_docs += static_cast<double>(shard->num_docs());
     stats.total_length += shard->total_content_length();
   }
+  stats.term_df.reserve(terms.size());
+  std::unordered_map<std::string, size_t> df_memo;
   for (const auto& term : terms) {
-    if (stats.doc_frequency.count(term)) continue;
-    size_t df = 0;
-    for (const auto& shard : shards_) df += shard->DocFrequency(term);
-    stats.doc_frequency[term] = df;
+    auto it = df_memo.find(term);
+    if (it == df_memo.end()) {
+      size_t df = 0;
+      for (const auto& shard : shards_) df += shard->DocFrequency(term);
+      it = df_memo.emplace(term, df).first;
+    }
+    stats.term_df.push_back(it->second);
   }
 
   // Per-shard top-k. A document's shard-local id order equals its global
@@ -202,6 +207,13 @@ DocInfo ShardedIndex::doc(DocId id) const {
   DS_CHECK(id < global_docs_.size()) << "doc id out of range";
   const DocRef& ref = global_docs_[id];
   return shards_[ref.shard]->doc(ref.local);
+}
+
+const DocInfo& ShardedIndex::doc_ref(DocId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  DS_CHECK(id < global_docs_.size()) << "doc id out of range";
+  const DocRef& ref = global_docs_[id];
+  return shards_[ref.shard]->doc_ref(ref.local);
 }
 
 size_t ShardedIndex::num_docs() const {

@@ -86,6 +86,11 @@ class ShardedIndex : public WritableIndex {
   /// Global-id lookup; a value snapshot, safe under concurrent ingest.
   DocInfo doc(DocId id) const override;
 
+  /// Global-id lookup without the copy. The id→shard mapping is read
+  /// under the lock and shard document storage never relocates, so the
+  /// returned reference stays valid even across concurrent ingest.
+  const DocInfo& doc_ref(DocId id) const override;
+
   size_t num_docs() const override;
   uint64_t ingest_epoch() const override;
 

@@ -45,13 +45,13 @@ ImpactReport MeasureImpact(QueryStream* stream,
     ++report.queries_with_results;
     bool any_deep = false;
     for (const auto& hit : hits) {
-      if (index.doc(hit.doc).is_deep_web) {
+      if (index.doc_ref(hit.doc).is_deep_web) {
         any_deep = true;
         break;
       }
     }
     if (any_deep) ++report.deep_web_in_top_k;
-    const auto& clicked = index.doc(hits.front().doc);
+    const auto& clicked = index.doc_ref(hits.front().doc);
     if (clicked.is_deep_web) {
       ++report.deep_web_clicks;
       ++report.clicks_by_host[clicked.source_host];

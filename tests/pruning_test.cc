@@ -1,0 +1,240 @@
+// Equivalence tests for maxscore top-k pruning: for any corpus, query,
+// and k, the pruned path must return results BYTE-IDENTICAL to the
+// exhaustive scorer — same documents, bit-for-bit equal score doubles,
+// same (score desc, doc id asc) tie-break order. Exercised on
+// randomized corpora across k well below, at, and above the corpus
+// size, at 1/3/8 shards, with and without the serve-layer result cache,
+// plus the degenerate inputs (empty query, unknown terms, k = 0).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "index/analyzer.h"
+#include "index/inverted_index.h"
+#include "index/sharded_index.h"
+#include "serve/engine.h"
+#include "synthweb/vocab.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace index {
+namespace {
+
+using testing_support::ExpectSameHits;
+
+/// A corpus whose scores collide often (shared vocabulary, skewed term
+/// popularity, title boosts, wildly varying lengths) — the worst case
+/// for a pruner that mishandles ties or bounds.
+std::vector<Document> RandomDocs(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  const auto& words = synthweb::EnglishWords();
+  std::vector<Document> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t len = 3 + static_cast<size_t>(rng.Uniform(120));
+    std::string body;
+    for (size_t w = 0; w < len; ++w) {
+      // Zipf-ish skew: a small head of very common terms plus a tail.
+      size_t r = rng.Bernoulli(0.5) ? rng.Uniform(12)
+                                    : rng.Uniform(words.size());
+      body += words[r];
+      body.push_back(' ');
+    }
+    std::string title = rng.Bernoulli(0.3)
+                            ? words[rng.Uniform(words.size())] + " " +
+                                  words[rng.Uniform(24)]
+                            : "t";
+    docs.push_back(Document{"http://h" + std::to_string(i % 17) +
+                                ".example.com/p" + std::to_string(i),
+                            title, body, i % 3 == 0,
+                            "h" + std::to_string(i % 17) + ".example.com"});
+  }
+  return docs;
+}
+
+std::vector<std::vector<std::string>> RandomQueries(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  const auto& words = synthweb::EnglishWords();
+  std::vector<std::vector<std::string>> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t len = 1 + rng.Uniform(8);
+    std::vector<std::string> terms;
+    for (size_t t = 0; t < len; ++t) {
+      if (rng.Bernoulli(0.05)) {
+        terms.push_back("zzunknownterm" + std::to_string(rng.Uniform(5)));
+      } else if (!terms.empty() && rng.Bernoulli(0.1)) {
+        terms.push_back(terms.front());  // repeated query term
+      } else {
+        terms.push_back(words[rng.Uniform(words.size())]);
+      }
+    }
+    queries.push_back(std::move(terms));
+  }
+  return queries;
+}
+
+class PruningEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PruningEquivalenceTest, PrunedTopKisByteIdenticalToExhaustive) {
+  auto docs = RandomDocs(GetParam(), 600);
+
+  IndexOptions exhaustive_opts;
+  exhaustive_opts.enable_pruning = false;
+  InvertedIndex exhaustive(exhaustive_opts);
+  ASSERT_TRUE(exhaustive.InsertBatch(docs).ok());
+
+  IndexOptions pruned_opts;
+  pruned_opts.enable_pruning = true;
+  pruned_opts.pruning_min_postings = 0;  // force maxscore on this corpus
+  InvertedIndex pruned(pruned_opts);
+  ASSERT_TRUE(pruned.InsertBatch(docs).ok());
+  ASSERT_EQ(pruned.num_docs(), exhaustive.num_docs());
+
+  const std::vector<size_t> ks = {1, 10, 100, pruned.num_docs() + 3};
+  for (const auto& terms : RandomQueries(GetParam() * 31 + 7, 150)) {
+    for (size_t k : ks) {
+      ExpectSameHits(exhaustive.SearchTerms(terms, k),
+                     pruned.SearchTerms(terms, k),
+                     "seed " + std::to_string(GetParam()) + " k=" +
+                         std::to_string(k));
+    }
+  }
+}
+
+TEST_P(PruningEquivalenceTest, ShardedPrunedMatchesExhaustiveSingleIndex) {
+  auto docs = RandomDocs(GetParam() * 101 + 13, 400);
+
+  IndexOptions exhaustive_opts;
+  exhaustive_opts.enable_pruning = false;
+  InvertedIndex reference(exhaustive_opts);
+  ASSERT_TRUE(reference.InsertBatch(docs).ok());
+
+  auto queries = RandomQueries(GetParam() * 57 + 1, 80);
+  for (size_t shards : {1u, 3u, 8u}) {
+    ShardedIndexOptions sopts;
+    sopts.num_shards = shards;
+    sopts.index.enable_pruning = true;
+    sopts.index.pruning_min_postings = 0;  // force maxscore per shard
+    ShardedIndex sharded(sopts);
+    ASSERT_TRUE(sharded.InsertBatch(docs).ok());
+
+    for (const auto& terms : queries) {
+      for (size_t k : {1u, 10u, 100u}) {
+        ExpectSameHits(reference.SearchTerms(terms, k),
+                       sharded.SearchTerms(terms, k),
+                       std::to_string(shards) + " shards, k=" +
+                           std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST_P(PruningEquivalenceTest, EquivalentThroughServeEngineCache) {
+  auto docs = RandomDocs(GetParam() * 7 + 3, 300);
+
+  IndexOptions exhaustive_opts;
+  exhaustive_opts.enable_pruning = false;
+  InvertedIndex reference(exhaustive_opts);
+  ASSERT_TRUE(reference.InsertBatch(docs).ok());
+
+  ShardedIndexOptions sopts;
+  sopts.num_shards = 3;
+  sopts.index.enable_pruning = true;
+  sopts.index.pruning_min_postings = 0;  // force maxscore per shard
+  ShardedIndex sharded(sopts);
+  ASSERT_TRUE(sharded.InsertBatch(docs).ok());
+
+  serve::EngineOptions cached;
+  cached.cache_capacity = 32;  // small enough to evict mid-stream
+  serve::Engine with_cache(&sharded, cached);
+  serve::EngineOptions uncached;
+  uncached.cache_capacity = 0;
+  serve::Engine no_cache(&sharded, uncached);
+
+  for (const auto& terms : RandomQueries(GetParam() * 11 + 9, 60)) {
+    std::string query;
+    for (const auto& t : terms) query += t + " ";
+    auto expected = reference.Search(query, 10);
+    ExpectSameHits(expected, with_cache.Search(query, 10).hits, "cold");
+    auto repeat = with_cache.Search(query, 10);
+    EXPECT_TRUE(repeat.from_cache);
+    ExpectSameHits(expected, repeat.hits, "cached");
+    ExpectSameHits(expected, no_cache.Search(query, 10).hits, "uncached");
+  }
+  EXPECT_GT(with_cache.stats().cache_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningEquivalenceTest,
+                         ::testing::Values(1u, 42u, 2026u));
+
+TEST(PruningEdgeCases, EmptyQueryUnknownTermsAndZeroK) {
+  IndexOptions popts;
+  popts.pruning_min_postings = 0;  // tiny corpus, still exercise maxscore
+  InvertedIndex idx(popts);
+  EXPECT_TRUE(idx.SearchTerms({"anything"}, 5).empty());  // empty index
+  ASSERT_TRUE(idx.AddDocument("u1", "t", "alpha beta gamma", false, "h").ok());
+  ASSERT_TRUE(idx.AddDocument("u2", "t", "alpha delta", false, "h").ok());
+
+  EXPECT_TRUE(idx.SearchTerms({}, 5).empty());
+  EXPECT_TRUE(idx.SearchTerms({"zzznope", "zzznada"}, 5).empty());
+  EXPECT_TRUE(idx.SearchTerms({"alpha"}, 0).empty());
+
+  // k far above the corpus size returns everything, ranked.
+  auto all = idx.SearchTerms({"alpha"}, 50);
+  EXPECT_EQ(all.size(), 2u);
+
+  // A query mixing unknown and known terms scores only the known ones.
+  IndexOptions ex;
+  ex.enable_pruning = false;
+  InvertedIndex exhaustive(ex);
+  ASSERT_TRUE(
+      exhaustive.AddDocument("u1", "t", "alpha beta gamma", false, "h").ok());
+  ASSERT_TRUE(exhaustive.AddDocument("u2", "t", "alpha delta", false, "h").ok());
+  ExpectSameHits(exhaustive.SearchTerms({"zzznope", "alpha", "beta"}, 2),
+                 idx.SearchTerms({"zzznope", "alpha", "beta"}, 2),
+                 "mixed unknown/known query");
+}
+
+TEST(PruningEdgeCases, InlineAndCachedNormsAgreeBitForBit) {
+  // The norm cache is only built for queries whose postings volume
+  // amortizes the build; smaller queries compute norms inline. The two
+  // modes must be unobservable in results: a rare-term query answered
+  // before any cache exists (inline) and again after a big query built
+  // the cache must return identical bytes.
+  auto docs = RandomDocs(5, 400);
+  docs.push_back(Document{"http://solo.example.com/p", "t",
+                          "qqrare solitary content here", false,
+                          "solo.example.com"});
+  InvertedIndex idx;  // default options: pruning on, threshold 4096
+  ASSERT_TRUE(idx.InsertBatch(docs).ok());
+
+  auto before = idx.SearchTerms({"qqrare"}, 10);  // inline norms
+  ASSERT_FALSE(before.empty());
+
+  const auto& words = synthweb::EnglishWords();
+  std::vector<std::string> big_query(words.begin(), words.begin() + 12);
+  (void)idx.SearchTerms(big_query, 10);  // head terms: builds the cache
+
+  auto after = idx.SearchTerms({"qqrare"}, 10);  // cached norms
+  ExpectSameHits(before, after, "inline vs cached norms");
+}
+
+TEST(PruningEdgeCases, TermInterningIsDense) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.AddDocument("u1", "t", "alpha beta", false, "h").ok());
+  ASSERT_TRUE(idx.AddDocument("u2", "t", "beta gamma", false, "h").ok());
+  EXPECT_EQ(idx.vocabulary_size(), 3u);
+  EXPECT_NE(idx.LookupTerm("alpha"), InvertedIndex::kInvalidTerm);
+  EXPECT_NE(idx.LookupTerm("gamma"), InvertedIndex::kInvalidTerm);
+  EXPECT_EQ(idx.LookupTerm("delta"), InvertedIndex::kInvalidTerm);
+  EXPECT_EQ(idx.DocFrequency("beta"), 2u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace deepsurf

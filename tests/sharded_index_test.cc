@@ -2,7 +2,10 @@
 // and query stream, ShardedIndex must return *byte-identical* ranked
 // results to a single InvertedIndex over the same documents — same
 // global doc ids, bit-for-bit equal scores, same tie-break order — at
-// any shard count, with or without the serve-layer result cache.
+// any shard count, with or without the serve-layer result cache. The
+// single-index references here score EXHAUSTIVELY, so these tests also
+// pin the sharded stack's default maxscore pruning to the exhaustive
+// ranking (pruning_test covers that contract on one index in depth).
 
 #include <gtest/gtest.h>
 
@@ -16,28 +19,14 @@
 #include "querylog/query_stream.h"
 #include "serve/engine.h"
 #include "synthweb/corpus.h"
+#include "test_support.h"
 #include "util/hash.h"
 
 namespace deepsurf {
 namespace index {
 namespace {
 
-// Score comparison is deliberately memcmp, not EXPECT_DOUBLE_EQ: the
-// contract is byte identity, nothing weaker.
-void ExpectSameHits(const std::vector<SearchHit>& expected,
-                    const std::vector<SearchHit>& actual,
-                    const std::string& context) {
-  ASSERT_EQ(expected.size(), actual.size()) << context;
-  for (size_t i = 0; i < expected.size(); ++i) {
-    EXPECT_EQ(expected[i].doc, actual[i].doc)
-        << context << " rank " << i;
-    EXPECT_EQ(std::memcmp(&expected[i].score, &actual[i].score,
-                          sizeof(double)),
-              0)
-        << context << " rank " << i << ": " << expected[i].score << " vs "
-        << actual[i].score;
-  }
-}
+using testing_support::ExpectSameHits;
 
 /// Documents derived from a seeded synthweb corpus: every entity becomes
 /// a page (tail entities as surfaced deep-web docs, head as surface).
@@ -56,6 +45,12 @@ std::vector<Document> CorpusDocs(const synthweb::WebCorpus& corpus) {
     docs.push_back(std::move(d));
   }
   return docs;
+}
+
+IndexOptions ExhaustiveOptions() {
+  IndexOptions opts;
+  opts.enable_pruning = false;
+  return opts;
 }
 
 synthweb::WebCorpus TestCorpus() {
@@ -85,7 +80,7 @@ TEST_P(ShardedEquivalenceTest, ByteIdenticalToSingleShard) {
   auto corpus = TestCorpus();
   auto docs = CorpusDocs(corpus);
 
-  InvertedIndex reference;
+  InvertedIndex reference(ExhaustiveOptions());
   for (const auto& d : docs) {
     ASSERT_TRUE(reference
                     .AddDocument(d.url, d.title, d.body, d.is_deep_web,
@@ -116,7 +111,7 @@ TEST_P(ShardedEquivalenceTest, ByteIdenticalThroughServeEngineWithCache) {
   auto corpus = TestCorpus();
   auto docs = CorpusDocs(corpus);
 
-  InvertedIndex reference;
+  InvertedIndex reference(ExhaustiveOptions());
   ASSERT_TRUE(reference.InsertBatch(docs).ok());
 
   ShardedIndexOptions sopts;
@@ -195,7 +190,7 @@ TEST(ShardedIndexTest, TieBreakOrderMatchesSingleShard) {
     docs.push_back(std::move(d));
   }
 
-  InvertedIndex reference;
+  InvertedIndex reference(ExhaustiveOptions());
   ASSERT_TRUE(reference.InsertBatch(docs).ok());
   auto expected = reference.Search("tie", 12);
   ASSERT_EQ(expected.size(), 12u);

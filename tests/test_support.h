@@ -1,12 +1,16 @@
 // Shared fixtures for core-module tests: builds a small deep-web site,
 // registers it on a simulated web, and extracts its analyzed form the same
 // way the production pipeline would (fetch form page -> parse -> analyze).
+// Also home of the byte-identity hit comparison the index-equivalence
+// suites share.
 
 #ifndef DEEPSURF_TESTS_TEST_SUPPORT_H_
 #define DEEPSURF_TESTS_TEST_SUPPORT_H_
 
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -14,12 +18,32 @@
 #include "html/forms.h"
 #include "html/parser.h"
 #include "html/text.h"
+#include "index/search_index.h"
 #include "net/web.h"
 #include "synthweb/deep_site.h"
 #include "synthweb/domain.h"
 
 namespace deepsurf {
 namespace testing_support {
+
+/// Asserts two ranked hit lists are byte-identical: same docs in the
+/// same order and bit-for-bit equal score doubles. Deliberately memcmp,
+/// not EXPECT_DOUBLE_EQ — the index equivalence contracts (sharded vs
+/// single, pruned vs exhaustive, cached vs uncached) promise byte
+/// identity, nothing weaker.
+inline void ExpectSameHits(const std::vector<index::SearchHit>& expected,
+                           const std::vector<index::SearchHit>& actual,
+                           const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].doc, actual[i].doc) << context << " rank " << i;
+    EXPECT_EQ(std::memcmp(&expected[i].score, &actual[i].score,
+                          sizeof(double)),
+              0)
+        << context << " rank " << i << ": " << expected[i].score << " vs "
+        << actual[i].score;
+  }
+}
 
 struct SiteHarness {
   net::SimulatedWeb web;
