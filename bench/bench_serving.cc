@@ -24,23 +24,6 @@
 namespace deepsurf {
 namespace {
 
-std::vector<index::Document> CorpusDocs(const synthweb::WebCorpus& corpus) {
-  std::vector<index::Document> docs;
-  size_t head = corpus.entities.size() / 10;
-  for (size_t rank = 0; rank < corpus.entities.size(); ++rank) {
-    const auto& e = corpus.entities[rank];
-    const std::string& host = corpus.deep_sites[e.site_index]->spec().host;
-    index::Document d;
-    d.url = "http://" + host + "/r" + std::to_string(rank);
-    d.title = "record " + std::to_string(rank);
-    d.body = corpus.EntityText(e);
-    d.is_deep_web = rank >= head;
-    d.source_host = host;
-    docs.push_back(std::move(d));
-  }
-  return docs;
-}
-
 double Seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -72,7 +55,7 @@ int Run(int argc, char** argv) {
   copts.max_rows = 120;
   copts.seed = 99;
   auto corpus = synthweb::BuildCorpus(copts);
-  auto docs = CorpusDocs(corpus);
+  auto docs = synthweb::EntityDocuments(corpus);
 
   // The serving workload: queries themselves follow a power law (the
   // same lookup is issued verbatim by many users), modeled as Zipf

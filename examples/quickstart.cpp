@@ -11,20 +11,31 @@
 //      through the caching serve engine.
 //
 // Run:  ./quickstart
+//       ./quickstart --distributed   # same pipeline, but the serving
+//                                    # index is a shards x replicas
+//                                    # cluster behind the RPC boundary
+//                                    # (src/remote/) — same results, bit
+//                                    # for bit.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "crawler/crawler.h"
 #include "crawler/surfacing_driver.h"
 #include "index/analyzer.h"
 #include "index/sharded_index.h"
 #include "net/fetcher.h"
+#include "remote/coordinator.h"
+#include "remote/transport.h"
 #include "serve/engine.h"
 #include "synthweb/corpus.h"
 
 using namespace deepsurf;
 
-int main() {
+int main(int argc, char** argv) {
+  bool distributed =
+      argc > 1 && std::strcmp(argv[1], "--distributed") == 0;
   // 1. A tiny web: 2 deep-web sites + hub + a couple of surface sites.
   synthweb::CorpusOptions copts;
   copts.num_deep_sites = 2;
@@ -40,10 +51,31 @@ int main() {
 
   // 2. Crawl. Only linked pages are reachable; /search result pages are
   //    not (that is what makes the content "deep"). Pages land in the
-  //    sharded serving index — hash-partitioned, searched in parallel.
-  index::ShardedIndexOptions sopts;
-  sopts.num_shards = 4;
-  index::ShardedIndex index(sopts);
+  //    serving index: in-process it is the hash-partitioned ShardedIndex;
+  //    with --distributed the same corpus goes through the remote
+  //    coordinator to a 2-shards x 2-replicas cluster of shard servers
+  //    behind the message-passing boundary. Both implement WritableIndex
+  //    and return byte-identical results.
+  std::unique_ptr<index::ShardedIndex> local_index;
+  std::unique_ptr<remote::LoopbackTransport> cluster;
+  std::unique_ptr<remote::Coordinator> coordinator;
+  index::WritableIndex* index_ptr = nullptr;
+  if (distributed) {
+    cluster = std::make_unique<remote::LoopbackTransport>(
+        /*num_shards=*/2, /*num_replicas=*/2);
+    coordinator = std::make_unique<remote::Coordinator>(cluster.get(),
+                                                        remote::CoordinatorOptions{});
+    index_ptr = coordinator.get();
+    std::printf("serving mode: distributed — 2 shards x 2 replicas behind "
+                "the RPC boundary\n");
+  } else {
+    index::ShardedIndexOptions sopts;
+    sopts.num_shards = 4;
+    local_index = std::make_unique<index::ShardedIndex>(sopts);
+    index_ptr = local_index.get();
+    std::printf("serving mode: in-process ShardedIndex (4 shards)\n");
+  }
+  index::WritableIndex& index = *index_ptr;
   crawler::Crawler crawler(corpus.web.get(), &index, {});
   if (auto status = crawler.Crawl({corpus.directory_url}); !status.ok()) {
     std::printf("crawl failed: %s\n", status.ToString().c_str());
@@ -102,6 +134,15 @@ int main() {
     std::printf("  %zu. [%.2f] %s %s\n", i + 1, served.hits[i].score,
                 doc.is_deep_web ? "(deep)" : "(surface)",
                 doc.url.c_str());
+  }
+  if (distributed) {
+    auto cstats = coordinator->stats();
+    std::printf("cluster: %llu RPCs, %llu hedges, %llu failovers, rpc p95 "
+                "%.3f ms\n",
+                static_cast<unsigned long long>(cstats.rpcs),
+                static_cast<unsigned long long>(cstats.hedges),
+                static_cast<unsigned long long>(cstats.failovers),
+                cstats.rpc_p95_ms);
   }
   auto again = engine.Search(query, 5);
   std::printf("asked again: served from cache = %s (hit rate %.0f%%)\n",

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "index/analyzer.h"
+#include "index/merge.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -151,24 +152,16 @@ std::vector<SearchHit> ShardedIndex::SearchTermsLocked(
     const std::vector<std::string>& terms, size_t k) const {
   if (terms.empty() || global_docs_.empty() || k == 0) return {};
 
-  // Corpus-wide statistics. All three are exact integer sums, so they
-  // equal what one InvertedIndex over the whole corpus would compute.
-  CorpusStats stats;
+  // Corpus-wide statistics via the shared combine (index/merge.h) — the
+  // same code path the remote coordinator uses, so the two can never
+  // drift. Exact integer sums: they equal what one InvertedIndex over
+  // the whole corpus would compute.
+  std::vector<ShardStats> shard_stats;
+  shard_stats.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    stats.num_docs += static_cast<double>(shard->num_docs());
-    stats.total_length += shard->total_content_length();
+    shard_stats.push_back(LocalShardStats(*shard, terms));
   }
-  stats.term_df.reserve(terms.size());
-  std::unordered_map<std::string, size_t> df_memo;
-  for (const auto& term : terms) {
-    auto it = df_memo.find(term);
-    if (it == df_memo.end()) {
-      size_t df = 0;
-      for (const auto& shard : shards_) df += shard->DocFrequency(term);
-      it = df_memo.emplace(term, df).first;
-    }
-    stats.term_df.push_back(it->second);
-  }
+  CorpusStats stats = CombineShardStats(shard_stats);
 
   // Per-shard top-k. A document's shard-local id order equals its global
   // id order (both are insertion order), so each shard's (score desc,
@@ -186,20 +179,12 @@ std::vector<SearchHit> ShardedIndex::SearchTermsLocked(
     }
   }
 
-  // Exact merge on global ids.
+  // Exact merge on global ids (shared with the remote coordinator).
   std::vector<SearchHit> merged;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    for (const auto& hit : per_shard[s]) {
-      merged.push_back(SearchHit{local_to_global_[s][hit.doc], hit.score});
-    }
+    AppendGlobalHits(per_shard[s], local_to_global_[s], &merged);
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const SearchHit& a, const SearchHit& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-  if (merged.size() > k) merged.resize(k);
-  return merged;
+  return MergeTopK(std::move(merged), k);
 }
 
 DocInfo ShardedIndex::doc(DocId id) const {

@@ -1,0 +1,798 @@
+#include "remote/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "index/analyzer.h"
+#include "index/merge.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace deepsurf {
+namespace remote {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+/// Completion state of one logical shard call, co-owned by the waiting
+/// thread and every in-flight attempt's callback. Callbacks touch only
+/// this (never the coordinator), so an abandoned attempt draining from a
+/// server queue after the waiter gave up — or after the coordinator is
+/// gone — still lands somewhere valid.
+struct Coordinator::CallState {
+  struct Attempt {
+    size_t replica = 0;
+    Clock::time_point issued;
+    bool hedge = false;  ///< fired as a backup, not a primary/failover
+    bool done = false;
+    double latency_ms = 0.0;
+    Result<std::string> result{Status::Unavailable("pending")};
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Attempt> attempts;
+  int winner = -1;
+  size_t failures = 0;
+  ShardServer::CancelToken cancelled =
+      std::make_shared<std::atomic<bool>>(false);
+};
+
+/// Exclusive hold on mu_ with writer preference: announces the writer
+/// at the gate (pausing new queries), takes the lock, and on release
+/// lets gated queries back in.
+class Coordinator::WriterLock {
+ public:
+  explicit WriterLock(Coordinator* c) : c_(c) {
+    {
+      std::lock_guard<std::mutex> gate(c_->write_gate_mu_);
+      ++c_->writers_pending_;
+    }
+    c_->mu_.lock();
+  }
+  ~WriterLock() {
+    c_->mu_.unlock();
+    {
+      std::lock_guard<std::mutex> gate(c_->write_gate_mu_);
+      --c_->writers_pending_;
+    }
+    c_->write_gate_cv_.notify_all();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  Coordinator* c_;
+};
+
+Coordinator::Coordinator(Transport* transport, CoordinatorOptions options)
+    : transport_(transport),
+      options_(options),
+      num_shards_(transport->num_shards()),
+      num_replicas_(transport->num_replicas()),
+      latency_ms_(std::max<size_t>(1, options.latency_window)) {
+  local_to_global_.resize(num_shards_);
+  shard_doc_count_.assign(num_shards_, 0);
+  shard_seq_.assign(num_shards_, 0);
+  health_.assign(num_shards_ * num_replicas_, ReplicaHealth{});
+
+  // Enough workers that one query's fan-out plus replicated ingest can
+  // run wide; the calling thread always executes one job itself, so an
+  // undersized pool costs throughput, never progress.
+  size_t workers = options_.fanout_threads;
+  if (workers == 0) {
+    workers = std::min<size_t>(
+        32, std::max<size_t>(4 * num_shards_, num_shards_ * num_replicas_));
+  }
+  pool_workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    pool_workers_.emplace_back(&Coordinator::PoolWorkerLoop, this);
+  }
+}
+
+Coordinator::~Coordinator() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& t : pool_workers_) t.join();
+}
+
+void Coordinator::PoolWorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_cv_.wait(lock, [&] { return pool_stop_ || !pool_jobs_.empty(); });
+      if (pool_stop_) return;
+      job = std::move(pool_jobs_.front());
+      pool_jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+void Coordinator::RunJobs(std::vector<std::function<void()>> jobs) const {
+  if (jobs.empty()) return;
+  if (jobs.size() == 1) {
+    jobs[0]();
+    return;
+  }
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = jobs.size() - 1;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (size_t i = 1; i < jobs.size(); ++i) {
+      pool_jobs_.push_back([job = std::move(jobs[i]), latch] {
+        job();
+        std::lock_guard<std::mutex> lk(latch->mu);
+        if (--latch->remaining == 0) latch->cv.notify_one();
+      });
+    }
+  }
+  pool_cv_.notify_all();
+  jobs[0]();  // the caller's own share
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+}
+
+void Coordinator::RunPerShard(const std::function<void(size_t)>& fn) const {
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    jobs.push_back([&fn, s] { fn(s); });
+  }
+  RunJobs(std::move(jobs));
+}
+
+size_t Coordinator::ShardForUrl(const std::string& url) const {
+  return Fnv1a64(url) % num_shards_;
+}
+
+double Coordinator::HedgeDelayMs() const {
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  if (latency_ms_.size() < options_.hedge_warmup) return options_.hedge_min_ms;
+  // Quantile() is O(window) — too much to pay under a contended lock on
+  // every shard call. Recompute every kRefreshEvery samples; hedge
+  // delays only need to track the latency distribution, not each point.
+  constexpr uint64_t kRefreshEvery = 64;
+  if (latency_ms_.total() >= hedge_delay_refresh_at_) {
+    hedge_delay_cache_ms_ = std::min(
+        options_.hedge_max_ms,
+        std::max(options_.hedge_min_ms,
+                 latency_ms_.Quantile(options_.hedge_quantile)));
+    hedge_delay_refresh_at_ = latency_ms_.total() + kRefreshEvery;
+  }
+  return hedge_delay_cache_ms_;
+}
+
+std::vector<size_t> Coordinator::ReplicaPlan(size_t shard,
+                                             size_t attempts) const {
+  uint64_t start = rotation_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<size_t> order;
+  std::vector<size_t> last_resort;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    // Only replicas that acked every ingest batch may serve: a stale
+    // replica would answer from a smaller corpus and break byte
+    // identity. Dead-flagged (but current) replicas go last — when
+    // nothing else is left, a long shot beats a guaranteed failure.
+    uint64_t want_seq = shard_seq_[shard];
+    for (size_t i = 0; i < num_replicas_; ++i) {
+      size_t r = (start + i) % num_replicas_;
+      const ReplicaHealth& h = health_[shard * num_replicas_ + r];
+      if (h.unsynced || h.last_acked_seq != want_seq) continue;
+      (h.dead ? last_resort : order).push_back(r);
+    }
+  }
+  order.insert(order.end(), last_resort.begin(), last_resort.end());
+  if (order.empty()) return {};
+  std::vector<size_t> plan;
+  plan.reserve(attempts);
+  while (plan.size() < attempts) plan.push_back(order[plan.size() % order.size()]);
+  return plan;
+}
+
+bool Coordinator::ReplicaDead(size_t shard, size_t replica) const {
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  return health_[shard * num_replicas_ + replica].dead;
+}
+
+Result<std::string> Coordinator::CallShard(size_t shard,
+                                           const std::string& request,
+                                           int pinned_replica,
+                                           size_t max_attempts,
+                                           bool hedging_allowed) const {
+  max_attempts = std::max<size_t>(1, max_attempts);
+  std::vector<size_t> plan;
+  if (pinned_replica >= 0) {
+    plan.assign(max_attempts, static_cast<size_t>(pinned_replica));
+  } else {
+    plan = ReplicaPlan(shard, max_attempts);
+    if (plan.empty()) {
+      std::lock_guard<std::mutex> lock(telemetry_mu_);
+      ++stats_.failed_shard_calls;
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " has no current replica");
+    }
+  }
+
+  auto state = std::make_shared<CallState>();
+  state->attempts.reserve(plan.size());
+  const auto timeout = std::chrono::microseconds(
+      static_cast<int64_t>(options_.call_timeout_ms * 1000.0));
+
+  uint64_t rpcs = 0, hedges = 0, failovers = 0, timeouts = 0;
+  auto issue = [&](bool as_hedge) {
+    size_t idx;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      idx = state->attempts.size();
+      CallState::Attempt a;
+      a.replica = plan[idx];
+      a.issued = Clock::now();
+      a.hedge = as_hedge;
+      state->attempts.push_back(std::move(a));
+    }
+    ++rpcs;
+    transport_->Call(
+        shard, plan[idx], request,
+        [state, idx](Result<std::string> r) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          CallState::Attempt& a = state->attempts[idx];
+          if (a.done) return;  // at-most-once, but stay defensive
+          a.done = true;
+          a.latency_ms = MsSince(a.issued);
+          a.result = std::move(r);
+          if (a.result.ok()) {
+            if (state->winner < 0) {
+              state->winner = static_cast<int>(idx);
+              // Cancel the losers: requests still queued at other
+              // replicas die before execution.
+              state->cancelled->store(true, std::memory_order_relaxed);
+            }
+          } else {
+            ++state->failures;
+          }
+          state->cv.notify_all();
+        },
+        state->cancelled);
+  };
+
+  issue(/*as_hedge=*/false);
+  Clock::time_point attempt_deadline = Clock::now() + timeout;
+  // Arm the hedge only when the backup would go to a DIFFERENT replica
+  // (the plan cycles the usable set, so plan[1] != plan[0] iff there is
+  // more than one): hedging a lone struggling replica with a duplicate
+  // of its own request only deepens its queue.
+  bool hedge_armed = hedging_allowed && options_.hedging &&
+                     pinned_replica < 0 && plan.size() > 1 &&
+                     plan[1] != plan[0];
+  const auto hedge_delay = std::chrono::microseconds(
+      hedge_armed ? static_cast<int64_t>(HedgeDelayMs() * 1000.0) : 0);
+  // Re-anchored whenever a new attempt is issued (failover / timeout
+  // rotation): each fresh attempt earns the full hedge delay before a
+  // backup fires at yet another replica.
+  Clock::time_point hedge_at = hedge_armed
+                                   ? Clock::now() + hedge_delay
+                                   : Clock::time_point::max();
+
+  Result<std::string> outcome = Status::Unavailable("no attempt completed");
+  for (;;) {
+    std::unique_lock<std::mutex> lock(state->mu);
+    Clock::time_point wake = attempt_deadline;
+    if (hedge_armed && hedge_at < wake) wake = hedge_at;
+    state->cv.wait_until(lock, wake, [&] {
+      return state->winner >= 0 ||
+             state->failures == state->attempts.size();
+    });
+    const size_t issued = state->attempts.size();
+    if (state->winner >= 0) {
+      outcome = state->attempts[static_cast<size_t>(state->winner)].result;
+      break;
+    }
+    if (state->failures == issued) {
+      if (issued < plan.size()) {
+        lock.unlock();
+        ++failovers;
+        issue(/*as_hedge=*/false);
+        attempt_deadline = Clock::now() + timeout;
+        if (hedge_armed) hedge_at = Clock::now() + hedge_delay;
+        continue;
+      }
+      outcome = state->attempts.back().result;  // the final failure
+      break;
+    }
+    const Clock::time_point now = Clock::now();
+    if (hedge_armed && now >= hedge_at) {
+      hedge_armed = false;
+      if (issued < plan.size()) {
+        lock.unlock();
+        ++hedges;
+        issue(/*as_hedge=*/true);
+        attempt_deadline = Clock::now() + timeout;
+      }
+      continue;
+    }
+    if (now >= attempt_deadline) {
+      ++timeouts;
+      if (issued < plan.size()) {
+        lock.unlock();
+        issue(/*as_hedge=*/false);
+        attempt_deadline = Clock::now() + timeout;
+        if (hedge_armed) hedge_at = Clock::now() + hedge_delay;
+        continue;
+      }
+      outcome = Status::DeadlineExceeded(
+          "shard " + std::to_string(shard) +
+          " unresponsive across every replica attempt");
+      break;
+    }
+    // Spurious wakeup before any deadline: wait again.
+  }
+
+  // Won or lost, nothing outstanding is wanted anymore: let presumed-
+  // lost requests still queued at busy servers die before execution
+  // instead of amplifying the pressure that timed them out.
+  state->cancelled->store(true, std::memory_order_relaxed);
+
+  // Telemetry, from a snapshot of what actually happened. Callbacks
+  // never touch the coordinator, so this is the only place health and
+  // latency get updated — by the thread that owns the call.
+  struct Seen {
+    size_t replica;
+    bool done, ok, hedge, pressure, winner;
+    double latency_ms;
+  };
+  std::vector<Seen> seen;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    seen.reserve(state->attempts.size());
+    for (size_t i = 0; i < state->attempts.size(); ++i) {
+      const auto& a = state->attempts[i];
+      bool pressure =
+          a.done && !a.result.ok() &&
+          (a.result.status().IsResourceExhausted() ||
+           a.result.status().IsAborted());
+      seen.push_back(Seen{a.replica, a.done, a.done && a.result.ok(),
+                          a.hedge, pressure,
+                          state->winner == static_cast<int>(i),
+                          a.latency_ms});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    stats_.rpcs += rpcs;
+    stats_.hedges += hedges;
+    stats_.failovers += failovers;
+    stats_.timeouts += timeouts;
+    const bool won = outcome.ok();
+    if (!won) ++stats_.failed_shard_calls;
+    for (const auto& s : seen) {
+      ReplicaHealth& h = health_[shard * num_replicas_ + s.replica];
+      if (s.ok) {
+        h.consecutive_failures = 0;
+        // Pinned calls (replicated ingest, health probes) bypass
+        // ReplicaPlan, so success there proves liveness but not
+        // currency — revival would let a monitoring sweep resurrect a
+        // replica the plan rightly skips. Ingest acks revive through
+        // IngestLocked's own bookkeeping instead.
+        if (h.dead && pinned_replica < 0) {
+          h.dead = false;  // liveness proven; currency was a plan invariant
+          --stats_.replicas_dead;
+        }
+        if (s.winner) {
+          // The tracker drives search hedging; ingest (exclusive index
+          // lock, whole batches) and health latencies would skew it.
+          if (pinned_replica < 0) latency_ms_.Add(s.latency_ms);
+          if (s.hedge) ++stats_.hedge_wins;
+        }
+        continue;
+      }
+      // An attempt counts against its replica when it hard-failed, or
+      // never answered on a call that ultimately lost (presumed-lost
+      // request). Queue pressure, cancelled losers, and still-in-flight
+      // losers of a won call don't.
+      const bool hard_failure = (s.done && !s.pressure) || (!s.done && !won);
+      if (!hard_failure) continue;
+      ++h.consecutive_failures;
+      if (!h.dead && h.consecutive_failures >= options_.dead_after) {
+        h.dead = true;
+        ++stats_.replicas_dead;
+      }
+    }
+  }
+  return outcome;
+}
+
+std::vector<index::SearchHit> Coordinator::Search(const std::string& query,
+                                                  size_t k) const {
+  return SearchTerms(index::ContentTokens(query), k);
+}
+
+std::vector<index::SearchHit> Coordinator::SearchTerms(
+    const std::vector<std::string>& terms, size_t k) const {
+  // Writer preference: a pending ingest pauses new queries at the gate
+  // (queries hold the reader lock for whole RPC rounds, so without this
+  // a steady query stream starves ingest indefinitely).
+  {
+    std::unique_lock<std::mutex> gate(write_gate_mu_);
+    write_gate_cv_.wait(gate, [&] { return writers_pending_ == 0; });
+  }
+  // One reader hold across both rounds: every shard answers from the
+  // same corpus snapshot, which is what makes the two-round protocol
+  // exact even while ingest is knocking.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (terms.empty() || docs_.empty() || k == 0) return {};
+  {
+    std::lock_guard<std::mutex> tlock(telemetry_mu_);
+    ++stats_.searches;
+  }
+
+  // Round 1: per-shard corpus statistics.
+  const std::string stats_frame = Encode(StatsRequest{terms});
+  std::vector<index::ShardStats> shard_stats(num_shards_);
+  std::vector<char> stats_ok(num_shards_, 0);
+  RunPerShard([&](size_t s) {
+    auto frame = CallShard(s, stats_frame, /*pinned_replica=*/-1,
+                           options_.max_attempts, /*hedging_allowed=*/true);
+    if (!frame.ok()) return;
+    auto resp = DecodeStatsResponse(*frame);
+    if (!resp.ok()) return;
+    // Arity check before the exact combine: a shard answering with the
+    // wrong number of dfs is treated as unreachable (partial results),
+    // not allowed to skew or crash the merge.
+    if (resp->term_df.size() != terms.size()) return;
+    shard_stats[s].num_docs = resp->num_docs;
+    shard_stats[s].total_length = resp->total_length;
+    shard_stats[s].term_df = std::move(resp->term_df);
+    stats_ok[s] = 1;
+  });
+
+  std::vector<index::ShardStats> live_stats;
+  std::vector<size_t> live_shards;
+  live_stats.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (stats_ok[s] == 0) continue;
+    live_stats.push_back(std::move(shard_stats[s]));
+    live_shards.push_back(s);
+  }
+  bool partial = live_shards.size() < num_shards_;
+  if (live_shards.empty()) {
+    std::lock_guard<std::mutex> tlock(telemetry_mu_);
+    ++stats_.partial_results;
+    return {};
+  }
+  // The shared exact combine (index/merge.h): when every shard
+  // answered, these are bit-for-bit the single-index statistics.
+  index::CorpusStats global = index::CombineShardStats(live_stats);
+
+  // Round 2: every live shard scores its top-k with the global stats.
+  SearchRequest sreq;
+  sreq.terms = terms;
+  sreq.k = k;
+  sreq.stats = std::move(global);
+  const std::string search_frame = Encode(sreq);
+  std::vector<std::vector<index::SearchHit>> per_shard(num_shards_);
+  std::vector<char> search_ok(num_shards_, 0);
+  {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(live_shards.size());
+    for (size_t s : live_shards) {
+      jobs.push_back([&, s] {
+        auto frame =
+            CallShard(s, search_frame, /*pinned_replica=*/-1,
+                      options_.max_attempts, /*hedging_allowed=*/true);
+        if (!frame.ok()) return;
+        auto resp = DecodeSearchResponse(*frame);
+        if (!resp.ok()) return;
+        per_shard[s] = std::move(resp->hits);
+        search_ok[s] = 1;
+      });
+    }
+    RunJobs(std::move(jobs));
+  }
+
+  std::vector<index::SearchHit> merged;
+  for (size_t s : live_shards) {
+    if (search_ok[s] == 0) {
+      partial = true;
+      continue;
+    }
+    // Unlike ShardedIndex's trusted in-process merge (AppendGlobalHits),
+    // these hits crossed a boundary: bound-check the local ids. An id
+    // past the committed map means the replica holds documents the
+    // coordinator never committed (a rolled-back ingest it had already
+    // applied, or a misbehaving server) — skip the hit rather than read
+    // out of range; retrying the failed batch verbatim re-syncs.
+    const auto& to_global = local_to_global_[s];
+    for (const auto& hit : per_shard[s]) {
+      if (hit.doc >= to_global.size()) continue;
+      merged.push_back(index::SearchHit{to_global[hit.doc], hit.score});
+    }
+  }
+  if (partial) {
+    std::lock_guard<std::mutex> tlock(telemetry_mu_);
+    ++stats_.partial_results;
+  }
+  return index::MergeTopK(std::move(merged), k);
+}
+
+Result<index::DocId> Coordinator::AddDocument(const std::string& url,
+                                              const std::string& title,
+                                              const std::string& body,
+                                              bool is_deep_web,
+                                              const std::string& source_host) {
+  WriterLock lock(this);
+  std::vector<index::DocId> ids;
+  auto added = IngestLocked(
+      {index::Document{url, title, body, is_deep_web, source_host}}, nullptr,
+      &ids);
+  if (!added.ok()) return added.status();
+  return ids[0];
+}
+
+Result<size_t> Coordinator::InsertBatch(
+    const std::vector<index::Document>& docs,
+    std::vector<bool>* newly_added) {
+  WriterLock lock(this);
+  std::vector<index::DocId> ids;
+  return IngestLocked(docs, newly_added, &ids);
+}
+
+Result<size_t> Coordinator::IngestLocked(
+    const std::vector<index::Document>& docs,
+    std::vector<bool>* newly_added, std::vector<index::DocId>* ids) {
+  if (newly_added != nullptr) newly_added->assign(docs.size(), false);
+  ids->assign(docs.size(), 0);
+
+  // Mirror of ShardedIndex::AddDocumentLocked, batch-wide: global ids in
+  // insertion order, global duplicate suppression by content hash, URL-
+  // hash routing. Everything is decided here; shards just apply. The
+  // by_hash_ entries staged here are rolled back if the replicated send
+  // fails, so an aborted ingest never poisons later dedup decisions —
+  // and because nothing else is committed either, retrying the SAME
+  // batch reuses the same gids and seqs: replicas that did apply it
+  // replay their stored ack (the request bytes hash-match) and the rest
+  // catch up, so a failed ingest heals on retry.
+  std::vector<IngestRequest> batches(num_shards_);
+  std::vector<std::vector<size_t>> batch_origin(num_shards_);
+  std::vector<char> is_new(docs.size(), 0);
+  std::vector<uint64_t> hashes(docs.size(), 0);
+  std::vector<uint64_t> staged_hashes;
+  size_t next_gid = docs_.size();
+  size_t added_count = 0;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const auto& d = docs[i];
+    hashes[i] = Fnv1a64(d.body);
+    if (options_.suppress_duplicates) {
+      auto it = by_hash_.find(hashes[i]);
+      if (it != by_hash_.end()) {
+        (*ids)[i] = it->second;
+        continue;
+      }
+    }
+    size_t s = ShardForUrl(d.url);
+    auto gid = static_cast<index::DocId>(next_gid++);
+    if (by_hash_.emplace(hashes[i], gid).second) {  // first writer wins,
+      staged_hashes.push_back(hashes[i]);           // as ShardedIndex
+    }
+    (*ids)[i] = gid;
+    is_new[i] = 1;
+    if (newly_added != nullptr) (*newly_added)[i] = true;
+    ++added_count;
+    batches[s].docs.push_back(d);
+    batch_origin[s].push_back(i);
+  }
+  if (added_count == 0) return static_cast<size_t>(0);
+  auto rollback = [&] {
+    for (uint64_t h : staged_hashes) by_hash_.erase(h);
+    // Every replica that was sent the failed batch is now in an UNKNOWN
+    // state (it may have applied the batch and lost the ack), so none of
+    // them may serve until an ingest ack proves them consistent again —
+    // otherwise a partially-applied replica would answer queries with
+    // uncommitted documents in its statistics and top-k.
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (batches[s].docs.empty()) continue;
+      for (size_t r = 0; r < num_replicas_; ++r) {
+        health_[s * num_replicas_ + r].unsynced = true;
+      }
+    }
+  };
+
+  // Replicate each shard's batch to every replica in parallel. Sequence
+  // numbers make retries idempotent server-side.
+  struct Ack {
+    bool ok = false;
+    IngestResponse response;
+  };
+  std::vector<std::vector<Ack>> acks(num_shards_,
+                                     std::vector<Ack>(num_replicas_));
+  {
+    std::vector<std::function<void()>> jobs;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (batches[s].docs.empty()) continue;
+      batches[s].seq = shard_seq_[s] + 1;
+      auto frame = std::make_shared<std::string>(Encode(batches[s]));
+      for (size_t r = 0; r < num_replicas_; ++r) {
+        jobs.push_back([this, s, r, frame, &acks] {
+          auto resp = CallShard(s, *frame, static_cast<int>(r),
+                                options_.ingest_max_attempts,
+                                /*hedging_allowed=*/false);
+          if (!resp.ok()) return;
+          auto decoded = DecodeIngestResponse(*resp);
+          if (!decoded.ok()) return;
+          acks[s][r].ok = true;
+          acks[s][r].response = std::move(*decoded);
+        });
+      }
+    }
+    RunJobs(std::move(jobs));
+  }
+
+  // Validate every shard before committing any coordinator state.
+  std::vector<const IngestResponse*> good(num_shards_, nullptr);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (batches[s].docs.empty()) continue;
+    for (size_t r = 0; r < num_replicas_; ++r) {
+      if (!acks[s][r].ok) continue;
+      if (good[s] == nullptr) {
+        good[s] = &acks[s][r].response;
+      } else if (acks[s][r].response.local_ids != good[s]->local_ids) {
+        rollback();
+        return Status::Internal("replica divergence on shard " +
+                                std::to_string(s) +
+                                ": replicas assigned different local ids");
+      }
+    }
+    if (good[s] == nullptr) {
+      rollback();
+      return Status::Internal(
+          "no replica of shard " + std::to_string(s) +
+          " acknowledged ingest batch " + std::to_string(batches[s].seq) +
+          "; the batch was rolled back — retry it verbatim to recover");
+    }
+    if (good[s]->local_ids.size() != batches[s].docs.size()) {
+      rollback();
+      return Status::Internal("short ingest ack from shard " +
+                              std::to_string(s));
+    }
+    for (size_t pos = 0; pos < good[s]->local_ids.size(); ++pos) {
+      if (good[s]->local_ids[pos] != shard_doc_count_[s] + pos ||
+          good[s]->newly_added[pos] != 1) {
+        rollback();
+        return Status::Internal(
+            "shard " + std::to_string(s) +
+            " disagreed about ingest placement — do the servers run the "
+            "same IndexOptions as the coordinator?");
+      }
+    }
+  }
+
+  // Commit: per-shard maps in batch (local id) order...
+  std::vector<uint32_t> length_of(docs.size(), 0);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (batches[s].docs.empty()) continue;
+    shard_seq_[s] = batches[s].seq;
+    shard_doc_count_[s] += batches[s].docs.size();
+    for (size_t pos = 0; pos < batch_origin[s].size(); ++pos) {
+      size_t i = batch_origin[s][pos];
+      local_to_global_[s].push_back((*ids)[i]);
+      length_of[i] = good[s]->lengths[pos];
+    }
+  }
+  // ...and the mirror in global-id (original insertion) order.
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (is_new[i] == 0) continue;
+    index::DocInfo info;
+    info.url = docs[i].url;
+    info.title = docs[i].title;
+    info.length = length_of[i];
+    info.content_hash = hashes[i];
+    info.is_deep_web = docs[i].is_deep_web;
+    info.source_host = docs[i].source_host;
+    docs_.push_back(std::move(info));
+  }
+
+  // Replica bookkeeping: an ack proves liveness AND currency; a replica
+  // that never acked missed the batch, can never catch up (batches are
+  // not re-sent), and is excluded from serving for good by its stale
+  // last_acked_seq.
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (batches[s].docs.empty()) continue;
+      ++stats_.ingest_batches;
+      for (size_t r = 0; r < num_replicas_; ++r) {
+        ReplicaHealth& h = health_[s * num_replicas_ + r];
+        if (acks[s][r].ok) {
+          h.last_acked_seq = batches[s].seq;
+          h.unsynced = false;  // the ack proves a consistent corpus
+          h.consecutive_failures = 0;
+          if (h.dead) {
+            h.dead = false;
+            --stats_.replicas_dead;
+          }
+        } else if (!h.dead) {
+          h.dead = true;
+          ++stats_.replicas_dead;
+        }
+      }
+    }
+  }
+  return added_count;
+}
+
+index::DocInfo Coordinator::doc(index::DocId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  DS_CHECK(id < docs_.size()) << "doc id out of range";
+  return docs_[id];
+}
+
+const index::DocInfo& Coordinator::doc_ref(index::DocId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  DS_CHECK(id < docs_.size()) << "doc id out of range";
+  return docs_[id];
+}
+
+size_t Coordinator::num_docs() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return docs_.size();
+}
+
+uint64_t Coordinator::ingest_epoch() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return docs_.size();
+}
+
+CoordinatorStats Coordinator::stats() const {
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  CoordinatorStats snapshot = stats_;
+  snapshot.rpc_p50_ms = latency_ms_.Quantile(0.50);
+  snapshot.rpc_p95_ms = latency_ms_.Quantile(0.95);
+  snapshot.rpc_p99_ms = latency_ms_.Quantile(0.99);
+  return snapshot;
+}
+
+std::vector<ReplicaProbe> Coordinator::ProbeHealth() const {
+  const std::string frame = Encode(HealthRequest{});
+  std::vector<ReplicaProbe> probes(num_shards_ * num_replicas_);
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(probes.size());
+  for (size_t s = 0; s < num_shards_; ++s) {
+    for (size_t r = 0; r < num_replicas_; ++r) {
+      jobs.push_back([this, s, r, &frame, &probes] {
+        ReplicaProbe& probe = probes[s * num_replicas_ + r];
+        probe.shard = s;
+        probe.replica = r;
+        probe.marked_dead = ReplicaDead(s, r);
+        auto resp = CallShard(s, frame, static_cast<int>(r), /*attempts=*/1,
+                              /*hedging_allowed=*/false);
+        if (!resp.ok()) return;
+        auto health = DecodeHealthResponse(*resp);
+        if (!health.ok()) return;
+        probe.reachable = true;
+        probe.health = *health;
+      });
+    }
+  }
+  RunJobs(std::move(jobs));
+  return probes;
+}
+
+}  // namespace remote
+}  // namespace deepsurf

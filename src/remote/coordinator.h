@@ -1,0 +1,277 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The query/ingest coordinator of the distributed serving layer: the
+// single front door that makes a shards x replicas grid of ShardServers
+// look like one WritableIndex. This is the ROADMAP's "RPC-shaped
+// boundary" — serving scales past one machine's cores — under the
+// repo's signature constraint: distribution must not change a single
+// result bit. For the same documents in the same insertion order, the
+// coordinator's ranked hits are byte-identical (IEEE-754 score bits and
+// tie-break order) to the in-process ShardedIndex and to one big
+// InvertedIndex, at every shard and replica count, faults or no faults.
+//
+// How the exactness survives distribution:
+//   * A query is two fan-out rounds under one reader lock: a stats
+//     round (every shard reports doc count, token total, per-term df;
+//     combined by the shared index/merge.h code into corpus-wide BM25
+//     statistics), then a search round (every shard scores its top-k
+//     with those *global* statistics). Both rounds see one consistent
+//     corpus snapshot because ingest takes the writer side of the lock.
+//   * Global doc ids are assigned by the coordinator in insertion
+//     order — exactly the ids a single index would assign — and
+//     per-shard hits are merged by the shared MergeTopK total order.
+//   * Replicas of a shard hold bit-identical indexes (same batches,
+//     same order, sequence-numbered idempotent ingest), so *which*
+//     replica answers is unobservable in the results. That freedom is
+//     what failover, load-balancing rotation, and hedging spend.
+//
+// Tail-latency machinery (the paper's serving story is "heavy traffic
+// from millions of users", where p99 is the product):
+//   * Hedged requests: if a replica hasn't answered within an adaptive
+//     delay (a tracked percentile of recent RPC latencies — see
+//     stats::PercentileTracker), the same request is fired at the next
+//     replica and the first answer wins; the loser is cancelled.
+//   * Failover + retry: fast failures rotate to the next replica
+//     immediately; silent drops are caught by a per-attempt deadline.
+//     Replicas that keep failing are marked dead and skipped (a dead
+//     replica may have missed ingest batches, so it is never trusted
+//     again — consistency over capacity).
+//   * Partial results: a query never fails outright. If every replica
+//     of a shard is unreachable after the attempt budget, the query is
+//     answered from the shards that did respond and
+//     stats().partial_results counts the degradation.
+//
+// Ingest is replicated synchronously: a batch goes to every replica of
+// its shard and at least one ack per shard is required; replicas that
+// never ack are marked dead. Ingest holds the writer lock end to end,
+// so it serializes with queries exactly like ShardedIndex's writer does.
+
+#ifndef DEEPSURF_REMOTE_COORDINATOR_H_
+#define DEEPSURF_REMOTE_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/search_index.h"
+#include "remote/transport.h"
+#include "remote/wire.h"
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace deepsurf {
+namespace remote {
+
+struct CoordinatorOptions {
+  /// Fire a backup request at the next replica when the primary has not
+  /// answered within the adaptive hedge delay. Needs num_replicas > 1.
+  bool hedging = true;
+  /// The hedge fires at this quantile of recent RPC latencies...
+  double hedge_quantile = 0.95;
+  /// ...clamped into [hedge_min_ms, hedge_max_ms]; the floor also serves
+  /// as the delay until enough samples exist (hedge_warmup).
+  double hedge_min_ms = 0.05;
+  double hedge_max_ms = 20.0;
+  size_t hedge_warmup = 16;
+  /// Per-attempt deadline: a replica that has neither answered nor
+  /// failed by then is presumed lost (dropped request) and the call
+  /// rotates onward.
+  double call_timeout_ms = 200.0;
+  /// Total RPC attempts per logical shard call, hedges included.
+  size_t max_attempts = 6;
+  /// Attempts per replica for one ingest batch (ingest must reach every
+  /// replica individually, so it retries harder before declaring death).
+  size_t ingest_max_attempts = 8;
+  /// Consecutive failures before a replica is skipped as dead.
+  size_t dead_after = 3;
+  /// Window of the RPC latency tracker driving the hedge delay.
+  size_t latency_window = 512;
+  /// Fan-out worker threads (0 = min(4 * shards, 32)). Shard calls of
+  /// one query run on these; the calling thread always takes shard 0, so
+  /// a small pool degrades throughput, never progress.
+  size_t fanout_threads = 0;
+  /// Duplicate-suppression policy; must match the servers'
+  /// ShardServerOptions::index for the equivalence contract to hold.
+  bool suppress_duplicates = true;
+};
+
+/// Cumulative counters (all since construction).
+struct CoordinatorStats {
+  uint64_t searches = 0;
+  uint64_t ingest_batches = 0;    ///< replicated batches sent (per shard)
+  uint64_t rpcs = 0;              ///< attempts issued, all kinds
+  uint64_t hedges = 0;            ///< backup requests fired
+  uint64_t hedge_wins = 0;        ///< calls won by a non-primary attempt
+  uint64_t failovers = 0;         ///< rotations after a fast failure
+  uint64_t timeouts = 0;          ///< per-attempt deadlines that expired
+  uint64_t failed_shard_calls = 0;  ///< logical calls that lost every attempt
+  uint64_t partial_results = 0;   ///< queries answered with >= 1 shard missing
+  uint64_t replicas_dead = 0;     ///< replicas currently marked dead
+  /// Latency snapshot of recent successful shard RPCs (milliseconds).
+  double rpc_p50_ms = 0.0;
+  double rpc_p95_ms = 0.0;
+  double rpc_p99_ms = 0.0;
+};
+
+/// One replica's health as probed by ProbeHealth().
+struct ReplicaProbe {
+  size_t shard = 0;
+  size_t replica = 0;
+  bool reachable = false;
+  bool marked_dead = false;  ///< coordinator-side verdict
+  HealthResponse health;     ///< valid when reachable
+};
+
+/// The distributed index: WritableIndex over a Transport.
+class Coordinator : public index::WritableIndex {
+ public:
+  /// `transport` is borrowed and must outlive the coordinator. The
+  /// servers behind it must score with the same IndexOptions the
+  /// equivalence baseline uses.
+  explicit Coordinator(Transport* transport, CoordinatorOptions options = {});
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // --- WritableIndex. ---
+  Result<index::DocId> AddDocument(const std::string& url,
+                                   const std::string& title,
+                                   const std::string& body, bool is_deep_web,
+                                   const std::string& source_host) override;
+  Result<size_t> InsertBatch(const std::vector<index::Document>& docs,
+                             std::vector<bool>* newly_added =
+                                 nullptr) override;  // same default as base
+
+  std::vector<index::SearchHit> Search(const std::string& query,
+                                       size_t k) const override;
+  std::vector<index::SearchHit> SearchTerms(
+      const std::vector<std::string>& terms, size_t k) const override;
+
+  /// Global-id metadata from the coordinator's local mirror (maintained
+  /// at ingest) — no RPC. Value snapshot, safe under concurrent ingest.
+  index::DocInfo doc(index::DocId id) const override;
+  /// Mirror reference; deque storage never relocates, so it stays valid
+  /// across concurrent and later ingest.
+  const index::DocInfo& doc_ref(index::DocId id) const override;
+
+  size_t num_docs() const override;
+  uint64_t ingest_epoch() const override;
+
+  size_t num_shards() const { return num_shards_; }
+  size_t num_replicas() const { return num_replicas_; }
+
+  /// Which shard a URL routes to (same hash ShardedIndex uses).
+  size_t ShardForUrl(const std::string& url) const;
+
+  CoordinatorStats stats() const;
+
+  /// Best-effort health sweep over every replica (one short-deadline
+  /// probe each; dead-marked replicas are probed too, but not revived).
+  std::vector<ReplicaProbe> ProbeHealth() const;
+
+ private:
+  struct CallState;
+  class WriterLock;
+
+  /// One logical call to a shard with load-balanced replica choice,
+  /// hedging, failover, and per-attempt deadlines. Returns the winning
+  /// response frame or the final error. `pinned_replica` >= 0 restricts
+  /// the call to that replica (replicated ingest; no hedging).
+  Result<std::string> CallShard(size_t shard, const std::string& request,
+                                int pinned_replica, size_t max_attempts,
+                                bool hedging_allowed) const;
+
+  /// Replica try order for a shard: healthy replicas rotated for load
+  /// balance, dead ones appended as a last resort, the whole cycle
+  /// repeated up to `attempts` entries.
+  std::vector<size_t> ReplicaPlan(size_t shard, size_t attempts) const;
+
+  double HedgeDelayMs() const;
+  bool ReplicaDead(size_t shard, size_t replica) const;
+
+  /// Runs fn(shard) for every shard; shard 0 on the calling thread, the
+  /// rest on the fan-out pool.
+  void RunPerShard(const std::function<void(size_t)>& fn) const;
+  /// Runs each job on the pool (calling thread helps with the first).
+  void RunJobs(std::vector<std::function<void()>> jobs) const;
+  void PoolWorkerLoop();
+
+  /// The shared ingest path; requires mu_ held exclusively. Fills
+  /// per-position global ids (and newly flags when non-null).
+  Result<size_t> IngestLocked(const std::vector<index::Document>& docs,
+                              std::vector<bool>* newly_added,
+                              std::vector<index::DocId>* ids);
+
+  Transport* const transport_;
+  const CoordinatorOptions options_;
+  const size_t num_shards_;
+  const size_t num_replicas_;
+
+  /// Guards the global-id state and the doc mirror. Readers are queries
+  /// (held across both fan-out rounds: one corpus snapshot per query);
+  /// the writer is ingest. Queries hold the reader side for whole RPC
+  /// rounds — milliseconds — so with a reader-preferring shared_mutex a
+  /// steady query stream would starve ingest forever. The write gate
+  /// below restores writer preference: writers announce themselves, and
+  /// new queries wait at the gate until no writer is pending.
+  mutable std::shared_mutex mu_;
+  mutable std::mutex write_gate_mu_;
+  mutable std::condition_variable write_gate_cv_;
+  mutable size_t writers_pending_ = 0;
+  std::deque<index::DocInfo> docs_;  ///< global id -> mirror metadata
+  std::vector<std::vector<index::DocId>> local_to_global_;  ///< per shard
+  std::vector<uint64_t> shard_doc_count_;  ///< local ids handed out
+  std::vector<uint64_t> shard_seq_;        ///< ingest batch sequence
+  std::unordered_map<uint64_t, index::DocId> by_hash_;  ///< global dedup
+
+  /// Replica health, latency tracking, and counters. Separate from mu_
+  /// so completions never contend with the corpus lock.
+  mutable std::mutex telemetry_mu_;
+  struct ReplicaHealth {
+    uint64_t consecutive_failures = 0;
+    /// Last ingest batch seq this replica acknowledged. A replica whose
+    /// ack lags its shard's seq missed a batch, holds a smaller corpus,
+    /// and must never serve a query (byte-identity would break); it
+    /// heals only by acking (a verbatim retry of the missed batch, or
+    /// never).
+    uint64_t last_acked_seq = 0;
+    /// Set for every replica of a shard whose ingest batch was rolled
+    /// back: the replica may or may not have applied it (an ack can be
+    /// lost after the apply), so its corpus is UNKNOWN and it must not
+    /// serve. Cleared only by a subsequent ingest ack — which is
+    /// possible exactly when the replica's state turns out consistent
+    /// (the seq discipline refuses every other case) — so the flag
+    /// converges to the truth on retry.
+    bool unsynced = false;
+    bool dead = false;  ///< operational verdict (failures); revivable
+  };
+  mutable std::vector<ReplicaHealth> health_;  ///< shard * R + replica
+  mutable stats::PercentileTracker latency_ms_;
+  mutable double hedge_delay_cache_ms_ = 0.0;
+  mutable uint64_t hedge_delay_refresh_at_ = 0;  ///< next total() to recompute at
+  mutable CoordinatorStats stats_;
+  mutable std::atomic<uint64_t> rotation_{0};  ///< primary-replica rotation
+
+  // Fan-out pool (see CoordinatorOptions::fanout_threads).
+  mutable std::mutex pool_mu_;
+  mutable std::condition_variable pool_cv_;
+  mutable std::deque<std::function<void()>> pool_jobs_;
+  bool pool_stop_ = false;
+  std::vector<std::thread> pool_workers_;
+};
+
+}  // namespace remote
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_REMOTE_COORDINATOR_H_

@@ -1,0 +1,241 @@
+#include "remote/shard_server.h"
+
+#include <utility>
+
+#include "index/merge.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace deepsurf {
+namespace remote {
+
+ShardServer::ShardServer(ShardServerOptions options)
+    : options_(options), index_(options.index) {
+  size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&ShardServer::WorkerLoop, this);
+  }
+}
+
+ShardServer::~ShardServer() {
+  std::deque<PendingRequest> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    orphaned.swap(queue_);
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  // Whatever was still queued never ran; its callers must hear so.
+  for (auto& req : orphaned) {
+    req.done(Status::Aborted("shard server shut down"));
+  }
+}
+
+void ShardServer::Enqueue(std::string request, Callback done,
+                          CancelToken cancelled) {
+  bool shutting_down;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_ && queue_.size() < options_.max_queue) {
+      queue_.push_back(
+          PendingRequest{std::move(request), std::move(done),
+                         std::move(cancelled)});
+      cv_.notify_one();
+      return;
+    }
+    shutting_down = stop_;
+    if (!shutting_down) ++stats_.rejected;
+  }
+  // Reject outside the lock: the callback may do arbitrary work.
+  done(shutting_down
+           ? Status::Aborted("shard server shut down")
+           : Status::ResourceExhausted("shard request queue full"));
+}
+
+void ShardServer::WorkerLoop() {
+  for (;;) {
+    PendingRequest req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || (!queue_.empty() && !paused_); });
+      if (stop_) return;
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (req.cancelled != nullptr &&
+        req.cancelled->load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.cancelled;
+      }
+      req.done(Status::Aborted("request cancelled by caller"));
+      continue;
+    }
+    auto response = Handle(req.bytes);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.served;
+      if (!response.ok() && response.status().IsInvalidArgument()) {
+        ++stats_.decode_errors;
+      }
+    }
+    req.done(std::move(response));
+  }
+}
+
+Result<std::string> ShardServer::Handle(const std::string& request) {
+  auto type = PeekType(request);
+  if (!type.ok()) return type.status();
+  switch (*type) {
+    case MessageType::kSearchRequest:
+      return HandleSearch(request);
+    case MessageType::kStatsRequest:
+      return HandleStats(request);
+    case MessageType::kIngestRequest:
+      return HandleIngest(request);
+    case MessageType::kHealthRequest:
+      return HandleHealth();
+    default:
+      return Status::InvalidArgument("frame is a response, not a request");
+  }
+}
+
+Result<std::string> ShardServer::HandleSearch(const std::string& request) {
+  auto req = DecodeSearchRequest(request);
+  if (!req.ok()) return req.status();
+  // Never trust the peer: a wire-valid frame can still carry stats that
+  // don't fit the query, and that must be an error response, not the
+  // DS_CHECK abort it would trigger inside the index.
+  if (!req->stats.term_df.empty() &&
+      req->stats.term_df.size() != req->terms.size()) {
+    return Status::InvalidArgument(
+        "SearchRequest term_df arity does not match its terms");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.searches;
+  }
+  SearchResponse resp;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    resp.hits = index_.SearchTermsScored(req->terms,
+                                         static_cast<size_t>(req->k),
+                                         &req->stats);
+  }
+  return Encode(resp);
+}
+
+Result<std::string> ShardServer::HandleStats(const std::string& request) {
+  auto req = DecodeStatsRequest(request);
+  if (!req.ok()) return req.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stats_calls;
+  }
+  StatsResponse resp;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    // The same shard-side computation ShardedIndex runs in-process.
+    index::ShardStats local = index::LocalShardStats(index_, req->terms);
+    resp.num_docs = local.num_docs;
+    resp.total_length = local.total_length;
+    resp.term_df = std::move(local.term_df);
+  }
+  return Encode(resp);
+}
+
+Result<std::string> ShardServer::HandleIngest(const std::string& request) {
+  auto req = DecodeIngestRequest(request);
+  if (!req.ok()) return req.status();
+
+  const uint64_t request_hash = Fnv1a64(request);
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  if (req->seq == last_applied_seq_ && !last_ingest_response_.empty()) {
+    if (request_hash != last_ingest_request_hash_) {
+      // Same seq, different batch: the coordinator rolled back a failed
+      // ingest and is now reusing the number for new content. Replaying
+      // the stored response would silently map the new documents onto
+      // the old batch's local ids — refuse loudly instead.
+      return Status::FailedPrecondition(
+          "ingest seq " + std::to_string(req->seq) +
+          " re-used for a different batch; this replica already applied "
+          "other content under it");
+    }
+    // A retry whose response got lost: replay, do not re-apply.
+    std::lock_guard<std::mutex> slock(mu_);
+    ++stats_.ingest_replays;
+    return last_ingest_response_;
+  }
+  if (req->seq != last_applied_seq_ + 1) {
+    return Status::FailedPrecondition(
+        "ingest batch out of sequence: got " + std::to_string(req->seq) +
+        ", expected " + std::to_string(last_applied_seq_ + 1));
+  }
+
+  IngestResponse resp;
+  resp.seq = req->seq;
+  resp.local_ids.reserve(req->docs.size());
+  resp.newly_added.reserve(req->docs.size());
+  resp.lengths.reserve(req->docs.size());
+  for (const auto& d : req->docs) {
+    size_t before = index_.num_docs();
+    auto id = index_.AddDocument(d.url, d.title, d.body, d.is_deep_web,
+                                 d.source_host);
+    if (!id.ok()) return id.status();
+    resp.local_ids.push_back(*id);
+    resp.newly_added.push_back(index_.num_docs() > before ? 1 : 0);
+    resp.lengths.push_back(index_.doc_ref(*id).length);
+  }
+  last_applied_seq_ = req->seq;
+  last_ingest_request_hash_ = request_hash;
+  last_ingest_response_ = Encode(resp);
+  {
+    std::lock_guard<std::mutex> slock(mu_);
+    ++stats_.ingest_batches;
+  }
+  return last_ingest_response_;
+}
+
+Result<std::string> ShardServer::HandleHealth() {
+  HealthResponse resp;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    resp.num_docs = index_.num_docs();
+    resp.epoch = index_.ingest_epoch();
+    resp.last_applied_seq = last_applied_seq_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.health_checks;
+    resp.queue_depth = queue_.size();
+    resp.requests_served = stats_.served;
+    resp.requests_rejected = stats_.rejected;
+    resp.requests_cancelled = stats_.cancelled;
+  }
+  return Encode(resp);
+}
+
+ShardServerStats ShardServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardServerStats snapshot = stats_;
+  snapshot.queue_depth = queue_.size();
+  return snapshot;
+}
+
+void ShardServer::PauseForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void ShardServer::ResumeForTesting() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace remote
+}  // namespace deepsurf

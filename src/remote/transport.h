@@ -1,0 +1,323 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The message-passing boundary between the coordinator and its shard
+// replicas. A Transport addresses a fixed shards x replicas grid and
+// delivers opaque wire frames with *at-most-once* semantics: `done` is
+// invoked at most once, possibly on another thread — and possibly never
+// (a transport may drop a request on the floor), which is why the
+// coordinator guards every call with a deadline.
+//
+// Two in-process implementations:
+//   * LoopbackTransport — owns the grid of ShardServers and hands frames
+//     straight to their request queues. The zero-fault baseline, and the
+//     substrate everything else wraps.
+//   * FlakyTransport — a fault-injecting decorator in the spirit of
+//     net/flaky_server.h's FlakyServer (the same seeded-Bernoulli
+//     deterministic failure model, applied to RPCs instead of HTTP):
+//     immediate failures, silently dropped requests, lost responses,
+//     delayed responses, per-replica fixed slowness (the "slow replica"
+//     hedging exists to beat), and killed replicas. This is what makes
+//     latency spikes, drops, and dead replicas testable and benchable.
+//
+// FlakyTransport keeps all mutable state in a shared_ptr'd core that its
+// in-flight callbacks co-own, so a callback completing after the
+// transport object is destroyed (an abandoned, timed-out call finally
+// draining from a server queue) touches valid memory and gets silently
+// discarded.
+
+#ifndef DEEPSURF_REMOTE_TRANSPORT_H_
+#define DEEPSURF_REMOTE_TRANSPORT_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "remote/shard_server.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace deepsurf {
+namespace remote {
+
+/// Abstract RPC fabric over a shards x replicas grid.
+class Transport {
+ public:
+  using Callback = ShardServer::Callback;
+  using CancelToken = ShardServer::CancelToken;
+
+  virtual ~Transport() = default;
+
+  /// Delivers `request` to replica `replica` of shard `shard`. `done` is
+  /// invoked at most once (never, if the fabric drops the message).
+  /// `cancelled`, when non-null, lets the caller abandon the request;
+  /// servers answer Aborted without executing it.
+  virtual void Call(size_t shard, size_t replica, std::string request,
+                    Callback done, CancelToken cancelled = nullptr) = 0;
+
+  virtual size_t num_shards() const = 0;
+  virtual size_t num_replicas() const = 0;
+};
+
+/// In-process transport owning the full replica grid. Replica r of shard
+/// s is its own ShardServer (own index, own queue, own workers) — the
+/// in-process stand-in for one machine.
+class LoopbackTransport : public Transport {
+ public:
+  LoopbackTransport(size_t num_shards, size_t num_replicas,
+                    ShardServerOptions server_options = {})
+      : num_shards_(std::max<size_t>(1, num_shards)),
+        num_replicas_(std::max<size_t>(1, num_replicas)) {
+    servers_.reserve(num_shards_ * num_replicas_);
+    for (size_t i = 0; i < num_shards_ * num_replicas_; ++i) {
+      servers_.push_back(std::make_unique<ShardServer>(server_options));
+    }
+  }
+
+  void Call(size_t shard, size_t replica, std::string request, Callback done,
+            CancelToken cancelled = nullptr) override {
+    server(shard, replica).Enqueue(std::move(request), std::move(done),
+                                   std::move(cancelled));
+  }
+
+  size_t num_shards() const override { return num_shards_; }
+  size_t num_replicas() const override { return num_replicas_; }
+
+  ShardServer& server(size_t shard, size_t replica) {
+    DS_CHECK(shard < num_shards_ && replica < num_replicas_)
+        << "replica address out of range";
+    return *servers_[shard * num_replicas_ + replica];
+  }
+
+ private:
+  size_t num_shards_;
+  size_t num_replicas_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+};
+
+/// Failure model for FlakyTransport; all draws are per-call, seeded.
+struct FlakyTransportOptions {
+  double fail_probability = 0.0;           ///< immediate Unavailable
+  double drop_request_probability = 0.0;   ///< swallowed; caller times out
+  double drop_response_probability = 0.0;  ///< executed, response lost
+  double delay_probability = 0.0;          ///< response held back delay_ms
+  double delay_ms = 5.0;
+  uint64_t seed = 1;
+};
+
+struct FlakyTransportStats {
+  uint64_t failures = 0;
+  uint64_t request_drops = 0;
+  uint64_t response_drops = 0;
+  uint64_t delays = 0;
+  uint64_t dead_rejections = 0;  ///< calls bounced off killed replicas
+};
+
+/// Fault-injecting decorator over another Transport.
+class FlakyTransport : public Transport {
+ public:
+  FlakyTransport(Transport* inner, FlakyTransportOptions options)
+      : inner_(inner), core_(std::make_shared<Core>(options)) {
+    core_->timer = std::thread([core = core_] { TimerLoop(core); });
+  }
+
+  ~FlakyTransport() override {
+    {
+      std::lock_guard<std::mutex> lock(core_->mu);
+      core_->stopping = true;
+      // Pending delayed deliveries die with the transport (the fabric
+      // went away mid-flight); their callers' deadlines cover it.
+      while (!core_->delayed.empty()) core_->delayed.pop();
+    }
+    core_->cv.notify_all();
+    core_->timer.join();
+  }
+
+  void Call(size_t shard, size_t replica, std::string request, Callback done,
+            CancelToken cancelled = nullptr) override {
+    enum class Fate { kDeliver, kDead, kFail, kDropRequest };
+    Fate fate = Fate::kDeliver;
+    double delay_ms = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(core_->mu);
+      if (core_->dead.count({shard, replica}) > 0) {
+        ++core_->stats.dead_rejections;
+        fate = Fate::kDead;
+      } else if (core_->rng.Bernoulli(core_->options.fail_probability)) {
+        ++core_->stats.failures;
+        fate = Fate::kFail;
+      } else if (core_->rng.Bernoulli(
+                     core_->options.drop_request_probability)) {
+        ++core_->stats.request_drops;
+        fate = Fate::kDropRequest;
+      } else {
+        auto it = core_->replica_delay_ms.find({shard, replica});
+        if (it != core_->replica_delay_ms.end()) delay_ms += it->second;
+        if (core_->rng.Bernoulli(core_->options.delay_probability)) {
+          delay_ms += core_->options.delay_ms;
+          ++core_->stats.delays;
+        }
+      }
+    }
+    // Error callbacks run outside the lock: they may do arbitrary work.
+    if (fate == Fate::kDead) {
+      done(Status::Unavailable("replica killed"));
+      return;
+    }
+    if (fate == Fate::kFail) {
+      done(Status::Unavailable("injected transport failure"));
+      return;
+    }
+    if (fate == Fate::kDropRequest) return;  // done is never invoked
+    // Wrap the callback: the response may be dropped or delivered late.
+    // The wrapper owns the core, never the transport object.
+    auto core = core_;
+    inner_->Call(
+        shard, replica, std::move(request),
+        [core, done = std::move(done),
+         delay_ms](Result<std::string> result) {
+          bool drop;
+          {
+            std::lock_guard<std::mutex> lock(core->mu);
+            drop = core->rng.Bernoulli(
+                core->options.drop_response_probability);
+            if (drop) ++core->stats.response_drops;
+          }
+          if (drop) return;
+          if (delay_ms <= 0.0) {
+            done(std::move(result));
+            return;
+          }
+          Deliver(core, delay_ms, std::move(done), std::move(result));
+        },
+        std::move(cancelled));
+  }
+
+  size_t num_shards() const override { return inner_->num_shards(); }
+  size_t num_replicas() const override { return inner_->num_replicas(); }
+
+  /// Marks a replica dead: every subsequent call fails fast with
+  /// Unavailable, the way a connection refused does.
+  void Kill(size_t shard, size_t replica) {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->dead.insert({shard, replica});
+  }
+
+  void Revive(size_t shard, size_t replica) {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->dead.erase({shard, replica});
+  }
+
+  /// Gives one replica a fixed extra latency on every response — the
+  /// canonical "slow replica" hedged requests exist to beat.
+  void SetReplicaDelay(size_t shard, size_t replica, double ms) {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (ms <= 0.0) {
+      core_->replica_delay_ms.erase({shard, replica});
+    } else {
+      core_->replica_delay_ms[{shard, replica}] = ms;
+    }
+  }
+
+  void set_options(const FlakyTransportOptions& options) {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    // The seed stays with the already-running Rng stream.
+    core_->options = options;
+  }
+
+  FlakyTransportStats stats() const {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    return core_->stats;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Delayed {
+    Clock::time_point due;
+    Callback done;
+    Result<std::string> result;
+
+    Delayed(Clock::time_point d, Callback cb, Result<std::string> r)
+        : due(d), done(std::move(cb)), result(std::move(r)) {}
+  };
+
+  struct DelayedLater {
+    bool operator()(const std::shared_ptr<Delayed>& a,
+                    const std::shared_ptr<Delayed>& b) const {
+      return a->due > b->due;
+    }
+  };
+
+  /// Everything the callbacks and the timer thread touch, co-owned so it
+  /// outlives the transport object if calls are still in flight.
+  struct Core {
+    explicit Core(FlakyTransportOptions opts)
+        : options(opts), rng(opts.seed) {}
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    FlakyTransportOptions options;
+    Rng rng;
+    FlakyTransportStats stats;
+    std::set<std::pair<size_t, size_t>> dead;
+    std::map<std::pair<size_t, size_t>, double> replica_delay_ms;
+    std::priority_queue<std::shared_ptr<Delayed>,
+                        std::vector<std::shared_ptr<Delayed>>, DelayedLater>
+        delayed;
+    bool stopping = false;
+    std::thread timer;
+  };
+
+  static void Deliver(const std::shared_ptr<Core>& core, double delay_ms,
+                      Callback done, Result<std::string> result) {
+    auto due = Clock::now() + std::chrono::microseconds(
+                                  static_cast<int64_t>(delay_ms * 1000.0));
+    {
+      std::lock_guard<std::mutex> lock(core->mu);
+      if (core->stopping) return;  // teardown: late responses are lost
+      core->delayed.push(std::make_shared<Delayed>(due, std::move(done),
+                                                   std::move(result)));
+    }
+    core->cv.notify_all();
+  }
+
+  static void TimerLoop(const std::shared_ptr<Core>& core) {
+    std::unique_lock<std::mutex> lock(core->mu);
+    for (;;) {
+      if (core->stopping) return;
+      if (core->delayed.empty()) {
+        core->cv.wait(lock, [&] {
+          return core->stopping || !core->delayed.empty();
+        });
+        continue;
+      }
+      auto next = core->delayed.top();
+      if (Clock::now() < next->due) {
+        core->cv.wait_until(lock, next->due);
+        continue;  // re-check: new earlier entries or teardown
+      }
+      core->delayed.pop();
+      lock.unlock();
+      next->done(std::move(next->result));
+      lock.lock();
+    }
+  }
+
+  Transport* inner_;
+  std::shared_ptr<Core> core_;
+};
+
+}  // namespace remote
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_REMOTE_TRANSPORT_H_

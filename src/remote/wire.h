@@ -1,0 +1,133 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// Deterministic binary wire format for the shard-serving RPC boundary.
+// Every message a coordinator and a shard server exchange — search
+// requests, scored-hit responses, the corpus-statistics exchange that
+// keeps sharded BM25 exact, replicated ingest batches, and health
+// probes — is encoded as one self-describing frame: a MessageType byte
+// followed by fixed-layout little-endian fields.
+//
+// The format is designed for the repo's signature contract (distribution
+// must not change a single result bit):
+//   * doubles travel as their raw IEEE-754 bit patterns (memcpy through
+//     uint64_t), so scores and corpus statistics round-trip exactly —
+//     including NaNs, denormals, and negative zero;
+//   * integers are fixed-width little-endian, strings are
+//     length-prefixed byte runs — no locale, no text formatting, no
+//     platform-dependent layout;
+//   * encoding the same message twice yields the same bytes, so frames
+//     can be compared, cached, and replayed (ingest idempotence keys on
+//     this).
+//
+// Decoders never trust the peer: every read is bounds-checked and a
+// malformed or truncated frame yields InvalidArgument, not UB.
+
+#ifndef DEEPSURF_REMOTE_WIRE_H_
+#define DEEPSURF_REMOTE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/search_index.h"
+#include "util/result.h"
+
+namespace deepsurf {
+namespace remote {
+
+/// First byte of every frame.
+enum class MessageType : uint8_t {
+  kSearchRequest = 1,
+  kSearchResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kIngestRequest = 5,
+  kIngestResponse = 6,
+  kHealthRequest = 7,
+  kHealthResponse = 8,
+};
+
+/// Top-k query against one shard, scored with the coordinator-supplied
+/// corpus-wide statistics (stats.term_df is parallel to `terms`).
+struct SearchRequest {
+  std::vector<std::string> terms;
+  uint64_t k = 0;
+  index::CorpusStats stats;
+};
+
+/// Ranked hits from one shard; doc ids are shard-local.
+struct SearchResponse {
+  std::vector<index::SearchHit> hits;
+};
+
+/// Asks a shard for its contribution to the corpus-wide statistics of
+/// one query (document count, token total, per-position term df).
+struct StatsRequest {
+  std::vector<std::string> terms;
+};
+
+struct StatsResponse {
+  uint64_t num_docs = 0;
+  double total_length = 0.0;
+  std::vector<uint64_t> term_df;  ///< per query-term position
+};
+
+/// One replicated ingest batch. `seq` is the per-shard batch sequence
+/// number; servers apply batches exactly once in sequence order and
+/// replay the stored response for a re-sent seq, which is what makes
+/// coordinator retries safe when a response (not the request) was lost.
+struct IngestRequest {
+  uint64_t seq = 0;
+  std::vector<index::Document> docs;
+};
+
+/// Per-document outcome of an ingest batch, in batch order. `lengths`
+/// carries each document's content-token count so the coordinator can
+/// maintain its DocInfo mirror without re-tokenizing.
+struct IngestResponse {
+  uint64_t seq = 0;
+  std::vector<uint32_t> local_ids;
+  std::vector<uint8_t> newly_added;  ///< 0/1 per doc
+  std::vector<uint32_t> lengths;
+};
+
+struct HealthRequest {};
+
+/// Shard-node health and load snapshot.
+struct HealthResponse {
+  uint64_t num_docs = 0;
+  uint64_t epoch = 0;
+  uint64_t last_applied_seq = 0;
+  uint64_t queue_depth = 0;
+  uint64_t requests_served = 0;
+  uint64_t requests_rejected = 0;
+  uint64_t requests_cancelled = 0;
+};
+
+/// Message type of a frame (its first byte); InvalidArgument for an
+/// empty frame or an unknown type.
+Result<MessageType> PeekType(const std::string& frame);
+
+std::string Encode(const SearchRequest& msg);
+std::string Encode(const SearchResponse& msg);
+std::string Encode(const StatsRequest& msg);
+std::string Encode(const StatsResponse& msg);
+std::string Encode(const IngestRequest& msg);
+std::string Encode(const IngestResponse& msg);
+std::string Encode(const HealthRequest& msg);
+std::string Encode(const HealthResponse& msg);
+
+Result<SearchRequest> DecodeSearchRequest(const std::string& frame);
+Result<SearchResponse> DecodeSearchResponse(const std::string& frame);
+Result<StatsRequest> DecodeStatsRequest(const std::string& frame);
+Result<StatsResponse> DecodeStatsResponse(const std::string& frame);
+Result<IngestRequest> DecodeIngestRequest(const std::string& frame);
+Result<IngestResponse> DecodeIngestResponse(const std::string& frame);
+Result<HealthRequest> DecodeHealthRequest(const std::string& frame);
+Result<HealthResponse> DecodeHealthResponse(const std::string& frame);
+
+}  // namespace remote
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_REMOTE_WIRE_H_

@@ -71,6 +71,8 @@ ServeResult Engine::Search(const std::string& query, size_t k) {
         return ServeResult{it->second.hits, true};
       }
       ++stats_.invalidations;
+      ++stats_.invalidations_by_source[ingest_source_];
+      stats_.last_invalidation_epoch = epoch;
       EraseLocked(it);
     }
     ++stats_.cache_misses;
@@ -131,6 +133,11 @@ void Engine::EraseLocked(
     std::unordered_map<std::string, CacheEntry>::iterator it) {
   lru_.erase(it->second.lru_it);
   cache_.erase(it);
+}
+
+void Engine::SetIngestSource(std::string source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ingest_source_ = std::move(source);
 }
 
 EngineStats Engine::stats() const {

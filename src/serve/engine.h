@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -55,6 +56,15 @@ struct EngineStats {
   uint64_t evictions = 0;      ///< LRU entries dropped
   uint64_t invalidations = 0;  ///< entries discarded because the index grew
   uint64_t batches = 0;        ///< SearchBatch calls
+  /// Invalidations attributed to the ingest-source tag active when the
+  /// entry was discarded (SetIngestSource). Lets benches and operators
+  /// tell apart who grew the index — e.g. local crawling vs the remote
+  /// coordinator's replicated distributed ingest — when reading why the
+  /// cache churned.
+  std::map<std::string, uint64_t> invalidations_by_source;
+  /// Index ingest_epoch observed at the most recent invalidation (0 if
+  /// none yet): which corpus version evicted cached results last.
+  uint64_t last_invalidation_epoch = 0;
 
   double HitRate() const {
     return queries == 0 ? 0.0
@@ -97,6 +107,13 @@ class Engine {
   /// k). Exposed for tests.
   static std::string NormalizeQuery(const std::string& query);
 
+  /// Tags subsequent ingest activity for invalidation accounting: cache
+  /// entries discarded from now on are attributed to `source` in
+  /// stats().invalidations_by_source. Callers set it when they switch
+  /// what is feeding the index (e.g. "crawl", "surfacing",
+  /// "distributed-ingest"); the default tag is "ingest".
+  void SetIngestSource(std::string source);
+
   /// Counter snapshot.
   EngineStats stats() const;
 
@@ -126,6 +143,7 @@ class Engine {
   std::unordered_map<std::string, CacheEntry> cache_;
   std::list<std::string> lru_;  ///< front = most recent
   EngineStats stats_;
+  std::string ingest_source_ = "ingest";  ///< active invalidation tag
 };
 
 }  // namespace serve

@@ -120,5 +120,23 @@ WebCorpus BuildCorpus(const CorpusOptions& options) {
   return corpus;
 }
 
+std::vector<index::Document> EntityDocuments(const WebCorpus& corpus) {
+  std::vector<index::Document> docs;
+  docs.reserve(corpus.entities.size());
+  size_t head = corpus.entities.size() / 10;
+  for (size_t rank = 0; rank < corpus.entities.size(); ++rank) {
+    const auto& e = corpus.entities[rank];
+    const std::string& host = corpus.deep_sites[e.site_index]->spec().host;
+    index::Document d;
+    d.url = "http://" + host + "/r" + std::to_string(rank);
+    d.title = "record " + std::to_string(rank);
+    d.body = corpus.EntityText(e);
+    d.is_deep_web = rank >= head;
+    d.source_host = host;
+    docs.push_back(std::move(d));
+  }
+  return docs;
+}
+
 }  // namespace synthweb
 }  // namespace deepsurf

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "index/search_index.h"
 #include "net/web.h"
 #include "synthweb/deep_site.h"
 #include "synthweb/surface_site.h"
@@ -67,6 +68,13 @@ struct WebCorpus {
 
 /// Builds the corpus. Deterministic in `options.seed`.
 WebCorpus BuildCorpus(const CorpusOptions& options);
+
+/// Every entity as an indexable document, in popularity-rank order: the
+/// head decile as surface pages, the tail as surfaced deep-web pages.
+/// The canonical corpus-to-documents conversion the index-equivalence
+/// suites and serving benches all ingest — one definition, so their
+/// fixtures can never drift apart.
+std::vector<index::Document> EntityDocuments(const WebCorpus& corpus);
 
 }  // namespace synthweb
 }  // namespace deepsurf

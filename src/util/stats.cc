@@ -146,6 +146,26 @@ std::string Histogram::ToString() const {
   return out;
 }
 
+PercentileTracker::PercentileTracker(size_t window) {
+  DS_CHECK(window > 0) << "PercentileTracker needs a non-empty window";
+  ring_.resize(window);
+}
+
+void PercentileTracker::Add(double x) {
+  ring_[next_] = x;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+double PercentileTracker::Quantile(double q) const {
+  if (size_ == 0) return 0.0;
+  DS_CHECK(q >= 0.0 && q <= 1.0) << "quantile out of range";
+  std::vector<double> window(ring_.begin(),
+                             ring_.begin() + static_cast<long>(size_));
+  return Percentile(std::move(window), q * 100.0);
+}
+
 void RunningStat::Add(double x) {
   ++n_;
   double delta = x - mean_;

@@ -71,6 +71,41 @@ class Histogram {
   uint64_t total_ = 0;
 };
 
+/// Sliding-window quantile estimator over the most recent `window`
+/// samples: a fixed-capacity ring buffer, so memory is bounded no matter
+/// how long the process serves. Built for adaptive latency hedging (the
+/// remote coordinator fires its backup request after the tracked p9x of
+/// recent request latencies) and for latency reporting in the benches.
+///
+/// Quantile() is O(window) per call (selection over a copy) — fine for
+/// per-request decisions at the window sizes used here (<= a few
+/// thousand). Quantiles use the same linear-interpolation definition as
+/// Percentile() above, so full-window trackers agree with the batch
+/// helper exactly. Not internally synchronized; callers that share a
+/// tracker across threads wrap it in their own lock.
+class PercentileTracker {
+ public:
+  explicit PercentileTracker(size_t window = 1024);
+
+  /// Records a sample, evicting the oldest once the window is full.
+  void Add(double x);
+
+  /// Quantile q in [0, 1] of the samples currently in the window
+  /// (q = 0.95 is p95). 0 when no samples have been recorded.
+  double Quantile(double q) const;
+
+  /// Samples currently held (<= window capacity).
+  size_t size() const { return size_; }
+  /// Lifetime samples recorded (monotone; not windowed).
+  uint64_t total() const { return total_; }
+
+ private:
+  std::vector<double> ring_;
+  size_t next_ = 0;  ///< ring slot the next Add writes
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+};
+
 /// Streaming mean/variance (Welford). Used by long-running benches.
 class RunningStat {
  public:

@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kUnimplemented = 6,     ///< feature intentionally absent (e.g. POST)
   kInternal = 7,          ///< invariant violation; indicates a bug
   kAborted = 8,           ///< operation stopped early (e.g. by policy)
+  kUnavailable = 9,       ///< transient: peer down / dropped; retryable
+  kDeadlineExceeded = 10, ///< operation did not finish within its deadline
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -68,6 +70,12 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff the status carries no error.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -93,6 +101,10 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "<CodeName>: <message>" rendering, "OK" for success.
   std::string ToString() const;

@@ -1,6 +1,9 @@
 // Failure-injection tests: the pipeline must degrade gracefully on an
 // unreliable web (transient 500s, truncated HTML), never crash, and
-// still produce useful (if smaller) output.
+// still produce useful (if smaller) output. Same story one layer up:
+// the remote serving coordinator must absorb dropped requests
+// (timeout + retry), dead replica groups (partial results, never a
+// crash), and queue backpressure.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +13,8 @@
 #include "html/parser.h"
 #include "html/text.h"
 #include "net/flaky_server.h"
+#include "remote/coordinator.h"
+#include "remote/transport.h"
 #include "synthweb/deep_site.h"
 #include "synthweb/surface_site.h"
 
@@ -154,6 +159,114 @@ TEST(FlakyServerTest, CrawlerCountsErrorsAndContinues) {
   // The healthy site's form is still found.
   ASSERT_EQ(crawler.forms().size(), 1u);
   EXPECT_EQ(crawler.forms()[0].page_url.host(), "ok.example.com");
+}
+
+// --- Coordinator-level failure injection (the serving layer). ---
+
+TEST(CoordinatorFailureTest, DroppedRequestsAreTimedOutAndRetried) {
+  remote::LoopbackTransport loopback(2, 2, {});
+  remote::FlakyTransportOptions faults;
+  faults.drop_request_probability = 0.4;  // heavy loss; every drop must
+                                          // be detected by deadline
+  faults.seed = 11;
+  remote::FlakyTransport flaky(&loopback, faults);
+
+  remote::CoordinatorOptions copts;
+  copts.call_timeout_ms = 5.0;  // fast deadline so the test stays quick
+  copts.max_attempts = 20;      // drops are transient: keep rotating
+  copts.ingest_max_attempts = 30;
+  remote::Coordinator coordinator(&flaky, copts);
+
+  ASSERT_TRUE(coordinator
+                  .AddDocument("http://a.example.com/1", "t",
+                               "alpha beta gamma", false, "a.example.com")
+                  .ok());
+  ASSERT_TRUE(coordinator
+                  .AddDocument("http://b.example.com/2", "t",
+                               "alpha delta epsilon", false, "b.example.com")
+                  .ok());
+
+  for (int i = 0; i < 30; ++i) {
+    auto hits = coordinator.Search("alpha", 10);
+    ASSERT_EQ(hits.size(), 2u) << "query " << i << " lost documents";
+  }
+  auto stats = coordinator.stats();
+  EXPECT_GT(stats.timeouts, 0u)
+      << "40% request drops must have tripped per-attempt deadlines";
+  EXPECT_EQ(stats.partial_results, 0u)
+      << "with a generous attempt budget, drops never degrade results";
+  EXPECT_GT(flaky.stats().request_drops, 0u);
+}
+
+TEST(CoordinatorFailureTest, DeadReplicaGroupYieldsPartialResultsNotCrash) {
+  remote::LoopbackTransport loopback(2, 1, {});
+  remote::FlakyTransport flaky(&loopback, {});
+  remote::CoordinatorOptions copts;
+  copts.call_timeout_ms = 10.0;
+  copts.max_attempts = 2;
+  remote::Coordinator coordinator(&flaky, copts);
+
+  // Two docs on different shards (URLs chosen to hash apart at 2
+  // shards; the ASSERT keeps the fixture honest).
+  std::string url_a = "http://a.example.com/1";
+  std::string url_b = "http://b.example.com/p1";
+  ASSERT_NE(coordinator.ShardForUrl(url_a), coordinator.ShardForUrl(url_b));
+  ASSERT_TRUE(coordinator
+                  .AddDocument(url_a, "t", "alpha beta gamma", false,
+                               "a.example.com")
+                  .ok());
+  ASSERT_TRUE(coordinator
+                  .AddDocument(url_b, "t", "alpha delta epsilon", false,
+                               "b.example.com")
+                  .ok());
+  ASSERT_EQ(coordinator.Search("alpha", 10).size(), 2u);
+
+  // The whole replica group of one shard dies (replication factor 1:
+  // nothing to fail over to). Queries degrade to the surviving shard.
+  size_t dead_shard = coordinator.ShardForUrl(url_a);
+  flaky.Kill(dead_shard, 0);
+  auto hits = coordinator.Search("alpha", 10);
+  ASSERT_EQ(hits.size(), 1u)
+      << "the reachable shard must still be served";
+  EXPECT_EQ(coordinator.doc(hits[0].doc).url, url_b);
+  auto stats = coordinator.stats();
+  EXPECT_GT(stats.partial_results, 0u);
+  EXPECT_GT(stats.failed_shard_calls, 0u);
+
+  // The shard comes back (a restart that kept its disk): queries heal.
+  flaky.Revive(dead_shard, 0);
+  ASSERT_EQ(coordinator.Search("alpha", 10).size(), 2u);
+}
+
+TEST(CoordinatorFailureTest, IngestFailureToAllReplicasIsReported) {
+  remote::LoopbackTransport loopback(2, 2, {});
+  remote::FlakyTransport flaky(&loopback, {});
+  remote::CoordinatorOptions copts;
+  copts.call_timeout_ms = 5.0;
+  copts.ingest_max_attempts = 2;
+  remote::Coordinator coordinator(&flaky, copts);
+
+  std::string url = "http://a.example.com/1";
+  size_t shard = coordinator.ShardForUrl(url);
+  flaky.Kill(shard, 0);
+  flaky.Kill(shard, 1);
+  auto added = coordinator.AddDocument(url, "t", "alpha", false,
+                                       "a.example.com");
+  ASSERT_FALSE(added.ok())
+      << "an unacknowledged ingest must not pretend it landed";
+  EXPECT_TRUE(added.status().IsInternal());
+  EXPECT_EQ(coordinator.num_docs(), 0u);
+
+  // The failed batch was rolled back: once the replicas return, the
+  // same document ingests cleanly (no poisoned dedup state, no burned
+  // sequence number) and is served.
+  flaky.Revive(shard, 0);
+  flaky.Revive(shard, 1);
+  auto retried = coordinator.AddDocument(url, "t", "alpha", false,
+                                         "a.example.com");
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ(coordinator.num_docs(), 1u);
+  EXPECT_EQ(coordinator.Search("alpha", 10).size(), 1u);
 }
 
 TEST(FlakyServerTest, DeterministicInjection) {

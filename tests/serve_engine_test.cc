@@ -129,6 +129,30 @@ TEST_F(ServeEngineTest, IngestInvalidatesStaleCachedResults) {
   EXPECT_TRUE(engine.Search("epsilon").from_cache);
 }
 
+TEST_F(ServeEngineTest, InvalidationsAreAttributedToTheActiveIngestSource) {
+  Engine engine(index_.get(), {});
+  EXPECT_EQ(engine.stats().last_invalidation_epoch, 0u);
+
+  // Default tag: plain "ingest".
+  (void)engine.Search("alpha");
+  ASSERT_TRUE(index_->InsertBatch({Doc("u5", "epsilon document body")}).ok());
+  (void)engine.Search("alpha");
+
+  // Switch feeds: subsequent invalidations belong to the new source.
+  engine.SetIngestSource("distributed-ingest");
+  (void)engine.Search("beta");
+  ASSERT_TRUE(index_->InsertBatch({Doc("u6", "zeta document body")}).ok());
+  (void)engine.Search("alpha");
+  (void)engine.Search("beta");
+
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.invalidations, 3u);
+  EXPECT_EQ(stats.invalidations_by_source.at("ingest"), 1u);
+  EXPECT_EQ(stats.invalidations_by_source.at("distributed-ingest"), 2u);
+  EXPECT_EQ(stats.last_invalidation_epoch, index_->ingest_epoch())
+      << "the epoch that evicted the last entry is the current one";
+}
+
 TEST_F(ServeEngineTest, SuppressedDuplicateIngestKeepsCacheValid) {
   Engine engine(index_.get(), {});
   (void)engine.Search("alpha");

@@ -28,25 +28,6 @@ namespace {
 
 using testing_support::ExpectSameHits;
 
-/// Documents derived from a seeded synthweb corpus: every entity becomes
-/// a page (tail entities as surfaced deep-web docs, head as surface).
-std::vector<Document> CorpusDocs(const synthweb::WebCorpus& corpus) {
-  std::vector<Document> docs;
-  size_t head = corpus.entities.size() / 10;
-  for (size_t rank = 0; rank < corpus.entities.size(); ++rank) {
-    const auto& e = corpus.entities[rank];
-    const std::string& host = corpus.deep_sites[e.site_index]->spec().host;
-    Document d;
-    d.url = "http://" + host + "/r" + std::to_string(rank);
-    d.title = "record " + std::to_string(rank);
-    d.body = corpus.EntityText(e);
-    d.is_deep_web = rank >= head;
-    d.source_host = host;
-    docs.push_back(std::move(d));
-  }
-  return docs;
-}
-
 IndexOptions ExhaustiveOptions() {
   IndexOptions opts;
   opts.enable_pruning = false;
@@ -78,7 +59,7 @@ class ShardedEquivalenceTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(ShardedEquivalenceTest, ByteIdenticalToSingleShard) {
   auto corpus = TestCorpus();
-  auto docs = CorpusDocs(corpus);
+  auto docs = synthweb::EntityDocuments(corpus);
 
   InvertedIndex reference(ExhaustiveOptions());
   for (const auto& d : docs) {
@@ -109,7 +90,7 @@ TEST_P(ShardedEquivalenceTest, ByteIdenticalToSingleShard) {
 
 TEST_P(ShardedEquivalenceTest, ByteIdenticalThroughServeEngineWithCache) {
   auto corpus = TestCorpus();
-  auto docs = CorpusDocs(corpus);
+  auto docs = synthweb::EntityDocuments(corpus);
 
   InvertedIndex reference(ExhaustiveOptions());
   ASSERT_TRUE(reference.InsertBatch(docs).ok());
@@ -147,7 +128,7 @@ TEST_P(ShardedEquivalenceTest, ByteIdenticalThroughServeEngineWithCache) {
 
 TEST_P(ShardedEquivalenceTest, SequentialShardSearchMatchesParallel) {
   auto corpus = TestCorpus();
-  auto docs = CorpusDocs(corpus);
+  auto docs = synthweb::EntityDocuments(corpus);
 
   ShardedIndexOptions par;
   par.num_shards = GetParam();
@@ -247,7 +228,7 @@ TEST(ShardedIndexTest, DuplicateSuppressionIsGlobalAcrossShards) {
 
 TEST(ShardedIndexTest, ShardingPartitionsDocuments) {
   auto corpus = TestCorpus();
-  auto docs = CorpusDocs(corpus);
+  auto docs = synthweb::EntityDocuments(corpus);
   ShardedIndexOptions sopts;
   sopts.num_shards = 5;
   ShardedIndex sharded(sopts);

@@ -110,6 +110,54 @@ TEST(RunningStatTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
 }
 
+TEST(PercentileTrackerTest, EmptyIsZero) {
+  PercentileTracker t(16);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.99), 0.0);
+}
+
+TEST(PercentileTrackerTest, MatchesBatchPercentileWhileWindowNotFull) {
+  PercentileTracker t(128);
+  std::vector<double> xs = {9, 1, 4, 7, 2, 8, 3, 6, 5};
+  for (double x : xs) t.Add(x);
+  EXPECT_EQ(t.size(), xs.size());
+  for (double q : {0.0, 0.25, 0.5, 0.90, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(t.Quantile(q), Percentile(xs, q * 100.0)) << "q=" << q;
+  }
+}
+
+TEST(PercentileTrackerTest, SlidingWindowForgetsOldSamples) {
+  PercentileTracker t(4);
+  // Fill the window with large values, then push them all out.
+  for (double x : {100.0, 200.0, 300.0, 400.0}) t.Add(x);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.0), 100.0);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) t.Add(x);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total(), 8u);
+  EXPECT_DOUBLE_EQ(t.Quantile(1.0), 4.0)
+      << "evicted samples must not linger";
+  EXPECT_DOUBLE_EQ(t.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.5), Percentile({1, 2, 3, 4}, 50.0));
+}
+
+TEST(PercentileTrackerTest, SingleSampleIsEveryQuantile) {
+  PercentileTracker t(8);
+  t.Add(42.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(1.0), 42.0);
+}
+
+TEST(PercentileTrackerTest, PartiallyOverwrittenWindowUsesLiveSamples) {
+  PercentileTracker t(3);
+  for (double x : {10.0, 20.0, 30.0, 40.0}) t.Add(x);  // window: 20 30 40
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(1.0), 40.0);
+}
+
 }  // namespace
 }  // namespace stats
 }  // namespace deepsurf
