@@ -122,6 +122,10 @@ int Run(int argc, char** argv) {
   }
 
   bool all_identical = true;
+  // Cluster memory accounting (summed one-replica-per-shard over the
+  // health probes); the logical corpus is the same at every grid
+  // config, so the last capture stands for all of them.
+  index::IndexMemoryUsage cluster_mem;
 
   // --- Sweep 1: shards x replicas on a healthy loopback fabric. ---
   std::vector<GridRow> grid;
@@ -157,6 +161,7 @@ int Run(int argc, char** argv) {
         lat.Add(Seconds(qstart) * 1e3);
       }
       double wall = Seconds(start);
+      cluster_mem = coordinator.MemoryUsage();
       auto cstats = coordinator.stats();
       GridRow row{shards,
                   replicas,
@@ -264,13 +269,27 @@ int Run(int argc, char** argv) {
                 failover_clean ? "identical" : "DIVERGED");
   }
 
+  const double bytes_per_posting = cluster_mem.bytes_per_posting();
+  std::printf("\ncluster memory (one replica per shard): %llu postings, "
+              "%.2f bytes/posting (%.2f doc-id), %.1f MB total\n",
+              static_cast<unsigned long long>(cluster_mem.num_postings),
+              bytes_per_posting, cluster_mem.doc_bytes_per_posting(),
+              static_cast<double>(cluster_mem.total_bytes()) /
+                  (1024.0 * 1024.0));
+
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
     if (f != nullptr) {
       std::fprintf(f,
                    "{\n  \"bench\": \"bench_remote\",\n  \"docs\": %zu,\n"
+                   "  \"memory\": {\"bytes_per_posting\": %.4f, "
+                   "\"doc_bytes_per_posting\": %.4f, \"num_postings\": %llu, "
+                   "\"total_bytes\": %llu},\n"
                    "  \"grid\": [\n",
-                   docs.size());
+                   docs.size(), bytes_per_posting,
+                   cluster_mem.doc_bytes_per_posting(),
+                   static_cast<unsigned long long>(cluster_mem.num_postings),
+                   static_cast<unsigned long long>(cluster_mem.total_bytes()));
       for (size_t i = 0; i < grid.size(); ++i) {
         const auto& g = grid[i];
         std::fprintf(

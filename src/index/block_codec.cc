@@ -1,0 +1,55 @@
+#include "index/block_codec.h"
+
+namespace deepsurf {
+namespace index {
+
+void PutVarint32(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+size_t GetVarint32(const uint8_t* p, const uint8_t* end, uint32_t* v) {
+  uint32_t result = 0;
+  size_t i = 0;
+  // 5 groups of 7 bits cover 35 bits; the 5th byte may only carry the
+  // top 4 bits of a uint32 (<= 0x0f) and must not continue.
+  for (; i < 5 && p + i < end; ++i) {
+    uint8_t byte = p[i];
+    if (i == 4 && (byte & 0xf0) != 0) return 0;  // overflow or overlong
+    result |= static_cast<uint32_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return i + 1;
+    }
+  }
+  return 0;  // truncated (ran off `end`) or > 5 continuation bytes
+}
+
+void EncodeDocBlock(const uint32_t* docs, size_t n, uint32_t base,
+                    std::vector<uint8_t>* out) {
+  uint32_t prev = base;
+  for (size_t i = 0; i < n; ++i) {
+    PutVarint32(docs[i] - prev, out);
+    prev = docs[i];
+  }
+}
+
+bool DecodeDocBlock(const uint8_t* p, const uint8_t* end, size_t n,
+                    uint32_t base, uint32_t* out) {
+  uint32_t prev = base;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t gap = 0;
+    size_t used = GetVarint32(p, end, &gap);
+    if (used == 0) return false;
+    p += used;
+    prev += gap;
+    out[i] = prev;
+  }
+  return true;
+}
+
+}  // namespace index
+}  // namespace deepsurf

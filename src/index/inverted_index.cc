@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "index/analyzer.h"
+#include "index/block_codec.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -34,28 +35,148 @@ inline bool Better(const SearchHit& a, const SearchHit& b) {
   return a.doc < b.doc;
 }
 
-/// First position >= target in `docs`, at or after `cur` (galloping, so
-/// a DAAT cursor advances in O(log gap) rather than O(gap)).
-size_t AdvanceTo(const std::vector<DocId>& docs, size_t cur, DocId target) {
-  const size_t n = docs.size();
-  if (cur >= n || docs[cur] >= target) return cur;
-  size_t lo = cur;
+/// First index >= `from` in span[0, n) with span[idx] >= target
+/// (galloping then binary search, so a DAAT cursor advances within its
+/// decoded window in O(log gap) rather than O(gap)).
+size_t GallopTo(const DocId* span, size_t n, size_t from, DocId target) {
+  if (from >= n || span[from] >= target) return from;
+  size_t lo = from;
   size_t step = 1;
-  while (lo + step < n && docs[lo + step] < target) {
+  while (lo + step < n && span[lo + step] < target) {
     lo += step;
     step <<= 1;
   }
   const size_t hi = std::min(n, lo + step + 1);
-  return static_cast<size_t>(
-      std::lower_bound(docs.begin() + static_cast<ptrdiff_t>(lo) + 1,
-                       docs.begin() + static_cast<ptrdiff_t>(hi), target) -
-      docs.begin());
+  return static_cast<size_t>(std::lower_bound(span + lo + 1, span + hi,
+                                              target) -
+                             span);
+}
+
+/// Streams every posting of a list, in order, into fn(doc_id, weight).
+/// Compressed sealed blocks decode with one running accumulator across
+/// the whole packed run: each block's deltas chain from the previous
+/// block's last doc id, which is exactly the running value. (Templated
+/// on the list type so this file-local helper can take the private
+/// PostingList by deduction.)
+template <typename PL, typename Fn>
+void ForEachPosting(const PL& pl, bool compressed, Fn&& fn) {
+  const float* w = pl.weights.data();
+  if (compressed) {
+    const uint8_t* p = pl.packed.data();
+    const uint8_t* end = p + pl.packed.size();
+    const size_t sealed = pl.count - pl.docs.size();
+    DocId doc = 0;
+    for (size_t j = 0; j < sealed; ++j) {
+      uint32_t gap = 0;
+      size_t used = GetVarint32(p, end, &gap);
+      DS_CHECK(used != 0) << "corrupt packed posting block";
+      p += used;
+      doc += gap;
+      fn(doc, w[j]);
+    }
+    for (size_t j = 0; j < pl.docs.size(); ++j) fn(pl.docs[j], w[sealed + j]);
+  } else {
+    for (size_t j = 0; j < pl.count; ++j) fn(pl.docs[j], w[j]);
+  }
 }
 
 }  // namespace
 
+// ---------------------------------------------------------------------
+// PostingCursor.
+
+void InvertedIndex::PostingCursor::Init(const PostingList* list,
+                                        uint32_t bs, bool compress) {
+  pl = list;
+  block_size = bs;
+  compressed = compress;
+  pos = 0;
+  if (compressed && !pl->blocks.empty()) scratch.resize(bs);
+  LoadSegment(0);
+}
+
+void InvertedIndex::PostingCursor::LoadSegment(uint32_t segment) {
+  seg = segment;
+  const uint32_t nblocks = static_cast<uint32_t>(pl->blocks.size());
+  if (segment < nblocks) {
+    win_begin = segment * block_size;
+    win_end = win_begin + block_size;
+    if (compressed) {
+      const DocId base = segment == 0 ? 0 : pl->blocks[segment - 1].last_doc;
+      const uint8_t* data = pl->packed.data();
+      const uint8_t* p = data + pl->blocks[segment].offset;
+      const uint8_t* end = segment + 1 < nblocks
+                               ? data + pl->blocks[segment + 1].offset
+                               : data + pl->packed.size();
+      const bool ok = DecodeDocBlock(p, end, block_size, base, scratch.data());
+      DS_CHECK(ok) << "corrupt sealed posting block";
+      window = scratch.data();
+    } else {
+      window = pl->docs.data() + win_begin;
+    }
+  } else {
+    // The unsealed tail: raw ids in both modes (compressed lists keep
+    // only the tail in `docs`).
+    win_begin = nblocks * block_size;
+    win_end = pl->count;
+    window = compressed ? pl->docs.data() : pl->docs.data() + win_begin;
+  }
+}
+
+float InvertedIndex::PostingCursor::SegMaxWeight() const {
+  return seg < pl->blocks.size() ? pl->blocks[seg].max_weight
+                                 : pl->tail_max_weight;
+}
+
+DocId InvertedIndex::PostingCursor::SegLastDoc() const {
+  if (seg < pl->blocks.size()) return pl->blocks[seg].last_doc;
+  return window[win_end - win_begin - 1];  // cursor in a non-empty tail
+}
+
+void InvertedIndex::PostingCursor::Next() {
+  ++pos;
+  if (pos >= win_end && pos < pl->count) LoadSegment(seg + 1);
+}
+
+void InvertedIndex::PostingCursor::SeekTo(DocId target) {
+  if (AtEnd() || Doc() >= target) return;
+  if (target > SegLastDoc()) {
+    // Skip whole segments on the metadata alone — nothing decodes until
+    // the landing segment.
+    const uint32_t nblocks = static_cast<uint32_t>(pl->blocks.size());
+    if (seg >= nblocks) {  // the tail is the last segment
+      pos = pl->count;
+      return;
+    }
+    const auto* first = pl->blocks.data() + seg + 1;
+    const auto* last = pl->blocks.data() + nblocks;
+    const auto* hit = std::lower_bound(
+        first, last, target,
+        [](const BlockMeta& b, DocId t) { return b.last_doc < t; });
+    if (hit == last) {
+      pos = nblocks * block_size;
+      if (pos >= pl->count) return;  // no tail: list exhausted
+      LoadSegment(nblocks);
+      if (target > SegLastDoc()) {
+        pos = pl->count;
+        return;
+      }
+    } else {
+      const uint32_t b = static_cast<uint32_t>(hit - pl->blocks.data());
+      pos = b * block_size;
+      LoadSegment(b);
+    }
+  }
+  pos = win_begin + static_cast<uint32_t>(GallopTo(
+            window, win_end - win_begin, pos - win_begin, target));
+}
+
+// ---------------------------------------------------------------------
+
 InvertedIndex::InvertedIndex(IndexOptions options)
-    : options_(options) {}
+    : options_(options) {
+  if (options_.posting_block_size == 0) options_.posting_block_size = 128;
+}
 
 Result<DocId> InvertedIndex::AddDocument(const std::string& url,
                                          const std::string& title,
@@ -95,6 +216,30 @@ TermId InvertedIndex::InternLocked(const std::string& term) {
     postings_.emplace_back();
   }
   return it->second;
+}
+
+void InvertedIndex::AppendPostingLocked(PostingList* pl, DocId id, float w) {
+  pl->docs.push_back(id);  // ids only grow, so lists stay ascending
+  pl->weights.push_back(w);
+  ++pl->count;
+  if (w > pl->max_weight) pl->max_weight = w;
+  if (w > pl->tail_max_weight) pl->tail_max_weight = w;
+  const size_t block = options_.posting_block_size;
+  if (pl->count - pl->blocks.size() * block < block) return;
+  // The tail just filled a whole block: seal it. Lazy sealing at ingest
+  // keeps the list append-only — queries racing through ShardedIndex
+  // never observe a half-built block (ingest holds the writer lock).
+  BlockMeta meta;
+  meta.last_doc = pl->docs.back();
+  meta.max_weight = pl->tail_max_weight;
+  if (options_.compress_postings) {
+    meta.offset = pl->packed.size();
+    const DocId base = pl->blocks.empty() ? 0 : pl->blocks.back().last_doc;
+    EncodeDocBlock(pl->docs.data(), block, base, &pl->packed);
+    pl->docs.clear();
+  }
+  pl->blocks.push_back(meta);
+  pl->tail_max_weight = 0.0f;
 }
 
 Result<DocId> InvertedIndex::AddDocumentLocked(const std::string& url,
@@ -144,13 +289,11 @@ Result<DocId> InvertedIndex::AddDocumentLocked(const std::string& url,
   std::sort(fwd.begin(), fwd.end());  // by TermId; ids unique per doc
   for (const auto& [tid, w] : fwd) {
     PostingList& pl = postings_[tid];
-    if (pl.docs.empty()) {
+    if (pl.weights.empty()) {
       pl.docs.reserve(4);
       pl.weights.reserve(4);
     }
-    pl.docs.push_back(id);  // ids only grow, so lists stay ascending
-    pl.weights.push_back(w);
-    if (w > pl.max_weight) pl.max_weight = w;
+    AppendPostingLocked(&pl, id, w);
   }
   forward_.push_back(std::move(fwd));
   by_hash_.emplace(hash, id);
@@ -237,14 +380,14 @@ std::vector<SearchHit> InvertedIndex::SearchTermsScored(
     if (it == dict_.end()) continue;
     const PostingList& pl = postings_[it->second];
     double df = injected_df ? static_cast<double>(stats->term_df[i])
-                            : static_cast<double>(pl.docs.size());
+                            : static_cast<double>(pl.count);
     QueryTerm qt;
     qt.postings = &pl;
     qt.idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     qt.upper_bound = RoundUp(Contribution(
         qt.idf, static_cast<double>(pl.max_weight), min_norm, k1));
-    query.push_back(qt);
-    total_postings += pl.docs.size();
+    query.push_back(std::move(qt));
+    total_postings += pl.count;
   }
   if (query.empty()) return {};
 
@@ -254,19 +397,36 @@ std::vector<SearchHit> InvertedIndex::SearchTermsScored(
 
   // Pruning cannot help when k covers everything that could match, and
   // does not pay below a postings volume where the exhaustive scan is
-  // already cheap; the exhaustive scorer doubles as the explicit
-  // fallback (results are byte-identical either way).
-  if (!options_.enable_pruning || k >= docs_.size() || k >= total_postings ||
-      total_postings < options_.pruning_min_postings) {
+  // already cheap. On top of those, the adaptive deep-k fallback: the
+  // top-k threshold only rises high enough to prune when k is a small
+  // fraction of the candidate pool, so for deep k on small pools the
+  // exhaustive scan wins (see IndexOptions::pruning_k_fallback). The
+  // exhaustive scorer doubles as the explicit fallback — results are
+  // byte-identical either way, so this whole decision is unobservable
+  // in the output.
+  bool prune =
+      options_.enable_pruning && k < docs_.size() && k < total_postings;
+  if (prune && options_.pruning_min_postings > 0) {
+    if (total_postings < options_.pruning_min_postings) {
+      prune = false;
+    } else {
+      const size_t pool = std::min(total_postings, docs_.size());
+      if (k * query.size() * options_.pruning_k_fallback >= pool) {
+        prune = false;
+      }
+    }
+  }
+  if (!prune) {
     return SearchExhaustive(query, norms, total_postings, k);
   }
-  return SearchMaxScore(query, norms, k);
+  return SearchMaxScore(query, norms, min_norm, k);
 }
 
 std::vector<SearchHit> InvertedIndex::SearchExhaustive(
     const std::vector<QueryTerm>& query, const NormView& norms,
     size_t total_postings, size_t k) const {
   const double k1 = options_.bm25_k1;
+  const bool compressed = options_.compress_postings;
   std::vector<SearchHit> hits;
 
   // Accumulate per document, terms in query order (the addition sequence
@@ -279,13 +439,10 @@ std::vector<SearchHit> InvertedIndex::SearchExhaustive(
     std::unordered_map<DocId, double> acc;
     acc.reserve(total_postings);
     for (const QueryTerm& qt : query) {
-      const auto& docs = qt.postings->docs;
-      const auto& weights = qt.postings->weights;
-      for (size_t j = 0; j < docs.size(); ++j) {
-        acc[docs[j]] += Contribution(qt.idf,
-                                     static_cast<double>(weights[j]),
-                                     norms.Of(docs[j]), k1);
-      }
+      ForEachPosting(*qt.postings, compressed, [&](DocId d, float w) {
+        acc[d] += Contribution(qt.idf, static_cast<double>(w), norms.Of(d),
+                               k1);
+      });
     }
     hits.reserve(acc.size());
     for (const auto& [d, score] : acc) hits.push_back(SearchHit{d, score});
@@ -294,14 +451,11 @@ std::vector<SearchHit> InvertedIndex::SearchExhaustive(
     std::vector<DocId> touched;
     touched.reserve(total_postings);
     for (const QueryTerm& qt : query) {
-      const auto& docs = qt.postings->docs;
-      const auto& weights = qt.postings->weights;
-      for (size_t j = 0; j < docs.size(); ++j) {
-        DocId d = docs[j];
+      ForEachPosting(*qt.postings, compressed, [&](DocId d, float w) {
         if (acc[d] == 0.0) touched.push_back(d);
-        acc[d] += Contribution(qt.idf, static_cast<double>(weights[j]),
-                               norms.Of(d), k1);
-      }
+        acc[d] += Contribution(qt.idf, static_cast<double>(w), norms.Of(d),
+                               k1);
+      });
     }
     hits.reserve(touched.size());
     for (DocId d : touched) hits.push_back(SearchHit{d, acc[d]});
@@ -318,9 +472,13 @@ std::vector<SearchHit> InvertedIndex::SearchExhaustive(
 }
 
 std::vector<SearchHit> InvertedIndex::SearchMaxScore(
-    std::vector<QueryTerm>& query, const NormView& norms, size_t k) const {
+    std::vector<QueryTerm>& query, const NormView& norms, double min_norm,
+    size_t k) const {
   const double k1 = options_.bm25_k1;
   const size_t m = query.size();
+  const uint32_t block = static_cast<uint32_t>(options_.posting_block_size);
+  const bool compressed = options_.compress_postings;
+  for (QueryTerm& qt : query) qt.cursor.Init(qt.postings, block, compressed);
 
   // Process lists in ascending upper-bound order; the low-cap prefix
   // becomes "non-essential" once the top-k threshold proves that prefix
@@ -351,8 +509,29 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
   double threshold = 0.0;  // meaningful only once the heap is full
   size_t ne = 0;           // order[0..ne) are non-essential
 
+  // The block-max skip test below only changes its verdict when one of
+  // its inputs moves: an essential cursor crossing into a new segment,
+  // the threshold rising, or a list demotion. `blockmax_dirty` tracks
+  // exactly that, so the steady state (no skip possible) costs one
+  // boolean test per frontier instead of a bound recomputation.
+  bool blockmax_dirty = true;
+
   auto demote = [&] {
     while (ne < m && prefix[ne] <= threshold) ++ne;
+  };
+
+  // Block-max score cap of the segment a term's cursor sits in,
+  // recomputed only when the cursor crosses a segment boundary. Like
+  // the list-level bound but against the block's max weight — tighter,
+  // and still conservative (min_norm is the corpus-wide norm floor).
+  auto seg_bound = [&](QueryTerm& qt) {
+    if (qt.seg_of_bound != qt.cursor.seg) {
+      qt.seg_of_bound = qt.cursor.seg;
+      qt.seg_bound = RoundUp(Contribution(
+          qt.idf, static_cast<double>(qt.cursor.SegMaxWeight()), min_norm,
+          k1));
+    }
+    return qt.seg_bound;
   };
 
   constexpr DocId kNoDoc = static_cast<DocId>(-1);
@@ -365,11 +544,38 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
     DocId frontier = kNoDoc;
     for (size_t j = ne; j < m; ++j) {
       const QueryTerm& qt = query[order[j]];
-      if (qt.cursor < qt.postings->docs.size()) {
-        frontier = std::min(frontier, qt.postings->docs[qt.cursor]);
-      }
+      if (!qt.cursor.AtEnd()) frontier = std::min(frontier, qt.cursor.Doc());
     }
     if (frontier == kNoDoc) break;
+
+    const bool full = heap.size() == k;
+
+    // Block-max skip: cap what any document up to the nearest essential
+    // block boundary could score — each essential list's current-block
+    // cap (their cursors sit at/after the frontier, so for ids up to
+    // their block's last doc, every matching posting is inside that
+    // block) plus the non-essential lists' list-level cap. If even that
+    // cannot beat the threshold, every id in [frontier, boundary] is
+    // provably out (ties lose to smaller-id incumbents), and the
+    // cursors jump past the boundary without decoding anything.
+    if (full && blockmax_dirty) {
+      double cap = ne > 0 ? prefix[ne - 1] : 0.0;
+      DocId boundary = kNoDoc;
+      for (size_t j = ne; j < m; ++j) {
+        QueryTerm& qt = query[order[j]];
+        if (qt.cursor.AtEnd()) continue;
+        cap += seg_bound(qt);
+        boundary = std::min(boundary, qt.cursor.SegLastDoc());
+      }
+      if (RoundUp(cap) <= threshold) {
+        // Stays dirty: after the jump the landing segments may be
+        // skippable too.
+        const DocId next = boundary + 1;  // ids < num_docs: no overflow
+        for (size_t j = ne; j < m; ++j) query[order[j]].cursor.SeekTo(next);
+        continue;
+      }
+      blockmax_dirty = false;
+    }
 
     for (QueryTerm& qt : query) qt.at_frontier = false;
 
@@ -377,18 +583,15 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
     double partial = 0.0;
     for (size_t j = ne; j < m; ++j) {
       QueryTerm& qt = query[order[j]];
-      if (qt.cursor < qt.postings->docs.size() &&
-          qt.postings->docs[qt.cursor] == frontier) {
+      if (!qt.cursor.AtEnd() && qt.cursor.Doc() == frontier) {
         qt.contribution =
-            Contribution(qt.idf,
-                         static_cast<double>(qt.postings->weights[qt.cursor]),
+            Contribution(qt.idf, static_cast<double>(qt.cursor.Weight()),
                          norms.Of(frontier), k1);
         qt.at_frontier = true;
         partial += qt.contribution;
       }
     }
 
-    bool full = heap.size() == k;
     bool viable =
         !full ||
         RoundUp(partial + (ne > 0 ? prefix[ne - 1] : 0.0)) > threshold;
@@ -402,11 +605,10 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
           break;
         }
         QueryTerm& qt = query[order[j]];
-        qt.cursor = AdvanceTo(qt.postings->docs, qt.cursor, frontier);
-        if (qt.cursor < qt.postings->docs.size() &&
-            qt.postings->docs[qt.cursor] == frontier) {
+        qt.cursor.SeekTo(frontier);
+        if (!qt.cursor.AtEnd() && qt.cursor.Doc() == frontier) {
           qt.contribution = Contribution(
-              qt.idf, static_cast<double>(qt.postings->weights[qt.cursor]),
+              qt.idf, static_cast<double>(qt.cursor.Weight()),
               norms.Of(frontier), k1);
           qt.at_frontier = true;
           running += qt.contribution;
@@ -428,6 +630,7 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
         if (heap.size() == k) {
           threshold = heap.front().score;
           demote();
+          blockmax_dirty = true;
         }
       } else if (Better(cand, heap.front())) {
         std::pop_heap(heap.begin(), heap.end(), Better);
@@ -435,14 +638,20 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
         std::push_heap(heap.begin(), heap.end(), Better);
         threshold = heap.front().score;
         demote();
+        blockmax_dirty = true;
       }
     }
 
     for (size_t j = ne; j < m; ++j) {
       QueryTerm& qt = query[order[j]];
-      if (qt.cursor < qt.postings->docs.size() &&
-          qt.postings->docs[qt.cursor] == frontier) {
-        ++qt.cursor;
+      if (!qt.cursor.AtEnd() && qt.cursor.Doc() == frontier) {
+        const uint32_t seg_before = qt.cursor.seg;
+        qt.cursor.Next();
+        // Crossing into a new segment (or off the list's end) changes
+        // the skip test's inputs; re-arm it.
+        if (qt.cursor.AtEnd() || qt.cursor.seg != seg_before) {
+          blockmax_dirty = true;
+        }
       }
     }
   }
@@ -463,7 +672,7 @@ const DocInfo& InvertedIndex::doc_ref(DocId id) const {
 
 size_t InvertedIndex::DocFrequency(const std::string& term) const {
   auto it = dict_.find(term);
-  return it == dict_.end() ? 0 : postings_[it->second].docs.size();
+  return it == dict_.end() ? 0 : postings_[it->second].count;
 }
 
 TermId InvertedIndex::LookupTerm(const std::string& term) const {
@@ -473,6 +682,30 @@ TermId InvertedIndex::LookupTerm(const std::string& term) const {
 
 bool InvertedIndex::ContainsContent(uint64_t content_hash) const {
   return by_hash_.count(content_hash) > 0;
+}
+
+IndexMemoryUsage InvertedIndex::MemoryUsage() const {
+  IndexMemoryUsage u;
+  for (const PostingList& pl : postings_) {
+    u.posting_doc_bytes += pl.packed.size() + pl.docs.size() * sizeof(DocId);
+    u.posting_weight_bytes += pl.weights.size() * sizeof(float);
+    u.posting_block_bytes += pl.blocks.size() * sizeof(BlockMeta);
+    u.num_postings += pl.count;
+  }
+  // Each term is stored twice (dictionary key + the id -> name table);
+  // the flat 32-byte constant stands in for per-entry hash/bucket
+  // overhead so the figure stays deterministic across allocators.
+  for (const std::string& name : term_names_) {
+    u.dictionary_bytes +=
+        2 * name.size() + 2 * sizeof(std::string) + sizeof(TermId) + 32;
+  }
+  {
+    std::lock_guard<std::mutex> lock(norm_mu_);
+    if (norms_ != nullptr) {
+      u.norm_cache_bytes = norms_->norm.size() * sizeof(float);
+    }
+  }
+  return u;
 }
 
 std::vector<std::string> InvertedIndex::CharacteristicTerms(
@@ -493,7 +726,7 @@ std::vector<std::string> InvertedIndex::CharacteristicTerms(
   std::vector<std::pair<double, TermId>> ranked;
   ranked.reserve(host_tf.size());
   for (const auto& [tid, tf] : host_tf) {
-    double df = static_cast<double>(postings_[tid].docs.size());
+    double df = static_cast<double>(postings_[tid].count);
     double idf = std::log(1.0 + n / df);
     ranked.emplace_back(tf * idf, tid);
   }

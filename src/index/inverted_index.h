@@ -7,18 +7,31 @@
 // load-bearing substrate, not a mock.
 //
 // Query-time layout: terms are interned to dense TermIds through a
-// dictionary, postings live in contiguous per-term arrays (doc ids and
-// weights in parallel vectors, ascending doc id), and each document's
-// BM25 length normalization is precomputed into a flat float array, so
-// the scoring loop never touches DocInfo or hashes a string.
+// dictionary, and each term's postings are stored as fixed-size BLOCKS
+// (IndexOptions::posting_block_size postings each, ascending doc id).
+// A block that fills up is sealed: a skip entry (last doc id, max
+// posting weight, byte offset) is recorded, and — with
+// IndexOptions::compress_postings — its doc ids are re-encoded as
+// delta+varint bytes (index/block_codec.h). The newest postings of a
+// term live in an unsealed raw tail, so ingest stays append-only and
+// interleaved InsertBatch/search keeps working. Posting weights are
+// NEVER compressed: they stay raw floats in one parallel array, so the
+// scoring loop reads the exact same bits with or without compression.
+// Each document's BM25 length normalization is precomputed into a flat
+// float array, so scoring never touches DocInfo or hashes a string.
 //
-// Top-k is answered by exact maxscore pruning (document-at-a-time with
-// non-essential-list skipping, driven by per-term score upper bounds
-// from the max posting weight kept at ingest). Equivalence contract:
-// the pruned path returns results BYTE-IDENTICAL to the exhaustive
-// scorer — the same documents, the same IEEE-754 score bits, the same
-// (score desc, doc id asc) tie-break order — for every query and every
-// k. This holds because (a) upper bounds are conservatively rounded up
+// Top-k is answered by exact BLOCK-MAX maxscore pruning: document-at-
+// a-time with non-essential-list skipping driven by per-term score
+// upper bounds (from the max posting weight kept at ingest), plus
+// whole-block skips driven by the per-block max weights — when the
+// essential lists' current block caps plus the non-essential bound
+// cannot beat the top-k threshold, the scorer jumps past every doc up
+// to the nearest block boundary without decoding anything. Equivalence
+// contract: the pruned path returns results BYTE-IDENTICAL to the
+// exhaustive scorer — the same documents, the same IEEE-754 score
+// bits, the same (score desc, doc id asc) tie-break order — for every
+// query and every k, compressed or not. This holds because (a) all
+// bounds (list-level and block-level) are conservatively rounded up
 // before any comparison, so a document is skipped only when its true
 // score provably cannot enter the top-k (ties lose to the incumbent's
 // smaller doc id), and (b) a surviving candidate's score is summed over
@@ -66,8 +79,32 @@ struct IndexOptions {
   /// Below this many candidate postings per query, the exhaustive scan
   /// is cheaper than maxscore's cursor machinery and is used even with
   /// pruning enabled (tiny corpora, rare-term-only queries). 0 forces
-  /// maxscore whenever pruning is on (tests use this).
+  /// maxscore whenever pruning is on AND disables the adaptive k-based
+  /// fallback below (tests use this to pin the pruned path).
   size_t pruning_min_postings = 4096;
+  /// Adaptive exhaustive fallback: maxscore only pays once the top-k
+  /// threshold rises well above a typical candidate's score, which
+  /// cannot happen when k is a sizable fraction of the candidate pool
+  /// (min(candidate postings, corpus size)) — and its per-candidate
+  /// cursor overhead grows with the number of query terms, so the
+  /// break-even k shrinks as queries get longer. When
+  /// k * resolved_query_terms * pruning_k_fallback >= the pool, the
+  /// exhaustive scan wins and is used — this is what keeps deep-k
+  /// many-term queries on small corpora from paying maxscore's cursor
+  /// machinery for no pruning (the pre-fallback 0.65x case). Ignored
+  /// when pruning_min_postings == 0 (the force-maxscore escape hatch).
+  size_t pruning_k_fallback = 24;
+  /// Postings per sealed block: the granularity of the per-block skip
+  /// entries that drive block-max pruning, and the unit of delta+varint
+  /// doc-id compression. Values far below 64 waste skip-entry memory;
+  /// far above 512 they blunt block-max skipping.
+  size_t posting_block_size = 128;
+  /// When true, sealed blocks store their doc ids delta+varint
+  /// compressed (2x+ fewer doc-id bytes on realistic corpora — see
+  /// MemoryUsage and bench_index's bytes_per_posting). Weights stay raw
+  /// floats either way, so results are byte-identical; this only trades
+  /// block-decode CPU for memory.
+  bool compress_postings = false;
 };
 
 /// Corpus-wide statistics a sharded wrapper injects so that every shard
@@ -171,14 +208,76 @@ class InvertedIndex : public WritableIndex {
   /// Ids of all documents from `host`.
   std::vector<DocId> DocsForHost(const std::string& host) const;
 
+  /// Memory accounting of the query-time structures (see
+  /// SearchIndex::MemoryUsage). Counts bytes used, not allocator
+  /// capacity, so the numbers are deterministic and benches can gate on
+  /// them. Same read-during-ingest caveats as the query methods.
+  IndexMemoryUsage MemoryUsage() const override;
+
  private:
-  /// Contiguous postings of one term, ascending doc id. `docs` and
-  /// `weights` are parallel; `max_weight` is maintained at ingest and
-  /// drives the maxscore upper bounds.
+  /// Skip entry of one sealed posting block (posting_block_size
+  /// postings). `last_doc` bounds the ids the block can hold (blocks
+  /// partition the list in ascending-id order), `max_weight` drives the
+  /// block-max score caps, and `offset` locates the block's varint run
+  /// inside PostingList::packed when compression is on (unused
+  /// otherwise — raw ids are addressed by position).
+  struct BlockMeta {
+    DocId last_doc = 0;
+    float max_weight = 0.0f;
+    size_t offset = 0;
+  };
+
+  /// Postings of one term, ascending doc id, stored as sealed fixed-
+  /// size blocks plus an unsealed raw tail. Uncompressed: `docs` holds
+  /// every id contiguously (sealing only records a BlockMeta).
+  /// Compressed: sealed ids live delta+varint encoded in `packed` and
+  /// `docs` holds only the tail. `weights` always holds every posting's
+  /// raw float weight in posting order — weights are never compressed,
+  /// which is what keeps compressed scoring bit-identical.
   struct PostingList {
     std::vector<DocId> docs;
     std::vector<float> weights;  ///< tf with title boost applied
-    float max_weight = 0.0f;
+    std::vector<uint8_t> packed;
+    std::vector<BlockMeta> blocks;
+    float max_weight = 0.0f;       ///< list-level cap (all postings)
+    float tail_max_weight = 0.0f;  ///< cap over the unsealed tail only
+    uint32_t count = 0;            ///< total postings, sealed + tail
+  };
+
+  /// DAAT cursor over one posting list. Presents the list as a flat
+  /// ascending sequence while touching one "segment" (sealed block or
+  /// the tail) at a time: sealed compressed blocks are decoded into
+  /// `scratch` only when the cursor lands in them, so a SeekTo that
+  /// skips whole blocks (via the BlockMeta skip entries) never pays
+  /// their decode. Uncompressed segments are served by pointer into the
+  /// raw array — no copy.
+  struct PostingCursor {
+    void Init(const PostingList* list, uint32_t block_size,
+              bool compressed);
+    bool AtEnd() const { return pos >= pl->count; }
+    DocId Doc() const { return window[pos - win_begin]; }
+    float Weight() const { return pl->weights[pos]; }
+    /// Max weight / last doc id of the segment holding the cursor.
+    float SegMaxWeight() const;
+    DocId SegLastDoc() const;
+    /// Advance one posting (loads the next segment on crossing).
+    void Next();
+    /// Advance to the first posting with doc id >= target. Skipped
+    /// sealed blocks are never decoded.
+    void SeekTo(DocId target);
+
+    const PostingList* pl = nullptr;
+    uint32_t block_size = 0;
+    bool compressed = false;
+    uint32_t pos = 0;        ///< absolute posting position
+    uint32_t seg = 0;        ///< segment index (blocks.size() = tail)
+    uint32_t win_begin = 0;  ///< absolute position of window[0]
+    uint32_t win_end = 0;    ///< absolute position past the window
+    const DocId* window = nullptr;
+    std::vector<DocId> scratch;  ///< decode buffer (compressed only)
+
+   private:
+    void LoadSegment(uint32_t segment);
   };
 
   /// Per-document BM25 length normalization, rebuilt lazily whenever the
@@ -212,8 +311,12 @@ class InvertedIndex : public WritableIndex {
   struct QueryTerm {
     const PostingList* postings;
     double idf;
-    double upper_bound;  ///< conservative per-doc score cap (rounded up)
-    size_t cursor = 0;   ///< DAAT position (maxscore only)
+    double upper_bound;    ///< conservative per-doc score cap (rounded up)
+    PostingCursor cursor;  ///< DAAT position (maxscore only)
+    /// Cached block-max score cap for the segment `cursor` sits in,
+    /// recomputed when the cursor crosses a segment boundary.
+    double seg_bound = 0.0;
+    uint32_t seg_of_bound = std::numeric_limits<uint32_t>::max();
     double contribution = 0.0;  ///< cached score at the current frontier
     bool at_frontier = false;
   };
@@ -227,6 +330,11 @@ class InvertedIndex : public WritableIndex {
   /// Interns `term`, assigning the next dense id on first sight.
   TermId InternLocked(const std::string& term);
 
+  /// Appends one posting to `pl`, sealing the tail into a block (and
+  /// compressing it when compress_postings is on) whenever it reaches
+  /// posting_block_size. Callers hold ingest_mu_.
+  void AppendPostingLocked(PostingList* pl, DocId id, float w);
+
   /// The norm array for this average length. Returns the cache when it
   /// is already valid; otherwise builds it only when the query is big
   /// enough (`total_postings`) to amortize the O(num_docs) build, so
@@ -239,9 +347,12 @@ class InvertedIndex : public WritableIndex {
                                           const NormView& norms,
                                           size_t total_postings,
                                           size_t k) const;
+  /// Block-max maxscore. `min_norm` is the smallest length norm in the
+  /// corpus (the bound floor both the list-level and the per-block
+  /// score caps are computed against).
   std::vector<SearchHit> SearchMaxScore(std::vector<QueryTerm>& query,
                                         const NormView& norms,
-                                        size_t k) const;
+                                        double min_norm, size_t k) const;
 
   mutable std::mutex ingest_mu_;
   IndexOptions options_;

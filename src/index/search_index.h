@@ -49,6 +49,52 @@ struct Document {
   std::string source_host;
 };
 
+/// Memory footprint of an index's query-time structures, in bytes.
+/// Implementations count bytes *used* (not allocator capacity), so the
+/// numbers are deterministic for a given corpus and benches can gate on
+/// them; per-entry container overheads are flat estimates for the same
+/// reason. Sharded/distributed wrappers sum their parts — the result
+/// describes the logical corpus once, not replicas.
+struct IndexMemoryUsage {
+  uint64_t posting_doc_bytes = 0;     ///< doc-id storage (varint or raw)
+  uint64_t posting_weight_bytes = 0;  ///< raw float posting weights
+  uint64_t posting_block_bytes = 0;   ///< per-block skip entries
+  uint64_t dictionary_bytes = 0;      ///< term strings + interning table
+  uint64_t norm_cache_bytes = 0;      ///< BM25 length-norm cache
+  uint64_t num_postings = 0;
+
+  uint64_t total_bytes() const {
+    return posting_doc_bytes + posting_weight_bytes + posting_block_bytes +
+           dictionary_bytes + norm_cache_bytes;
+  }
+  /// Doc-id bytes per posting — the posting-compression headline.
+  double doc_bytes_per_posting() const {
+    return num_postings == 0
+               ? 0.0
+               : static_cast<double>(posting_doc_bytes) /
+                     static_cast<double>(num_postings);
+  }
+  /// All posting-structure bytes (doc ids + weights + block skip
+  /// entries) per posting — what the benches report as
+  /// bytes_per_posting.
+  double bytes_per_posting() const {
+    return num_postings == 0
+               ? 0.0
+               : static_cast<double>(posting_doc_bytes +
+                                     posting_weight_bytes +
+                                     posting_block_bytes) /
+                     static_cast<double>(num_postings);
+  }
+  void Add(const IndexMemoryUsage& o) {
+    posting_doc_bytes += o.posting_doc_bytes;
+    posting_weight_bytes += o.posting_weight_bytes;
+    posting_block_bytes += o.posting_block_bytes;
+    dictionary_bytes += o.dictionary_bytes;
+    norm_cache_bytes += o.norm_cache_bytes;
+    num_postings += o.num_postings;
+  }
+};
+
 /// Read side of an index: everything query serving needs.
 ///
 /// Thread safety is implementation-defined: InvertedIndex reads are not
@@ -85,6 +131,11 @@ class SearchIndex {
   /// ingest_epoch() == E (documents are never removed); the serve-layer
   /// result cache keys its invalidation on this.
   virtual uint64_t ingest_epoch() const = 0;
+
+  /// Memory accounting snapshot of the index's query-time structures.
+  /// Implementations that cannot account return the zero struct (the
+  /// default).
+  virtual IndexMemoryUsage MemoryUsage() const { return {}; }
 };
 
 /// Write side: ingestion of surfaced (and crawled) pages.

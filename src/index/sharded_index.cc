@@ -211,6 +211,13 @@ uint64_t ShardedIndex::ingest_epoch() const {
   return global_docs_.size();
 }
 
+IndexMemoryUsage ShardedIndex::MemoryUsage() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  IndexMemoryUsage total;
+  for (const auto& shard : shards_) total.Add(shard->MemoryUsage());
+  return total;
+}
+
 bool ShardedIndex::ContainsContent(uint64_t content_hash) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return by_hash_.count(content_hash) > 0;

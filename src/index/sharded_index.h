@@ -94,6 +94,10 @@ class ShardedIndex : public WritableIndex {
   size_t num_docs() const override;
   uint64_t ingest_epoch() const override;
 
+  /// Sum of the shards' memory accounting (the shared lock makes it
+  /// safe against concurrent ingest, unlike the bare InvertedIndex's).
+  IndexMemoryUsage MemoryUsage() const override;
+
   size_t num_shards() const { return shards_.size(); }
 
   /// Which shard a URL routes to (stable for the life of the index).

@@ -794,5 +794,31 @@ std::vector<ReplicaProbe> Coordinator::ProbeHealth() const {
   return probes;
 }
 
+index::IndexMemoryUsage Coordinator::MemoryUsage() const {
+  HealthRequest req;
+  req.include_memory = true;
+  const std::string frame = Encode(req);
+  std::vector<index::IndexMemoryUsage> per_shard(num_shards_);
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    jobs.push_back([this, s, &frame, &per_shard] {
+      // Unpinned call: replica choice, failover, and dead-marking work
+      // exactly as for a query, and any serving replica's answer is the
+      // shard's answer (replicas are bit-identical).
+      auto resp = CallShard(s, frame, /*pinned_replica=*/-1,
+                            options_.max_attempts,
+                            /*hedging_allowed=*/false);
+      if (!resp.ok()) return;
+      auto health = DecodeHealthResponse(*resp);
+      if (health.ok()) per_shard[s] = health->memory;
+    });
+  }
+  RunJobs(std::move(jobs));
+  index::IndexMemoryUsage total;
+  for (const auto& m : per_shard) total.Add(m);
+  return total;
+}
+
 }  // namespace remote
 }  // namespace deepsurf

@@ -180,6 +180,12 @@ class Coordinator : public index::WritableIndex {
   /// probe each; dead-marked replicas are probed too, but not revived).
   std::vector<ReplicaProbe> ProbeHealth() const;
 
+  /// Memory accounting of the cluster's logical corpus: one health
+  /// probe per shard (any serving replica — replicas hold bit-identical
+  /// indexes, so which one answers is unobservable), summed. A shard
+  /// whose probe fails contributes zero; best-effort, like ProbeHealth.
+  index::IndexMemoryUsage MemoryUsage() const override;
+
  private:
   struct CallState;
   class WriterLock;

@@ -96,7 +96,7 @@ Result<std::string> ShardServer::Handle(const std::string& request) {
     case MessageType::kIngestRequest:
       return HandleIngest(request);
     case MessageType::kHealthRequest:
-      return HandleHealth();
+      return HandleHealth(request);
     default:
       return Status::InvalidArgument("frame is a response, not a request");
   }
@@ -198,13 +198,18 @@ Result<std::string> ShardServer::HandleIngest(const std::string& request) {
   return last_ingest_response_;
 }
 
-Result<std::string> ShardServer::HandleHealth() {
+Result<std::string> ShardServer::HandleHealth(const std::string& request) {
+  auto req = DecodeHealthRequest(request);
+  if (!req.ok()) return req.status();
   HealthResponse resp;
   {
     std::shared_lock<std::shared_mutex> lock(index_mu_);
     resp.num_docs = index_.num_docs();
     resp.epoch = index_.ingest_epoch();
     resp.last_applied_seq = last_applied_seq_;
+    // Memory accounting walks every posting list and the dictionary —
+    // only on request, so plain liveness probes stay O(1).
+    if (req->include_memory) resp.memory = index_.MemoryUsage();
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -119,7 +119,7 @@ class ShardServer {
   Result<std::string> HandleSearch(const std::string& request);
   Result<std::string> HandleStats(const std::string& request);
   Result<std::string> HandleIngest(const std::string& request);
-  Result<std::string> HandleHealth();
+  Result<std::string> HandleHealth(const std::string& request);
 
   const ShardServerOptions options_;
 

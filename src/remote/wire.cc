@@ -335,18 +335,22 @@ Result<IngestResponse> DecodeIngestResponse(const std::string& frame) {
   return msg;
 }
 
-std::string Encode(const HealthRequest&) {
+std::string Encode(const HealthRequest& msg) {
   std::string out;
   PutU8(&out, static_cast<uint8_t>(MessageType::kHealthRequest));
+  PutU8(&out, msg.include_memory ? 1 : 0);
   return out;
 }
 
 Result<HealthRequest> DecodeHealthRequest(const std::string& frame) {
   Reader r(frame);
-  if (!CheckType(&r, MessageType::kHealthRequest) || !r.Done()) {
+  if (!CheckType(&r, MessageType::kHealthRequest)) {
     return Malformed("not a HealthRequest");
   }
-  return HealthRequest{};
+  HealthRequest msg;
+  msg.include_memory = r.GetU8() != 0;
+  if (!r.Done()) return Malformed("truncated HealthRequest");
+  return msg;
 }
 
 std::string Encode(const HealthResponse& msg) {
@@ -359,6 +363,12 @@ std::string Encode(const HealthResponse& msg) {
   PutU64(&out, msg.requests_served);
   PutU64(&out, msg.requests_rejected);
   PutU64(&out, msg.requests_cancelled);
+  PutU64(&out, msg.memory.posting_doc_bytes);
+  PutU64(&out, msg.memory.posting_weight_bytes);
+  PutU64(&out, msg.memory.posting_block_bytes);
+  PutU64(&out, msg.memory.dictionary_bytes);
+  PutU64(&out, msg.memory.norm_cache_bytes);
+  PutU64(&out, msg.memory.num_postings);
   return out;
 }
 
@@ -375,6 +385,12 @@ Result<HealthResponse> DecodeHealthResponse(const std::string& frame) {
   msg.requests_served = r.GetU64();
   msg.requests_rejected = r.GetU64();
   msg.requests_cancelled = r.GetU64();
+  msg.memory.posting_doc_bytes = r.GetU64();
+  msg.memory.posting_weight_bytes = r.GetU64();
+  msg.memory.posting_block_bytes = r.GetU64();
+  msg.memory.dictionary_bytes = r.GetU64();
+  msg.memory.norm_cache_bytes = r.GetU64();
+  msg.memory.num_postings = r.GetU64();
   if (!r.Done()) return Malformed("truncated HealthResponse");
   return msg;
 }

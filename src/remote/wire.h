@@ -92,9 +92,16 @@ struct IngestResponse {
   std::vector<uint32_t> lengths;
 };
 
-struct HealthRequest {};
+struct HealthRequest {
+  /// When set, the response carries the index's memory accounting —
+  /// an O(vocabulary) walk on the server, so plain liveness probes
+  /// leave it off and the response's `memory` stays zeroed.
+  bool include_memory = false;
+};
 
-/// Shard-node health and load snapshot.
+/// Shard-node health and load snapshot. The memory fields mirror
+/// index::IndexMemoryUsage so a coordinator can account the cluster's
+/// logical corpus (one replica per shard) without a dedicated RPC.
 struct HealthResponse {
   uint64_t num_docs = 0;
   uint64_t epoch = 0;
@@ -103,6 +110,7 @@ struct HealthResponse {
   uint64_t requests_served = 0;
   uint64_t requests_rejected = 0;
   uint64_t requests_cancelled = 0;
+  index::IndexMemoryUsage memory;
 };
 
 /// Message type of a frame (its first byte); InvalidArgument for an

@@ -360,6 +360,47 @@ TEST_P(IndexIngestTest, DuplicateSuppressionIsOrderIndependent) {
   }
 }
 
+TEST_P(IndexIngestTest, CompressionIsUnobservableInCorpusStateAndResults) {
+  // Posting compression is a storage decision, not a semantic one: the
+  // same documents ingested with compression on and off must agree on
+  // every corpus statistic and return byte-identical rankings, batched
+  // or sequential, at a block size small enough to seal constantly.
+  auto docs = CorpusDocsWithDuplicates(GetParam());
+
+  index::InvertedIndex raw;
+  ASSERT_TRUE(raw.InsertBatch(docs).ok());
+
+  index::IndexOptions copts;
+  copts.compress_postings = true;
+  copts.posting_block_size = 8;
+  index::InvertedIndex compressed(copts);
+  ASSERT_TRUE(compressed.InsertBatch(docs).ok());
+
+  ASSERT_EQ(raw.num_docs(), compressed.num_docs());
+  EXPECT_EQ(raw.vocabulary_size(), compressed.vocabulary_size());
+  EXPECT_EQ(raw.total_content_length(), compressed.total_content_length());
+  for (const auto& terms : QuerySweep(docs)) {
+    for (const auto& t : terms) {
+      EXPECT_EQ(raw.DocFrequency(t), compressed.DocFrequency(t));
+    }
+    auto a = raw.SearchTerms(terms, 10);
+    auto b = compressed.SearchTerms(terms, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+
+  // The accounting invariants: postings identical, doc-id bytes
+  // strictly smaller compressed, weight bytes identical.
+  auto rm = raw.MemoryUsage();
+  auto cm = compressed.MemoryUsage();
+  EXPECT_EQ(rm.num_postings, cm.num_postings);
+  EXPECT_EQ(rm.posting_weight_bytes, cm.posting_weight_bytes);
+  EXPECT_LT(cm.posting_doc_bytes, rm.posting_doc_bytes);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexIngestTest,
                          ::testing::Values(11u, 22u, 33u));
 

@@ -1,10 +1,13 @@
-// Equivalence tests for maxscore top-k pruning: for any corpus, query,
-// and k, the pruned path must return results BYTE-IDENTICAL to the
-// exhaustive scorer — same documents, bit-for-bit equal score doubles,
-// same (score desc, doc id asc) tie-break order. Exercised on
-// randomized corpora across k well below, at, and above the corpus
-// size, at 1/3/8 shards, with and without the serve-layer result cache,
-// plus the degenerate inputs (empty query, unknown terms, k = 0).
+// Equivalence tests for block-max maxscore top-k pruning: for any
+// corpus, query, and k, the pruned path must return results
+// BYTE-IDENTICAL to the exhaustive scorer — same documents, bit-for-bit
+// equal score doubles, same (score desc, doc id asc) tie-break order.
+// Exercised on randomized corpora across k well below, at, and above
+// the corpus size, at 1/3/8 shards, with and without the serve-layer
+// result cache, with postings compressed (delta+varint blocks) and raw,
+// at block sizes small enough to force many sealed blocks plus an
+// unsealed tail, plus the degenerate inputs (empty query, unknown
+// terms, k = 0).
 
 #include <gtest/gtest.h>
 
@@ -88,22 +91,72 @@ TEST_P(PruningEquivalenceTest, PrunedTopKisByteIdenticalToExhaustive) {
   InvertedIndex exhaustive(exhaustive_opts);
   ASSERT_TRUE(exhaustive.InsertBatch(docs).ok());
 
-  IndexOptions pruned_opts;
-  pruned_opts.enable_pruning = true;
-  pruned_opts.pruning_min_postings = 0;  // force maxscore on this corpus
-  InvertedIndex pruned(pruned_opts);
-  ASSERT_TRUE(pruned.InsertBatch(docs).ok());
-  ASSERT_EQ(pruned.num_docs(), exhaustive.num_docs());
+  // Pruned configurations: compression on/off crossed with a block size
+  // small enough that common terms span many sealed blocks plus a tail
+  // (df up to 600 at block 16), and the default block size where most
+  // lists are tail-only. Every one must be byte-identical to the
+  // exhaustive reference.
+  struct Config {
+    bool compress;
+    size_t block;
+  };
+  for (const Config& cfg : {Config{false, 16}, Config{true, 16},
+                            Config{true, 128}}) {
+    IndexOptions pruned_opts;
+    pruned_opts.enable_pruning = true;
+    pruned_opts.pruning_min_postings = 0;  // force maxscore on this corpus
+    pruned_opts.compress_postings = cfg.compress;
+    pruned_opts.posting_block_size = cfg.block;
+    InvertedIndex pruned(pruned_opts);
+    ASSERT_TRUE(pruned.InsertBatch(docs).ok());
+    ASSERT_EQ(pruned.num_docs(), exhaustive.num_docs());
 
-  const std::vector<size_t> ks = {1, 10, 100, pruned.num_docs() + 3};
-  for (const auto& terms : RandomQueries(GetParam() * 31 + 7, 150)) {
-    for (size_t k : ks) {
-      ExpectSameHits(exhaustive.SearchTerms(terms, k),
-                     pruned.SearchTerms(terms, k),
-                     "seed " + std::to_string(GetParam()) + " k=" +
-                         std::to_string(k));
+    const std::vector<size_t> ks = {1, 10, 100, pruned.num_docs() + 3};
+    for (const auto& terms : RandomQueries(GetParam() * 31 + 7, 150)) {
+      for (size_t k : ks) {
+        ExpectSameHits(exhaustive.SearchTerms(terms, k),
+                       pruned.SearchTerms(terms, k),
+                       "seed " + std::to_string(GetParam()) + " k=" +
+                           std::to_string(k) + (cfg.compress ? " comp" : "") +
+                           " block=" + std::to_string(cfg.block));
+      }
     }
   }
+}
+
+TEST_P(PruningEquivalenceTest,
+       CompressedExhaustiveMatchesUncompressedExhaustive) {
+  // The compressed layout must be unobservable on the exhaustive path
+  // too (the adaptive fallback routes real queries there): decode-and-
+  // score equals raw-array scoring bit for bit.
+  auto docs = RandomDocs(GetParam() * 13 + 5, 500);
+
+  IndexOptions raw_opts;
+  raw_opts.enable_pruning = false;
+  InvertedIndex raw(raw_opts);
+  ASSERT_TRUE(raw.InsertBatch(docs).ok());
+
+  IndexOptions comp_opts;
+  comp_opts.enable_pruning = false;
+  comp_opts.compress_postings = true;
+  comp_opts.posting_block_size = 32;
+  InvertedIndex compressed(comp_opts);
+  ASSERT_TRUE(compressed.InsertBatch(docs).ok());
+
+  for (const auto& terms : RandomQueries(GetParam() * 3 + 2, 100)) {
+    for (size_t k : {1u, 10u, 100u}) {
+      ExpectSameHits(raw.SearchTerms(terms, k),
+                     compressed.SearchTerms(terms, k),
+                     "exhaustive compressed k=" + std::to_string(k));
+    }
+  }
+
+  // And the compressed doc-id storage must actually be smaller.
+  auto raw_mem = raw.MemoryUsage();
+  auto comp_mem = compressed.MemoryUsage();
+  EXPECT_EQ(raw_mem.num_postings, comp_mem.num_postings);
+  EXPECT_LT(comp_mem.posting_doc_bytes, raw_mem.posting_doc_bytes);
+  EXPECT_EQ(raw_mem.posting_weight_bytes, comp_mem.posting_weight_bytes);
 }
 
 TEST_P(PruningEquivalenceTest, ShardedPrunedMatchesExhaustiveSingleIndex) {
@@ -116,19 +169,24 @@ TEST_P(PruningEquivalenceTest, ShardedPrunedMatchesExhaustiveSingleIndex) {
 
   auto queries = RandomQueries(GetParam() * 57 + 1, 80);
   for (size_t shards : {1u, 3u, 8u}) {
-    ShardedIndexOptions sopts;
-    sopts.num_shards = shards;
-    sopts.index.enable_pruning = true;
-    sopts.index.pruning_min_postings = 0;  // force maxscore per shard
-    ShardedIndex sharded(sopts);
-    ASSERT_TRUE(sharded.InsertBatch(docs).ok());
+    for (bool compress : {false, true}) {
+      ShardedIndexOptions sopts;
+      sopts.num_shards = shards;
+      sopts.index.enable_pruning = true;
+      sopts.index.pruning_min_postings = 0;  // force maxscore per shard
+      sopts.index.compress_postings = compress;
+      sopts.index.posting_block_size = 16;  // many sealed blocks + tails
+      ShardedIndex sharded(sopts);
+      ASSERT_TRUE(sharded.InsertBatch(docs).ok());
 
-    for (const auto& terms : queries) {
-      for (size_t k : {1u, 10u, 100u}) {
-        ExpectSameHits(reference.SearchTerms(terms, k),
-                       sharded.SearchTerms(terms, k),
-                       std::to_string(shards) + " shards, k=" +
-                           std::to_string(k));
+      for (const auto& terms : queries) {
+        for (size_t k : {1u, 10u, 100u}) {
+          ExpectSameHits(reference.SearchTerms(terms, k),
+                         sharded.SearchTerms(terms, k),
+                         std::to_string(shards) + " shards, k=" +
+                             std::to_string(k) +
+                             (compress ? ", compressed" : ""));
+        }
       }
     }
   }
@@ -222,6 +280,94 @@ TEST(PruningEdgeCases, InlineAndCachedNormsAgreeBitForBit) {
 
   auto after = idx.SearchTerms({"qqrare"}, 10);  // cached norms
   ExpectSameHits(before, after, "inline vs cached norms");
+}
+
+TEST(PruningEdgeCases, BlockBoundaryExactMultipleHasNoTail) {
+  // A term whose df is an exact multiple of the block size seals its
+  // last posting into a block and leaves an EMPTY tail — the cursor
+  // edge case for SeekTo past the final block and for Next() off the
+  // last sealed posting.
+  for (bool compress : {false, true}) {
+    IndexOptions opts;
+    opts.enable_pruning = true;
+    opts.pruning_min_postings = 0;
+    opts.posting_block_size = 8;
+    opts.compress_postings = compress;
+    InvertedIndex idx(opts);
+    IndexOptions ex_opts;
+    ex_opts.enable_pruning = false;
+    InvertedIndex exhaustive(ex_opts);
+    // "every" appears in all 24 docs (3 full blocks, no tail); "rare"
+    // only in the last.
+    for (int i = 0; i < 24; ++i) {
+      std::string body = "every common filler" +
+                         std::string(i == 23 ? " rare" : "") + " pad" +
+                         std::to_string(i % 5);
+      ASSERT_TRUE(idx.AddDocument("u" + std::to_string(i), "t", body, false,
+                                  "h").ok());
+      ASSERT_TRUE(exhaustive.AddDocument("u" + std::to_string(i), "t", body,
+                                         false, "h").ok());
+    }
+    for (size_t k : {1u, 5u, 30u}) {
+      ExpectSameHits(exhaustive.SearchTerms({"every"}, k),
+                     idx.SearchTerms({"every"}, k), "single full-block term");
+      ExpectSameHits(exhaustive.SearchTerms({"every", "rare"}, k),
+                     idx.SearchTerms({"every", "rare"}, k),
+                     "frontier seeks into the last block");
+    }
+  }
+}
+
+TEST(PruningEdgeCases, AdaptiveFallbackIsUnobservableInResults) {
+  // The adaptive deep-k fallback flips which scorer answers, never what
+  // it answers: sweeping the fallback factor from "always exhaustive"
+  // to "always maxscore" must return identical bytes.
+  auto docs = RandomDocs(77, 400);
+  IndexOptions ex;
+  ex.enable_pruning = false;
+  InvertedIndex reference(ex);
+  ASSERT_TRUE(reference.InsertBatch(docs).ok());
+
+  auto queries = RandomQueries(78, 60);
+  for (size_t factor : {1u, 48u, 1000000u}) {
+    IndexOptions opts;
+    opts.enable_pruning = true;
+    opts.pruning_min_postings = 1;  // adaptive heuristic armed
+    opts.pruning_k_fallback = factor;
+    InvertedIndex idx(opts);
+    ASSERT_TRUE(idx.InsertBatch(docs).ok());
+    for (const auto& terms : queries) {
+      for (size_t k : {1u, 10u, 100u}) {
+        ExpectSameHits(reference.SearchTerms(terms, k),
+                       idx.SearchTerms(terms, k),
+                       "fallback factor " + std::to_string(factor));
+      }
+    }
+  }
+}
+
+TEST(PruningEdgeCases, MemoryUsageSumsAcrossShards) {
+  auto docs = RandomDocs(21, 300);
+  ShardedIndexOptions sopts;
+  sopts.num_shards = 3;
+  sopts.index.compress_postings = true;
+  sopts.index.posting_block_size = 16;
+  ShardedIndex sharded(sopts);
+  ASSERT_TRUE(sharded.InsertBatch(docs).ok());
+
+  auto total = sharded.MemoryUsage();
+  IndexMemoryUsage manual;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    manual.Add(sharded.shard(s).MemoryUsage());
+  }
+  EXPECT_EQ(total.num_postings, manual.num_postings);
+  EXPECT_EQ(total.posting_doc_bytes, manual.posting_doc_bytes);
+  EXPECT_EQ(total.total_bytes(), manual.total_bytes());
+  EXPECT_GT(total.num_postings, 0u);
+  EXPECT_GT(total.dictionary_bytes, 0u);
+  EXPECT_GT(total.doc_bytes_per_posting(), 0.0);
+  // Compressed doc-id storage beats 4 raw bytes per posting.
+  EXPECT_LT(total.doc_bytes_per_posting(), 4.0);
 }
 
 TEST(PruningEdgeCases, TermInterningIsDense) {

@@ -155,17 +155,39 @@ TEST(WireTest, StatsAndHealthRoundTrip) {
   EXPECT_EQ(s->num_docs, 7u);
   EXPECT_EQ(s->term_df, stats.term_df);
 
+  HealthRequest plain;
+  auto hp = DecodeHealthRequest(Encode(plain));
+  ASSERT_TRUE(hp.ok());
+  EXPECT_FALSE(hp->include_memory);
+  HealthRequest with_memory;
+  with_memory.include_memory = true;
+  auto hm = DecodeHealthRequest(Encode(with_memory));
+  ASSERT_TRUE(hm.ok());
+  EXPECT_TRUE(hm->include_memory);
+
   HealthResponse health;
   health.num_docs = 9;
   health.epoch = 9;
   health.last_applied_seq = 3;
   health.queue_depth = 2;
   health.requests_served = 100;
+  health.memory.posting_doc_bytes = 1234;
+  health.memory.posting_weight_bytes = 4321;
+  health.memory.posting_block_bytes = 96;
+  health.memory.dictionary_bytes = 555;
+  health.memory.norm_cache_bytes = 44;
+  health.memory.num_postings = 777;
   auto h = DecodeHealthResponse(Encode(health));
   ASSERT_TRUE(h.ok());
   EXPECT_EQ(h->num_docs, 9u);
   EXPECT_EQ(h->last_applied_seq, 3u);
   EXPECT_EQ(h->requests_served, 100u);
+  EXPECT_EQ(h->memory.posting_doc_bytes, 1234u);
+  EXPECT_EQ(h->memory.posting_weight_bytes, 4321u);
+  EXPECT_EQ(h->memory.posting_block_bytes, 96u);
+  EXPECT_EQ(h->memory.dictionary_bytes, 555u);
+  EXPECT_EQ(h->memory.norm_cache_bytes, 44u);
+  EXPECT_EQ(h->memory.num_postings, 777u);
 }
 
 TEST(WireTest, MalformedFramesAreRejectedNotUB) {
@@ -694,6 +716,37 @@ TEST(RemoteServingTest, ProbeHealthSeesTheCluster) {
     }
   }
   EXPECT_EQ(reachable, 3u);
+}
+
+TEST(RemoteServingTest, MemoryUsageSumsOneReplicaPerShard) {
+  LoopbackTransport loopback(2, 2, {});
+  Coordinator coordinator(&loopback, {});
+  std::vector<index::Document> docs;
+  for (int i = 0; i < 40; ++i) {
+    docs.push_back(index::Document{
+        "http://h" + std::to_string(i % 3) + ".com/p" + std::to_string(i),
+        "t", "alpha beta gamma delta word" + std::to_string(i), false,
+        "h" + std::to_string(i % 3) + ".com"});
+  }
+  ASSERT_TRUE(coordinator.InsertBatch(docs).ok());
+
+  auto mem = coordinator.MemoryUsage();
+  EXPECT_EQ(mem.num_postings, [&] {
+    index::IndexMemoryUsage manual;
+    for (size_t s = 0; s < 2; ++s) {
+      manual.Add(loopback.server(s, 0).index().MemoryUsage());
+    }
+    return manual.num_postings;
+  }());
+  EXPECT_GT(mem.num_postings, 0u);
+  EXPECT_GT(mem.posting_doc_bytes, 0u);
+  EXPECT_GT(mem.dictionary_bytes, 0u);
+  // The logical corpus is counted once: replicas must not double it.
+  index::IndexMemoryUsage one_replica_each;
+  for (size_t s = 0; s < 2; ++s) {
+    one_replica_each.Add(loopback.server(s, 0).index().MemoryUsage());
+  }
+  EXPECT_EQ(mem.total_bytes(), one_replica_each.total_bytes());
 }
 
 // Serving through the engine: the distributed index slots under the

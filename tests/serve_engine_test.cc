@@ -276,6 +276,94 @@ TEST(ServeEngineConcurrencyTest, SearchBatchDuringConcurrentIngest) {
   }
 }
 
+TEST(ServeEngineConcurrencyTest,
+     SearchDuringIngestOverSealedAndUnsealedBlocks) {
+  // The compressed block layout under interleaved ingest-while-search
+  // (TSan job): a tiny block size makes every few ingested documents
+  // seal (and varint-compress) another block while readers hold live
+  // cursors over already-sealed blocks and the raw unsealed tails.
+  // ShardedIndex's reader/writer lock is what makes this safe — the
+  // point of the test is that sealing happens entirely inside the
+  // writer's critical section, so a reader never observes a half-built
+  // block. After the race settles, results must be byte-identical to an
+  // exhaustive uncompressed reference over the same documents.
+  index::ShardedIndexOptions sopts;
+  sopts.num_shards = 3;
+  sopts.index.enable_pruning = true;
+  sopts.index.pruning_min_postings = 0;  // force block-max maxscore
+  sopts.index.compress_postings = true;
+  sopts.index.posting_block_size = 8;  // seal constantly
+  index::ShardedIndex index(sopts);
+  std::vector<index::Document> seed_docs;
+  for (int i = 0; i < 60; ++i) {
+    seed_docs.push_back(Doc("seed" + std::to_string(i),
+                            "common term seed body " + std::to_string(i)));
+  }
+  ASSERT_TRUE(index.InsertBatch(seed_docs).ok());
+
+  EngineOptions eopts;
+  eopts.cache_capacity = 16;
+  Engine engine(&index, eopts);
+
+  std::vector<std::string> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(i % 2 == 0 ? "common term"
+                                 : "body " + std::to_string(i * 7));
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      int iterations = 0;
+      do {
+        auto results = engine.SearchBatch(queries, 2);
+        EXPECT_EQ(results.size(), queries.size());
+        ++iterations;
+      } while (!done || iterations < 3);
+    });
+  }
+  std::thread writer([&] {
+    for (int batch = 0; batch < 30; ++batch) {
+      std::vector<index::Document> docs;
+      for (int d = 0; d < 3; ++d) {
+        std::string tag = std::to_string(batch) + "_" + std::to_string(d);
+        docs.push_back(Doc("new" + tag, "common term fresh body " + tag));
+      }
+      EXPECT_TRUE(index.InsertBatch(docs).ok());
+    }
+    done = true;
+  });
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(index.num_docs(), 60u + 30u * 3u);
+
+  // Settled equivalence: an exhaustive, uncompressed single-shard index
+  // over the same documents in the same insertion order must agree byte
+  // for byte.
+  index::ShardedIndexOptions ref_sopts;
+  ref_sopts.num_shards = 1;
+  ref_sopts.index.enable_pruning = false;
+  index::ShardedIndex settled(ref_sopts);
+  std::vector<index::Document> all_docs = seed_docs;
+  for (int batch = 0; batch < 30; ++batch) {
+    for (int d = 0; d < 3; ++d) {
+      std::string tag = std::to_string(batch) + "_" + std::to_string(d);
+      all_docs.push_back(Doc("new" + tag, "common term fresh body " + tag));
+    }
+  }
+  ASSERT_TRUE(settled.InsertBatch(all_docs).ok());
+  for (const auto& q : queries) {
+    auto expected = settled.Search(q, 20);
+    auto got = engine.Search(q, 20).hits;
+    ASSERT_EQ(expected.size(), got.size()) << q;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].doc, got[i].doc) << q;
+      EXPECT_EQ(expected[i].score, got[i].score) << q;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace deepsurf
