@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "index/analyzer.h"
+#include "index/bitpack_codec.h"
 #include "index/block_codec.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -52,31 +53,62 @@ size_t GallopTo(const DocId* span, size_t n, size_t from, DocId target) {
                              span);
 }
 
-/// Streams every posting of a list, in order, into fn(doc_id, weight).
-/// Compressed sealed blocks decode with one running accumulator across
-/// the whole packed run: each block's deltas chain from the previous
-/// block's last doc id, which is exactly the running value. (Templated
-/// on the list type so this file-local helper can take the private
-/// PostingList by deduction.)
+/// Dequantized cap of an 8-bit impact level against a block's max
+/// weight: cap(q) = q * (block_max / 255.0) computed in double, with
+/// cap(255) pinned to exactly block_max so the top level can never
+/// round below a weight it must cover. Monotone in q.
+inline float QuantCap(uint8_t q, float block_max) {
+  if (q == 255) return block_max;
+  return static_cast<float>(static_cast<double>(q) *
+                            (static_cast<double>(block_max) / 255.0));
+}
+
+/// Smallest 8-bit level whose cap covers `w` (0 < w <= block_max) —
+/// the quantizer's contract, QuantCap(QuantizeWeight(w, m), m) >= w, is
+/// what makes quantized bounds conservative and therefore results
+/// byte-identical. Termination is unconditional: cap(255) == block_max
+/// >= w exactly.
+inline uint8_t QuantizeWeight(float w, float block_max) {
+  const double scale = static_cast<double>(block_max) / 255.0;
+  int q = static_cast<int>(static_cast<double>(w) / scale);
+  if (q < 1) q = 1;
+  if (q > 255) q = 255;
+  while (q < 255 && QuantCap(static_cast<uint8_t>(q), block_max) < w) ++q;
+  return static_cast<uint8_t>(q);
+}
+
+/// Streams every posting of a list, in order, into fn(posting_index,
+/// doc_id). Sealed blocks decode one at a time through whichever codec
+/// sealed them (bit-packed or varint); each block's gaps chain from the
+/// previous block's last doc id. The caller resolves weights from the
+/// posting index — it knows whether position j's exact float lives in
+/// the weight array or (quantized mode) in the forward index.
+/// (Templated on the list type so this file-local helper can take the
+/// private PostingList by deduction.)
 template <typename PL, typename Fn>
-void ForEachPosting(const PL& pl, bool compressed, Fn&& fn) {
-  const float* w = pl.weights.data();
-  if (compressed) {
-    const uint8_t* p = pl.packed.data();
-    const uint8_t* end = p + pl.packed.size();
-    const size_t sealed = pl.count - pl.docs.size();
-    DocId doc = 0;
-    for (size_t j = 0; j < sealed; ++j) {
-      uint32_t gap = 0;
-      size_t used = GetVarint32(p, end, &gap);
-      DS_CHECK(used != 0) << "corrupt packed posting block";
-      p += used;
-      doc += gap;
-      fn(doc, w[j]);
+void ForEachPosting(const PL& pl, size_t block_size, bool compressed,
+                    bool bitpacked, Fn&& fn) {
+  if (compressed && !pl.blocks.empty()) {
+    std::vector<DocId> buf(block_size);
+    const uint8_t* data = pl.packed.data();
+    const size_t nblocks = pl.blocks.size();
+    DocId base = 0;
+    for (size_t b = 0; b < nblocks; ++b) {
+      const uint8_t* p = data + pl.blocks[b].offset;
+      const uint8_t* end = b + 1 < nblocks ? data + pl.blocks[b + 1].offset
+                                           : data + pl.packed.size();
+      const bool ok =
+          bitpacked
+              ? DecodeBitpackBlock(p, end, block_size, base, buf.data()) != 0
+              : DecodeDocBlock(p, end, block_size, base, buf.data());
+      DS_CHECK(ok) << "corrupt sealed posting block";
+      for (size_t j = 0; j < block_size; ++j) fn(b * block_size + j, buf[j]);
+      base = pl.blocks[b].last_doc;
     }
-    for (size_t j = 0; j < pl.docs.size(); ++j) fn(pl.docs[j], w[sealed + j]);
+    const size_t sealed = nblocks * block_size;
+    for (size_t j = 0; j < pl.docs.size(); ++j) fn(sealed + j, pl.docs[j]);
   } else {
-    for (size_t j = 0; j < pl.count; ++j) fn(pl.docs[j], w[j]);
+    for (size_t j = 0; j < pl.count; ++j) fn(j, pl.docs[j]);
   }
 }
 
@@ -85,13 +117,22 @@ void ForEachPosting(const PL& pl, bool compressed, Fn&& fn) {
 // ---------------------------------------------------------------------
 // PostingCursor.
 
-void InvertedIndex::PostingCursor::Init(const PostingList* list,
-                                        uint32_t bs, bool compress) {
+void InvertedIndex::PostingCursor::Init(const InvertedIndex* idx,
+                                        const PostingList* list,
+                                        const IndexOptions& opts) {
   pl = list;
-  block_size = bs;
-  compressed = compress;
+  owner = (idx != nullptr && opts.decode_cache_bytes > 0) ? idx : nullptr;
+  block_size = static_cast<uint32_t>(opts.posting_block_size);
+  compressed = opts.compress_postings;
+  bitpacked = opts.bitpack_postings;
+  quantized = opts.quantize_weights;
+  sealed = static_cast<uint32_t>(pl->blocks.size()) * block_size;
   pos = 0;
-  if (compressed && !pl->blocks.empty()) scratch.resize(bs);
+  decoded = 0;
+  skipped = 0;
+  cache_hits = 0;
+  stale = false;
+  if (compressed && !pl->blocks.empty()) scratch.resize(block_size);
   LoadSegment(0);
 }
 
@@ -101,17 +142,27 @@ void InvertedIndex::PostingCursor::LoadSegment(uint32_t segment) {
   if (segment < nblocks) {
     win_begin = segment * block_size;
     win_end = win_begin + block_size;
-    if (compressed) {
+    if (compressed && owner != nullptr) {
+      bool hit = false;
+      window = owner->SealedBlockIds(*pl, segment, &scratch, &hit);
+      hit ? ++cache_hits : ++decoded;
+    } else if (compressed) {
+      ++decoded;
       const DocId base = segment == 0 ? 0 : pl->blocks[segment - 1].last_doc;
       const uint8_t* data = pl->packed.data();
       const uint8_t* p = data + pl->blocks[segment].offset;
       const uint8_t* end = segment + 1 < nblocks
                                ? data + pl->blocks[segment + 1].offset
                                : data + pl->packed.size();
-      const bool ok = DecodeDocBlock(p, end, block_size, base, scratch.data());
+      const bool ok =
+          bitpacked
+              ? DecodeBitpackBlock(p, end, block_size, base,
+                                   scratch.data()) != 0
+              : DecodeDocBlock(p, end, block_size, base, scratch.data());
       DS_CHECK(ok) << "corrupt sealed posting block";
       window = scratch.data();
     } else {
+      ++decoded;
       window = pl->docs.data() + win_begin;
     }
   } else {
@@ -121,6 +172,13 @@ void InvertedIndex::PostingCursor::LoadSegment(uint32_t segment) {
     win_end = pl->count;
     window = compressed ? pl->docs.data() : pl->docs.data() + win_begin;
   }
+}
+
+float InvertedIndex::PostingCursor::WeightCap() const {
+  if (quantized && pos < sealed) {
+    return QuantCap(pl->qweights[pos], pl->blocks[seg].max_weight);
+  }
+  return Weight();
 }
 
 float InvertedIndex::PostingCursor::SegMaxWeight() const {
@@ -138,37 +196,147 @@ void InvertedIndex::PostingCursor::Next() {
   if (pos >= win_end && pos < pl->count) LoadSegment(seg + 1);
 }
 
-void InvertedIndex::PostingCursor::SeekTo(DocId target) {
-  if (AtEnd() || Doc() >= target) return;
-  if (target > SegLastDoc()) {
-    // Skip whole segments on the metadata alone — nothing decodes until
-    // the landing segment.
-    const uint32_t nblocks = static_cast<uint32_t>(pl->blocks.size());
-    if (seg >= nblocks) {  // the tail is the last segment
+void InvertedIndex::PostingCursor::EnsureLoaded() {
+  if (!stale) return;
+  stale = false;
+  LoadSegment(seg);
+  pos = win_begin + static_cast<uint32_t>(
+                        GallopTo(window, win_end - win_begin, 0, pending));
+}
+
+void InvertedIndex::PostingCursor::SkipSegTo(DocId target) {
+  if (AtEnd()) return;
+  if (stale ? target <= pending : Doc() >= target) return;
+  if (target <= SegLastDoc()) {
+    if (stale) {
+      pending = target;  // still this segment; defer the gallop too
+    } else {
+      pos = win_begin + static_cast<uint32_t>(GallopTo(
+                window, win_end - win_begin, pos - win_begin, target));
+    }
+    return;
+  }
+  if (stale) {
+    // Leaving the deferred landing segment without ever decoding it —
+    // the whole point of the deferral.
+    stale = false;
+    ++skipped;
+  }
+  const uint32_t nblocks = static_cast<uint32_t>(pl->blocks.size());
+  if (seg >= nblocks) {  // in the tail; target is past its last doc
+    pos = pl->count;
+    return;
+  }
+  const auto* first = pl->blocks.data() + seg + 1;
+  const auto* last = pl->blocks.data() + nblocks;
+  const auto* hit = std::lower_bound(
+      first, last, target,
+      [](const BlockMeta& b, DocId t) { return b.last_doc < t; });
+  if (hit == last) {
+    skipped += nblocks - seg - 1;
+    pos = nblocks * block_size;
+    if (pos >= pl->count) return;  // no tail: list exhausted
+    LoadSegment(nblocks);          // the tail is raw — loading is free
+    if (target > SegLastDoc()) {
       pos = pl->count;
       return;
     }
-    const auto* first = pl->blocks.data() + seg + 1;
-    const auto* last = pl->blocks.data() + nblocks;
-    const auto* hit = std::lower_bound(
-        first, last, target,
-        [](const BlockMeta& b, DocId t) { return b.last_doc < t; });
-    if (hit == last) {
-      pos = nblocks * block_size;
-      if (pos >= pl->count) return;  // no tail: list exhausted
-      LoadSegment(nblocks);
-      if (target > SegLastDoc()) {
-        pos = pl->count;
-        return;
-      }
-    } else {
-      const uint32_t b = static_cast<uint32_t>(hit - pl->blocks.data());
-      pos = b * block_size;
-      LoadSegment(b);
+    pos = win_begin + static_cast<uint32_t>(
+                          GallopTo(window, win_end - win_begin, 0, target));
+    return;
+  }
+  const uint32_t b = static_cast<uint32_t>(hit - pl->blocks.data());
+  skipped += b - seg - 1;
+  if (compressed) {
+    // Lazy landing: move the metadata, defer the decode. EnsureLoaded
+    // pays it only if the caller actually reads this segment.
+    seg = b;
+    win_begin = b * block_size;
+    win_end = win_begin + block_size;
+    pos = win_begin;
+    pending = target;
+    stale = true;
+  } else {
+    pos = b * block_size;
+    LoadSegment(b);
+    pos = win_begin + static_cast<uint32_t>(
+                          GallopTo(window, win_end - win_begin, 0, target));
+  }
+}
+
+void InvertedIndex::PostingCursor::SeekTo(DocId target) {
+  SkipSegTo(target);
+  EnsureLoaded();
+}
+
+// ---------------------------------------------------------------------
+
+const DocId* InvertedIndex::SealedBlockIds(const PostingList& pl, uint32_t b,
+                                           std::vector<DocId>* scratch,
+                                           bool* hit) const {
+  if (b < pl.pinned_cap) {
+    const DocId* p = pl.pinned[b].load(std::memory_order_acquire);
+    if (p != nullptr) {
+      *hit = true;
+      return p;
     }
   }
-  pos = win_begin + static_cast<uint32_t>(GallopTo(
-            window, win_end - win_begin, pos - win_begin, target));
+  *hit = false;
+  const size_t block = options_.posting_block_size;
+  const int64_t cost = static_cast<int64_t>(block * sizeof(DocId));
+  bool pin = false;
+  if (b < pl.pinned_cap) {
+    if (decode_cache_left_.fetch_sub(cost, std::memory_order_relaxed) >=
+        cost) {
+      pin = true;
+    } else {
+      decode_cache_left_.fetch_add(cost, std::memory_order_relaxed);
+    }
+  }
+  DocId* buf;
+  if (pin) {
+    buf = new DocId[block];
+  } else {
+    scratch->resize(block);
+    buf = scratch->data();
+  }
+  const uint8_t* data = pl.packed.data();
+  const uint8_t* p = data + pl.blocks[b].offset;
+  const uint8_t* end = b + 1 < pl.blocks.size()
+                           ? data + pl.blocks[b + 1].offset
+                           : data + pl.packed.size();
+  const DocId base = b == 0 ? 0 : pl.blocks[b - 1].last_doc;
+  const bool ok = options_.bitpack_postings
+                      ? DecodeBitpackBlock(p, end, block, base, buf) != 0
+                      : DecodeDocBlock(p, end, block, base, buf);
+  DS_CHECK(ok) << "corrupt sealed posting block";
+  if (!pin) return buf;
+  const DocId* expected = nullptr;
+  if (!pl.pinned[b].compare_exchange_strong(expected, buf,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire)) {
+    // A concurrent query published first; its decode is identical
+    // (immutable input, deterministic codec), so adopt it.
+    delete[] buf;
+    decode_cache_left_.fetch_add(cost, std::memory_order_relaxed);
+    return expected;
+  }
+  return buf;
+}
+
+void InvertedIndex::GrowPinnedLocked(PostingList* pl) {
+  const uint32_t need = static_cast<uint32_t>(pl->blocks.size());
+  if (need <= pl->pinned_cap) return;
+  const uint32_t cap =
+      std::max(need, pl->pinned_cap == 0 ? 4u : pl->pinned_cap * 2);
+  // Value-initialized: every new slot starts null.
+  auto grown = std::make_unique<std::atomic<const DocId*>[]>(cap);
+  for (uint32_t i = 0; i < pl->pinned_cap; ++i) {
+    grown[i].store(pl->pinned[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  pl->pinned = std::move(grown);
+  pl->pinned_cap = cap;
 }
 
 // ---------------------------------------------------------------------
@@ -176,6 +344,9 @@ void InvertedIndex::PostingCursor::SeekTo(DocId target) {
 InvertedIndex::InvertedIndex(IndexOptions options)
     : options_(options) {
   if (options_.posting_block_size == 0) options_.posting_block_size = 128;
+  decode_cache_left_.store(
+      static_cast<int64_t>(options_.decode_cache_bytes),
+      std::memory_order_relaxed);
 }
 
 Result<DocId> InvertedIndex::AddDocument(const std::string& url,
@@ -235,10 +406,40 @@ void InvertedIndex::AppendPostingLocked(PostingList* pl, DocId id, float w) {
   if (options_.compress_postings) {
     meta.offset = pl->packed.size();
     const DocId base = pl->blocks.empty() ? 0 : pl->blocks.back().last_doc;
-    EncodeDocBlock(pl->docs.data(), block, base, &pl->packed);
+    if (options_.bitpack_postings) {
+      EncodeBitpackBlock(pl->docs.data(), block, base, &pl->packed);
+    } else {
+      EncodeDocBlock(pl->docs.data(), block, base, &pl->packed);
+    }
     pl->docs.clear();
   }
+  if (options_.quantize_weights) {
+    // Migrate the sealed block's weights (exactly the current tail) to
+    // 8-bit caps; the exact floats remain reachable through the forward
+    // index, which is where survivors re-score from.
+    pl->qweights.reserve(pl->qweights.size() + pl->weights.size());
+    for (float tw : pl->weights) {
+      pl->qweights.push_back(QuantizeWeight(tw, meta.max_weight));
+    }
+    pl->weights.clear();
+  }
+  const uint32_t bidx = static_cast<uint32_t>(pl->blocks.size());
   pl->blocks.push_back(meta);
+  if (options_.compress_postings && options_.decode_cache_bytes > 0) {
+    GrowPinnedLocked(pl);
+  }
+  // Keep the impact order sorted (max_weight descending, index
+  // ascending): one ordered insert per seal, amortized over block_size
+  // appends.
+  auto pos = std::upper_bound(
+      pl->impact_order.begin(), pl->impact_order.end(), bidx,
+      [pl](uint32_t a, uint32_t b) {
+        const float wa = pl->blocks[a].max_weight;
+        const float wb = pl->blocks[b].max_weight;
+        if (wa != wb) return wa > wb;
+        return a < b;
+      });
+  pl->impact_order.insert(pos, bidx);
   pl->tail_max_weight = 0.0f;
 }
 
@@ -348,6 +549,7 @@ std::vector<SearchHit> InvertedIndex::SearchTermsScored(
     const std::vector<std::string>& terms, size_t k,
     const CorpusStats* stats) const {
   if (terms.empty() || docs_.empty() || k == 0) return {};
+  stat_queries_.fetch_add(1, std::memory_order_relaxed);
   double n = stats != nullptr ? stats->num_docs
                               : static_cast<double>(docs_.size());
   double total_len = stats != nullptr ? stats->total_length : total_length_;
@@ -383,6 +585,7 @@ std::vector<SearchHit> InvertedIndex::SearchTermsScored(
                             : static_cast<double>(pl.count);
     QueryTerm qt;
     qt.postings = &pl;
+    qt.tid = it->second;
     qt.idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     qt.upper_bound = RoundUp(Contribution(
         qt.idf, static_cast<double>(pl.max_weight), min_norm, k1));
@@ -427,7 +630,23 @@ std::vector<SearchHit> InvertedIndex::SearchExhaustive(
     size_t total_postings, size_t k) const {
   const double k1 = options_.bm25_k1;
   const bool compressed = options_.compress_postings;
+  const bool bitpacked = options_.bitpack_postings;
+  const bool quantized = options_.quantize_weights;
+  const size_t block = options_.posting_block_size;
   std::vector<SearchHit> hits;
+
+  // Exact float weight of posting j (holding doc d) of qt's list: the
+  // weight array, unless quantization moved the sealed span to 8-bit
+  // caps — then the forward index holds the exact value (the same
+  // float AppendPostingLocked stored, so identical bits).
+  auto exact_weight = [&](const QueryTerm& qt, size_t j, DocId d) -> double {
+    const PostingList& pl = *qt.postings;
+    const size_t sealed = pl.blocks.size() * block;
+    if (quantized && j < sealed) {
+      return static_cast<double>(ForwardWeight(qt.tid, d));
+    }
+    return static_cast<double>(pl.weights[quantized ? j - sealed : j]);
+  };
 
   // Accumulate per document, terms in query order (the addition sequence
   // is part of the byte-identity contract). Contributions are strictly
@@ -439,10 +658,11 @@ std::vector<SearchHit> InvertedIndex::SearchExhaustive(
     std::unordered_map<DocId, double> acc;
     acc.reserve(total_postings);
     for (const QueryTerm& qt : query) {
-      ForEachPosting(*qt.postings, compressed, [&](DocId d, float w) {
-        acc[d] += Contribution(qt.idf, static_cast<double>(w), norms.Of(d),
-                               k1);
-      });
+      ForEachPosting(*qt.postings, block, compressed, bitpacked,
+                     [&](size_t j, DocId d) {
+                       acc[d] += Contribution(qt.idf, exact_weight(qt, j, d),
+                                              norms.Of(d), k1);
+                     });
     }
     hits.reserve(acc.size());
     for (const auto& [d, score] : acc) hits.push_back(SearchHit{d, score});
@@ -451,15 +671,19 @@ std::vector<SearchHit> InvertedIndex::SearchExhaustive(
     std::vector<DocId> touched;
     touched.reserve(total_postings);
     for (const QueryTerm& qt : query) {
-      ForEachPosting(*qt.postings, compressed, [&](DocId d, float w) {
-        if (acc[d] == 0.0) touched.push_back(d);
-        acc[d] += Contribution(qt.idf, static_cast<double>(w), norms.Of(d),
-                               k1);
-      });
+      ForEachPosting(*qt.postings, block, compressed, bitpacked,
+                     [&](size_t j, DocId d) {
+                       if (acc[d] == 0.0) touched.push_back(d);
+                       acc[d] += Contribution(qt.idf, exact_weight(qt, j, d),
+                                              norms.Of(d), k1);
+                     });
     }
     hits.reserve(touched.size());
     for (DocId d : touched) hits.push_back(SearchHit{d, acc[d]});
   }
+  uint64_t dec = 0;
+  for (const QueryTerm& qt : query) dec += qt.postings->blocks.size();
+  stat_blocks_decoded_.fetch_add(dec, std::memory_order_relaxed);
 
   if (hits.size() > k) {
     std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(k),
@@ -477,8 +701,8 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
   const double k1 = options_.bm25_k1;
   const size_t m = query.size();
   const uint32_t block = static_cast<uint32_t>(options_.posting_block_size);
-  const bool compressed = options_.compress_postings;
-  for (QueryTerm& qt : query) qt.cursor.Init(qt.postings, block, compressed);
+  const bool quantized = options_.quantize_weights;
+  for (QueryTerm& qt : query) qt.cursor.Init(this, qt.postings, options_);
 
   // Process lists in ascending upper-bound order; the low-cap prefix
   // becomes "non-essential" once the top-k threshold proves that prefix
@@ -534,19 +758,163 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
     return qt.seg_bound;
   };
 
+  // Impact-ordered warm-up: exactly score the documents of the few
+  // highest-impact sealed blocks (per-term impact order, priced by each
+  // block's idf-scaled score cap) and seed the heap with them, so the
+  // DAAT sweep below starts against a realistic threshold instead of
+  // raising it from zero one frontier at a time. Byte-identity is
+  // unaffected: warm documents are scored with the exhaustive addition
+  // sequence and skipped in the sweep (already fully considered), and
+  // every bound test in this function strictly inflates (RoundUp), so a
+  // document whose true score ties the warm threshold still reaches
+  // exact scoring where the (score, doc id) order decides — seeding
+  // out of doc-id order therefore cannot change the unique top k.
+  uint64_t warm_decoded = 0;
+  uint64_t warm_cache_hits = 0;
+  std::vector<DocId> warm_docs;
+  if (options_.enable_impact_warmup) {
+    constexpr size_t kWarmBlocksMax = 4;
+    struct WarmBlock {
+      double pri;
+      size_t t;
+      uint32_t b;
+    };
+    std::vector<WarmBlock> cand;
+    for (size_t t = 0; t < m; ++t) {
+      const PostingList& pl = *query[t].postings;
+      const size_t take = std::min(pl.impact_order.size(), kWarmBlocksMax);
+      for (size_t i = 0; i < take; ++i) {
+        const uint32_t b = pl.impact_order[i];
+        cand.push_back(WarmBlock{
+            Contribution(query[t].idf,
+                         static_cast<double>(pl.blocks[b].max_weight),
+                         min_norm, k1),
+            t, b});
+      }
+    }
+    std::sort(cand.begin(), cand.end(),
+              [](const WarmBlock& a, const WarmBlock& b) {
+                if (a.pri != b.pri) return a.pri > b.pri;
+                if (a.t != b.t) return a.t < b.t;
+                return a.b < b.b;
+              });
+    // Only worth it when the warmed blocks can fill the heap — a
+    // partially filled heap has no threshold, so the work would prune
+    // nothing.
+    if (std::min(cand.size(), kWarmBlocksMax) * block >= k) {
+      std::vector<DocId> buf(block);
+      size_t taken = 0;
+      for (const WarmBlock& wb : cand) {
+        if (taken >= kWarmBlocksMax || warm_docs.size() >= k) break;
+        const PostingList& pl = *query[wb.t].postings;
+        if (options_.compress_postings) {
+          if (options_.decode_cache_bytes > 0) {
+            // Warm blocks are per-term impact maxima — the hottest
+            // blocks in the index — so they all but live pinned.
+            bool hit = false;
+            const DocId* ids = SealedBlockIds(pl, wb.b, &buf, &hit);
+            warm_docs.insert(warm_docs.end(), ids, ids + block);
+            hit ? ++warm_cache_hits : ++warm_decoded;
+          } else {
+            const uint8_t* data = pl.packed.data();
+            const uint8_t* p = data + pl.blocks[wb.b].offset;
+            const uint8_t* end = wb.b + 1 < pl.blocks.size()
+                                     ? data + pl.blocks[wb.b + 1].offset
+                                     : data + pl.packed.size();
+            const DocId base =
+                wb.b == 0 ? 0 : pl.blocks[wb.b - 1].last_doc;
+            const bool ok =
+                options_.bitpack_postings
+                    ? DecodeBitpackBlock(p, end, block, base, buf.data()) != 0
+                    : DecodeDocBlock(p, end, block, base, buf.data());
+            DS_CHECK(ok) << "corrupt sealed posting block";
+            warm_docs.insert(warm_docs.end(), buf.begin(), buf.end());
+            ++warm_decoded;
+          }
+        } else {
+          const DocId* src = pl.docs.data() + wb.b * block;
+          warm_docs.insert(warm_docs.end(), src, src + block);
+          ++warm_decoded;
+        }
+        ++taken;
+      }
+      std::sort(warm_docs.begin(), warm_docs.end());
+      warm_docs.erase(std::unique(warm_docs.begin(), warm_docs.end()),
+                      warm_docs.end());
+      if (warm_docs.size() >= k) {
+        for (DocId d : warm_docs) {
+          SearchHit cand_hit{d, ScoreDocExact(query, norms, d)};
+          if (heap.size() < k) {
+            heap.push_back(cand_hit);
+            std::push_heap(heap.begin(), heap.end(), Better);
+          } else if (Better(cand_hit, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), Better);
+            heap.back() = cand_hit;
+            std::push_heap(heap.begin(), heap.end(), Better);
+          }
+        }
+        threshold = heap.front().score;
+        demote();
+      } else {
+        // Too few distinct documents to fill the heap: abandon the warm
+        // start so the sweep below owns every document exactly once.
+        warm_docs.clear();
+        heap.clear();
+      }
+    }
+  }
+
   constexpr DocId kNoDoc = static_cast<DocId>(-1);
+  // The DAAT frontier only moves forward, so the warm-doc membership
+  // test is a monotone pointer into the sorted warm_docs — O(1)
+  // amortized against a binary search per frontier.
+  size_t warm_idx = 0;
+  // Essential cursors sitting ON the frontier, as indices into `order`,
+  // collected by the min-scan itself (argmin set, ascending). The
+  // contribution and advance passes walk this set instead of re-scanning
+  // every essential cursor — demote() only grows `ne`, never reorders
+  // `order`, so the indices stay valid across the heap update.
+  std::vector<size_t> match(m);
+  size_t match_n = 0;
   for (;;) {
     // Document-at-a-time over the essential lists. Once every list is
-    // non-essential (their combined cap is below the threshold), no
-    // remaining document can enter the top k: any tie would lose to an
-    // incumbent with a smaller doc id, since DAAT visits ids in
-    // ascending order.
+    // non-essential (their combined cap is at or below the threshold),
+    // no remaining document can enter the top k: the cap was strictly
+    // inflated (RoundUp), so a document whose true score merely TIES
+    // the threshold would keep its list essential — demotion proves a
+    // strict miss, independent of visit order (which warm-up perturbs).
     DocId frontier = kNoDoc;
+    match_n = 0;
     for (size_t j = ne; j < m; ++j) {
       const QueryTerm& qt = query[order[j]];
-      if (!qt.cursor.AtEnd()) frontier = std::min(frontier, qt.cursor.Doc());
+      if (qt.cursor.AtEnd()) continue;
+      const DocId d = qt.cursor.Doc();
+      if (d < frontier) {
+        frontier = d;
+        match[0] = j;
+        match_n = 1;
+      } else if (d == frontier) {
+        match[match_n++] = j;
+      }
     }
     if (frontier == kNoDoc) break;
+
+    // A warm-start document was already exactly scored against the heap;
+    // just move the cursors past it.
+    while (warm_idx < warm_docs.size() && warm_docs[warm_idx] < frontier) {
+      ++warm_idx;
+    }
+    if (warm_idx < warm_docs.size() && warm_docs[warm_idx] == frontier) {
+      for (size_t i = 0; i < match_n; ++i) {
+        QueryTerm& qt = query[order[match[i]]];
+        const uint32_t seg_before = qt.cursor.seg;
+        qt.cursor.Next();
+        if (qt.cursor.AtEnd() || qt.cursor.seg != seg_before) {
+          blockmax_dirty = true;
+        }
+      }
+      continue;
+    }
 
     const bool full = heap.size() == k;
 
@@ -555,41 +923,58 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
     // cap (their cursors sit at/after the frontier, so for ids up to
     // their block's last doc, every matching posting is inside that
     // block) plus the non-essential lists' list-level cap. If even that
-    // cannot beat the threshold, every id in [frontier, boundary] is
-    // provably out (ties lose to smaller-id incumbents), and the
-    // cursors jump past the boundary without decoding anything.
+    // strictly inflated cap cannot exceed the threshold, every id in
+    // [frontier, boundary] is provably a strict miss (a potential tie
+    // would keep the cap above the threshold), and the cursors jump
+    // past the boundary without decoding anything.
     if (full && blockmax_dirty) {
-      double cap = ne > 0 ? prefix[ne - 1] : 0.0;
-      DocId boundary = kNoDoc;
-      for (size_t j = ne; j < m; ++j) {
-        QueryTerm& qt = query[order[j]];
-        if (qt.cursor.AtEnd()) continue;
-        cap += seg_bound(qt);
-        boundary = std::min(boundary, qt.cursor.SegLastDoc());
-      }
-      if (RoundUp(cap) <= threshold) {
-        // Stays dirty: after the jump the landing segments may be
-        // skippable too.
+      // The chain below runs on segment metadata alone (seg_bound,
+      // SegLastDoc): consecutive jumps use SkipSegTo, whose compressed
+      // landings are deferred, so a landing segment that this very test
+      // skips again on the next lap is never decoded. Only when no
+      // further skip is provable do the survivors materialize.
+      bool jumped = false;
+      for (;;) {
+        double cap = ne > 0 ? prefix[ne - 1] : 0.0;
+        DocId boundary = kNoDoc;
+        for (size_t j = ne; j < m; ++j) {
+          QueryTerm& qt = query[order[j]];
+          if (qt.cursor.AtEnd()) continue;
+          cap += seg_bound(qt);
+          boundary = std::min(boundary, qt.cursor.SegLastDoc());
+        }
+        if (boundary == kNoDoc || RoundUp(cap) > threshold) break;
+        jumped = true;
         const DocId next = boundary + 1;  // ids < num_docs: no overflow
-        for (size_t j = ne; j < m; ++j) query[order[j]].cursor.SeekTo(next);
-        continue;
+        for (size_t j = ne; j < m; ++j) {
+          query[order[j]].cursor.SkipSegTo(next);
+        }
       }
       blockmax_dirty = false;
+      if (jumped) {
+        for (size_t j = ne; j < m; ++j) query[order[j]].cursor.EnsureLoaded();
+        continue;  // the frontier moved; recompute it
+      }
     }
 
     for (QueryTerm& qt : query) qt.at_frontier = false;
 
     // Contributions from the essential lists sitting on the frontier.
+    // WeightCap() is the exact weight without quantization and a
+    // conservative >= cap with it, so `partial` (and `running` below)
+    // upper-bound the true partial score either way — which is all the
+    // viability tests need. `match` already holds exactly the essential
+    // cursors on the frontier, in order-array order (the original scan
+    // order, so the addition sequence is unchanged).
+    const double frontier_norm = norms.Of(frontier);
     double partial = 0.0;
-    for (size_t j = ne; j < m; ++j) {
-      QueryTerm& qt = query[order[j]];
-      if (!qt.cursor.AtEnd() && qt.cursor.Doc() == frontier) {
-        qt.contribution =
-            Contribution(qt.idf, static_cast<double>(qt.cursor.Weight()),
-                         norms.Of(frontier), k1);
-        qt.at_frontier = true;
-        partial += qt.contribution;
-      }
+    for (size_t i = 0; i < match_n; ++i) {
+      QueryTerm& qt = query[order[match[i]]];
+      qt.contribution = Contribution(
+          qt.idf, static_cast<double>(qt.cursor.WeightCap()), frontier_norm,
+          k1);
+      qt.at_frontier = true;
+      partial += qt.contribution;
     }
 
     bool viable =
@@ -608,8 +993,8 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
         qt.cursor.SeekTo(frontier);
         if (!qt.cursor.AtEnd() && qt.cursor.Doc() == frontier) {
           qt.contribution = Contribution(
-              qt.idf, static_cast<double>(qt.cursor.Weight()),
-              norms.Of(frontier), k1);
+              qt.idf, static_cast<double>(qt.cursor.WeightCap()),
+              frontier_norm, k1);
           qt.at_frontier = true;
           running += qt.contribution;
         }
@@ -618,10 +1003,24 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
     if (viable) {
       // The candidate survives every bound: compute its real score by
       // summing contributions in original query order — the exhaustive
-      // accumulator's exact addition sequence.
+      // accumulator's exact addition sequence. With quantization the
+      // cached contributions are caps, so survivors re-score from the
+      // exact floats (the tail stores them; sealed postings read the
+      // forward index).
       double score = 0.0;
-      for (const QueryTerm& qt : query) {
-        if (qt.at_frontier) score += qt.contribution;
+      if (quantized) {
+        for (QueryTerm& qt : query) {
+          if (!qt.at_frontier) continue;
+          const double w =
+              qt.cursor.InSealed()
+                  ? static_cast<double>(ForwardWeight(qt.tid, frontier))
+                  : static_cast<double>(qt.cursor.Weight());
+          score += Contribution(qt.idf, w, frontier_norm, k1);
+        }
+      } else {
+        for (const QueryTerm& qt : query) {
+          if (qt.at_frontier) score += qt.contribution;
+        }
       }
       SearchHit cand{frontier, score};
       if (!full) {
@@ -642,22 +1041,59 @@ std::vector<SearchHit> InvertedIndex::SearchMaxScore(
       }
     }
 
-    for (size_t j = ne; j < m; ++j) {
-      QueryTerm& qt = query[order[j]];
-      if (!qt.cursor.AtEnd() && qt.cursor.Doc() == frontier) {
-        const uint32_t seg_before = qt.cursor.seg;
-        qt.cursor.Next();
-        // Crossing into a new segment (or off the list's end) changes
-        // the skip test's inputs; re-arm it.
-        if (qt.cursor.AtEnd() || qt.cursor.seg != seg_before) {
-          blockmax_dirty = true;
-        }
+    // Advance the matched essential cursors past the frontier. demote()
+    // above may have grown `ne`; a just-demoted cursor is left where it
+    // is (the non-essential probe will SeekTo past it later), exactly as
+    // the former full rescan over [ne, m) behaved.
+    for (size_t i = 0; i < match_n; ++i) {
+      if (match[i] < ne) continue;
+      QueryTerm& qt = query[order[match[i]]];
+      const uint32_t seg_before = qt.cursor.seg;
+      qt.cursor.Next();
+      // Crossing into a new segment (or off the list's end) changes
+      // the skip test's inputs; re-arm it.
+      if (qt.cursor.AtEnd() || qt.cursor.seg != seg_before) {
+        blockmax_dirty = true;
       }
     }
   }
 
+  uint64_t dec = warm_decoded;
+  uint64_t skp = 0;
+  uint64_t hits = warm_cache_hits;
+  for (const QueryTerm& qt : query) {
+    dec += qt.cursor.decoded;
+    skp += qt.cursor.skipped;
+    hits += qt.cursor.cache_hits;
+  }
+  stat_blocks_decoded_.fetch_add(dec, std::memory_order_relaxed);
+  stat_blocks_skipped_.fetch_add(skp, std::memory_order_relaxed);
+  stat_cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+
   std::sort(heap.begin(), heap.end(), Better);
   return heap;
+}
+
+float InvertedIndex::ForwardWeight(TermId tid, DocId d) const {
+  const auto& fwd = forward_[d];
+  auto it = std::lower_bound(
+      fwd.begin(), fwd.end(), tid,
+      [](const std::pair<TermId, float>& p, TermId t) { return p.first < t; });
+  return it != fwd.end() && it->first == tid ? it->second : 0.0f;
+}
+
+double InvertedIndex::ScoreDocExact(const std::vector<QueryTerm>& query,
+                                    const NormView& norms, DocId d) const {
+  const double k1 = options_.bm25_k1;
+  const double norm = norms.Of(d);
+  double score = 0.0;
+  for (const QueryTerm& qt : query) {
+    const float w = ForwardWeight(qt.tid, d);
+    if (w > 0.0f) {
+      score += Contribution(qt.idf, static_cast<double>(w), norm, k1);
+    }
+  }
+  return score;
 }
 
 DocInfo InvertedIndex::doc(DocId id) const {
@@ -687,9 +1123,12 @@ bool InvertedIndex::ContainsContent(uint64_t content_hash) const {
 IndexMemoryUsage InvertedIndex::MemoryUsage() const {
   IndexMemoryUsage u;
   for (const PostingList& pl : postings_) {
-    u.posting_doc_bytes += pl.packed.size() + pl.docs.size() * sizeof(DocId);
+    u.posting_doc_raw_bytes += pl.docs.size() * sizeof(DocId);
+    u.posting_doc_packed_bytes += pl.packed.size();
     u.posting_weight_bytes += pl.weights.size() * sizeof(float);
-    u.posting_block_bytes += pl.blocks.size() * sizeof(BlockMeta);
+    u.posting_weight_quant_bytes += pl.qweights.size();
+    u.posting_block_bytes += pl.blocks.size() * sizeof(BlockMeta) +
+                             pl.impact_order.size() * sizeof(uint32_t);
     u.num_postings += pl.count;
   }
   // Each term is stored twice (dictionary key + the id -> name table);
@@ -705,7 +1144,21 @@ IndexMemoryUsage InvertedIndex::MemoryUsage() const {
       u.norm_cache_bytes = norms_->norm.size() * sizeof(float);
     }
   }
+  const int64_t budget = static_cast<int64_t>(options_.decode_cache_bytes);
+  const int64_t left = std::max(
+      int64_t{0},
+      std::min(budget, decode_cache_left_.load(std::memory_order_relaxed)));
+  u.decode_cache_bytes = static_cast<uint64_t>(budget - left);
   return u;
+}
+
+SearchStats InvertedIndex::search_stats() const {
+  SearchStats s;
+  s.queries = stat_queries_.load(std::memory_order_relaxed);
+  s.blocks_decoded = stat_blocks_decoded_.load(std::memory_order_relaxed);
+  s.blocks_skipped = stat_blocks_skipped_.load(std::memory_order_relaxed);
+  s.decode_cache_hits = stat_cache_hits_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::vector<std::string> InvertedIndex::CharacteristicTerms(

@@ -12,11 +12,18 @@
 // A block that fills up is sealed: a skip entry (last doc id, max
 // posting weight, byte offset) is recorded, and — with
 // IndexOptions::compress_postings — its doc ids are re-encoded as
-// delta+varint bytes (index/block_codec.h). The newest postings of a
-// term live in an unsealed raw tail, so ingest stays append-only and
-// interleaved InsertBatch/search keeps working. Posting weights are
-// NEVER compressed: they stay raw floats in one parallel array, so the
-// scoring loop reads the exact same bits with or without compression.
+// fixed-width bit-packed gaps (index/bitpack_codec.h; SIMD-decoded
+// where the CPU allows) or, with bitpack_postings off, as delta+varint
+// bytes (index/block_codec.h, the compat format). The newest postings
+// of a term live in an unsealed raw tail, so ingest stays append-only
+// and interleaved InsertBatch/search keeps working. Posting weights
+// stay raw floats in one parallel array by default, so the scoring
+// loop reads the exact same bits with or without compression; with
+// IndexOptions::quantize_weights, sealed blocks instead keep 8-bit
+// quantized impact caps (per-block scale, always >= the true weight)
+// used ONLY for bounds and candidate filtering — every surviving
+// candidate is re-scored from the exact floats in the forward index,
+// so returned score bits and tie-break order are unchanged.
 // Each document's BM25 length normalization is precomputed into a flat
 // float array, so scoring never touches DocInfo or hashes a string.
 //
@@ -30,11 +37,13 @@
 // contract: the pruned path returns results BYTE-IDENTICAL to the
 // exhaustive scorer — the same documents, the same IEEE-754 score
 // bits, the same (score desc, doc id asc) tie-break order — for every
-// query and every k, compressed or not. This holds because (a) all
-// bounds (list-level and block-level) are conservatively rounded up
-// before any comparison, so a document is skipped only when its true
-// score provably cannot enter the top-k (ties lose to the incumbent's
-// smaller doc id), and (b) a surviving candidate's score is summed over
+// query and every k, compressed, bit-packed, quantized or not. This
+// holds because (a) all bounds (list-level, block-level, and quantized
+// per-posting caps) are STRICTLY inflated before any comparison, so a
+// document is skipped only when its true score provably cannot even
+// tie into the top-k — a potential tie always survives the bounds and
+// reaches exact scoring, where the total (score desc, doc id asc)
+// order decides — and (b) a surviving candidate's score is summed over
 // the query terms in original query order, the exact addition sequence
 // the exhaustive accumulator performs. pruning_test and bench_index
 // enforce the contract on randomized corpora; IndexOptions::
@@ -43,6 +52,7 @@
 #ifndef DEEPSURF_INDEX_INVERTED_INDEX_H_
 #define DEEPSURF_INDEX_INVERTED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -105,6 +115,40 @@ struct IndexOptions {
   /// floats either way, so results are byte-identical; this only trades
   /// block-decode CPU for memory.
   bool compress_postings = false;
+  /// Sealed-block doc-id codec when compress_postings is on: true picks
+  /// fixed-width bit packing (index/bitpack_codec.h — smaller AND
+  /// faster to decode, SIMD where available), false the delta+varint
+  /// compat codec. Results are byte-identical either way; flip only to
+  /// compare codecs or to match an old memory profile.
+  bool bitpack_postings = true;
+  /// When true, a sealed block's weights are stored as 8-bit quantized
+  /// impact caps (per-block scale) instead of raw floats — a 4x cut of
+  /// the weight stream. The caps are used only for bounds and candidate
+  /// filtering; surviving candidates re-score from the exact floats in
+  /// the forward index, so results stay byte-identical. Off by default:
+  /// it trades a little exact-rescore CPU for memory.
+  bool quantize_weights = false;
+  /// When true (and pruning takes the maxscore path), seed the top-k
+  /// heap by exactly scoring the documents of the few highest-impact
+  /// sealed blocks (per-term skip entries kept impact-ordered) before
+  /// the DAAT sweep, so the pruning threshold starts high instead of
+  /// climbing from zero. Pure scheduling: every document is still
+  /// considered exactly once against conservative bounds, so results
+  /// are byte-identical with this on or off.
+  bool enable_impact_warmup = true;
+  /// Byte budget for pinned block decodes (0 disables them). Sealed
+  /// compressed blocks are immutable once written, so the first query
+  /// to decode one may publish ("pin") the decoded doc ids into a
+  /// per-block atomic slot; every later read of that block is then one
+  /// acquire-load and a pointer — the exact cost the uncompressed path
+  /// pays — with no lock, no hashing, and no re-decode. Pinning is
+  /// first-touch until the budget is spent (under Zipfian queries the
+  /// first-touched blocks ARE the hot ones) and entries are never
+  /// evicted, so the budget is also the hard cap on this stream. It is
+  /// working memory on top of the index image: reported as its own
+  /// MemoryUsage stream and never counted against the compression
+  /// ratios. Ignored when compress_postings is off.
+  size_t decode_cache_bytes = 16u << 20;
 };
 
 /// Corpus-wide statistics a sharded wrapper injects so that every shard
@@ -214,6 +258,11 @@ class InvertedIndex : public WritableIndex {
   /// them. Same read-during-ingest caveats as the query methods.
   IndexMemoryUsage MemoryUsage() const override;
 
+  /// Cumulative query-execution counters. Maintained with relaxed
+  /// atomics, so concurrent queries never serialize on them; totals are
+  /// exact once queries quiesce.
+  SearchStats search_stats() const override;
+
  private:
   /// Skip entry of one sealed posting block (posting_block_size
   /// postings). `last_doc` bounds the ids the block can hold (blocks
@@ -230,18 +279,49 @@ class InvertedIndex : public WritableIndex {
   /// Postings of one term, ascending doc id, stored as sealed fixed-
   /// size blocks plus an unsealed raw tail. Uncompressed: `docs` holds
   /// every id contiguously (sealing only records a BlockMeta).
-  /// Compressed: sealed ids live delta+varint encoded in `packed` and
-  /// `docs` holds only the tail. `weights` always holds every posting's
-  /// raw float weight in posting order — weights are never compressed,
-  /// which is what keeps compressed scoring bit-identical.
+  /// Compressed: sealed ids live bit-packed (or delta+varint, per
+  /// IndexOptions::bitpack_postings) in `packed` and `docs` holds only
+  /// the tail. Without weight quantization `weights` holds every
+  /// posting's raw float weight in posting order — the scorer reads the
+  /// exact same bits however the ids are stored. With quantization,
+  /// sealed postings keep an 8-bit impact cap in `qweights` instead
+  /// (always >= the true weight; per-block scale = the block's
+  /// max_weight) and `weights` holds only the tail; exact floats for
+  /// sealed postings come from the forward index at re-score time.
   struct PostingList {
     std::vector<DocId> docs;
     std::vector<float> weights;  ///< tf with title boost applied
+    std::vector<uint8_t> qweights;  ///< sealed 8-bit caps (quantized mode)
     std::vector<uint8_t> packed;
     std::vector<BlockMeta> blocks;
+    /// Block indices sorted by descending max_weight (ties: ascending
+    /// index) — the impact order the maxscore warm-up visits blocks in.
+    std::vector<uint32_t> impact_order;
+    /// Per sealed block, the pinned decode slot (see IndexOptions::
+    /// decode_cache_bytes): null until some query decodes the block and
+    /// wins the publish CAS, then the block's doc ids for the life of
+    /// the list. Slots are atomic because concurrent searches race to
+    /// publish; the array itself only grows at seal time, which ingest
+    /// serializes against reads (same contract as every other field
+    /// here). `mutable` because publishing happens on the const query
+    /// path. Sized >= blocks.size() (geometric growth), extra slots
+    /// null.
+    mutable std::unique_ptr<std::atomic<const DocId*>[]> pinned;
+    uint32_t pinned_cap = 0;
     float max_weight = 0.0f;       ///< list-level cap (all postings)
     float tail_max_weight = 0.0f;  ///< cap over the unsealed tail only
     uint32_t count = 0;            ///< total postings, sealed + tail
+
+    PostingList() = default;
+    PostingList(PostingList&&) noexcept = default;
+    PostingList& operator=(PostingList&&) noexcept = default;
+    ~PostingList() {
+      if (pinned != nullptr) {
+        for (uint32_t i = 0; i < pinned_cap; ++i) {
+          delete[] pinned[i].load(std::memory_order_relaxed);
+        }
+      }
+    }
   };
 
   /// DAAT cursor over one posting list. Presents the list as a flat
@@ -252,29 +332,63 @@ class InvertedIndex : public WritableIndex {
   /// their decode. Uncompressed segments are served by pointer into the
   /// raw array — no copy.
   struct PostingCursor {
-    void Init(const PostingList* list, uint32_t block_size,
-              bool compressed);
+    /// `idx` lets sealed-block loads go through the pinned-decode
+    /// slots; pass nullptr to always decode privately into `scratch`.
+    void Init(const InvertedIndex* idx, const PostingList* list,
+              const IndexOptions& opts);
     bool AtEnd() const { return pos >= pl->count; }
     DocId Doc() const { return window[pos - win_begin]; }
-    float Weight() const { return pl->weights[pos]; }
+    /// Exact float weight. With quantization this exists only in the
+    /// unsealed tail (sealed postings store caps; exact floats live in
+    /// the forward index) — callers in quantized mode must check
+    /// InSealed() first.
+    float Weight() const {
+      return pl->weights[quantized ? pos - sealed : pos];
+    }
+    /// Conservative per-posting weight cap: the quantized 8-bit cap for
+    /// sealed postings in quantized mode (>= the true weight by the
+    /// quantizer's contract), the exact weight otherwise.
+    float WeightCap() const;
+    bool InSealed() const { return pos < sealed; }
     /// Max weight / last doc id of the segment holding the cursor.
     float SegMaxWeight() const;
     DocId SegLastDoc() const;
     /// Advance one posting (loads the next segment on crossing).
     void Next();
     /// Advance to the first posting with doc id >= target. Skipped
-    /// sealed blocks are never decoded.
+    /// sealed blocks are never decoded (they count into `skipped`).
     void SeekTo(DocId target);
+    /// As SeekTo, but when the landing segment is a compressed sealed
+    /// block its decode is DEFERRED: only the segment metadata (seg /
+    /// win_begin / SegLastDoc / SegMaxWeight) moves, and the cursor is
+    /// "stale" until EnsureLoaded materializes the window and finishes
+    /// the seek. The block-max skip chain runs on metadata alone, so a
+    /// landing that is immediately skipped again costs zero decodes —
+    /// this is what lets the compressed path match raw-pointer segment
+    /// hops. Doc()/Weight()/Next() are invalid while stale.
+    void SkipSegTo(DocId target);
+    /// Decode the deferred landing segment (if any) and complete the
+    /// pending seek. No-op on a non-stale cursor.
+    void EnsureLoaded();
 
     const PostingList* pl = nullptr;
+    const InvertedIndex* owner = nullptr;  ///< for pinned decodes
     uint32_t block_size = 0;
     bool compressed = false;
+    bool bitpacked = false;  ///< sealed blocks bit-packed (vs varint)
+    bool quantized = false;  ///< sealed weights are 8-bit caps
+    uint32_t sealed = 0;     ///< postings in sealed blocks
     uint32_t pos = 0;        ///< absolute posting position
     uint32_t seg = 0;        ///< segment index (blocks.size() = tail)
     uint32_t win_begin = 0;  ///< absolute position of window[0]
     uint32_t win_end = 0;    ///< absolute position past the window
     const DocId* window = nullptr;
-    std::vector<DocId> scratch;  ///< decode buffer (compressed only)
+    bool stale = false;  ///< landing segment not yet decoded (SkipSegTo)
+    DocId pending = 0;   ///< deferred seek target while stale
+    std::vector<DocId> scratch;  ///< decode buffer for unpinned blocks
+    uint64_t decoded = 0;     ///< sealed blocks this cursor decoded
+    uint64_t skipped = 0;     ///< sealed blocks jumped without decoding
+    uint64_t cache_hits = 0;  ///< sealed blocks served pre-decoded
 
    private:
     void LoadSegment(uint32_t segment);
@@ -310,6 +424,7 @@ class InvertedIndex : public WritableIndex {
   /// dictionary, in original query order.
   struct QueryTerm {
     const PostingList* postings;
+    TermId tid;  ///< for exact-weight lookups in the forward index
     double idf;
     double upper_bound;    ///< conservative per-doc score cap (rounded up)
     PostingCursor cursor;  ///< DAAT position (maxscore only)
@@ -343,6 +458,19 @@ class InvertedIndex : public WritableIndex {
   std::shared_ptr<const NormCache> Norms(double avg_len,
                                          size_t total_postings) const;
 
+  /// Exact stored weight of `tid` in document `d`, from the forward
+  /// index (binary search of the doc's TermId-sorted term list); 0 when
+  /// the document lacks the term. The float returned is the very value
+  /// AppendPostingLocked stored, so re-scoring from here reproduces the
+  /// posting-walk score bit-for-bit.
+  float ForwardWeight(TermId tid, DocId d) const;
+
+  /// Exact BM25 score of document `d`: contributions of the query terms
+  /// present in `d`, summed in original query order — the exhaustive
+  /// accumulator's exact addition sequence, so identical bits.
+  double ScoreDocExact(const std::vector<QueryTerm>& query,
+                       const NormView& norms, DocId d) const;
+
   std::vector<SearchHit> SearchExhaustive(const std::vector<QueryTerm>& query,
                                           const NormView& norms,
                                           size_t total_postings,
@@ -353,6 +481,20 @@ class InvertedIndex : public WritableIndex {
   std::vector<SearchHit> SearchMaxScore(std::vector<QueryTerm>& query,
                                         const NormView& norms,
                                         double min_norm, size_t k) const;
+
+  /// Decoded doc ids of sealed block `b` of `pl`, through the pinned-
+  /// decode slots: a pinned block returns its published pointer (`*hit`
+  /// = true, stable for the life of the list); otherwise the block is
+  /// decoded now — into a freshly pinned buffer while the decode-cache
+  /// budget lasts, into `*scratch` (resized as needed, valid until the
+  /// caller's next decode) once it is spent. Requires compress_postings
+  /// and decode_cache_bytes > 0.
+  const DocId* SealedBlockIds(const PostingList& pl, uint32_t b,
+                              std::vector<DocId>* scratch, bool* hit) const;
+
+  /// Ensures pl->pinned has a slot for every sealed block (geometric
+  /// growth, new slots null). Callers hold ingest_mu_.
+  static void GrowPinnedLocked(PostingList* pl);
 
   mutable std::mutex ingest_mu_;
   IndexOptions options_;
@@ -377,6 +519,18 @@ class InvertedIndex : public WritableIndex {
 
   mutable std::mutex norm_mu_;
   mutable std::shared_ptr<const NormCache> norms_;
+
+  /// Remaining pinned-decode budget in bytes (see IndexOptions::
+  /// decode_cache_bytes); goes down as queries pin blocks, transient
+  /// dips below zero are refunded. Atomic because concurrent const
+  /// queries spend from it.
+  mutable std::atomic<int64_t> decode_cache_left_{0};
+
+  /// search_stats() counters (relaxed: counts, not synchronization).
+  mutable std::atomic<uint64_t> stat_queries_{0};
+  mutable std::atomic<uint64_t> stat_blocks_decoded_{0};
+  mutable std::atomic<uint64_t> stat_blocks_skipped_{0};
+  mutable std::atomic<uint64_t> stat_cache_hits_{0};
 };
 
 }  // namespace index

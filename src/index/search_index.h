@@ -56,22 +56,45 @@ struct Document {
 /// reason. Sharded/distributed wrappers sum their parts — the result
 /// describes the logical corpus once, not replicas.
 struct IndexMemoryUsage {
-  uint64_t posting_doc_bytes = 0;     ///< doc-id storage (varint or raw)
-  uint64_t posting_weight_bytes = 0;  ///< raw float posting weights
-  uint64_t posting_block_bytes = 0;   ///< per-block skip entries
-  uint64_t dictionary_bytes = 0;      ///< term strings + interning table
-  uint64_t norm_cache_bytes = 0;      ///< BM25 length-norm cache
+  /// Doc-id storage, split by format: `raw` counts uncompressed ids
+  /// (whole lists when compression is off; just the unsealed tails when
+  /// it is on), `packed` counts the sealed blocks' encoded bytes
+  /// (bit-packed or varint). The old lumped `posting_doc_bytes` figure
+  /// is the sum, kept as a method so existing gates keep reading.
+  uint64_t posting_doc_raw_bytes = 0;
+  uint64_t posting_doc_packed_bytes = 0;
+  /// Posting-weight storage, split the same way: raw floats vs 8-bit
+  /// quantized sealed-block impacts (IndexOptions::quantize_weights).
+  uint64_t posting_weight_bytes = 0;
+  uint64_t posting_weight_quant_bytes = 0;
+  uint64_t posting_block_bytes = 0;  ///< skip entries + impact order
+  uint64_t dictionary_bytes = 0;     ///< term strings + interning table
+  uint64_t norm_cache_bytes = 0;     ///< BM25 length-norm cache
+  /// Decoded-block cache (IndexOptions::decode_cache_bytes): bounded
+  /// working memory, not part of the index image — counted in
+  /// total_bytes but excluded from the per-posting storage ratios the
+  /// compression gates read.
+  uint64_t decode_cache_bytes = 0;
   uint64_t num_postings = 0;
 
+  /// All doc-id bytes regardless of format.
+  uint64_t posting_doc_bytes() const {
+    return posting_doc_raw_bytes + posting_doc_packed_bytes;
+  }
+  /// All posting-weight bytes regardless of format.
+  uint64_t posting_weight_total_bytes() const {
+    return posting_weight_bytes + posting_weight_quant_bytes;
+  }
   uint64_t total_bytes() const {
-    return posting_doc_bytes + posting_weight_bytes + posting_block_bytes +
-           dictionary_bytes + norm_cache_bytes;
+    return posting_doc_bytes() + posting_weight_total_bytes() +
+           posting_block_bytes + dictionary_bytes + norm_cache_bytes +
+           decode_cache_bytes;
   }
   /// Doc-id bytes per posting — the posting-compression headline.
   double doc_bytes_per_posting() const {
     return num_postings == 0
                ? 0.0
-               : static_cast<double>(posting_doc_bytes) /
+               : static_cast<double>(posting_doc_bytes()) /
                      static_cast<double>(num_postings);
   }
   /// All posting-structure bytes (doc ids + weights + block skip
@@ -80,18 +103,45 @@ struct IndexMemoryUsage {
   double bytes_per_posting() const {
     return num_postings == 0
                ? 0.0
-               : static_cast<double>(posting_doc_bytes +
-                                     posting_weight_bytes +
+               : static_cast<double>(posting_doc_bytes() +
+                                     posting_weight_total_bytes() +
                                      posting_block_bytes) /
                      static_cast<double>(num_postings);
   }
   void Add(const IndexMemoryUsage& o) {
-    posting_doc_bytes += o.posting_doc_bytes;
+    posting_doc_raw_bytes += o.posting_doc_raw_bytes;
+    posting_doc_packed_bytes += o.posting_doc_packed_bytes;
     posting_weight_bytes += o.posting_weight_bytes;
+    posting_weight_quant_bytes += o.posting_weight_quant_bytes;
     posting_block_bytes += o.posting_block_bytes;
     dictionary_bytes += o.dictionary_bytes;
     norm_cache_bytes += o.norm_cache_bytes;
+    decode_cache_bytes += o.decode_cache_bytes;
     num_postings += o.num_postings;
+  }
+};
+
+/// Cumulative query-execution counters since index construction.
+/// `blocks_decoded` counts sealed posting blocks actually decoded into
+/// a decode window (by DAAT cursors, impact-ordered warm-up, or the
+/// exhaustive scorer); `blocks_skipped` counts sealed blocks a cursor
+/// jumped past on skip metadata alone, never decoding them;
+/// `decode_cache_hits` counts sealed blocks a query read straight out
+/// of the decoded-block cache, paying neither a decode nor a skip.
+/// Together they make block-max pruning and the cache observable: the
+/// win is a falling decoded/(skipped+hits) ratio, not vibes. Sharded
+/// wrappers sum their shards.
+struct SearchStats {
+  uint64_t queries = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t decode_cache_hits = 0;
+
+  void Add(const SearchStats& o) {
+    queries += o.queries;
+    blocks_decoded += o.blocks_decoded;
+    blocks_skipped += o.blocks_skipped;
+    decode_cache_hits += o.decode_cache_hits;
   }
 };
 
@@ -136,6 +186,10 @@ class SearchIndex {
   /// Implementations that cannot account return the zero struct (the
   /// default).
   virtual IndexMemoryUsage MemoryUsage() const { return {}; }
+
+  /// Cumulative query-execution counters (see SearchStats).
+  /// Implementations that do not track return the zero struct.
+  virtual SearchStats search_stats() const { return {}; }
 };
 
 /// Write side: ingestion of surfaced (and crawled) pages.

@@ -218,6 +218,13 @@ IndexMemoryUsage ShardedIndex::MemoryUsage() const {
   return total;
 }
 
+SearchStats ShardedIndex::search_stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  SearchStats total;
+  for (const auto& shard : shards_) total.Add(shard->search_stats());
+  return total;
+}
+
 bool ShardedIndex::ContainsContent(uint64_t content_hash) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return by_hash_.count(content_hash) > 0;

@@ -98,6 +98,12 @@ class ShardedIndex : public WritableIndex {
   /// safe against concurrent ingest, unlike the bare InvertedIndex's).
   IndexMemoryUsage MemoryUsage() const override;
 
+  /// Sum of the shards' query-execution counters. Each SearchTerms call
+  /// here counts one query per shard consulted (the shards do their own
+  /// counting) — the decoded/skipped block totals are what pruning
+  /// observability cares about.
+  SearchStats search_stats() const override;
+
   size_t num_shards() const { return shards_.size(); }
 
   /// Which shard a URL routes to (stable for the life of the index).

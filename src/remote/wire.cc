@@ -363,11 +363,14 @@ std::string Encode(const HealthResponse& msg) {
   PutU64(&out, msg.requests_served);
   PutU64(&out, msg.requests_rejected);
   PutU64(&out, msg.requests_cancelled);
-  PutU64(&out, msg.memory.posting_doc_bytes);
+  PutU64(&out, msg.memory.posting_doc_raw_bytes);
+  PutU64(&out, msg.memory.posting_doc_packed_bytes);
   PutU64(&out, msg.memory.posting_weight_bytes);
+  PutU64(&out, msg.memory.posting_weight_quant_bytes);
   PutU64(&out, msg.memory.posting_block_bytes);
   PutU64(&out, msg.memory.dictionary_bytes);
   PutU64(&out, msg.memory.norm_cache_bytes);
+  PutU64(&out, msg.memory.decode_cache_bytes);
   PutU64(&out, msg.memory.num_postings);
   return out;
 }
@@ -385,11 +388,14 @@ Result<HealthResponse> DecodeHealthResponse(const std::string& frame) {
   msg.requests_served = r.GetU64();
   msg.requests_rejected = r.GetU64();
   msg.requests_cancelled = r.GetU64();
-  msg.memory.posting_doc_bytes = r.GetU64();
+  msg.memory.posting_doc_raw_bytes = r.GetU64();
+  msg.memory.posting_doc_packed_bytes = r.GetU64();
   msg.memory.posting_weight_bytes = r.GetU64();
+  msg.memory.posting_weight_quant_bytes = r.GetU64();
   msg.memory.posting_block_bytes = r.GetU64();
   msg.memory.dictionary_bytes = r.GetU64();
   msg.memory.norm_cache_bytes = r.GetU64();
+  msg.memory.decode_cache_bytes = r.GetU64();
   msg.memory.num_postings = r.GetU64();
   if (!r.Done()) return Malformed("truncated HealthResponse");
   return msg;

@@ -398,7 +398,7 @@ TEST_P(IndexIngestTest, CompressionIsUnobservableInCorpusStateAndResults) {
   auto cm = compressed.MemoryUsage();
   EXPECT_EQ(rm.num_postings, cm.num_postings);
   EXPECT_EQ(rm.posting_weight_bytes, cm.posting_weight_bytes);
-  EXPECT_LT(cm.posting_doc_bytes, rm.posting_doc_bytes);
+  EXPECT_LT(cm.posting_doc_bytes(), rm.posting_doc_bytes());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexIngestTest,

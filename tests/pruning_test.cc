@@ -4,10 +4,11 @@
 // equal score doubles, same (score desc, doc id asc) tie-break order.
 // Exercised on randomized corpora across k well below, at, and above
 // the corpus size, at 1/3/8 shards, with and without the serve-layer
-// result cache, with postings compressed (delta+varint blocks) and raw,
-// at block sizes small enough to force many sealed blocks plus an
-// unsealed tail, plus the degenerate inputs (empty query, unknown
-// terms, k = 0).
+// result cache, with postings compressed (bit-packed and delta+varint
+// sealed blocks) and raw, with weights quantized and exact, with the
+// impact-ordered warm-up on and off, at block sizes small enough to
+// force many sealed blocks plus an unsealed tail, plus the degenerate
+// inputs (empty query, unknown terms, k = 0).
 
 #include <gtest/gtest.h>
 
@@ -91,22 +92,41 @@ TEST_P(PruningEquivalenceTest, PrunedTopKisByteIdenticalToExhaustive) {
   InvertedIndex exhaustive(exhaustive_opts);
   ASSERT_TRUE(exhaustive.InsertBatch(docs).ok());
 
-  // Pruned configurations: compression on/off crossed with a block size
-  // small enough that common terms span many sealed blocks plus a tail
-  // (df up to 600 at block 16), and the default block size where most
-  // lists are tail-only. Every one must be byte-identical to the
-  // exhaustive reference.
+  // Pruned configurations: compression on/off crossed with the sealed-
+  // block codec (bit-packed vs varint), weight quantization, and the
+  // impact-ordered warm-up, at a block size small enough that common
+  // terms span many sealed blocks plus a tail (df up to 600 at block
+  // 16) and at the default block size where most lists are tail-only.
+  // Every one must be byte-identical to the exhaustive reference.
   struct Config {
     bool compress;
     size_t block;
+    bool bitpack = true;
+    bool quantize = false;
+    bool warmup = true;
+    size_t cache = 16u << 20;  // IndexOptions::decode_cache_bytes default
   };
-  for (const Config& cfg : {Config{false, 16}, Config{true, 16},
-                            Config{true, 128}}) {
+  for (const Config& cfg :
+       {Config{false, 16}, Config{true, 16}, Config{true, 128},
+        Config{true, 16, /*bitpack=*/false},            // varint compat
+        Config{true, 16, true, /*quantize=*/true},      // full stack
+        Config{false, 16, true, /*quantize=*/true},     // quantize alone
+        Config{true, 16, true, true, /*warmup=*/false},
+        Config{true, 128, true, /*quantize=*/true},
+        // Pinned-decode edge cases: no budget (every touch decodes to
+        // scratch) and a budget so small it exhausts mid-corpus (mixed
+        // pinned/unpinned blocks within single lists).
+        Config{true, 16, true, false, true, /*cache=*/0},
+        Config{true, 16, true, true, true, /*cache=*/256}}) {
     IndexOptions pruned_opts;
     pruned_opts.enable_pruning = true;
     pruned_opts.pruning_min_postings = 0;  // force maxscore on this corpus
     pruned_opts.compress_postings = cfg.compress;
     pruned_opts.posting_block_size = cfg.block;
+    pruned_opts.bitpack_postings = cfg.bitpack;
+    pruned_opts.quantize_weights = cfg.quantize;
+    pruned_opts.enable_impact_warmup = cfg.warmup;
+    pruned_opts.decode_cache_bytes = cfg.cache;
     InvertedIndex pruned(pruned_opts);
     ASSERT_TRUE(pruned.InsertBatch(docs).ok());
     ASSERT_EQ(pruned.num_docs(), exhaustive.num_docs());
@@ -118,7 +138,11 @@ TEST_P(PruningEquivalenceTest, PrunedTopKisByteIdenticalToExhaustive) {
                        pruned.SearchTerms(terms, k),
                        "seed " + std::to_string(GetParam()) + " k=" +
                            std::to_string(k) + (cfg.compress ? " comp" : "") +
-                           " block=" + std::to_string(cfg.block));
+                           (cfg.bitpack ? " bitpack" : " varint") +
+                           (cfg.quantize ? " quant" : "") +
+                           (cfg.warmup ? "" : " nowarm") +
+                           " block=" + std::to_string(cfg.block) +
+                           " cache=" + std::to_string(cfg.cache));
       }
     }
   }
@@ -155,7 +179,7 @@ TEST_P(PruningEquivalenceTest,
   auto raw_mem = raw.MemoryUsage();
   auto comp_mem = compressed.MemoryUsage();
   EXPECT_EQ(raw_mem.num_postings, comp_mem.num_postings);
-  EXPECT_LT(comp_mem.posting_doc_bytes, raw_mem.posting_doc_bytes);
+  EXPECT_LT(comp_mem.posting_doc_bytes(), raw_mem.posting_doc_bytes());
   EXPECT_EQ(raw_mem.posting_weight_bytes, comp_mem.posting_weight_bytes);
 }
 
@@ -168,13 +192,21 @@ TEST_P(PruningEquivalenceTest, ShardedPrunedMatchesExhaustiveSingleIndex) {
   ASSERT_TRUE(reference.InsertBatch(docs).ok());
 
   auto queries = RandomQueries(GetParam() * 57 + 1, 80);
+  // Modes: raw, bit-packed compressed, and the full compressed +
+  // quantized + impact-ordered stack — each at 1/3/8 shards.
+  struct Mode {
+    bool compress;
+    bool quantize;
+  };
   for (size_t shards : {1u, 3u, 8u}) {
-    for (bool compress : {false, true}) {
+    for (const Mode& mode :
+         {Mode{false, false}, Mode{true, false}, Mode{true, true}}) {
       ShardedIndexOptions sopts;
       sopts.num_shards = shards;
       sopts.index.enable_pruning = true;
       sopts.index.pruning_min_postings = 0;  // force maxscore per shard
-      sopts.index.compress_postings = compress;
+      sopts.index.compress_postings = mode.compress;
+      sopts.index.quantize_weights = mode.quantize;
       sopts.index.posting_block_size = 16;  // many sealed blocks + tails
       ShardedIndex sharded(sopts);
       ASSERT_TRUE(sharded.InsertBatch(docs).ok());
@@ -185,7 +217,8 @@ TEST_P(PruningEquivalenceTest, ShardedPrunedMatchesExhaustiveSingleIndex) {
                          sharded.SearchTerms(terms, k),
                          std::to_string(shards) + " shards, k=" +
                              std::to_string(k) +
-                             (compress ? ", compressed" : ""));
+                             (mode.compress ? ", compressed" : "") +
+                             (mode.quantize ? ", quantized" : ""));
         }
       }
     }
@@ -361,13 +394,93 @@ TEST(PruningEdgeCases, MemoryUsageSumsAcrossShards) {
     manual.Add(sharded.shard(s).MemoryUsage());
   }
   EXPECT_EQ(total.num_postings, manual.num_postings);
-  EXPECT_EQ(total.posting_doc_bytes, manual.posting_doc_bytes);
+  EXPECT_EQ(total.posting_doc_bytes(), manual.posting_doc_bytes());
   EXPECT_EQ(total.total_bytes(), manual.total_bytes());
   EXPECT_GT(total.num_postings, 0u);
   EXPECT_GT(total.dictionary_bytes, 0u);
   EXPECT_GT(total.doc_bytes_per_posting(), 0.0);
   // Compressed doc-id storage beats 4 raw bytes per posting.
   EXPECT_LT(total.doc_bytes_per_posting(), 4.0);
+}
+
+TEST(PruningEdgeCases, QuantizedWeightsShrinkTheWeightStream) {
+  // Quantization's whole point: the sealed weight stream drops from
+  // 4 bytes/posting to 1 (the tail keeps floats), while results stay
+  // byte-identical (covered by the matrix tests above).
+  auto docs = RandomDocs(31, 400);
+  IndexOptions raw_opts;
+  InvertedIndex raw(raw_opts);
+  ASSERT_TRUE(raw.InsertBatch(docs).ok());
+  IndexOptions q_opts;
+  q_opts.quantize_weights = true;
+  q_opts.compress_postings = true;
+  q_opts.posting_block_size = 16;
+  InvertedIndex quantized(q_opts);
+  ASSERT_TRUE(quantized.InsertBatch(docs).ok());
+
+  auto rm = raw.MemoryUsage();
+  auto qm = quantized.MemoryUsage();
+  EXPECT_EQ(rm.num_postings, qm.num_postings);
+  EXPECT_EQ(rm.posting_weight_quant_bytes, 0u);
+  EXPECT_GT(qm.posting_weight_quant_bytes, 0u);
+  // Every sealed posting moved from a 4-byte float to a 1-byte cap.
+  EXPECT_LT(qm.posting_weight_total_bytes(),
+            rm.posting_weight_total_bytes());
+  EXPECT_EQ(rm.posting_weight_bytes,
+            qm.posting_weight_bytes + 4 * qm.posting_weight_quant_bytes);
+}
+
+TEST(PruningEdgeCases, SearchStatsCountDecodesAndSkips) {
+  auto docs = RandomDocs(47, 500);
+  IndexOptions opts;
+  opts.enable_pruning = true;
+  opts.pruning_min_postings = 0;
+  opts.compress_postings = true;
+  opts.posting_block_size = 16;
+  InvertedIndex pruned(opts);
+  ASSERT_TRUE(pruned.InsertBatch(docs).ok());
+  IndexOptions ex_opts;
+  ex_opts.enable_pruning = false;
+  ex_opts.compress_postings = true;
+  ex_opts.posting_block_size = 16;
+  InvertedIndex exhaustive(ex_opts);
+  ASSERT_TRUE(exhaustive.InsertBatch(docs).ok());
+
+  ASSERT_EQ(pruned.search_stats().queries, 0u);
+  auto queries = RandomQueries(48, 40);
+  for (const auto& terms : queries) {
+    (void)pruned.SearchTerms(terms, 5);
+    (void)exhaustive.SearchTerms(terms, 5);
+  }
+  const SearchStats ps = pruned.search_stats();
+  const SearchStats es = exhaustive.search_stats();
+  EXPECT_EQ(ps.queries, queries.size());
+  EXPECT_EQ(es.queries, queries.size());
+  EXPECT_GT(ps.blocks_decoded, 0u);
+  // The exhaustive scorer decodes every sealed block of every resolved
+  // term and skips none; pruning must decode strictly less and show its
+  // skips on this corpus (common terms span ~30 blocks at block 16).
+  EXPECT_EQ(es.blocks_skipped, 0u);
+  EXPECT_GT(ps.blocks_skipped, 0u);
+  EXPECT_LT(ps.blocks_decoded, es.blocks_decoded);
+
+  // The sharded wrapper sums its shards.
+  ShardedIndexOptions sopts;
+  sopts.num_shards = 3;
+  sopts.index = opts;
+  ShardedIndex sharded(sopts);
+  ASSERT_TRUE(sharded.InsertBatch(docs).ok());
+  ASSERT_EQ(sharded.search_stats().queries, 0u);
+  for (const auto& terms : queries) (void)sharded.SearchTerms(terms, 5);
+  SearchStats manual;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    manual.Add(sharded.shard(s).search_stats());
+  }
+  const SearchStats total = sharded.search_stats();
+  EXPECT_EQ(total.queries, manual.queries);
+  EXPECT_EQ(total.blocks_decoded, manual.blocks_decoded);
+  EXPECT_EQ(total.blocks_skipped, manual.blocks_skipped);
+  EXPECT_GT(total.blocks_decoded, 0u);
 }
 
 TEST(PruningEdgeCases, TermInterningIsDense) {

@@ -171,22 +171,29 @@ TEST(WireTest, StatsAndHealthRoundTrip) {
   health.last_applied_seq = 3;
   health.queue_depth = 2;
   health.requests_served = 100;
-  health.memory.posting_doc_bytes = 1234;
+  health.memory.posting_doc_raw_bytes = 1234;
+  health.memory.posting_doc_packed_bytes = 870;
   health.memory.posting_weight_bytes = 4321;
+  health.memory.posting_weight_quant_bytes = 123;
   health.memory.posting_block_bytes = 96;
   health.memory.dictionary_bytes = 555;
   health.memory.norm_cache_bytes = 44;
+  health.memory.decode_cache_bytes = 66;
   health.memory.num_postings = 777;
   auto h = DecodeHealthResponse(Encode(health));
   ASSERT_TRUE(h.ok());
   EXPECT_EQ(h->num_docs, 9u);
   EXPECT_EQ(h->last_applied_seq, 3u);
   EXPECT_EQ(h->requests_served, 100u);
-  EXPECT_EQ(h->memory.posting_doc_bytes, 1234u);
+  EXPECT_EQ(h->memory.posting_doc_raw_bytes, 1234u);
+  EXPECT_EQ(h->memory.posting_doc_packed_bytes, 870u);
+  EXPECT_EQ(h->memory.posting_doc_bytes(), 1234u + 870u);
   EXPECT_EQ(h->memory.posting_weight_bytes, 4321u);
+  EXPECT_EQ(h->memory.posting_weight_quant_bytes, 123u);
   EXPECT_EQ(h->memory.posting_block_bytes, 96u);
   EXPECT_EQ(h->memory.dictionary_bytes, 555u);
   EXPECT_EQ(h->memory.norm_cache_bytes, 44u);
+  EXPECT_EQ(h->memory.decode_cache_bytes, 66u);
   EXPECT_EQ(h->memory.num_postings, 777u);
 }
 
@@ -739,7 +746,7 @@ TEST(RemoteServingTest, MemoryUsageSumsOneReplicaPerShard) {
     return manual.num_postings;
   }());
   EXPECT_GT(mem.num_postings, 0u);
-  EXPECT_GT(mem.posting_doc_bytes, 0u);
+  EXPECT_GT(mem.posting_doc_bytes(), 0u);
   EXPECT_GT(mem.dictionary_bytes, 0u);
   // The logical corpus is counted once: replicas must not double it.
   index::IndexMemoryUsage one_replica_each;
