@@ -24,11 +24,11 @@
 
 #include "bench_common.h"
 #include "index/inverted_index.h"
-#include "querylog/query_stream.h"
 #include "remote/coordinator.h"
 #include "remote/transport.h"
 #include "serve/engine.h"
 #include "synthweb/corpus.h"
+#include "traffic/traffic_gen.h"
 #include "util/stats.h"
 
 namespace deepsurf {
@@ -87,24 +87,17 @@ int Run(int argc, char** argv) {
   auto corpus = synthweb::BuildCorpus(copts);
   auto docs = synthweb::EntityDocuments(corpus);
 
-  querylog::QueryStreamOptions qopts;
-  qopts.seed = 515;
-  querylog::QueryStream stream(&corpus, qopts);
+  // The same shared Zipf-repetitive stream bench_serving replays (see
+  // traffic/traffic_gen.h; traffic_gen_test pins the bytes), at this
+  // harness's smaller pool and stream sizes.
   constexpr size_t kDistinctQueries = 800;
   constexpr size_t kQueries = 1500;
   constexpr size_t kTopK = 10;
-  std::vector<std::string> pool;
-  pool.reserve(kDistinctQueries);
-  for (size_t i = 0; i < kDistinctQueries; ++i) {
-    pool.push_back(stream.Next().text);
-  }
-  Rng rng(717);
-  ZipfSampler query_popularity(kDistinctQueries, 1.0);
-  std::vector<std::string> queries;
-  queries.reserve(kQueries);
-  for (size_t i = 0; i < kQueries; ++i) {
-    queries.push_back(pool[query_popularity.Sample(&rng)]);
-  }
+  traffic::ZipfStreamOptions zopts;
+  zopts.distinct = kDistinctQueries;
+  zopts.total = kQueries;
+  auto stream = traffic::BuildZipfQueryStream(corpus, zopts);
+  const std::vector<std::string>& queries = stream.queries;
   std::printf("corpus: %zu docs, stream: %zu queries zipf(1.0) over %zu "
               "distinct\n",
               docs.size(), kQueries, kDistinctQueries);

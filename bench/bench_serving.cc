@@ -17,9 +17,9 @@
 #include "bench_common.h"
 #include "index/inverted_index.h"
 #include "index/sharded_index.h"
-#include "querylog/query_stream.h"
 #include "serve/engine.h"
 #include "synthweb/corpus.h"
+#include "traffic/traffic_gen.h"
 
 namespace deepsurf {
 namespace {
@@ -60,25 +60,17 @@ int Run(int argc, char** argv) {
   // The serving workload: queries themselves follow a power law (the
   // same lookup is issued verbatim by many users), modeled as Zipf
   // draws over a pool of distinct stream queries. That repetition is
-  // what the result cache exists to absorb.
-  querylog::QueryStreamOptions qopts;
-  qopts.seed = 515;
-  querylog::QueryStream stream(&corpus, qopts);
+  // what the result cache exists to absorb. The generator is shared
+  // with bench_remote and bench_traffic (traffic_gen_test pins the
+  // stream bytes), so every serving harness replays the same traffic.
   constexpr size_t kDistinctQueries = 1500;
   constexpr size_t kQueries = 4000;
   constexpr size_t kTopK = 10;
-  std::vector<std::string> pool;
-  pool.reserve(kDistinctQueries);
-  for (size_t i = 0; i < kDistinctQueries; ++i) {
-    pool.push_back(stream.Next().text);
-  }
-  Rng rng(717);
-  ZipfSampler query_popularity(kDistinctQueries, 1.0);
-  std::vector<std::string> queries;
-  queries.reserve(kQueries);
-  for (size_t i = 0; i < kQueries; ++i) {
-    queries.push_back(pool[query_popularity.Sample(&rng)]);
-  }
+  traffic::ZipfStreamOptions zopts;
+  zopts.distinct = kDistinctQueries;
+  zopts.total = kQueries;
+  auto stream = traffic::BuildZipfQueryStream(corpus, zopts);
+  const std::vector<std::string>& queries = stream.queries;
 
   std::printf(
       "corpus: %zu docs, query stream: %zu queries drawn zipf(1.0) from "

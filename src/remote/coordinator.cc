@@ -820,5 +820,26 @@ index::IndexMemoryUsage Coordinator::MemoryUsage() const {
   return total;
 }
 
+index::SearchStats Coordinator::search_stats() const {
+  const std::string frame = Encode(HealthRequest{});  // no memory walk
+  std::vector<index::SearchStats> per_shard(num_shards_);
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    jobs.push_back([this, s, &frame, &per_shard] {
+      auto resp = CallShard(s, frame, /*pinned_replica=*/-1,
+                            options_.max_attempts,
+                            /*hedging_allowed=*/false);
+      if (!resp.ok()) return;
+      auto health = DecodeHealthResponse(*resp);
+      if (health.ok()) per_shard[s] = health->search;
+    });
+  }
+  RunJobs(std::move(jobs));
+  index::SearchStats total;
+  for (const auto& st : per_shard) total.Add(st);
+  return total;
+}
+
 }  // namespace remote
 }  // namespace deepsurf

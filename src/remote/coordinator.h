@@ -186,6 +186,15 @@ class Coordinator : public index::WritableIndex {
   /// whose probe fails contributes zero; best-effort, like ProbeHealth.
   index::IndexMemoryUsage MemoryUsage() const override;
 
+  /// Cluster query-execution counters: one light health probe per shard
+  /// (no memory walk), the answering replica's index::SearchStats
+  /// summed. Unlike memory, these counters are per-*replica* work (a
+  /// hedged or failed-over query decodes blocks on whichever replica
+  /// served it), so the sum is a sample of cluster activity — one
+  /// serving replica per shard — not an exact census. Best-effort, like
+  /// ProbeHealth; a failed probe contributes zero.
+  index::SearchStats search_stats() const override;
+
  private:
   struct CallState;
   class WriterLock;

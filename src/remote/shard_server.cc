@@ -208,8 +208,10 @@ Result<std::string> ShardServer::HandleHealth(const std::string& request) {
     resp.epoch = index_.ingest_epoch();
     resp.last_applied_seq = last_applied_seq_;
     // Memory accounting walks every posting list and the dictionary —
-    // only on request, so plain liveness probes stay O(1).
+    // only on request, so plain liveness probes stay O(1). Search
+    // counters are O(1) reads and always travel.
     if (req->include_memory) resp.memory = index_.MemoryUsage();
+    resp.search = index_.search_stats();
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

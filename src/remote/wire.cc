@@ -372,6 +372,10 @@ std::string Encode(const HealthResponse& msg) {
   PutU64(&out, msg.memory.norm_cache_bytes);
   PutU64(&out, msg.memory.decode_cache_bytes);
   PutU64(&out, msg.memory.num_postings);
+  PutU64(&out, msg.search.queries);
+  PutU64(&out, msg.search.blocks_decoded);
+  PutU64(&out, msg.search.blocks_skipped);
+  PutU64(&out, msg.search.decode_cache_hits);
   return out;
 }
 
@@ -397,6 +401,10 @@ Result<HealthResponse> DecodeHealthResponse(const std::string& frame) {
   msg.memory.norm_cache_bytes = r.GetU64();
   msg.memory.decode_cache_bytes = r.GetU64();
   msg.memory.num_postings = r.GetU64();
+  msg.search.queries = r.GetU64();
+  msg.search.blocks_decoded = r.GetU64();
+  msg.search.blocks_skipped = r.GetU64();
+  msg.search.decode_cache_hits = r.GetU64();
   if (!r.Done()) return Malformed("truncated HealthResponse");
   return msg;
 }

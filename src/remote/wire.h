@@ -101,7 +101,11 @@ struct HealthRequest {
 
 /// Shard-node health and load snapshot. The memory fields mirror
 /// index::IndexMemoryUsage so a coordinator can account the cluster's
-/// logical corpus (one replica per shard) without a dedicated RPC.
+/// logical corpus (one replica per shard) without a dedicated RPC;
+/// `search` carries the replica's cumulative index::SearchStats (O(1)
+/// counters, always included) so block-decode and decode-cache activity
+/// stay observable across the wire — the traffic harness reads them
+/// per phase through Coordinator::search_stats().
 struct HealthResponse {
   uint64_t num_docs = 0;
   uint64_t epoch = 0;
@@ -111,6 +115,7 @@ struct HealthResponse {
   uint64_t requests_rejected = 0;
   uint64_t requests_cancelled = 0;
   index::IndexMemoryUsage memory;
+  index::SearchStats search;
 };
 
 /// Message type of a frame (its first byte); InvalidArgument for an

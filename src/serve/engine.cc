@@ -102,8 +102,39 @@ ServeResult Engine::Search(const std::string& query, size_t k) {
   return ServeResult{std::move(hits), false};
 }
 
+ServeResult Engine::Search(const std::string& query, size_t k,
+                           Deadline deadline) {
+  if (std::chrono::steady_clock::now() >= deadline) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+    ++stats_.deadline_exceeded;
+    ServeResult shed;
+    shed.status = Status::DeadlineExceeded("deadline passed before search");
+    return shed;
+  }
+  return Search(query, k);
+}
+
 std::vector<ServeResult> Engine::SearchBatch(
     const std::vector<std::string>& queries, size_t concurrency) {
+  return SearchBatchInternal(queries, concurrency, /*has_deadline=*/false,
+                             Deadline{});
+}
+
+std::vector<ServeResult> Engine::SearchBatch(
+    const std::vector<std::string>& queries, size_t concurrency,
+    double deadline_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(deadline_ms));
+  return SearchBatchInternal(queries, concurrency, /*has_deadline=*/true,
+                             deadline);
+}
+
+std::vector<ServeResult> Engine::SearchBatchInternal(
+    const std::vector<std::string>& queries, size_t concurrency,
+    bool has_deadline, Deadline deadline) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.batches;
@@ -114,7 +145,9 @@ std::vector<ServeResult> Engine::SearchBatch(
     for (;;) {
       size_t i = cursor.fetch_add(1);
       if (i >= queries.size()) return;
-      results[i] = Search(queries[i]);
+      results[i] = has_deadline
+                       ? Search(queries[i], options_.default_top_k, deadline)
+                       : Search(queries[i]);
     }
   };
   if (concurrency < 2 || queries.size() < 2) {

@@ -27,6 +27,7 @@
 #ifndef DEEPSURF_SERVE_ENGINE_H_
 #define DEEPSURF_SERVE_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "index/search_index.h"
+#include "util/status.h"
 
 namespace deepsurf {
 namespace serve {
@@ -56,6 +58,11 @@ struct EngineStats {
   uint64_t evictions = 0;      ///< LRU entries dropped
   uint64_t invalidations = 0;  ///< entries discarded because the index grew
   uint64_t batches = 0;        ///< SearchBatch calls
+  /// Requests shed with DeadlineExceeded: their deadline had already
+  /// passed when a worker picked them up (see Search with Deadline).
+  /// Under open-loop load this is the queueing-collapse signal — work
+  /// expires in the queue faster than it can be started.
+  uint64_t deadline_exceeded = 0;
   /// Invalidations attributed to the ingest-source tag active when the
   /// entry was discarded (SetIngestSource). Lets benches and operators
   /// tell apart who grew the index — e.g. local crawling vs the remote
@@ -73,10 +80,13 @@ struct EngineStats {
   }
 };
 
-/// One served query.
+/// One served query. `status` is OK for a normally served result and
+/// DeadlineExceeded (with empty hits) for a request shed past its
+/// deadline; existing no-deadline callers never see a non-OK status.
 struct ServeResult {
   std::vector<index::SearchHit> hits;
   bool from_cache = false;
+  Status status = Status::OK();
 };
 
 /// Thread-safe caching front end over a SearchIndex. All methods may be
@@ -95,12 +105,36 @@ class Engine {
   /// Answers one query (top k).
   ServeResult Search(const std::string& query, size_t k);
 
+  /// A per-request deadline for Search / SearchBatch.
+  using Deadline = std::chrono::steady_clock::time_point;
+
+  /// Answers one query (top k) unless `deadline` has already passed, in
+  /// which case the request is shed: DeadlineExceeded status, empty
+  /// hits, no index work, counted in stats().deadline_exceeded. The
+  /// check happens at admission — a search that has started runs to
+  /// completion (index searches are not cancellable), so the deadline
+  /// bounds *queueing* delay, which is exactly what an open-loop
+  /// harness needs to observe: when offered load exceeds capacity,
+  /// requests expire behind the backlog instead of blocking forever and
+  /// silently throttling the offered rate.
+  ServeResult Search(const std::string& query, size_t k, Deadline deadline);
+
   /// Answers a batch with `concurrency` worker threads (values < 2 run
   /// on the calling thread). Results are positional. Identical queries
   /// inside one batch are not coalesced; later ones simply hit the cache
   /// when it is enabled.
   std::vector<ServeResult> SearchBatch(const std::vector<std::string>& queries,
                                        size_t concurrency);
+
+  /// As SearchBatch, but every request carries the same deadline:
+  /// `deadline_ms` after the batch was submitted (the whole batch enters
+  /// the queue at once, so submission is each request's arrival time). A
+  /// request a worker picks up past the deadline is shed with
+  /// DeadlineExceeded instead of searched — with a saturated worker pool
+  /// the tail of a too-large batch expires, which is how queueing
+  /// collapse becomes measurable instead of an unbounded stall.
+  std::vector<ServeResult> SearchBatch(const std::vector<std::string>& queries,
+                                       size_t concurrency, double deadline_ms);
 
   /// The normalized form of a query — the analyzer tokens joined by
   /// single spaces — which prefixes its cache key (the key also encodes
@@ -135,6 +169,12 @@ class Engine {
 
   /// Removes `it`'s entry from cache_ and lru_. Requires mu_ held.
   void EraseLocked(std::unordered_map<std::string, CacheEntry>::iterator it);
+
+  /// Shared batch worker-pool body; `deadline` applies per request when
+  /// `has_deadline` is set.
+  std::vector<ServeResult> SearchBatchInternal(
+      const std::vector<std::string>& queries, size_t concurrency,
+      bool has_deadline, Deadline deadline);
 
   const index::SearchIndex* index_;
   const EngineOptions options_;

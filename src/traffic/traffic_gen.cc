@@ -1,0 +1,160 @@
+#include "traffic/traffic_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "querylog/query_stream.h"
+#include "util/logging.h"
+
+namespace deepsurf {
+namespace traffic {
+
+ZipfQueryStream BuildZipfQueryStream(const synthweb::WebCorpus& corpus,
+                                     const ZipfStreamOptions& options) {
+  DS_CHECK(options.distinct > 0) << "empty query pool";
+  ZipfQueryStream out;
+
+  // Exactly the legacy inline generator, in its RNG-consumption order:
+  // pool first (QueryStream seeded with pool_seed, every other option at
+  // its default), then the popularity draws (a fresh Rng(draw_seed)
+  // feeding one ZipfSampler). Changing any step here breaks the
+  // byte-identity pin in traffic_gen_test.
+  querylog::QueryStreamOptions qopts;
+  qopts.seed = options.pool_seed;
+  querylog::QueryStream stream(&corpus, qopts);
+  out.pool.reserve(options.distinct);
+  for (size_t i = 0; i < options.distinct; ++i) {
+    out.pool.push_back(stream.Next().text);
+  }
+
+  Rng rng(options.draw_seed);
+  ZipfSampler popularity(options.distinct, options.zipf_s);
+  out.ranks.reserve(options.total);
+  out.queries.reserve(options.total);
+  for (size_t i = 0; i < options.total; ++i) {
+    size_t rank = static_cast<size_t>(popularity.Sample(&rng));
+    out.ranks.push_back(rank);
+    out.queries.push_back(out.pool[rank]);
+  }
+  return out;
+}
+
+std::vector<Arrival> GenerateArrivals(const std::vector<PhaseSpec>& phases,
+                                      size_t pool_size, uint64_t seed) {
+  DS_CHECK(pool_size > 0) << "empty query pool";
+  std::vector<Arrival> out;
+  Rng master(seed);
+  double phase_start = 0.0;
+  for (size_t p = 0; p < phases.size(); ++p) {
+    const PhaseSpec& ph = phases[p];
+    // Two forks per phase, drawn unconditionally: arrival gaps and rank
+    // draws. Fixed consumption keeps phases independent — retuning one
+    // phase's rates cannot shift another phase's stream.
+    Rng gaps = master.Fork();
+    Rng ranks = master.Fork();
+    const double phase_end = phase_start + std::max(0.0, ph.duration_s);
+    if (ph.duration_s > 0.0 && (ph.qps_start > 0.0 || ph.qps_end > 0.0)) {
+      ZipfSampler sampler(pool_size, ph.zipf_s);
+      double t = phase_start;
+      for (;;) {
+        // Non-homogeneous Poisson via per-gap rate evaluation: the rate
+        // is linearly interpolated at the current offset, and the next
+        // exponential gap is drawn at that rate. Exact for steady
+        // phases; a standard first-order approximation for ramps.
+        const double frac = (t - phase_start) / ph.duration_s;
+        const double rate = ph.qps_start + (ph.qps_end - ph.qps_start) * frac;
+        if (rate <= 0.0) break;
+        t += -std::log(1.0 - gaps.UniformDouble()) / rate;
+        if (!(t < phase_end)) break;
+        Arrival a;
+        a.time_s = t;
+        a.phase = p;
+        a.rank = static_cast<size_t>(sampler.Sample(&ranks));
+        out.push_back(a);
+      }
+    }
+    phase_start = phase_end;
+  }
+  return out;
+}
+
+std::vector<ChaosEvent> BuildRollingChaos(size_t shards, size_t replicas,
+                                          double start_s, double end_s,
+                                          double delay_ms, uint64_t seed) {
+  std::vector<ChaosEvent> out;
+  if (shards == 0 || replicas == 0 || !(end_s > start_s)) return out;
+  Rng rng(seed);
+  const double slot = (end_s - start_s) / static_cast<double>(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    const double slot_start = start_s + slot * static_cast<double>(i);
+    if (replicas >= 2) {
+      // Kill one replica of shard i for half the slot. Replication
+      // covers it: the shard keeps serving, byte-identically.
+      const size_t victim = static_cast<size_t>(rng.Uniform(replicas));
+      out.push_back({slot_start + 0.10 * slot, ChaosEvent::Kind::kKill, i,
+                     victim, 0.0});
+      out.push_back({slot_start + 0.60 * slot, ChaosEvent::Kind::kRevive, i,
+                     victim, 0.0});
+    }
+    // A slow epoch on the *next* shard, so the strained machine always
+    // has a healthy, un-killed peer for hedged requests to race.
+    const size_t slow_shard = (i + 1) % shards;
+    const size_t slow_replica =
+        replicas >= 2 ? static_cast<size_t>(rng.Uniform(replicas)) : 0;
+    out.push_back({slot_start + 0.35 * slot, ChaosEvent::Kind::kSlow,
+                   slow_shard, slow_replica, delay_ms});
+    out.push_back({slot_start + 0.85 * slot, ChaosEvent::Kind::kClearSlow,
+                   slow_shard, slow_replica, 0.0});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return out;
+}
+
+Result<index::DocId> RecordingWritableIndex::AddDocument(
+    const std::string& url, const std::string& title, const std::string& body,
+    bool is_deep_web, const std::string& source_host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t before = inner_->num_docs();
+  auto id = inner_->AddDocument(url, title, body, is_deep_web, source_host);
+  if (id.ok() && inner_->num_docs() > before) {
+    index::Document d;
+    d.url = url;
+    d.title = title;
+    d.body = body;
+    d.is_deep_web = is_deep_web;
+    d.source_host = source_host;
+    recorded_.push_back(std::move(d));
+  }
+  return id;
+}
+
+Result<size_t> RecordingWritableIndex::InsertBatch(
+    const std::vector<index::Document>& docs, std::vector<bool>* newly_added) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<bool> newly;
+  auto inserted = inner_->InsertBatch(docs, &newly);
+  if (inserted.ok()) {
+    DS_CHECK(newly.size() == docs.size()) << "newly_added arity mismatch";
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (newly[i]) recorded_.push_back(docs[i]);
+    }
+  }
+  if (newly_added != nullptr) *newly_added = std::move(newly);
+  return inserted;
+}
+
+std::vector<index::Document> RecordingWritableIndex::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+size_t RecordingWritableIndex::recorded_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_.size();
+}
+
+}  // namespace traffic
+}  // namespace deepsurf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "util/logging.h"
 #include "util/strings.h"
@@ -164,6 +165,51 @@ double PercentileTracker::Quantile(double q) const {
   std::vector<double> window(ring_.begin(),
                              ring_.begin() + static_cast<long>(size_));
   return Percentile(std::move(window), q * 100.0);
+}
+
+LatencySummary Summarize(const std::vector<double>& xs) {
+  LatencySummary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.mean = Mean(xs);
+  s.max = Max(xs);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  // Percentile() sorts a copy per call; sorting once and reusing keeps
+  // Summarize O(n log n) (Percentile on sorted input re-sorts a no-op).
+  s.p50 = Percentile(sorted, 50.0);
+  s.p90 = Percentile(sorted, 90.0);
+  s.p99 = Percentile(sorted, 99.0);
+  s.p999 = Percentile(sorted, 99.9);
+  return s;
+}
+
+void OpenLoopClock::SleepUntil(double offset_s) const {
+  std::this_thread::sleep_until(AtOffset(offset_s));
+}
+
+PhaseLatencies::PhaseLatencies(size_t num_phases, size_t window) {
+  DS_CHECK(num_phases > 0) << "PhaseLatencies needs at least one phase";
+  trackers_.reserve(num_phases);
+  for (size_t i = 0; i < num_phases; ++i) trackers_.emplace_back(window);
+}
+
+void PhaseLatencies::Add(size_t phase, double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DS_CHECK(phase < trackers_.size()) << "phase out of range";
+  trackers_[phase].Add(x);
+}
+
+double PhaseLatencies::Quantile(size_t phase, double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DS_CHECK(phase < trackers_.size()) << "phase out of range";
+  return trackers_[phase].Quantile(q);
+}
+
+uint64_t PhaseLatencies::count(size_t phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DS_CHECK(phase < trackers_.size()) << "phase out of range";
+  return trackers_[phase].total();
 }
 
 void RunningStat::Add(double x) {

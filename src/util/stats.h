@@ -8,8 +8,10 @@
 #ifndef DEEPSURF_UTIL_STATS_H_
 #define DEEPSURF_UTIL_STATS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -104,6 +106,84 @@ class PercentileTracker {
   size_t next_ = 0;  ///< ring slot the next Add writes
   size_t size_ = 0;
   uint64_t total_ = 0;
+};
+
+/// Tail-latency summary of one sample: the serving harness's standard
+/// report row. Percentiles use the same linear-interpolation definition
+/// as Percentile() above.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes a latency sample (any unit); the zero struct when empty.
+LatencySummary Summarize(const std::vector<double>& xs);
+
+/// The open-loop arrival clock: pins a load schedule's t = 0 to a wall
+/// instant so worker threads can (a) sleep until an arrival's scheduled
+/// offset and (b) measure completion against the *schedule*, not
+/// against when a worker happened to pick the request up. That
+/// difference is the whole point of open-loop measurement: when the
+/// system falls behind, lateness accumulates into the latency numbers
+/// instead of silently throttling the offered load the way a
+/// closed-loop worker pool does.
+class OpenLoopClock {
+ public:
+  /// t = 0 is the moment of construction.
+  OpenLoopClock() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since t = 0.
+  double Now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// The wall instant of schedule offset `offset_s`.
+  std::chrono::steady_clock::time_point AtOffset(double offset_s) const {
+    return start_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(offset_s));
+  }
+
+  /// Blocks until schedule offset `offset_s`; returns immediately if it
+  /// has already passed.
+  void SleepUntil(double offset_s) const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Thread-safe per-phase latency windows: one PercentileTracker per
+/// schedule phase, all sized `window`. Sized to hold a whole phase, a
+/// full window agrees with the batch Percentile() helper exactly (same
+/// interpolation, nothing evicted); undersized, it degrades to the
+/// sliding-window estimate. Built for the open-loop traffic harness,
+/// where many serving workers record into whichever phase an arrival
+/// was scheduled in.
+class PhaseLatencies {
+ public:
+  PhaseLatencies(size_t num_phases, size_t window);
+
+  /// Records a sample into `phase`'s window.
+  void Add(size_t phase, double x);
+
+  /// Quantile q in [0, 1] of `phase`'s window (0 when empty).
+  double Quantile(size_t phase, double q) const;
+
+  /// Lifetime samples recorded into `phase`.
+  uint64_t count(size_t phase) const;
+
+  size_t num_phases() const { return trackers_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PercentileTracker> trackers_;
 };
 
 /// Streaming mean/variance (Welford). Used by long-running benches.

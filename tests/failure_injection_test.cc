@@ -5,6 +5,10 @@
 // (timeout + retry), dead replica groups (partial results, never a
 // crash), and queue backpressure.
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "core/surfacer.h"
@@ -17,6 +21,7 @@
 #include "remote/transport.h"
 #include "synthweb/deep_site.h"
 #include "synthweb/surface_site.h"
+#include "test_support.h"
 
 namespace deepsurf {
 namespace {
@@ -267,6 +272,165 @@ TEST(CoordinatorFailureTest, IngestFailureToAllReplicasIsReported) {
   ASSERT_TRUE(retried.ok()) << retried.status();
   EXPECT_EQ(coordinator.num_docs(), 1u);
   EXPECT_EQ(coordinator.Search("alpha", 10).size(), 1u);
+}
+
+// --- FlakyTransport lifetime and chaos-timing edges (the fabric the
+// traffic harness's chaos schedule drives). ---
+
+/// Inner transport that parks every request so the test controls
+/// exactly when (and whether) a response comes back.
+class ManualTransport : public remote::Transport {
+ public:
+  void Call(size_t shard, size_t replica, std::string request,
+            Callback done, CancelToken cancelled = nullptr) override {
+    (void)shard;
+    (void)replica;
+    (void)cancelled;
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace_back(std::move(request), std::move(done));
+  }
+  size_t num_shards() const override { return 1; }
+  size_t num_replicas() const override { return 1; }
+
+  size_t pending_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+  Callback take(size_t i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(pending_[i].second);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Callback>> pending_;
+};
+
+TEST(FlakyTransportTest, LateCallbackAfterDestructionIsDiscarded) {
+  ManualTransport inner;
+  std::atomic<int> invoked{0};
+  remote::Transport::Callback late;
+  {
+    remote::FlakyTransport flaky(&inner, {});
+    // A slow replica: the response will be routed through the delayed
+    // delivery queue rather than handed back inline.
+    flaky.SetReplicaDelay(0, 0, 5.0);
+    flaky.Call(0, 0, "req", [&](Result<std::string>) { ++invoked; });
+    ASSERT_EQ(inner.pending_count(), 1u);
+    late = inner.take(0);
+    // The transport dies with the server's response still outstanding.
+  }
+  // The server finally answers, *after* the FlakyTransport object is
+  // gone. The wrapper callback co-owns the transport's core, so this
+  // must touch valid memory — and the core is stopping, so the delayed
+  // delivery is dropped rather than resurrected.
+  late(std::string("response"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(invoked.load(), 0)
+      << "a response completing after teardown must be discarded";
+}
+
+TEST(FlakyTransportTest, DelayedDeliveryPendingAtDestructionIsDropped) {
+  ManualTransport inner;
+  std::atomic<int> invoked{0};
+  {
+    remote::FlakyTransport flaky(&inner, {});
+    flaky.SetReplicaDelay(0, 0, 50.0);
+    flaky.Call(0, 0, "req", [&](Result<std::string>) { ++invoked; });
+    ASSERT_EQ(inner.pending_count(), 1u);
+    // The server answers promptly; the 50ms delay parks the delivery in
+    // the transport's timer queue...
+    inner.take(0)(std::string("response"));
+    // ...and the transport is destroyed before it comes due.
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(invoked.load(), 0)
+      << "pending delayed deliveries must die with the transport";
+}
+
+TEST(FlakyTransportTest, KillAndReviveDuringInFlightHedgedRequests) {
+  remote::LoopbackTransport loopback(1, 2, {});
+  remote::FlakyTransport flaky(&loopback, {});
+  remote::CoordinatorOptions copts;
+  copts.hedge_min_ms = 0.2;
+  copts.hedge_max_ms = 1.0;  // hedge well before the injected delay
+  remote::Coordinator coordinator(&flaky, copts);
+  ASSERT_TRUE(coordinator
+                  .AddDocument("http://a.example.com/1", "t",
+                               "alpha beta gamma", false, "a.example.com")
+                  .ok());
+  ASSERT_TRUE(coordinator
+                  .AddDocument("http://b.example.com/2", "t",
+                               "alpha delta epsilon", false, "b.example.com")
+                  .ok());
+  // Both replicas answer late, so every query has hedged attempts in
+  // flight when the kill lands mid-call.
+  flaky.SetReplicaDelay(0, 0, 10.0);
+  flaky.SetReplicaDelay(0, 1, 10.0);
+
+  for (int i = 0; i < 10; ++i) {
+    std::vector<index::SearchHit> hits;
+    std::thread searcher(
+        [&] { hits = coordinator.Search("alpha", 10); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    flaky.Kill(0, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    flaky.Revive(0, 0);
+    searcher.join();
+    ASSERT_EQ(hits.size(), 2u) << "iteration " << i;
+  }
+  auto stats = coordinator.stats();
+  EXPECT_GT(stats.hedges, 0u)
+      << "10ms-slow replicas under a 1ms hedge cap must fire hedges";
+  EXPECT_EQ(stats.partial_results, 0u)
+      << "one live replica always remained; no query may degrade";
+}
+
+TEST(FlakyTransportTest, ReviveThenServeIdentically) {
+  // The reference every configuration must match, byte for byte.
+  std::vector<index::Document> docs;
+  for (int i = 0; i < 12; ++i) {
+    index::Document d;
+    d.url = "http://h" + std::to_string(i) + ".example.com/p";
+    d.title = "title " + std::to_string(i);
+    d.body = "alpha common term" + std::to_string(i % 5) + " payload " +
+             std::to_string(i);
+    d.source_host = "h" + std::to_string(i) + ".example.com";
+    docs.push_back(d);
+  }
+  index::InvertedIndex reference;
+  ASSERT_TRUE(reference.InsertBatch(docs).ok());
+  const std::vector<std::string> queries = {"alpha", "common term0",
+                                            "payload term3", "alpha payload"};
+
+  remote::LoopbackTransport loopback(2, 2, {});
+  remote::FlakyTransport flaky(&loopback, {});
+  remote::Coordinator coordinator(&flaky, {});
+  ASSERT_TRUE(coordinator.InsertBatch(docs).ok());
+
+  auto expect_identical = [&](const std::string& context) {
+    for (const auto& q : queries) {
+      testing_support::ExpectSameHits(reference.Search(q, 10),
+                                      coordinator.Search(q, 10),
+                                      context + ": " + q);
+    }
+  };
+  expect_identical("healthy fabric");
+
+  // One replica of every shard dies; failover covers it without
+  // changing a bit (replicas hold bit-identical indexes).
+  flaky.Kill(0, 1);
+  flaky.Kill(1, 0);
+  expect_identical("one replica down per shard");
+  EXPECT_GT(flaky.stats().dead_rejections, 0u)
+      << "the killed replicas must actually have been hit";
+
+  // Revive: the healed fabric keeps serving identically — whether the
+  // coordinator routes to the revived replica or not is unobservable.
+  flaky.Revive(0, 1);
+  flaky.Revive(1, 0);
+  expect_identical("after revive");
+  EXPECT_EQ(coordinator.stats().partial_results, 0u);
 }
 
 TEST(FlakyServerTest, DeterministicInjection) {

@@ -180,6 +180,10 @@ TEST(WireTest, StatsAndHealthRoundTrip) {
   health.memory.norm_cache_bytes = 44;
   health.memory.decode_cache_bytes = 66;
   health.memory.num_postings = 777;
+  health.search.queries = 4242;
+  health.search.blocks_decoded = 31;
+  health.search.blocks_skipped = 17;
+  health.search.decode_cache_hits = 5;
   auto h = DecodeHealthResponse(Encode(health));
   ASSERT_TRUE(h.ok());
   EXPECT_EQ(h->num_docs, 9u);
@@ -195,6 +199,32 @@ TEST(WireTest, StatsAndHealthRoundTrip) {
   EXPECT_EQ(h->memory.norm_cache_bytes, 44u);
   EXPECT_EQ(h->memory.decode_cache_bytes, 66u);
   EXPECT_EQ(h->memory.num_postings, 777u);
+  EXPECT_EQ(h->search.queries, 4242u);
+  EXPECT_EQ(h->search.blocks_decoded, 31u);
+  EXPECT_EQ(h->search.blocks_skipped, 17u);
+  EXPECT_EQ(h->search.decode_cache_hits, 5u);
+}
+
+TEST(CoordinatorTest, SearchStatsSumOneReplicaPerShard) {
+  LoopbackTransport transport(2, 2, {});
+  Coordinator coordinator(&transport, {});
+  ASSERT_TRUE(coordinator
+                  .AddDocument("http://a.example.com/1", "t",
+                               "alpha beta gamma", false, "a.example.com")
+                  .ok());
+  ASSERT_TRUE(coordinator
+                  .AddDocument("http://b.example.com/p1", "t",
+                               "alpha delta epsilon", false, "b.example.com")
+                  .ok());
+  EXPECT_EQ(coordinator.search_stats().queries, 0u);
+  for (int i = 0; i < 8; ++i) (void)coordinator.Search("alpha", 10);
+  // Each coordinator query fans one search out to every shard; the
+  // probe sums one replica per shard, and load-balancing rotation
+  // spreads those 8 searches across each shard's 2 replicas — so the
+  // sampled sum is positive but at most the full fan-out total.
+  auto st = coordinator.search_stats();
+  EXPECT_GT(st.queries, 0u);
+  EXPECT_LE(st.queries, 16u);
 }
 
 TEST(WireTest, MalformedFramesAreRejectedNotUB) {

@@ -368,6 +368,127 @@ TEST(ServeEngineConcurrencyTest,
   }
 }
 
+// --- Per-request deadlines (the open-loop harness's shed path). ---
+
+/// Read-only index whose every search takes a fixed amount of time —
+/// the "saturated backend" the deadline semantics are defined against.
+class SlowIndex : public index::SearchIndex {
+ public:
+  SlowIndex(const index::SearchIndex* inner, int sleep_ms)
+      : inner_(inner), sleep_ms_(sleep_ms) {}
+
+  std::vector<index::SearchHit> Search(const std::string& query,
+                                       size_t k) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    return inner_->Search(query, k);
+  }
+  // The serve engine tokenizes itself and calls SearchTerms, so the
+  // delay must live here too or the engine never sees a slow backend.
+  std::vector<index::SearchHit> SearchTerms(
+      const std::vector<std::string>& terms, size_t k) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    return inner_->SearchTerms(terms, k);
+  }
+  index::DocInfo doc(index::DocId id) const override {
+    return inner_->doc(id);
+  }
+  const index::DocInfo& doc_ref(index::DocId id) const override {
+    return inner_->doc_ref(id);
+  }
+  size_t num_docs() const override { return inner_->num_docs(); }
+  uint64_t ingest_epoch() const override { return inner_->ingest_epoch(); }
+
+ private:
+  const index::SearchIndex* inner_;
+  int sleep_ms_;
+};
+
+TEST_F(ServeEngineTest, ExpiredDeadlineShedsWithoutTouchingIndexOrCache) {
+  Engine engine(index_.get(), {});
+  auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  auto shed = engine.Search("alpha", 10, past);
+  EXPECT_TRUE(shed.status.IsDeadlineExceeded());
+  EXPECT_TRUE(shed.hits.empty());
+  EXPECT_FALSE(shed.from_cache);
+
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.cache_misses, 0u) << "a shed request must not reach the index";
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(engine.cache_size(), 0u) << "a shed request must not fill the cache";
+
+  // The same query with a live deadline serves normally afterwards.
+  auto ok = engine.Search("alpha", 10,
+                          std::chrono::steady_clock::now() +
+                              std::chrono::seconds(5));
+  EXPECT_TRUE(ok.status.ok());
+  EXPECT_FALSE(ok.hits.empty());
+}
+
+TEST_F(ServeEngineTest, LiveDeadlineServesIdenticallyToNoDeadline) {
+  Engine engine(index_.get(), {});
+  auto plain = engine.Search("alpha document", 10);
+  Engine fresh(index_.get(), {});
+  auto dl = fresh.Search("alpha document", 10,
+                         std::chrono::steady_clock::now() +
+                             std::chrono::seconds(5));
+  ASSERT_TRUE(dl.status.ok());
+  ASSERT_EQ(plain.hits.size(), dl.hits.size());
+  for (size_t i = 0; i < plain.hits.size(); ++i) {
+    EXPECT_EQ(plain.hits[i].doc, dl.hits[i].doc);
+    EXPECT_EQ(plain.hits[i].score, dl.hits[i].score);
+  }
+  EXPECT_EQ(fresh.stats().deadline_exceeded, 0u);
+}
+
+TEST_F(ServeEngineTest, AdmittedSearchRunsToCompletionPastItsDeadline) {
+  // The deadline bounds *queueing* delay, not execution: a request
+  // admitted with time to spare finishes normally even if the index
+  // work itself overruns the deadline (index searches do not cancel).
+  SlowIndex slow(index_.get(), 20);
+  EngineOptions eopts;
+  eopts.cache_capacity = 0;
+  Engine engine(&slow, eopts);
+  auto res = engine.Search("alpha", 10,
+                           std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(1));
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_FALSE(res.hits.empty());
+  EXPECT_EQ(engine.stats().deadline_exceeded, 0u);
+}
+
+TEST_F(ServeEngineTest, SaturatedBatchShedsItsTail) {
+  // 20 distinct queries at 20ms each over 2 workers is 200ms of work
+  // against a 100ms deadline: the head is served, the tail expires in
+  // the queue — queueing collapse as a counter instead of a stall.
+  SlowIndex slow(index_.get(), 20);
+  EngineOptions eopts;
+  eopts.cache_capacity = 0;  // distinct queries; measure the queue
+  Engine engine(&slow, eopts);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 20; ++i) {
+    queries.push_back("alpha q" + std::to_string(i));
+  }
+  auto results = engine.SearchBatch(queries, 2, /*deadline_ms=*/100.0);
+  ASSERT_EQ(results.size(), queries.size());
+  size_t ok = 0, shed = 0;
+  for (const auto& r : results) {
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(r.status.IsDeadlineExceeded());
+      EXPECT_TRUE(r.hits.empty());
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u) << "200ms of work cannot fit a 100ms deadline";
+  EXPECT_GT(ok, 0u) << "the head of the queue was picked up in time";
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.deadline_exceeded, shed);
+  EXPECT_EQ(stats.queries, queries.size());
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace deepsurf
