@@ -13,7 +13,12 @@
 //   churn       ingest-while-serving: the SurfacingDriver surfaces a
 //               second corpus into the live index mid-traffic
 //   chaos       rolling replica kills + slow-replica epochs against the
-//               FlakyTransport fabric (remote target only)
+//               FlakyTransport fabric (remote target only). The chaos
+//               window deliberately overlaps churn: replicas die *while
+//               replicated ingest is in flight*, miss batches, and must
+//               catch up through the write-ahead ingest log on revival
+//               (the transport's revive listener feeds
+//               Coordinator::RequestCatchUp) before they can serve again
 //
 // Both serving stacks run the same schedule: the in-process
 // ShardedIndex and the remote shards x replicas cluster behind the
@@ -25,11 +30,17 @@
 //   always gated — equivalence: every result sampled under load is
 //     byte-identical to an exhaustive oracle over some corpus prefix
 //     within the query's observation window (prefix replay of the
-//     recorded churn ingest); and chaos-never-fails: no query returns a
-//     non-OK, non-shed status while replicas are being killed.
+//     recorded churn ingest); chaos-never-fails: no query returns a
+//     non-OK, non-shed status while replicas are being killed; and
+//     recovery: after the fabric heals, every replica catches up to the
+//     shard head and the settled cluster serves byte-identically — with
+//     actual rejoins observed whenever chaos made replicas miss batches.
 //   gated locally, report-only with --ci (timing on shared runners is
 //     noise): the SLO claims — "sustains the offered chaos-phase QPS at
 //     p99 under the SLO with one replica down" and per-phase goodput.
+//
+// --soak stretches the schedule (scale floor 8x, doubled offered load)
+// for the nightly chaos-endurance run; verdict gating is unchanged.
 
 #include <algorithm>
 #include <atomic>
@@ -65,14 +76,6 @@ constexpr double kShedSeconds = 1.0;  ///< per-request deadline (generous:
                                       ///< only true queueing collapse sheds)
 constexpr size_t kSampleEvery = 13;  ///< equivalence-sample 1 in N arrivals
 constexpr double kChaosSlowMs = 4.0;
-
-/// Saturating counter delta. The remote target's SearchStats snapshots
-/// sample one serving replica per shard (see Coordinator::search_stats),
-/// so consecutive snapshots can sample different replicas and a
-/// cumulative counter can appear to shrink; clamp instead of wrapping.
-uint64_t Delta(uint64_t after, uint64_t before) {
-  return after >= before ? after - before : 0;
-}
 
 bool SameHits(const std::vector<index::SearchHit>& a,
               const std::vector<index::SearchHit>& b) {
@@ -144,9 +147,23 @@ struct TargetReport {
   double chaos_p99_ms = 0.0;
   double chaos_goodput_frac = 0.0;
   double chaos_offered_qps = 0.0;
+  // Recovery outcome (remote target; trivially true in-process).
+  bool all_replicas_current = true;  ///< post-heal: every acked seq == head
+  uint64_t ingest_stragglers = 0;
+  uint64_t replicas_rejoined = 0;
+  uint64_t batches_replayed = 0;
+  uint64_t catchup_bytes = 0;
 
   bool equivalence() const {
     return sample_mismatches == 0 && settled_identical;
+  }
+
+  /// Chaos made replicas miss batches mid-ingest; the WAL catch-up path
+  /// must have healed every one of them. Stragglers without a single
+  /// observed rejoin mean a replica stayed stale past the heal barrier.
+  bool recovery() const {
+    return all_replicas_current &&
+           (ingest_stragglers == 0 || replicas_rejoined > 0);
   }
 };
 
@@ -290,14 +307,10 @@ TargetReport RunTarget(const TargetSetup& target,
     chaos_thread = std::thread([&] {
       for (const auto& ev : chaos) {
         clock.SleepUntil(ev.time_s);
-        // Never kill a replica while replicated ingest is in flight: a
-        // replica that misses a batch is stale and barred from serving,
-        // which would silently shrink the chaos phase's capacity. The
-        // schedule leaves slack between churn and chaos; this is the
-        // backstop if churn overruns.
-        while (!churn_done.load(std::memory_order_acquire)) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        }
+        // Events fire on schedule even while replicated ingest is in
+        // flight — that is the point: a replica killed mid-batch misses
+        // it, is barred from serving (stale), and must stream the gap
+        // from the write-ahead log when its revival triggers catch-up.
         switch (ev.kind) {
           case traffic::ChaosEvent::Kind::kKill:
             target.flaky->Kill(ev.shard, ev.replica);
@@ -375,7 +388,8 @@ TargetReport RunTarget(const TargetSetup& target,
   if (churn_thread.joinable()) churn_thread.join();
   if (chaos_thread.joinable()) chaos_thread.join();
 
-  // Heal the fabric for the post-run settled check.
+  // Heal the fabric for the post-run settled check. Each Revive fires
+  // the revive listener, which enqueues the replica for catch-up.
   if (target.flaky != nullptr) {
     for (const auto& ev : chaos) {
       if (ev.kind == traffic::ChaosEvent::Kind::kKill) {
@@ -385,6 +399,27 @@ TargetReport RunTarget(const TargetSetup& target,
         target.flaky->SetReplicaDelay(ev.shard, ev.replica, 0.0);
       }
     }
+  }
+  // Recovery barrier: sweep anything still stale (an ack lost to a kill
+  // with no revive event after it), drain the catch-up worker, then
+  // demand that every replica's acked seq has reached its shard head —
+  // the settled equivalence check below queries a cluster with no
+  // excuses left.
+  if (target.coordinator != nullptr) {
+    target.coordinator->RequestCatchUpAll();
+    if (!target.coordinator->WaitForCatchUp(/*timeout_ms=*/60000.0)) {
+      report.all_replicas_current = false;
+    }
+    for (const auto& probe : target.coordinator->ProbeHealth()) {
+      if (probe.last_acked_seq != probe.shard_head_seq) {
+        report.all_replicas_current = false;
+      }
+    }
+    remote::CoordinatorStats cs = target.coordinator->stats();
+    report.ingest_stragglers = cs.ingest_stragglers;
+    report.replicas_rejoined = cs.replicas_rejoined;
+    report.batches_replayed = cs.batches_replayed;
+    report.catchup_bytes = cs.catchup_bytes;
   }
 
   // --- Per-phase rows from the counter deltas. ---
@@ -416,10 +451,13 @@ TargetReport RunTarget(const TargetSetup& target,
     row.cache_hit_rate =
         q == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(q);
     row.invalidations = b.eng.invalidations - a.eng.invalidations;
-    row.blocks_decoded = Delta(b.search.blocks_decoded, a.search.blocks_decoded);
-    row.blocks_skipped = Delta(b.search.blocks_skipped, a.search.blocks_skipped);
+    // Plain subtraction is safe: Coordinator::search_stats is a monotone
+    // census over every replica (max-merged snapshots), so consecutive
+    // snapshots never go backwards even across failed probes.
+    row.blocks_decoded = b.search.blocks_decoded - a.search.blocks_decoded;
+    row.blocks_skipped = b.search.blocks_skipped - a.search.blocks_skipped;
     row.decode_cache_hits =
-        Delta(b.search.decode_cache_hits, a.search.decode_cache_hits);
+        b.search.decode_cache_hits - a.search.decode_cache_hits;
     uint64_t reads = row.decode_cache_hits + row.blocks_decoded;
     row.decode_cache_hit_rate =
         reads == 0 ? 0.0
@@ -497,6 +535,13 @@ void PrintTarget(const TargetReport& r) {
                 static_cast<unsigned long long>(r.chaos_errors),
                 static_cast<unsigned long long>(r.chaos_shed),
                 static_cast<unsigned long long>(r.chaos_partials));
+    std::printf("  recovery: %llu stragglers, %llu rejoins, %llu batches "
+                "replayed (%llu bytes); post-heal cluster %s\n",
+                static_cast<unsigned long long>(r.ingest_stragglers),
+                static_cast<unsigned long long>(r.replicas_rejoined),
+                static_cast<unsigned long long>(r.batches_replayed),
+                static_cast<unsigned long long>(r.catchup_bytes),
+                r.all_replicas_current ? "fully current" : "STILL STALE");
   }
   std::printf("  equivalence: %llu samples under load, %llu mismatches; "
               "settled check %s\n",
@@ -507,7 +552,7 @@ void PrintTarget(const TargetReport& r) {
 
 void EmitJson(std::FILE* f, const std::vector<TargetReport>& reports,
               size_t docs, size_t pool_size, size_t workers, double scale,
-              bool ci_mode, bool equivalence, bool never_fails,
+              bool ci_mode, bool equivalence, bool never_fails, bool recovery,
               bool slo_chaos, bool slo_goodput) {
   std::fprintf(f,
                "{\n  \"bench\": \"bench_traffic\",\n  \"docs\": %zu,\n"
@@ -561,7 +606,10 @@ void EmitJson(std::FILE* f, const std::vector<TargetReport>& reports,
         "\"settled_identical\": %s,\n      \"churn_docs\": %llu, "
         "\"chaos_events\": %zu, \"chaos_errors\": %llu, "
         "\"chaos_shed\": %llu, \"chaos_partials\": %llu,\n"
-        "      \"chaos_p99_ms\": %.3f, \"chaos_goodput_frac\": %.4f}%s\n",
+        "      \"chaos_p99_ms\": %.3f, \"chaos_goodput_frac\": %.4f,\n"
+        "      \"ingest_stragglers\": %llu, \"replicas_rejoined\": %llu, "
+        "\"batches_replayed\": %llu, \"catchup_bytes\": %llu, "
+        "\"all_replicas_current\": %s}%s\n",
         static_cast<unsigned long long>(r.samples_taken),
         static_cast<unsigned long long>(r.sample_mismatches),
         r.settled_identical ? "true" : "false",
@@ -569,21 +617,29 @@ void EmitJson(std::FILE* f, const std::vector<TargetReport>& reports,
         static_cast<unsigned long long>(r.chaos_errors),
         static_cast<unsigned long long>(r.chaos_shed),
         static_cast<unsigned long long>(r.chaos_partials), r.chaos_p99_ms,
-        r.chaos_goodput_frac, t + 1 < reports.size() ? "," : "");
+        r.chaos_goodput_frac,
+        static_cast<unsigned long long>(r.ingest_stragglers),
+        static_cast<unsigned long long>(r.replicas_rejoined),
+        static_cast<unsigned long long>(r.batches_replayed),
+        static_cast<unsigned long long>(r.catchup_bytes),
+        r.all_replicas_current ? "true" : "false",
+        t + 1 < reports.size() ? "," : "");
   }
   std::fprintf(
       f,
       "  ],\n  \"verdict\": {\"equivalence_under_load\": %s, "
-      "\"chaos_never_fails\": %s, \"slo_chaos_sustained\": %s, "
+      "\"chaos_never_fails\": %s, \"recovery\": %s, "
+      "\"slo_chaos_sustained\": %s, "
       "\"slo_goodput\": %s, \"timing_gated\": %s}\n}\n",
       equivalence ? "true" : "false", never_fails ? "true" : "false",
-      slo_chaos ? "true" : "false", slo_goodput ? "true" : "false",
-      ci_mode ? "false" : "true");
+      recovery ? "true" : "false", slo_chaos ? "true" : "false",
+      slo_goodput ? "true" : "false", ci_mode ? "false" : "true");
 }
 
 int Run(int argc, char** argv) {
   const char* json_path = nullptr;
   bool ci_mode = false;
+  bool soak = false;
   double scale = 1.0;
   size_t workers = 16;
   for (int i = 1; i < argc; ++i) {
@@ -591,6 +647,8 @@ int Run(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--ci") == 0) {
       ci_mode = true;
+    } else if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = true;
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
@@ -598,6 +656,14 @@ int Run(int argc, char** argv) {
     }
   }
   scale = std::max(0.1, scale);
+  // Soak mode (the nightly endurance run): a minutes-long schedule at
+  // doubled offered load, so chaos overlaps many more ingest batches and
+  // the catch-up machinery is exercised dozens of times per run.
+  double load = 1.0;
+  if (soak) {
+    scale = std::max(scale, 8.0);
+    load = 2.0;
+  }
   workers = std::max<size_t>(2, workers);
 
   bench::Header(
@@ -625,25 +691,54 @@ int Run(int argc, char** argv) {
 
   // --- The schedule: one day of traffic, compressed. ---
   std::vector<traffic::PhaseSpec> phases;
-  phases.push_back({"steady", 3.0 * scale, 400.0, 400.0, 1.0, false, false});
-  phases.push_back({"ramp", 5.0 * scale, 400.0, 1600.0, 1.0, false, false});
-  phases.push_back({"flash", 3.0 * scale, 1600.0, 1600.0, 1.35, false, false});
-  phases.push_back({"churn", 4.0 * scale, 400.0, 400.0, 1.0, true, false});
-  phases.push_back({"chaos", 6.0 * scale, 400.0, 400.0, 1.0, false, true});
+  phases.push_back(
+      {"steady", 3.0 * scale, 400.0 * load, 400.0 * load, 1.0, false, false});
+  phases.push_back(
+      {"ramp", 5.0 * scale, 400.0 * load, 1600.0 * load, 1.0, false, false});
+  phases.push_back(
+      {"flash", 3.0 * scale, 1600.0 * load, 1600.0 * load, 1.35, false,
+       false});
+  phases.push_back(
+      {"churn", 4.0 * scale, 400.0 * load, 400.0 * load, 1.0, true, true});
+  phases.push_back(
+      {"chaos", 6.0 * scale, 400.0 * load, 400.0 * load, 1.0, false, true});
   auto arrivals =
       traffic::GenerateArrivals(phases, stream.pool.size(), /*seed=*/2026);
-  double chaos_start = 0.0, chaos_end = 0.0, total_s = 0.0;
+  // The chaos window opens with churn and runs to the end: kills land on
+  // replicas with ingest in flight (they miss batches and must catch up
+  // through the WAL), then keep rolling through the dedicated chaos
+  // phase after ingest has quiesced.
+  double chaos_start = -1.0, chaos_end = 0.0, total_s = 0.0;
   for (const auto& ph : phases) {
     if (ph.chaos) {
-      chaos_start = total_s;
+      if (chaos_start < 0.0) chaos_start = total_s;
       chaos_end = total_s + ph.duration_s;
     }
     total_s += ph.duration_s;
   }
-  // Leave margin inside the phase so kills land after its first arrivals.
+  // Leave margin inside the window so kills land after its first
+  // arrivals and the last revive's catch-up overlaps live traffic.
   auto chaos_events = traffic::BuildRollingChaos(
       /*shards=*/2, /*replicas=*/2, chaos_start + 0.2, chaos_end - 0.2,
       kChaosSlowMs, /*seed=*/7);
+  // Guarantee a mid-ingest outage regardless of how fast the surfacing
+  // driver finishes: pull shard 0's kill ahead of the churn phase so the
+  // replica is already dead when the replicated batches dispatch (every
+  // batch it misses is a straggler), and leave its revive where the
+  // schedule put it — under live traffic, where the rejoin must stream
+  // the missed batches back through the WAL catch-up path. Moving the
+  // existing kill (rather than adding one) preserves the rolling
+  // invariant that at most one replica of any shard is ever down.
+  for (auto& ev : chaos_events) {
+    if (ev.shard == 0 && ev.kind == traffic::ChaosEvent::Kind::kKill) {
+      ev.time_s = std::max(0.1, chaos_start - 0.1);
+    }
+  }
+  std::stable_sort(chaos_events.begin(), chaos_events.end(),
+                   [](const traffic::ChaosEvent& a,
+                      const traffic::ChaosEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
   std::printf("schedule: %zu arrivals over %.1fs, %zu-query pool, "
               "%zu workers, %zu chaos events\n",
               arrivals.size(), total_s, stream.pool.size(), workers,
@@ -706,6 +801,11 @@ int Run(int argc, char** argv) {
     remote::CoordinatorOptions ropts;
     ropts.hedge_max_ms = 2.0;  // hedge well before the slow-replica epochs
     remote::Coordinator coordinator(&flaky, ropts);
+    // Revive-without-catch-up is impossible by construction: the fabric
+    // reports every revival straight into the rejoin machinery.
+    flaky.SetReviveListener([&coordinator](size_t s, size_t r) {
+      coordinator.RequestCatchUp(s, r);
+    });
     DS_CHECK(coordinator.InsertBatch(base_docs).ok());
     traffic::RecordingWritableIndex recorder(&coordinator);
     serve::EngineOptions eopts;
@@ -727,10 +827,12 @@ int Run(int argc, char** argv) {
   }
 
   // --- Verdicts. ---
-  bool equivalence = true, never_fails = true, slo_goodput = true;
+  bool equivalence = true, never_fails = true, recovery = true,
+       slo_goodput = true;
   for (const auto& r : reports) {
     if (!r.equivalence()) equivalence = false;
     if (r.chaos_errors != 0) never_fails = false;
+    if (!r.recovery()) recovery = false;
     for (const auto& row : r.rows) {
       if (row.goodput_frac < 0.95) slo_goodput = false;
     }
@@ -748,6 +850,14 @@ int Run(int argc, char** argv) {
               "die (partial results allowed, observed %llu)\n",
               never_fails ? "PASS" : "FAIL",
               static_cast<unsigned long long>(remote_report.chaos_partials));
+  std::printf("  [%s] recovery: replicas killed mid-ingest rejoined via "
+              "WAL catch-up (%llu rejoins, %llu batches replayed) and the "
+              "healed cluster is fully current\n",
+              recovery ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(
+                  remote_report.replicas_rejoined),
+              static_cast<unsigned long long>(
+                  remote_report.batches_replayed));
   std::printf("  [%s]%s sustains %.0f qps at p99 %.3f ms (SLO %.0f ms) "
               "with one replica down\n",
               slo_chaos ? "PASS" : "FAIL", ci_mode ? " (report-only)" : "",
@@ -760,20 +870,21 @@ int Run(int argc, char** argv) {
     std::FILE* f = std::fopen(json_path, "w");
     if (f != nullptr) {
       EmitJson(f, reports, base_docs.size(), stream.pool.size(), workers,
-               scale, ci_mode, equivalence, never_fails, slo_chaos,
+               scale, ci_mode, equivalence, never_fails, recovery, slo_chaos,
                slo_goodput);
       std::fclose(f);
       std::printf("json written to %s\n", json_path);
     }
   }
 
-  bool pass = equivalence && never_fails;
+  bool pass = equivalence && never_fails && recovery;
   if (!ci_mode) pass = pass && slo_chaos && slo_goodput;
   bench::Verdict(
       pass,
       "open-loop traffic across ramps, flash crowds, live churn, and "
-      "rolling replica failures: results stay byte-identical to the "
-      "exhaustive oracle and chaos never fails a query");
+      "rolling replica failures overlapping ingest: results stay "
+      "byte-identical to the exhaustive oracle, chaos never fails a "
+      "query, and killed replicas rejoin via WAL catch-up");
   return pass ? 0 : 1;
 }
 

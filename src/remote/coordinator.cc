@@ -81,7 +81,12 @@ Coordinator::Coordinator(Transport* transport, CoordinatorOptions options)
   local_to_global_.resize(num_shards_);
   shard_doc_count_.assign(num_shards_, 0);
   shard_seq_.assign(num_shards_, 0);
+  shard_head_.assign(num_shards_, 0);
+  wal_.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) wal_.emplace_back(options_.wal);
   health_.assign(num_shards_ * num_replicas_, ReplicaHealth{});
+  replica_search_stats_.assign(num_shards_ * num_replicas_,
+                               index::SearchStats{});
 
   // Enough workers that one query's fan-out plus replicated ingest can
   // run wide; the calling thread always executes one job itself, so an
@@ -95,9 +100,19 @@ Coordinator::Coordinator(Transport* transport, CoordinatorOptions options)
   for (size_t i = 0; i < workers; ++i) {
     pool_workers_.emplace_back(&Coordinator::PoolWorkerLoop, this);
   }
+  catchup_worker_ = std::thread(&Coordinator::CatchUpLoop, this);
 }
 
 Coordinator::~Coordinator() {
+  // The catch-up worker goes first: it issues transport calls of its
+  // own (never through the pool), and nothing may be in flight when the
+  // borrowed transport's owner tears it down after us.
+  {
+    std::lock_guard<std::mutex> lock(catchup_mu_);
+    catchup_stop_ = true;
+  }
+  catchup_cv_.notify_all();
+  catchup_worker_.join();
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
     pool_stop_ = true;
@@ -188,13 +203,16 @@ std::vector<size_t> Coordinator::ReplicaPlan(size_t shard,
     std::lock_guard<std::mutex> lock(telemetry_mu_);
     // Only replicas that acked every ingest batch may serve: a stale
     // replica would answer from a smaller corpus and break byte
-    // identity. Dead-flagged (but current) replicas go last — when
-    // nothing else is left, a long shot beats a guaranteed failure.
-    uint64_t want_seq = shard_seq_[shard];
+    // identity — it re-enters this plan the moment catch-up brings its
+    // acked seq back to the head. Poisoned replicas (diverged index)
+    // never re-enter. Dead-flagged (but current) replicas go last —
+    // when nothing else is left, a long shot beats a guaranteed
+    // failure.
+    uint64_t want_seq = shard_head_[shard];
     for (size_t i = 0; i < num_replicas_; ++i) {
       size_t r = (start + i) % num_replicas_;
       const ReplicaHealth& h = health_[shard * num_replicas_ + r];
-      if (h.unsynced || h.last_acked_seq != want_seq) continue;
+      if (h.poisoned || h.last_acked_seq != want_seq) continue;
       (h.dead ? last_resort : order).push_back(r);
     }
   }
@@ -204,11 +222,6 @@ std::vector<size_t> Coordinator::ReplicaPlan(size_t shard,
   plan.reserve(attempts);
   while (plan.size() < attempts) plan.push_back(order[plan.size() % order.size()]);
   return plan;
-}
-
-bool Coordinator::ReplicaDead(size_t shard, size_t replica) const {
-  std::lock_guard<std::mutex> lock(telemetry_mu_);
-  return health_[shard * num_replicas_ + replica].dead;
 }
 
 Result<std::string> Coordinator::CallShard(size_t shard,
@@ -363,10 +376,15 @@ Result<std::string> Coordinator::CallShard(size_t shard,
     seen.reserve(state->attempts.size());
     for (size_t i = 0; i < state->attempts.size(); ++i) {
       const auto& a = state->attempts[i];
+      // FailedPrecondition rides along: it is the seq discipline
+      // talking (an out-of-sequence batch at a stale replica), a
+      // protocol-state signal from a live server — not evidence of
+      // unreachability that should push a replica toward dead.
       bool pressure =
           a.done && !a.result.ok() &&
           (a.result.status().IsResourceExhausted() ||
-           a.result.status().IsAborted());
+           a.result.status().IsAborted() ||
+           a.result.status().IsFailedPrecondition());
       seen.push_back(Seen{a.replica, a.done, a.done && a.result.ok(),
                           a.hedge, pressure,
                           state->winner == static_cast<int>(i),
@@ -515,9 +533,9 @@ std::vector<index::SearchHit> Coordinator::SearchTerms(
     // Unlike ShardedIndex's trusted in-process merge (AppendGlobalHits),
     // these hits crossed a boundary: bound-check the local ids. An id
     // past the committed map means the replica holds documents the
-    // coordinator never committed (a rolled-back ingest it had already
-    // applied, or a misbehaving server) — skip the hit rather than read
-    // out of range; retrying the failed batch verbatim re-syncs.
+    // coordinator never committed (a diverged or misbehaving server) —
+    // skip the hit rather than read out of range; the ack validation in
+    // the ingest path poisons such a replica out of rotation.
     const auto& to_global = local_to_global_[s];
     for (const auto& hit : per_shard[s]) {
       if (hit.doc >= to_global.size()) continue;
@@ -561,18 +579,11 @@ Result<size_t> Coordinator::IngestLocked(
 
   // Mirror of ShardedIndex::AddDocumentLocked, batch-wide: global ids in
   // insertion order, global duplicate suppression by content hash, URL-
-  // hash routing. Everything is decided here; shards just apply. The
-  // by_hash_ entries staged here are rolled back if the replicated send
-  // fails, so an aborted ingest never poisons later dedup decisions —
-  // and because nothing else is committed either, retrying the SAME
-  // batch reuses the same gids and seqs: replicas that did apply it
-  // replay their stored ack (the request bytes hash-match) and the rest
-  // catch up, so a failed ingest heals on retry.
+  // hash routing. Everything is decided here; shards just apply.
   std::vector<IngestRequest> batches(num_shards_);
   std::vector<std::vector<size_t>> batch_origin(num_shards_);
   std::vector<char> is_new(docs.size(), 0);
   std::vector<uint64_t> hashes(docs.size(), 0);
-  std::vector<uint64_t> staged_hashes;
   size_t next_gid = docs_.size();
   size_t added_count = 0;
   for (size_t i = 0; i < docs.size(); ++i) {
@@ -587,9 +598,7 @@ Result<size_t> Coordinator::IngestLocked(
     }
     size_t s = ShardForUrl(d.url);
     auto gid = static_cast<index::DocId>(next_gid++);
-    if (by_hash_.emplace(hashes[i], gid).second) {  // first writer wins,
-      staged_hashes.push_back(hashes[i]);           // as ShardedIndex
-    }
+    by_hash_.emplace(hashes[i], gid);  // first writer wins, as ShardedIndex
     (*ids)[i] = gid;
     is_new[i] = 1;
     if (newly_added != nullptr) (*newly_added)[i] = true;
@@ -598,21 +607,48 @@ Result<size_t> Coordinator::IngestLocked(
     batch_origin[s].push_back(i);
   }
   if (added_count == 0) return static_cast<size_t>(0);
-  auto rollback = [&] {
-    for (uint64_t h : staged_hashes) by_hash_.erase(h);
-    // Every replica that was sent the failed batch is now in an UNKNOWN
-    // state (it may have applied the batch and lost the ack), so none of
-    // them may serve until an ingest ack proves them consistent again —
-    // otherwise a partially-applied replica would answer queries with
-    // uncommitted documents in its statistics and top-k.
-    std::lock_guard<std::mutex> lock(telemetry_mu_);
-    for (size_t s = 0; s < num_shards_; ++s) {
-      if (batches[s].docs.empty()) continue;
-      for (size_t r = 0; r < num_replicas_; ++r) {
-        health_[s * num_replicas_ + r].unsynced = true;
-      }
+
+  // Stage in the write-ahead log and commit the coordinator's state
+  // BEFORE dispatching anything. This is sound because a correct ack is
+  // fully deterministic: local ids are dense in batch order from the
+  // shard's doc count, every doc is newly added (dedup already ran
+  // here), and token lengths come from the same tokenizer the servers
+  // run. No ack can change the outcome — only confirm it, or expose a
+  // diverged replica. So the batch is committed the moment it is
+  // staged, the caller's ingest is exactly-once (no rollback path
+  // exists), and replicas that miss the dispatch are stragglers for the
+  // catch-up worker, which replays staged batches until they ack or
+  // die.
+  std::vector<uint64_t> base(num_shards_, 0);
+  std::vector<std::shared_ptr<std::string>> frames(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (batches[s].docs.empty()) continue;
+    batches[s].seq = shard_seq_[s] + 1;
+    base[s] = shard_doc_count_[s];
+    frames[s] = std::make_shared<std::string>(Encode(batches[s]));
+    DS_CHECK_OK(wal_[s].Append(batches[s].seq, *frames[s]));
+    shard_seq_[s] = batches[s].seq;
+    shard_doc_count_[s] += batches[s].docs.size();
+    for (size_t i : batch_origin[s]) {
+      local_to_global_[s].push_back((*ids)[i]);
     }
-  };
+  }
+  // The mirror in global-id (original insertion) order, lengths from
+  // the shared tokenizer (exactly what every replica will report back).
+  std::vector<uint32_t> length_of(docs.size(), 0);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (is_new[i] == 0) continue;
+    length_of[i] =
+        static_cast<uint32_t>(index::ContentTokens(docs[i].body).size());
+    index::DocInfo info;
+    info.url = docs[i].url;
+    info.title = docs[i].title;
+    info.length = length_of[i];
+    info.content_hash = hashes[i];
+    info.is_deep_web = docs[i].is_deep_web;
+    info.source_host = docs[i].source_host;
+    docs_.push_back(std::move(info));
+  }
 
   // Replicate each shard's batch to every replica in parallel. Sequence
   // numbers make retries idempotent server-side.
@@ -626,8 +662,7 @@ Result<size_t> Coordinator::IngestLocked(
     std::vector<std::function<void()>> jobs;
     for (size_t s = 0; s < num_shards_; ++s) {
       if (batches[s].docs.empty()) continue;
-      batches[s].seq = shard_seq_[s] + 1;
-      auto frame = std::make_shared<std::string>(Encode(batches[s]));
+      auto frame = frames[s];
       for (size_t r = 0; r < num_replicas_; ++r) {
         jobs.push_back([this, s, r, frame, &acks] {
           auto resp = CallShard(s, *frame, static_cast<int>(r),
@@ -644,97 +679,291 @@ Result<size_t> Coordinator::IngestLocked(
     RunJobs(std::move(jobs));
   }
 
-  // Validate every shard before committing any coordinator state.
-  std::vector<const IngestResponse*> good(num_shards_, nullptr);
-  for (size_t s = 0; s < num_shards_; ++s) {
-    if (batches[s].docs.empty()) continue;
-    for (size_t r = 0; r < num_replicas_; ++r) {
-      if (!acks[s][r].ok) continue;
-      if (good[s] == nullptr) {
-        good[s] = &acks[s][r].response;
-      } else if (acks[s][r].response.local_ids != good[s]->local_ids) {
-        rollback();
-        return Status::Internal("replica divergence on shard " +
-                                std::to_string(s) +
-                                ": replicas assigned different local ids");
-      }
-    }
-    if (good[s] == nullptr) {
-      rollback();
-      return Status::Internal(
-          "no replica of shard " + std::to_string(s) +
-          " acknowledged ingest batch " + std::to_string(batches[s].seq) +
-          "; the batch was rolled back — retry it verbatim to recover");
-    }
-    if (good[s]->local_ids.size() != batches[s].docs.size()) {
-      rollback();
-      return Status::Internal("short ingest ack from shard " +
-                              std::to_string(s));
-    }
-    for (size_t pos = 0; pos < good[s]->local_ids.size(); ++pos) {
-      if (good[s]->local_ids[pos] != shard_doc_count_[s] + pos ||
-          good[s]->newly_added[pos] != 1) {
-        rollback();
-        return Status::Internal(
-            "shard " + std::to_string(s) +
-            " disagreed about ingest placement — do the servers run the "
-            "same IndexOptions as the coordinator?");
-      }
-    }
-  }
-
-  // Commit: per-shard maps in batch (local id) order...
-  std::vector<uint32_t> length_of(docs.size(), 0);
-  for (size_t s = 0; s < num_shards_; ++s) {
-    if (batches[s].docs.empty()) continue;
-    shard_seq_[s] = batches[s].seq;
-    shard_doc_count_[s] += batches[s].docs.size();
-    for (size_t pos = 0; pos < batch_origin[s].size(); ++pos) {
-      size_t i = batch_origin[s][pos];
-      local_to_global_[s].push_back((*ids)[i]);
-      length_of[i] = good[s]->lengths[pos];
-    }
-  }
-  // ...and the mirror in global-id (original insertion) order.
-  for (size_t i = 0; i < docs.size(); ++i) {
-    if (is_new[i] == 0) continue;
-    index::DocInfo info;
-    info.url = docs[i].url;
-    info.title = docs[i].title;
-    info.length = length_of[i];
-    info.content_hash = hashes[i];
-    info.is_deep_web = docs[i].is_deep_web;
-    info.source_host = docs[i].source_host;
-    docs_.push_back(std::move(info));
-  }
-
-  // Replica bookkeeping: an ack proves liveness AND currency; a replica
-  // that never acked missed the batch, can never catch up (batches are
-  // not re-sent), and is excluded from serving for good by its stale
-  // last_acked_seq.
+  // Bookkeeping: grade every ack against the deterministic expectation.
+  // A matching ack proves liveness and currency; a missing one makes a
+  // straggler for catch-up; a contradicting one exposes a replica whose
+  // index diverged from the committed history (or servers running
+  // different IndexOptions than the coordinator) — poisoned, out of
+  // serving and catch-up for good.
+  std::vector<std::pair<size_t, size_t>> stragglers;
   {
     std::lock_guard<std::mutex> lock(telemetry_mu_);
     for (size_t s = 0; s < num_shards_; ++s) {
       if (batches[s].docs.empty()) continue;
       ++stats_.ingest_batches;
+      shard_head_[s] = batches[s].seq;
       for (size_t r = 0; r < num_replicas_; ++r) {
         ReplicaHealth& h = health_[s * num_replicas_ + r];
-        if (acks[s][r].ok) {
-          h.last_acked_seq = batches[s].seq;
-          h.unsynced = false;  // the ack proves a consistent corpus
-          h.consecutive_failures = 0;
-          if (h.dead) {
-            h.dead = false;
-            --stats_.replicas_dead;
-          }
-        } else if (!h.dead) {
-          h.dead = true;
-          ++stats_.replicas_dead;
+        if (h.poisoned) continue;
+        if (!acks[s][r].ok) {
+          ++stats_.ingest_stragglers;
+          stragglers.emplace_back(s, r);
+          continue;
+        }
+        const IngestResponse& resp = acks[s][r].response;
+        bool valid = resp.seq == batches[s].seq &&
+                     resp.local_ids.size() == batches[s].docs.size();
+        for (size_t pos = 0; valid && pos < resp.local_ids.size(); ++pos) {
+          valid = resp.local_ids[pos] == base[s] + pos &&
+                  resp.newly_added[pos] == 1 &&
+                  resp.lengths[pos] ==
+                      length_of[batch_origin[s][pos]];
+        }
+        if (!valid) {
+          h.poisoned = true;
+          DS_LOG(Error) << "replica " << r << " of shard " << s
+                        << " acked ingest batch " << batches[s].seq
+                        << " with contents contradicting the committed "
+                           "placement; poisoning it (do the servers run "
+                           "the same IndexOptions as the coordinator?)";
+          continue;
+        }
+        h.last_acked_seq = batches[s].seq;
+        h.consecutive_failures = 0;
+        if (h.dead) {
+          h.dead = false;
+          --stats_.replicas_dead;
         }
       }
     }
   }
+  for (const auto& [s, r] : stragglers) RequestCatchUp(s, r);
   return added_count;
+}
+
+void Coordinator::RequestCatchUp(size_t shard, size_t replica) {
+  if (shard >= num_shards_ || replica >= num_replicas_) return;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    ReplicaHealth& h = health_[shard * num_replicas_ + replica];
+    if (h.poisoned) return;  // no replay can fix a diverged index
+    h.catching_up = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(catchup_mu_);
+    catchup_queue_.emplace_back(shard, replica);
+  }
+  catchup_cv_.notify_all();
+}
+
+void Coordinator::RequestCatchUpAll() {
+  std::vector<std::pair<size_t, size_t>> stale;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      for (size_t r = 0; r < num_replicas_; ++r) {
+        const ReplicaHealth& h = health_[s * num_replicas_ + r];
+        if (!h.poisoned && h.last_acked_seq != shard_head_[s]) {
+          stale.emplace_back(s, r);
+        }
+      }
+    }
+  }
+  for (const auto& [s, r] : stale) RequestCatchUp(s, r);
+}
+
+bool Coordinator::WaitForCatchUp(double timeout_ms) const {
+  std::unique_lock<std::mutex> lock(catchup_mu_);
+  auto drained = [&] {
+    return catchup_queue_.empty() && catchup_inflight_ == 0;
+  };
+  if (timeout_ms <= 0.0) {
+    catchup_cv_.wait(lock, drained);
+    return true;
+  }
+  return catchup_cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms), drained);
+}
+
+void Coordinator::CatchUpLoop() {
+  std::unique_lock<std::mutex> lock(catchup_mu_);
+  for (;;) {
+    catchup_cv_.wait(lock,
+                     [&] { return catchup_stop_ || !catchup_queue_.empty(); });
+    if (catchup_stop_) return;
+    auto [shard, replica] = catchup_queue_.front();
+    catchup_queue_.pop_front();
+    ++catchup_inflight_;
+    lock.unlock();
+    CatchUpOne(shard, replica);
+    lock.lock();
+    --catchup_inflight_;
+    catchup_cv_.notify_all();  // wakes WaitForCatchUp
+  }
+}
+
+Result<uint64_t> Coordinator::ProbeAppliedSeq(size_t shard,
+                                              size_t replica) const {
+  auto resp =
+      CallShard(shard, Encode(HealthRequest{}), static_cast<int>(replica),
+                options_.catchup_attempts, /*hedging_allowed=*/false);
+  if (!resp.ok()) return resp.status();
+  auto health = DecodeHealthResponse(*resp);
+  if (!health.ok()) return health.status();
+  return health->last_applied_seq;
+}
+
+std::vector<IngestLogRecord> Coordinator::FetchMissing(
+    size_t shard, size_t exclude, uint64_t from_seq) const {
+  // Prefer a currency-holding peer: it holds the full committed history
+  // by definition and serves the read without the coordinator's corpus
+  // lock. (A stale peer is useless — its window ends where its own
+  // catch-up does.)
+  int peer = -1;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    uint64_t head = shard_head_[shard];
+    for (size_t r = 0; r < num_replicas_; ++r) {
+      if (r == exclude) continue;
+      const ReplicaHealth& h = health_[shard * num_replicas_ + r];
+      if (h.poisoned || h.dead || h.last_acked_seq != head) continue;
+      peer = static_cast<int>(r);
+      break;
+    }
+  }
+  if (peer >= 0) {
+    FetchRequest freq;
+    freq.from_seq = from_seq;
+    freq.max_bytes = options_.catchup_fetch_bytes;
+    auto resp = CallShard(shard, Encode(freq), peer,
+                          options_.catchup_attempts,
+                          /*hedging_allowed=*/false);
+    if (resp.ok()) {
+      auto decoded = DecodeFetchResponse(*resp);
+      if (decoded.ok() && !decoded->records.empty() &&
+          decoded->records.front().seq == from_seq) {
+        // The wire decode bounds-checked the bytes and enforced seq
+        // contiguity; this checks each record really is the ingest
+        // frame its seq claims before it gets replayed anywhere.
+        bool valid = true;
+        for (const auto& rec : decoded->records) {
+          auto req = DecodeIngestRequest(rec.payload);
+          if (!req.ok() || req->seq != rec.seq) {
+            valid = false;
+            break;
+          }
+        }
+        if (valid) return std::move(decoded->records);
+      }
+    }
+  }
+  // Fall back to the coordinator's own staged log.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return wal_[shard].Read(from_seq, options_.catchup_fetch_bytes);
+}
+
+bool Coordinator::CatchUpOne(size_t shard, size_t replica) {
+  const size_t idx = shard * num_replicas_ + replica;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    ReplicaHealth& h = health_[idx];
+    if (h.poisoned) {
+      h.catching_up = false;
+      return false;
+    }
+    if (h.last_acked_seq == shard_head_[shard]) {
+      h.catching_up = false;  // already current; nothing to do
+      return true;
+    }
+  }
+
+  // Servers remember only their LAST ingest response, so replay must
+  // start exactly at the replica's true applied seq (one behind would
+  // be refused as out-of-sequence) — probe for it. An ack-lost replica
+  // often turns out fully applied here, and "catch-up" is just the
+  // bookkeeping below.
+  auto probed = ProbeAppliedSeq(shard, replica);
+  if (!probed.ok()) {
+    // Unreachable: leave it stale. A future revival, straggle, or sweep
+    // re-enqueues it.
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    health_[idx].catching_up = false;
+    return false;
+  }
+  uint64_t applied = *probed;
+  uint64_t replayed_batches = 0;
+  uint64_t replayed_bytes = 0;
+  bool healed = true;
+  while (healed) {
+    uint64_t head;
+    {
+      std::lock_guard<std::mutex> lock(telemetry_mu_);
+      head = shard_head_[shard];
+    }
+    if (applied >= head) break;
+    auto records = FetchMissing(shard, replica, applied + 1);
+    if (records.empty() || records.front().seq != applied + 1) {
+      DS_LOG(Warning) << "catch-up for replica " << replica << " of shard "
+                      << shard << " stalled at seq " << applied
+                      << ": no source retains batch " << (applied + 1);
+      healed = false;
+      break;
+    }
+    for (const auto& rec : records) {
+      auto ack = CallShard(shard, rec.payload, static_cast<int>(replica),
+                           options_.catchup_attempts,
+                           /*hedging_allowed=*/false);
+      if (ack.ok()) {
+        auto decoded = DecodeIngestResponse(*ack);
+        if (!decoded.ok() || decoded->seq != rec.seq) {
+          healed = false;
+          break;
+        }
+        applied = rec.seq;
+        ++replayed_batches;
+        replayed_bytes += rec.payload.size();
+        continue;
+      }
+      if (ack.status().IsFailedPrecondition()) {
+        // The replica refused a verbatim committed frame. If its
+        // applied seq advanced past where we thought it was, a
+        // concurrently dispatched batch beat the replay there — adopt
+        // the new position and refetch. Otherwise it holds conflicting
+        // content under this seq: diverged beyond repair.
+        auto reprobe = ProbeAppliedSeq(shard, replica);
+        if (reprobe.ok() && *reprobe > applied) {
+          applied = *reprobe;
+          break;  // refetch from the new position
+        }
+        {
+          std::lock_guard<std::mutex> lock(telemetry_mu_);
+          ReplicaHealth& h = health_[idx];
+          h.poisoned = true;
+          h.catching_up = false;
+          stats_.batches_replayed += replayed_batches;
+          stats_.catchup_bytes += replayed_bytes;
+        }
+        DS_LOG(Error) << "replica " << replica << " of shard " << shard
+                      << " refused verbatim replay of batch " << rec.seq
+                      << "; its index diverged from the committed history "
+                         "— poisoning it";
+        return false;
+      }
+      healed = false;  // transient failure; a later request retries
+      break;
+    }
+  }
+
+  bool current = false;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    ReplicaHealth& h = health_[idx];
+    const bool was_stale = h.last_acked_seq != shard_head_[shard];
+    if (applied > h.last_acked_seq) h.last_acked_seq = applied;
+    current = h.last_acked_seq == shard_head_[shard];
+    if (current) {
+      h.consecutive_failures = 0;
+      if (h.dead) {
+        h.dead = false;
+        --stats_.replicas_dead;
+      }
+      if (was_stale) ++stats_.replicas_rejoined;
+    }
+    stats_.batches_replayed += replayed_batches;
+    stats_.catchup_bytes += replayed_bytes;
+    h.catching_up = false;
+  }
+  return current;
 }
 
 index::DocInfo Coordinator::doc(index::DocId id) const {
@@ -779,7 +1008,14 @@ std::vector<ReplicaProbe> Coordinator::ProbeHealth() const {
         ReplicaProbe& probe = probes[s * num_replicas_ + r];
         probe.shard = s;
         probe.replica = r;
-        probe.marked_dead = ReplicaDead(s, r);
+        {
+          std::lock_guard<std::mutex> lock(telemetry_mu_);
+          const ReplicaHealth& h = health_[s * num_replicas_ + r];
+          probe.marked_dead = h.dead;
+          probe.last_acked_seq = h.last_acked_seq;
+          probe.shard_head_seq = shard_head_[s];
+          probe.catching_up = h.catching_up;
+        }
         auto resp = CallShard(s, frame, static_cast<int>(r), /*attempts=*/1,
                               /*hedging_allowed=*/false);
         if (!resp.ok()) return;
@@ -822,22 +1058,45 @@ index::IndexMemoryUsage Coordinator::MemoryUsage() const {
 
 index::SearchStats Coordinator::search_stats() const {
   const std::string frame = Encode(HealthRequest{});  // no memory walk
-  std::vector<index::SearchStats> per_shard(num_shards_);
+  const size_t n = num_shards_ * num_replicas_;
+  std::vector<index::SearchStats> fresh(n);
+  std::vector<char> got(n, 0);
   std::vector<std::function<void()>> jobs;
-  jobs.reserve(num_shards_);
+  jobs.reserve(n);
   for (size_t s = 0; s < num_shards_; ++s) {
-    jobs.push_back([this, s, &frame, &per_shard] {
-      auto resp = CallShard(s, frame, /*pinned_replica=*/-1,
-                            options_.max_attempts,
-                            /*hedging_allowed=*/false);
-      if (!resp.ok()) return;
-      auto health = DecodeHealthResponse(*resp);
-      if (health.ok()) per_shard[s] = health->search;
-    });
+    for (size_t r = 0; r < num_replicas_; ++r) {
+      jobs.push_back([this, s, r, &frame, &fresh, &got] {
+        auto resp = CallShard(s, frame, static_cast<int>(r),
+                              /*max_attempts=*/2,
+                              /*hedging_allowed=*/false);
+        if (!resp.ok()) return;
+        auto health = DecodeHealthResponse(*resp);
+        if (!health.ok()) return;
+        fresh[s * num_replicas_ + r] = health->search;
+        got[s * num_replicas_ + r] = 1;
+      });
+    }
   }
   RunJobs(std::move(jobs));
   index::SearchStats total;
-  for (const auto& st : per_shard) total.Add(st);
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      index::SearchStats& cached = replica_search_stats_[i];
+      if (got[i] != 0) {
+        // Field-wise max: server counters are cumulative, so a stale
+        // response can only under-report, never over-report.
+        cached.queries = std::max(cached.queries, fresh[i].queries);
+        cached.blocks_decoded =
+            std::max(cached.blocks_decoded, fresh[i].blocks_decoded);
+        cached.blocks_skipped =
+            std::max(cached.blocks_skipped, fresh[i].blocks_skipped);
+        cached.decode_cache_hits =
+            std::max(cached.decode_cache_hits, fresh[i].decode_cache_hits);
+      }
+      total.Add(cached);
+    }
+  }
   return total;
 }
 

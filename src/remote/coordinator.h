@@ -33,18 +33,29 @@
 //     replica and the first answer wins; the loser is cancelled.
 //   * Failover + retry: fast failures rotate to the next replica
 //     immediately; silent drops are caught by a per-attempt deadline.
-//     Replicas that keep failing are marked dead and skipped (a dead
-//     replica may have missed ingest batches, so it is never trusted
-//     again — consistency over capacity).
+//     Replicas that keep failing are marked dead and skipped; a replica
+//     whose acked seq lags its shard's head is stale and never serves
+//     (consistency over capacity) — but neither verdict is forever,
+//     because catch-up (below) can restore both liveness and currency.
 //   * Partial results: a query never fails outright. If every replica
 //     of a shard is unreachable after the attempt budget, the query is
 //     answered from the shards that did respond and
 //     stats().partial_results counts the degradation.
 //
-// Ingest is replicated synchronously: a batch goes to every replica of
-// its shard and at least one ack per shard is required; replicas that
-// never ack are marked dead. Ingest holds the writer lock end to end,
-// so it serializes with queries exactly like ShardedIndex's writer does.
+// Ingest is durable and exactly-once: the coordinator stages every
+// batch in a per-shard write-ahead log (remote/ingest_log.h) and
+// commits its global-id state *before* dispatching to replicas — it
+// can do so because ingest acks are fully deterministic (local ids,
+// newly flags, and token lengths are all computable coordinator-side),
+// so no ack can change the outcome, only confirm it. Replicas that
+// miss the batch become stale stragglers, healed by the background
+// catch-up worker: it streams the missed batches from a
+// currency-holding peer (Fetch frames) or the coordinator's own log,
+// replays them through the idempotent seq path, and re-admits the
+// replica to serving once its acked seq matches the shard head — at
+// which point it is byte-identical to replicas that never failed.
+// Ingest holds the writer lock end to end, so it serializes with
+// queries exactly like ShardedIndex's writer does.
 
 #ifndef DEEPSURF_REMOTE_COORDINATOR_H_
 #define DEEPSURF_REMOTE_COORDINATOR_H_
@@ -64,6 +75,7 @@
 
 #include "index/inverted_index.h"
 #include "index/search_index.h"
+#include "remote/ingest_log.h"
 #include "remote/transport.h"
 #include "remote/wire.h"
 #include "util/result.h"
@@ -103,6 +115,17 @@ struct CoordinatorOptions {
   /// Duplicate-suppression policy; must match the servers'
   /// ShardServerOptions::index for the equivalence contract to hold.
   bool suppress_duplicates = true;
+  /// Retention of the coordinator's per-shard write-ahead logs (batches
+  /// staged before dispatch; the replay source of last resort). A
+  /// replica staler than the oldest retained record everywhere cannot
+  /// be healed and stays excluded — budget accordingly.
+  IngestLogOptions wal;
+  /// Payload-byte budget per catch-up Fetch round (one peer RPC or one
+  /// local log read); catch-up loops rounds until the replica is
+  /// current.
+  size_t catchup_fetch_bytes = 1u << 20;
+  /// RPC attempts per replayed batch / per catch-up probe.
+  size_t catchup_attempts = 3;
 };
 
 /// Cumulative counters (all since construction).
@@ -117,6 +140,11 @@ struct CoordinatorStats {
   uint64_t failed_shard_calls = 0;  ///< logical calls that lost every attempt
   uint64_t partial_results = 0;   ///< queries answered with >= 1 shard missing
   uint64_t replicas_dead = 0;     ///< replicas currently marked dead
+  uint64_t ingest_stragglers = 0;  ///< per-replica batch sends that never
+                                   ///< acked (each handed to catch-up)
+  uint64_t replicas_rejoined = 0;  ///< stale replicas made current by catch-up
+  uint64_t batches_replayed = 0;   ///< batches re-applied during catch-up
+  uint64_t catchup_bytes = 0;      ///< payload bytes replayed during catch-up
   /// Latency snapshot of recent successful shard RPCs (milliseconds).
   double rpc_p50_ms = 0.0;
   double rpc_p95_ms = 0.0;
@@ -129,7 +157,15 @@ struct ReplicaProbe {
   size_t replica = 0;
   bool reachable = false;
   bool marked_dead = false;  ///< coordinator-side verdict
-  HealthResponse health;     ///< valid when reachable
+  /// Recovery observability, from the coordinator's own bookkeeping
+  /// (valid even when the replica is unreachable): how far the replica
+  /// has acked vs. where its shard's history stands, and whether the
+  /// catch-up worker currently owns it. Current ⇔ last_acked_seq ==
+  /// shard_head_seq; anything less is stale and barred from serving.
+  uint64_t last_acked_seq = 0;
+  uint64_t shard_head_seq = 0;
+  bool catching_up = false;
+  HealthResponse health;  ///< valid when reachable
 };
 
 /// The distributed index: WritableIndex over a Transport.
@@ -180,19 +216,42 @@ class Coordinator : public index::WritableIndex {
   /// probe each; dead-marked replicas are probed too, but not revived).
   std::vector<ReplicaProbe> ProbeHealth() const;
 
+  // --- Replica catch-up & rejoin. ---
+
+  /// Hands a replica to the background catch-up worker, which streams
+  /// the batches it missed (from a current peer, or the coordinator's
+  /// own write-ahead log) and re-admits it to serving once its acked
+  /// seq matches the shard head. Idempotent and cheap when the replica
+  /// is already current. Wire FlakyTransport::SetReviveListener here so
+  /// every revival rejoins through this path.
+  void RequestCatchUp(size_t shard, size_t replica);
+
+  /// Enqueues every currently-stale replica (a sweep for "heal whatever
+  /// the last fault window left behind").
+  void RequestCatchUpAll();
+
+  /// Blocks until the catch-up queue is drained and no catch-up is in
+  /// flight. timeout_ms == 0 waits indefinitely. Returns false on
+  /// timeout. Note "drained" is not "healed": a replica whose catch-up
+  /// failed (unreachable, or history trimmed past its position) stays
+  /// stale — ProbeHealth tells them apart.
+  bool WaitForCatchUp(double timeout_ms = 0.0) const;
+
   /// Memory accounting of the cluster's logical corpus: one health
   /// probe per shard (any serving replica — replicas hold bit-identical
   /// indexes, so which one answers is unobservable), summed. A shard
   /// whose probe fails contributes zero; best-effort, like ProbeHealth.
   index::IndexMemoryUsage MemoryUsage() const override;
 
-  /// Cluster query-execution counters: one light health probe per shard
-  /// (no memory walk), the answering replica's index::SearchStats
-  /// summed. Unlike memory, these counters are per-*replica* work (a
-  /// hedged or failed-over query decodes blocks on whichever replica
-  /// served it), so the sum is a sample of cluster activity — one
-  /// serving replica per shard — not an exact census. Best-effort, like
-  /// ProbeHealth; a failed probe contributes zero.
+  /// Cluster query-execution counters: one light health probe per
+  /// *replica* (no memory walk), merged into a per-replica snapshot
+  /// cache and summed over the whole grid. These counters are
+  /// per-replica work (a hedged or failed-over query decodes blocks on
+  /// whichever replica served it), so the grid-wide sum is the exact
+  /// census of cluster activity — and because each replica's cached
+  /// snapshot only ever advances (its server counters are cumulative)
+  /// and survives failed probes, consecutive calls are monotone
+  /// non-decreasing: deltas between them never wrap.
   index::SearchStats search_stats() const override;
 
  private:
@@ -213,7 +272,6 @@ class Coordinator : public index::WritableIndex {
   std::vector<size_t> ReplicaPlan(size_t shard, size_t attempts) const;
 
   double HedgeDelayMs() const;
-  bool ReplicaDead(size_t shard, size_t replica) const;
 
   /// Runs fn(shard) for every shard; shard 0 on the calling thread, the
   /// rest on the fan-out pool.
@@ -227,6 +285,21 @@ class Coordinator : public index::WritableIndex {
   Result<size_t> IngestLocked(const std::vector<index::Document>& docs,
                               std::vector<bool>* newly_added,
                               std::vector<index::DocId>* ids);
+
+  // --- Catch-up worker internals. ---
+  void CatchUpLoop();
+  /// Drives one replica from wherever it is to the shard head. Returns
+  /// true when the replica ends current (possibly having been so all
+  /// along); false when it could not be healed this round (unreachable,
+  /// history trimmed, or diverged).
+  bool CatchUpOne(size_t shard, size_t replica);
+  /// The missed batches from `from_seq` on, from a currency-holding
+  /// peer if one answers, else from the coordinator's own log. Empty
+  /// when neither retains them.
+  std::vector<IngestLogRecord> FetchMissing(size_t shard, size_t exclude,
+                                            uint64_t from_seq) const;
+  /// Probes one replica (pinned) for its true last applied seq.
+  Result<uint64_t> ProbeAppliedSeq(size_t shard, size_t replica) const;
 
   Transport* const transport_;
   const CoordinatorOptions options_;
@@ -249,34 +322,55 @@ class Coordinator : public index::WritableIndex {
   std::vector<uint64_t> shard_doc_count_;  ///< local ids handed out
   std::vector<uint64_t> shard_seq_;        ///< ingest batch sequence
   std::unordered_map<uint64_t, index::DocId> by_hash_;  ///< global dedup
+  /// Per-shard write-ahead log of staged batches: the coordinator's own
+  /// replay source when no current peer can serve a Fetch.
+  std::vector<IngestLog> wal_;
 
   /// Replica health, latency tracking, and counters. Separate from mu_
   /// so completions never contend with the corpus lock.
   mutable std::mutex telemetry_mu_;
   struct ReplicaHealth {
     uint64_t consecutive_failures = 0;
-    /// Last ingest batch seq this replica acknowledged. A replica whose
-    /// ack lags its shard's seq missed a batch, holds a smaller corpus,
-    /// and must never serve a query (byte-identity would break); it
-    /// heals only by acking (a verbatim retry of the missed batch, or
-    /// never).
+    /// Last ingest batch seq this replica acknowledged (directly, or by
+    /// completing catch-up). A replica whose ack lags its shard's head
+    /// missed a batch, holds a smaller corpus, and must not serve a
+    /// query (byte-identity would break) until catch-up replays what it
+    /// missed and proves it current again.
     uint64_t last_acked_seq = 0;
-    /// Set for every replica of a shard whose ingest batch was rolled
-    /// back: the replica may or may not have applied it (an ack can be
-    /// lost after the apply), so its corpus is UNKNOWN and it must not
-    /// serve. Cleared only by a subsequent ingest ack — which is
-    /// possible exactly when the replica's state turns out consistent
-    /// (the seq discipline refuses every other case) — so the flag
-    /// converges to the truth on retry.
-    bool unsynced = false;
+    /// Owned by the catch-up worker right now (observability only; the
+    /// serving gate is last_acked_seq).
+    bool catching_up = false;
+    /// The replica acked a batch with contents that contradict the
+    /// deterministic expectation (or refused a verbatim replay as
+    /// conflicting): its index diverged from the committed history and
+    /// no replay can fix it. Permanently excluded from serving and
+    /// catch-up — the one verdict that is forever.
+    bool poisoned = false;
     bool dead = false;  ///< operational verdict (failures); revivable
   };
   mutable std::vector<ReplicaHealth> health_;  ///< shard * R + replica
+  /// Telemetry-side copy of shard_seq_ (updated in the same critical
+  /// section as ack bookkeeping) so ReplicaPlan and the catch-up worker
+  /// can read the shard head without touching the corpus lock.
+  mutable std::vector<uint64_t> shard_head_;
+  /// Last known per-replica search counters (cumulative server-side;
+  /// merged by field-wise max so a stale probe can never regress one).
+  mutable std::vector<index::SearchStats> replica_search_stats_;
   mutable stats::PercentileTracker latency_ms_;
   mutable double hedge_delay_cache_ms_ = 0.0;
   mutable uint64_t hedge_delay_refresh_at_ = 0;  ///< next total() to recompute at
   mutable CoordinatorStats stats_;
   mutable std::atomic<uint64_t> rotation_{0};  ///< primary-replica rotation
+
+  // Catch-up worker: one background thread draining (shard, replica)
+  // tasks. Tasks arrive from ingest stragglers, transport revivals
+  // (via RequestCatchUp), and explicit sweeps.
+  mutable std::mutex catchup_mu_;
+  mutable std::condition_variable catchup_cv_;
+  mutable std::deque<std::pair<size_t, size_t>> catchup_queue_;
+  mutable size_t catchup_inflight_ = 0;
+  bool catchup_stop_ = false;
+  std::thread catchup_worker_;
 
   // Fan-out pool (see CoordinatorOptions::fanout_threads).
   mutable std::mutex pool_mu_;

@@ -1,0 +1,128 @@
+// Copyright 2026 The deepsurf Authors.
+//
+// The per-shard write-ahead ingest log: an append-only, checksummed,
+// sequence-numbered record of every ingest batch a node has applied (or,
+// on the coordinator, staged). This is the durability substrate of the
+// distributed layer's recovery story:
+//   * a shard server appends each applied batch's request frame, so a
+//     stale peer can stream the batches it missed (the Fetch frames in
+//     remote/wire.h) and re-apply them through the idempotent seq path;
+//   * the coordinator appends each batch *before* dispatching it, so a
+//     partially-acked batch is driven to completion by replay instead of
+//     rolled back — ingest is exactly-once from the caller's view.
+//
+// Record layout (little-endian, fixed-width — same discipline as the
+// wire format):
+//
+//   +--------+---------+--------------+------------------+-----------+
+//   | magic  | seq     | payload_size | checksum         | payload   |
+//   | u32    | u64     | u32          | u64 (FNV-1a 64)  | bytes     |
+//   +--------+---------+--------------+------------------+-----------+
+//
+// Sequence numbers are strictly consecutive (`Append` refuses gaps), so
+// a log image is a contiguous window [first_seq, last_seq] of the
+// shard's batch history. Retention is by byte budget: oldest records are
+// trimmed first, and the newest record is always retained, so the log
+// can answer "replay from seq N" exactly when N falls inside the window.
+//
+// Recovery (`Restore`) is a bounds-checked scan that never trusts the
+// image: a torn or truncated tail — short header, bad magic, payload
+// running past the end, checksum mismatch, or a seq break — ends the
+// scan at the last intact record. The valid prefix is kept, the tail is
+// rejected and reported, never silently half-applied.
+//
+// The class does no locking; callers synchronize it with the state it
+// journals (the shard server holds its index lock, the coordinator its
+// corpus lock).
+
+#ifndef DEEPSURF_REMOTE_INGEST_LOG_H_
+#define DEEPSURF_REMOTE_INGEST_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace deepsurf {
+namespace remote {
+
+struct IngestLogOptions {
+  /// Byte budget for retained records (headers + payloads). When an
+  /// append pushes the log past it, whole records are trimmed from the
+  /// head; the record just appended is never trimmed. 0 = unbounded.
+  size_t retain_bytes = 0;
+};
+
+/// One retained record: a batch seq and the exact frame bytes that were
+/// applied under it.
+struct IngestLogRecord {
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+class IngestLog {
+ public:
+  /// What a Restore() scan found. `records` is the intact prefix kept;
+  /// `dropped_bytes` is the rejected tail (0 when the image was clean);
+  /// `torn_tail` marks that a rejection happened.
+  struct RecoveryReport {
+    size_t records = 0;
+    size_t dropped_bytes = 0;
+    bool torn_tail = false;
+  };
+
+  /// Fixed per-record header size: magic u32 + seq u64 + payload_size
+  /// u32 + checksum u64 (see the layout diagram above).
+  static constexpr size_t kHeaderBytes = 4 + 8 + 4 + 8;
+
+  explicit IngestLog(IngestLogOptions options = {});
+
+  /// Appends one record. `seq` must be exactly last_seq() + 1 on a
+  /// non-empty log (any positive seq seeds an empty one — a log restored
+  /// mid-history starts wherever its window starts).
+  Status Append(uint64_t seq, std::string payload);
+
+  bool empty() const { return records_.empty(); }
+  size_t num_records() const { return records_.size(); }
+  /// Encoded size of the retained window (headers + payloads).
+  size_t size_bytes() const { return size_bytes_; }
+  /// Oldest / newest retained seq; 0 when empty.
+  uint64_t first_seq() const { return records_.empty() ? 0 : records_.front().seq; }
+  uint64_t last_seq() const { return records_.empty() ? 0 : records_.back().seq; }
+  /// Records trimmed by the retention budget since construction/Restore.
+  uint64_t records_trimmed() const { return records_trimmed_; }
+
+  /// Contiguous records starting exactly at `from_seq`, up to
+  /// `max_payload_bytes` of payload (at least one record when available,
+  /// so one oversized batch can't starve replay). Empty when `from_seq`
+  /// is outside the retained window — in particular when it was already
+  /// trimmed, which a caller must treat as "this log can no longer heal
+  /// that replica".
+  std::vector<IngestLogRecord> Read(uint64_t from_seq,
+                                    size_t max_payload_bytes) const;
+
+  /// The log's durable image: every retained record in record layout.
+  std::string Serialize() const;
+
+  /// Replaces the log's contents with the intact prefix of `image`,
+  /// rejecting a torn/truncated tail (see file comment). The scan is
+  /// bounds-checked throughout: no field of a corrupt record is ever
+  /// used. Returns what was kept and what was rejected.
+  RecoveryReport Restore(const std::string& image);
+
+ private:
+  void TrimToBudget();
+
+  IngestLogOptions options_;
+  std::deque<IngestLogRecord> records_;
+  size_t size_bytes_ = 0;
+  uint64_t records_trimmed_ = 0;
+};
+
+}  // namespace remote
+}  // namespace deepsurf
+
+#endif  // DEEPSURF_REMOTE_INGEST_LOG_H_

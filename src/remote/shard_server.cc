@@ -1,5 +1,6 @@
 #include "remote/shard_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "index/merge.h"
@@ -10,7 +11,7 @@ namespace deepsurf {
 namespace remote {
 
 ShardServer::ShardServer(ShardServerOptions options)
-    : options_(options), index_(options.index) {
+    : options_(options), index_(options.index), wal_(options.wal) {
   size_t workers = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -97,6 +98,8 @@ Result<std::string> ShardServer::Handle(const std::string& request) {
       return HandleIngest(request);
     case MessageType::kHealthRequest:
       return HandleHealth(request);
+    case MessageType::kFetchRequest:
+      return HandleFetch(request);
     default:
       return Status::InvalidArgument("frame is a response, not a request");
   }
@@ -154,10 +157,11 @@ Result<std::string> ShardServer::HandleIngest(const std::string& request) {
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   if (req->seq == last_applied_seq_ && !last_ingest_response_.empty()) {
     if (request_hash != last_ingest_request_hash_) {
-      // Same seq, different batch: the coordinator rolled back a failed
-      // ingest and is now reusing the number for new content. Replaying
+      // Same seq, different batch: someone is trying to commit different
+      // content under a number this replica already applied. Replaying
       // the stored response would silently map the new documents onto
-      // the old batch's local ids — refuse loudly instead.
+      // the old batch's local ids — refuse loudly instead. (The
+      // coordinator treats this refusal as proof of divergence.)
       return Status::FailedPrecondition(
           "ingest seq " + std::to_string(req->seq) +
           " re-used for a different batch; this replica already applied "
@@ -191,6 +195,10 @@ Result<std::string> ShardServer::HandleIngest(const std::string& request) {
   last_applied_seq_ = req->seq;
   last_ingest_request_hash_ = request_hash;
   last_ingest_response_ = Encode(resp);
+  // Journal the applied batch verbatim: the WAL's window is what this
+  // node can stream to a catching-up peer. Append cannot fail here —
+  // the seq discipline above guarantees consecutive appends.
+  DS_CHECK_OK(wal_.Append(req->seq, request));
   {
     std::lock_guard<std::mutex> slock(mu_);
     ++stats_.ingest_batches;
@@ -207,6 +215,9 @@ Result<std::string> ShardServer::HandleHealth(const std::string& request) {
     resp.num_docs = index_.num_docs();
     resp.epoch = index_.ingest_epoch();
     resp.last_applied_seq = last_applied_seq_;
+    resp.wal_first_seq = wal_.first_seq();
+    resp.wal_last_seq = wal_.last_seq();
+    resp.wal_bytes = wal_.size_bytes();
     // Memory accounting walks every posting list and the dictionary —
     // only on request, so plain liveness probes stay O(1). Search
     // counters are O(1) reads and always travel.
@@ -224,11 +235,37 @@ Result<std::string> ShardServer::HandleHealth(const std::string& request) {
   return Encode(resp);
 }
 
+Result<std::string> ShardServer::HandleFetch(const std::string& request) {
+  auto req = DecodeFetchRequest(request);
+  if (!req.ok()) return req.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fetches;
+  }
+  size_t budget = options_.max_fetch_bytes;
+  if (req->max_bytes > 0) {
+    budget = std::min<size_t>(budget, static_cast<size_t>(req->max_bytes));
+  }
+  FetchResponse resp;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    resp.head_seq = last_applied_seq_;
+    resp.log_first_seq = wal_.first_seq();
+    resp.records = wal_.Read(req->from_seq, budget);
+  }
+  return Encode(resp);
+}
+
 ShardServerStats ShardServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ShardServerStats snapshot = stats_;
   snapshot.queue_depth = queue_.size();
   return snapshot;
+}
+
+std::string ShardServer::WalImageForTesting() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return wal_.Serialize();
 }
 
 void ShardServer::PauseForTesting() {

@@ -17,6 +17,10 @@
 //     once in order, and a re-sent seq (a retry whose response was lost)
 //     replays the stored response without touching the index. Replicas
 //     fed the same batch sequence therefore hold bit-identical indexes.
+//   * Every applied batch's request frame is journaled in a write-ahead
+//     ingest log (remote/ingest_log.h), and Fetch frames serve the
+//     retained window to peers — how a stale replica streams the
+//     batches it missed from a currency-holding one and rejoins.
 //   * The queue is bounded: when it is full, Enqueue fails fast with
 //     ResourceExhausted instead of buffering unboundedly — backpressure
 //     the coordinator turns into retries elsewhere.
@@ -40,6 +44,7 @@
 #include <vector>
 
 #include "index/inverted_index.h"
+#include "remote/ingest_log.h"
 #include "remote/wire.h"
 #include "util/result.h"
 
@@ -55,6 +60,12 @@ struct ShardServerOptions {
   /// Scoring options for the local index. Must match the coordinator's
   /// (and every replica's) or results will differ between replicas.
   index::IndexOptions index;
+  /// Retention of the write-ahead ingest log this server keeps of its
+  /// applied batches (serves peer catch-up via Fetch frames).
+  IngestLogOptions wal;
+  /// Largest payload-byte budget one Fetch response will carry, however
+  /// much the peer asked for (bounds response frames).
+  size_t max_fetch_bytes = 4u << 20;
 };
 
 /// Cumulative counters (all since construction).
@@ -66,6 +77,7 @@ struct ShardServerStats {
   uint64_t stats_calls = 0;
   uint64_t ingest_batches = 0;  ///< batches applied (replays not counted)
   uint64_t ingest_replays = 0;  ///< idempotent re-sends answered from cache
+  uint64_t fetches = 0;         ///< catch-up log reads served to peers
   uint64_t health_checks = 0;
   uint64_t decode_errors = 0;
   size_t queue_depth = 0;       ///< snapshot at stats() time
@@ -105,6 +117,10 @@ class ShardServer {
   void PauseForTesting();
   void ResumeForTesting();
 
+  /// Snapshot of the write-ahead log's durable image (tests: torn-tail
+  /// recovery wants real bytes to corrupt).
+  std::string WalImageForTesting() const;
+
  private:
   struct PendingRequest {
     std::string bytes;
@@ -120,6 +136,7 @@ class ShardServer {
   Result<std::string> HandleStats(const std::string& request);
   Result<std::string> HandleIngest(const std::string& request);
   Result<std::string> HandleHealth(const std::string& request);
+  Result<std::string> HandleFetch(const std::string& request);
 
   const ShardServerOptions options_;
 
@@ -132,6 +149,7 @@ class ShardServer {
                                            ///< seq must carry the same
                                            ///< batch bytes
   std::string last_ingest_response_;  ///< replayed for a re-sent seq
+  IngestLog wal_;  ///< applied batches, served to catching-up peers
 
   mutable std::mutex mu_;  ///< queue + stats + lifecycle
   std::condition_variable cv_;

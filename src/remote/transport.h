@@ -32,6 +32,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -205,6 +206,13 @@ class FlakyTransport : public Transport {
   size_t num_shards() const override { return inner_->num_shards(); }
   size_t num_replicas() const override { return inner_->num_replicas(); }
 
+  /// Notified on every Revive, outside the transport lock. Wiring this
+  /// to Coordinator::RequestCatchUp makes revive-without-catch-up
+  /// impossible by construction: a replica cannot come back without the
+  /// rejoin machinery hearing about it (and until it catches up, the
+  /// coordinator's currency gate keeps it out of serving anyway).
+  using ReviveListener = std::function<void(size_t shard, size_t replica)>;
+
   /// Marks a replica dead: every subsequent call fails fast with
   /// Unavailable, the way a connection refused does.
   void Kill(size_t shard, size_t replica) {
@@ -212,9 +220,22 @@ class FlakyTransport : public Transport {
     core_->dead.insert({shard, replica});
   }
 
+  /// Brings a replica back with whatever index state it last had — a
+  /// revived process has not seen the batches it missed, which is
+  /// exactly what the revive listener exists to repair.
   void Revive(size_t shard, size_t replica) {
+    ReviveListener listener;
+    {
+      std::lock_guard<std::mutex> lock(core_->mu);
+      core_->dead.erase({shard, replica});
+      listener = core_->revive_listener;
+    }
+    if (listener) listener(shard, replica);
+  }
+
+  void SetReviveListener(ReviveListener listener) {
     std::lock_guard<std::mutex> lock(core_->mu);
-    core_->dead.erase({shard, replica});
+    core_->revive_listener = std::move(listener);
   }
 
   /// Gives one replica a fixed extra latency on every response — the
@@ -270,6 +291,7 @@ class FlakyTransport : public Transport {
     Rng rng;
     FlakyTransportStats stats;
     std::set<std::pair<size_t, size_t>> dead;
+    ReviveListener revive_listener;
     std::map<std::pair<size_t, size_t>, double> replica_delay_ms;
     std::priority_queue<std::shared_ptr<Delayed>,
                         std::vector<std::shared_ptr<Delayed>>, DelayedLater>

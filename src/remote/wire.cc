@@ -142,6 +142,8 @@ Result<MessageType> PeekType(const std::string& frame) {
     case MessageType::kIngestResponse:
     case MessageType::kHealthRequest:
     case MessageType::kHealthResponse:
+    case MessageType::kFetchRequest:
+    case MessageType::kFetchResponse:
       return type;
   }
   return Malformed("unknown message type");
@@ -363,6 +365,9 @@ std::string Encode(const HealthResponse& msg) {
   PutU64(&out, msg.requests_served);
   PutU64(&out, msg.requests_rejected);
   PutU64(&out, msg.requests_cancelled);
+  PutU64(&out, msg.wal_first_seq);
+  PutU64(&out, msg.wal_last_seq);
+  PutU64(&out, msg.wal_bytes);
   PutU64(&out, msg.memory.posting_doc_raw_bytes);
   PutU64(&out, msg.memory.posting_doc_packed_bytes);
   PutU64(&out, msg.memory.posting_weight_bytes);
@@ -392,6 +397,9 @@ Result<HealthResponse> DecodeHealthResponse(const std::string& frame) {
   msg.requests_served = r.GetU64();
   msg.requests_rejected = r.GetU64();
   msg.requests_cancelled = r.GetU64();
+  msg.wal_first_seq = r.GetU64();
+  msg.wal_last_seq = r.GetU64();
+  msg.wal_bytes = r.GetU64();
   msg.memory.posting_doc_raw_bytes = r.GetU64();
   msg.memory.posting_doc_packed_bytes = r.GetU64();
   msg.memory.posting_weight_bytes = r.GetU64();
@@ -406,6 +414,66 @@ Result<HealthResponse> DecodeHealthResponse(const std::string& frame) {
   msg.search.blocks_skipped = r.GetU64();
   msg.search.decode_cache_hits = r.GetU64();
   if (!r.Done()) return Malformed("truncated HealthResponse");
+  return msg;
+}
+
+std::string Encode(const FetchRequest& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MessageType::kFetchRequest));
+  PutU64(&out, msg.from_seq);
+  PutU64(&out, msg.max_bytes);
+  return out;
+}
+
+Result<FetchRequest> DecodeFetchRequest(const std::string& frame) {
+  Reader r(frame);
+  if (!CheckType(&r, MessageType::kFetchRequest)) {
+    return Malformed("not a FetchRequest");
+  }
+  FetchRequest msg;
+  msg.from_seq = r.GetU64();
+  msg.max_bytes = r.GetU64();
+  if (!r.Done()) return Malformed("truncated FetchRequest");
+  return msg;
+}
+
+std::string Encode(const FetchResponse& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MessageType::kFetchResponse));
+  PutU64(&out, msg.head_seq);
+  PutU64(&out, msg.log_first_seq);
+  PutU32(&out, static_cast<uint32_t>(msg.records.size()));
+  for (const auto& rec : msg.records) {
+    PutU64(&out, rec.seq);
+    PutString(&out, rec.payload);
+  }
+  return out;
+}
+
+Result<FetchResponse> DecodeFetchResponse(const std::string& frame) {
+  Reader r(frame);
+  if (!CheckType(&r, MessageType::kFetchResponse)) {
+    return Malformed("not a FetchResponse");
+  }
+  FetchResponse msg;
+  msg.head_seq = r.GetU64();
+  msg.log_first_seq = r.GetU64();
+  uint32_t n = r.GetCount(12);  // seq + the payload's length prefix
+  msg.records.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok; ++i) {
+    IngestLogRecord rec;
+    rec.seq = r.GetU64();
+    rec.payload = r.GetString();
+    msg.records.push_back(std::move(rec));
+  }
+  if (!r.Done()) return Malformed("truncated FetchResponse");
+  // Catch-up replays these in order through the seq-checked ingest
+  // path; a non-contiguous window is malformed, not a caller problem.
+  for (size_t i = 1; i < msg.records.size(); ++i) {
+    if (msg.records[i].seq != msg.records[i - 1].seq + 1) {
+      return Malformed("FetchResponse records are not seq-contiguous");
+    }
+  }
   return msg;
 }
 

@@ -31,6 +31,7 @@
 
 #include "index/inverted_index.h"
 #include "index/search_index.h"
+#include "remote/ingest_log.h"
 #include "util/result.h"
 
 namespace deepsurf {
@@ -46,6 +47,8 @@ enum class MessageType : uint8_t {
   kIngestResponse = 6,
   kHealthRequest = 7,
   kHealthResponse = 8,
+  kFetchRequest = 9,
+  kFetchResponse = 10,
 };
 
 /// Top-k query against one shard, scored with the coordinator-supplied
@@ -92,6 +95,28 @@ struct IngestResponse {
   std::vector<uint32_t> lengths;
 };
 
+/// Asks a node for the ingest batches a stale replica missed: the
+/// retained write-ahead log records (remote/ingest_log.h) from
+/// `from_seq` onward. This is the catch-up protocol's read side — the
+/// coordinator streams these to a revived replica, which re-applies
+/// them through the ordinary idempotent ingest path.
+struct FetchRequest {
+  uint64_t from_seq = 0;   ///< first batch seq wanted
+  uint64_t max_bytes = 0;  ///< payload-byte budget; 0 = server default
+};
+
+/// The answering node's batch window plus the records themselves.
+/// `records` starts exactly at the requested seq and is contiguous; it
+/// is empty when the request fell outside the retained window —
+/// `log_first_seq` then tells the caller whether the history was
+/// trimmed (from_seq < log_first_seq) or never written (from_seq >
+/// head_seq).
+struct FetchResponse {
+  uint64_t head_seq = 0;       ///< server's last applied batch seq
+  uint64_t log_first_seq = 0;  ///< oldest retained record; 0 = log empty
+  std::vector<IngestLogRecord> records;
+};
+
 struct HealthRequest {
   /// When set, the response carries the index's memory accounting —
   /// an O(vocabulary) walk on the server, so plain liveness probes
@@ -114,6 +139,11 @@ struct HealthResponse {
   uint64_t requests_served = 0;
   uint64_t requests_rejected = 0;
   uint64_t requests_cancelled = 0;
+  /// Write-ahead log window (remote/ingest_log.h): the batch history
+  /// this node can still serve to a catching-up peer, and its cost.
+  uint64_t wal_first_seq = 0;  ///< oldest retained record; 0 = log empty
+  uint64_t wal_last_seq = 0;
+  uint64_t wal_bytes = 0;
   index::IndexMemoryUsage memory;
   index::SearchStats search;
 };
@@ -130,6 +160,8 @@ std::string Encode(const IngestRequest& msg);
 std::string Encode(const IngestResponse& msg);
 std::string Encode(const HealthRequest& msg);
 std::string Encode(const HealthResponse& msg);
+std::string Encode(const FetchRequest& msg);
+std::string Encode(const FetchResponse& msg);
 
 Result<SearchRequest> DecodeSearchRequest(const std::string& frame);
 Result<SearchResponse> DecodeSearchResponse(const std::string& frame);
@@ -139,6 +171,8 @@ Result<IngestRequest> DecodeIngestRequest(const std::string& frame);
 Result<IngestResponse> DecodeIngestResponse(const std::string& frame);
 Result<HealthRequest> DecodeHealthRequest(const std::string& frame);
 Result<HealthResponse> DecodeHealthResponse(const std::string& frame);
+Result<FetchRequest> DecodeFetchRequest(const std::string& frame);
+Result<FetchResponse> DecodeFetchResponse(const std::string& frame);
 
 }  // namespace remote
 }  // namespace deepsurf

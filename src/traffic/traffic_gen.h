@@ -22,7 +22,10 @@
 //     a remote::FlakyTransport fabric (rolling replica outages that never
 //     take out a whole shard group, plus slow-replica epochs on another
 //     shard so hedging has a healthy peer to race). Pure data, generated
-//     deterministically; the harness applies events at their offsets.
+//     deterministically; the harness applies events at their offsets —
+//     including during ingest-while-serving churn, where a kill makes
+//     the replica miss replicated batches and forces a WAL catch-up on
+//     revival (remote/ingest_log.h) before it can serve again.
 //
 // Plus RecordingWritableIndex, a WritableIndex decorator that logs every
 // document that newly entered the index, in apply order — the replay log
@@ -90,7 +93,9 @@ struct PhaseSpec {
   double zipf_s = 1.0;
   /// Marker for the harness: ingest-while-serving churn runs here.
   bool ingest_churn = false;
-  /// Marker for the harness: the chaos schedule runs here.
+  /// Marker for the harness: the chaos window covers this phase. May be
+  /// set together with ingest_churn — kills then overlap replicated
+  /// ingest, and revived replicas catch up under live traffic.
   bool chaos = false;
 };
 

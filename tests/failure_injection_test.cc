@@ -243,33 +243,50 @@ TEST(CoordinatorFailureTest, DeadReplicaGroupYieldsPartialResultsNotCrash) {
   ASSERT_EQ(coordinator.Search("alpha", 10).size(), 2u);
 }
 
-TEST(CoordinatorFailureTest, IngestFailureToAllReplicasIsReported) {
+TEST(CoordinatorFailureTest, IngestWithAllReplicasDeadCommitsThenHeals) {
   remote::LoopbackTransport loopback(2, 2, {});
   remote::FlakyTransport flaky(&loopback, {});
   remote::CoordinatorOptions copts;
   copts.call_timeout_ms = 5.0;
   copts.ingest_max_attempts = 2;
   remote::Coordinator coordinator(&flaky, copts);
+  flaky.SetReviveListener([&coordinator](size_t s, size_t r) {
+    coordinator.RequestCatchUp(s, r);
+  });
 
   std::string url = "http://a.example.com/1";
   size_t shard = coordinator.ShardForUrl(url);
   flaky.Kill(shard, 0);
   flaky.Kill(shard, 1);
+  // Exactly-once ingest: the batch is staged in the coordinator's WAL
+  // and committed before dispatch, so the caller's write lands even
+  // with every replica of the shard dead — the unreached replicas
+  // become stragglers for the catch-up worker, not a rollback.
   auto added = coordinator.AddDocument(url, "t", "alpha", false,
                                        "a.example.com");
-  ASSERT_FALSE(added.ok())
-      << "an unacknowledged ingest must not pretend it landed";
-  EXPECT_TRUE(added.status().IsInternal());
-  EXPECT_EQ(coordinator.num_docs(), 0u);
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(coordinator.num_docs(), 1u);
+  EXPECT_GT(coordinator.stats().ingest_stragglers, 0u);
+  // Until a replica of that shard catches up, queries degrade to the
+  // reachable shards (no replica may serve a corpus it doesn't have).
+  EXPECT_TRUE(coordinator.Search("alpha", 10).empty());
 
-  // The failed batch was rolled back: once the replicas return, the
-  // same document ingests cleanly (no poisoned dedup state, no burned
-  // sequence number) and is served.
+  // Revive: the listener feeds the rejoin machinery. Both replicas
+  // missed the batch, so there is no currency-holding peer to fetch
+  // from — this exercises the coordinator-WAL fallback.
   flaky.Revive(shard, 0);
   flaky.Revive(shard, 1);
-  auto retried = coordinator.AddDocument(url, "t", "alpha", false,
-                                         "a.example.com");
-  ASSERT_TRUE(retried.ok()) << retried.status();
+  ASSERT_TRUE(coordinator.WaitForCatchUp(/*timeout_ms=*/10000.0));
+  EXPECT_EQ(coordinator.Search("alpha", 10).size(), 1u);
+  auto stats = coordinator.stats();
+  EXPECT_GE(stats.batches_replayed, 1u);
+  EXPECT_GE(stats.replicas_rejoined, 1u);
+
+  // The committed dedup state survived the outage: re-adding the same
+  // URL is a no-op, not a duplicate.
+  auto again = coordinator.AddDocument(url, "t", "alpha", false,
+                                       "a.example.com");
+  ASSERT_TRUE(again.ok()) << again.status();
   EXPECT_EQ(coordinator.num_docs(), 1u);
   EXPECT_EQ(coordinator.Search("alpha", 10).size(), 1u);
 }

@@ -1,0 +1,563 @@
+// Durable-ingest and recovery tests: the write-ahead ingest log's
+// record discipline (checksums, consecutive seqs, budget trimming,
+// torn-tail rejection), the Fetch catch-up frames, and the full
+// kill -> miss-batches -> revive -> catch-up -> rejoin cycle at several
+// shard x replica shapes — always against the byte-identity contract: a
+// replica that failed and recovered must serve exactly what a replica
+// that never failed serves.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "remote/coordinator.h"
+#include "remote/ingest_log.h"
+#include "remote/shard_server.h"
+#include "remote/transport.h"
+#include "remote/wire.h"
+#include "test_support.h"
+
+namespace deepsurf {
+namespace remote {
+namespace {
+
+using testing_support::ExpectSameHits;
+
+// --- IngestLog: the record discipline. ---
+
+TEST(IngestLogTest, AppendAndReadBack) {
+  IngestLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.first_seq(), 0u);
+  for (uint64_t s = 1; s <= 5; ++s) {
+    ASSERT_TRUE(log.Append(s, "payload-" + std::to_string(s)).ok());
+  }
+  EXPECT_EQ(log.num_records(), 5u);
+  EXPECT_EQ(log.first_seq(), 1u);
+  EXPECT_EQ(log.last_seq(), 5u);
+
+  auto all = log.Read(1, /*max_payload_bytes=*/1 << 20);
+  ASSERT_EQ(all.size(), 5u);
+  for (uint64_t s = 1; s <= 5; ++s) {
+    EXPECT_EQ(all[s - 1].seq, s);
+    EXPECT_EQ(all[s - 1].payload, "payload-" + std::to_string(s));
+  }
+  auto tail = log.Read(4, 1 << 20);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 4u);
+  // Outside the window: before the first record or past the head.
+  EXPECT_TRUE(log.Read(0, 1 << 20).empty());
+  EXPECT_TRUE(log.Read(6, 1 << 20).empty());
+}
+
+TEST(IngestLogTest, ReadHonoursByteBudgetButAlwaysReturnsOne) {
+  IngestLog log;
+  ASSERT_TRUE(log.Append(1, std::string(100, 'a')).ok());
+  ASSERT_TRUE(log.Append(2, std::string(100, 'b')).ok());
+  ASSERT_TRUE(log.Append(3, std::string(100, 'c')).ok());
+  // Budget covers one and a half records: exactly one comes back.
+  EXPECT_EQ(log.Read(1, 150).size(), 1u);
+  // A budget smaller than any record still yields one record — a
+  // catch-up that could never make progress would be a livelock.
+  EXPECT_EQ(log.Read(2, 1).size(), 1u);
+  EXPECT_EQ(log.Read(1, 300).size(), 3u);
+}
+
+TEST(IngestLogTest, RefusesZeroAndNonConsecutiveSeqs) {
+  IngestLog log;
+  EXPECT_FALSE(log.Append(0, "x").ok());
+  // Any positive seq may seed an empty log (a node adopted mid-history)…
+  ASSERT_TRUE(log.Append(7, "seven").ok());
+  // …but after that, only the next seq is legal.
+  EXPECT_FALSE(log.Append(7, "again").ok());
+  EXPECT_FALSE(log.Append(9, "gap").ok());
+  EXPECT_TRUE(log.Append(8, "eight").ok());
+  EXPECT_EQ(log.first_seq(), 7u);
+  EXPECT_EQ(log.last_seq(), 8u);
+}
+
+TEST(IngestLogTest, TrimsHeadToBudgetButNeverTheNewestRecord) {
+  IngestLogOptions opts;
+  opts.retain_bytes = 280;  // roughly two records of 100 + header
+  IngestLog log(opts);
+  for (uint64_t s = 1; s <= 6; ++s) {
+    ASSERT_TRUE(log.Append(s, std::string(100, 'a' + char(s))).ok());
+  }
+  EXPECT_GT(log.records_trimmed(), 0u);
+  EXPECT_LE(log.size_bytes(), 280u);
+  EXPECT_EQ(log.last_seq(), 6u);
+  EXPECT_GT(log.first_seq(), 1u);
+  // Trimmed history is gone: a read from before the window is empty.
+  EXPECT_TRUE(log.Read(1, 1 << 20).empty());
+  // A record bigger than the whole budget still survives as the sole
+  // newest record (the log must always be able to serve its head).
+  ASSERT_TRUE(log.Append(7, std::string(1000, 'z')).ok());
+  EXPECT_EQ(log.num_records(), 1u);
+  EXPECT_EQ(log.first_seq(), 7u);
+}
+
+TEST(IngestLogTest, SerializeRestoreRoundTripsExactly) {
+  IngestLog log;
+  ASSERT_TRUE(log.Append(3, "alpha").ok());
+  ASSERT_TRUE(log.Append(4, std::string("\x00\xff binary \x01", 12)).ok());
+  ASSERT_TRUE(log.Append(5, "").ok());  // empty payload is legal
+  std::string image = log.Serialize();
+
+  IngestLog restored;
+  auto report = restored.Restore(image);
+  EXPECT_EQ(report.records, 3u);
+  EXPECT_EQ(report.dropped_bytes, 0u);
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_EQ(restored.first_seq(), 3u);
+  EXPECT_EQ(restored.last_seq(), 5u);
+  EXPECT_EQ(restored.Serialize(), image);
+}
+
+TEST(IngestLogTest, TornTailIsRejectedAtEveryTruncationPoint) {
+  IngestLog log;
+  ASSERT_TRUE(log.Append(1, "first-record-payload").ok());
+  ASSERT_TRUE(log.Append(2, "second-record-payload").ok());
+  std::string image = log.Serialize();
+  const size_t first_record_bytes = IngestLog::kHeaderBytes + 20;
+
+  for (size_t len = 0; len < image.size(); ++len) {
+    IngestLog restored;
+    auto report = restored.Restore(image.substr(0, len));
+    if (len == 0 || len == first_record_bytes) {
+      // Empty, or cut exactly on a record boundary: a clean image.
+      EXPECT_FALSE(report.torn_tail) << "clean cut at " << len;
+      EXPECT_EQ(report.records, len == 0 ? 0u : 1u);
+      continue;
+    }
+    // The intact prefix survives; the torn tail is dropped and reported.
+    EXPECT_TRUE(report.torn_tail) << "truncated at " << len;
+    EXPECT_EQ(report.records, len < first_record_bytes ? 0u : 1u);
+    EXPECT_GT(report.dropped_bytes, 0u);
+    // What survived is still a valid, appendable log.
+    if (report.records == 1) {
+      EXPECT_EQ(restored.last_seq(), 1u);
+      EXPECT_TRUE(restored.Append(2, "rewritten").ok());
+    }
+  }
+}
+
+TEST(IngestLogTest, CorruptedBytesEndTheScan) {
+  IngestLog log;
+  ASSERT_TRUE(log.Append(1, "aaaaaaaa").ok());
+  ASSERT_TRUE(log.Append(2, "bbbbbbbb").ok());
+  std::string image = log.Serialize();
+  // Flip one payload byte of the first record: its checksum fails, so
+  // the scan stops — zero records survive (nothing after a corrupt
+  // record can be trusted to be aligned).
+  std::string corrupt = image;
+  corrupt[IngestLog::kHeaderBytes] ^= 0x40;
+  IngestLog restored;
+  auto report = restored.Restore(corrupt);
+  EXPECT_EQ(report.records, 0u);
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.dropped_bytes, corrupt.size());
+}
+
+// --- Fetch wire frames. ---
+
+TEST(FetchWireTest, RoundTripsAndRejectsTruncation) {
+  FetchRequest req;
+  req.from_seq = 42;
+  req.max_bytes = 4096;
+  auto rq = DecodeFetchRequest(Encode(req));
+  ASSERT_TRUE(rq.ok()) << rq.status();
+  EXPECT_EQ(rq->from_seq, 42u);
+  EXPECT_EQ(rq->max_bytes, 4096u);
+
+  FetchResponse resp;
+  resp.head_seq = 9;
+  resp.log_first_seq = 7;
+  resp.records.push_back({7, "frame-seven"});
+  resp.records.push_back({8, std::string("\x00\x01", 2)});
+  resp.records.push_back({9, ""});
+  std::string frame = Encode(resp);
+  auto rp = DecodeFetchResponse(frame);
+  ASSERT_TRUE(rp.ok()) << rp.status();
+  EXPECT_EQ(rp->head_seq, 9u);
+  EXPECT_EQ(rp->log_first_seq, 7u);
+  ASSERT_EQ(rp->records.size(), 3u);
+  EXPECT_EQ(rp->records[1].payload, std::string("\x00\x01", 2));
+
+  for (size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(DecodeFetchResponse(frame.substr(0, len)).ok())
+        << "prefix of length " << len << " decoded as valid";
+  }
+  EXPECT_FALSE(DecodeFetchResponse(frame + "x").ok());
+}
+
+TEST(FetchWireTest, NonContiguousRecordsAreMalformed) {
+  FetchResponse resp;
+  resp.head_seq = 5;
+  resp.log_first_seq = 3;
+  resp.records.push_back({3, "a"});
+  resp.records.push_back({5, "b"});  // gap: 4 is missing
+  EXPECT_FALSE(DecodeFetchResponse(Encode(resp)).ok())
+      << "a seq gap in a catch-up stream must not decode";
+}
+
+// --- ShardServer: journaling, Fetch serving, and seq discipline. ---
+
+/// Synchronously round-trips one frame through a server's queue.
+Result<std::string> CallSync(ShardServer* server, std::string frame) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<std::string> out{Status::Unavailable("pending")};
+  server->Enqueue(std::move(frame), [&](Result<std::string> r) {
+    std::lock_guard<std::mutex> lock(mu);
+    out = std::move(r);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return out;
+}
+
+std::string IngestFrame(uint64_t seq, const std::string& tag) {
+  IngestRequest req;
+  req.seq = seq;
+  index::Document d;
+  d.url = "http://" + tag + ".example.com/p";
+  d.title = "t-" + tag;
+  d.body = "alpha body " + tag;
+  d.source_host = tag + ".example.com";
+  req.docs.push_back(d);
+  return Encode(req);
+}
+
+TEST(ShardServerWalTest, JournalsAppliedBatchesAndServesFetch) {
+  ShardServer server;
+  ASSERT_TRUE(CallSync(&server, IngestFrame(1, "one")).ok());
+  ASSERT_TRUE(CallSync(&server, IngestFrame(2, "two")).ok());
+
+  FetchRequest freq;
+  freq.from_seq = 1;
+  auto resp = CallSync(&server, Encode(freq));
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  auto fetched = DecodeFetchResponse(*resp);
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+  EXPECT_EQ(fetched->head_seq, 2u);
+  EXPECT_EQ(fetched->log_first_seq, 1u);
+  ASSERT_EQ(fetched->records.size(), 2u);
+  // The journal holds the request frames verbatim: replaying them into
+  // a fresh server reproduces the index exactly.
+  EXPECT_EQ(fetched->records[0].payload, IngestFrame(1, "one"));
+  EXPECT_EQ(fetched->records[1].payload, IngestFrame(2, "two"));
+
+  ShardServer replica;
+  for (const auto& rec : fetched->records) {
+    ASSERT_TRUE(CallSync(&replica, rec.payload).ok());
+  }
+  EXPECT_EQ(replica.index().num_docs(), server.index().num_docs());
+  ExpectSameHits(server.index().Search("alpha", 10),
+                 replica.index().Search("alpha", 10), "replayed replica");
+  EXPECT_GT(server.stats().fetches, 0u);
+}
+
+TEST(ShardServerWalTest, ReusedSeqWithDifferentBytesIsRefused) {
+  ShardServer server;
+  ASSERT_TRUE(CallSync(&server, IngestFrame(1, "one")).ok());
+  // Same seq, different contents: refused loudly, index untouched.
+  auto refused = CallSync(&server, IngestFrame(1, "other"));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsFailedPrecondition());
+  EXPECT_EQ(server.index().num_docs(), 1u);
+  // The verbatim re-send still replays idempotently.
+  ASSERT_TRUE(CallSync(&server, IngestFrame(1, "one")).ok());
+  EXPECT_EQ(server.index().num_docs(), 1u);
+  EXPECT_GT(server.stats().ingest_replays, 0u);
+  // Out-of-sequence is also refused.
+  auto gap = CallSync(&server, IngestFrame(3, "three"));
+  ASSERT_FALSE(gap.ok());
+  EXPECT_TRUE(gap.status().IsFailedPrecondition());
+}
+
+TEST(ShardServerWalTest, WalImageSurvivesTornTailRestore) {
+  ShardServer server;
+  ASSERT_TRUE(CallSync(&server, IngestFrame(1, "one")).ok());
+  ASSERT_TRUE(CallSync(&server, IngestFrame(2, "two")).ok());
+  std::string image = server.WalImageForTesting();
+
+  // A crash mid-write leaves a torn tail; recovery keeps the intact
+  // prefix and the node re-fetches the rest from a peer.
+  IngestLog recovered;
+  auto report = recovered.Restore(image.substr(0, image.size() - 3));
+  EXPECT_TRUE(report.torn_tail);
+  ASSERT_EQ(report.records, 1u);
+  EXPECT_EQ(recovered.last_seq(), 1u);
+  auto intact = recovered.Read(1, 1 << 20);
+  ASSERT_EQ(intact.size(), 1u);
+  EXPECT_EQ(intact[0].payload, IngestFrame(1, "one"));
+}
+
+// --- Coordinator: the full kill -> miss -> revive -> rejoin cycle. ---
+
+std::vector<index::Document> MakeDocs(size_t n, const std::string& tag) {
+  std::vector<index::Document> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    index::Document d;
+    d.url = "http://" + tag + std::to_string(i) + ".example.com/p";
+    d.title = "title " + tag + std::to_string(i);
+    d.body = "alpha shared term" + std::to_string(i % 7) + " " + tag +
+             " payload " + std::to_string(i);
+    d.source_host = tag + std::to_string(i) + ".example.com";
+    docs.push_back(d);
+  }
+  return docs;
+}
+
+std::vector<std::string> RecoveryQueries() {
+  return {"alpha", "term0", "alpha payload", "term3 base", "late alpha",
+          "shared term5"};
+}
+
+bool AllReplicasCurrent(const Coordinator& coordinator) {
+  for (const auto& probe : coordinator.ProbeHealth()) {
+    if (probe.last_acked_seq != probe.shard_head_seq) return false;
+  }
+  return true;
+}
+
+TEST(CatchUpTest, KilledReplicasRejoinByteIdenticalAcrossGridShapes) {
+  const auto base = MakeDocs(40, "base");
+  const auto missed = MakeDocs(25, "late");
+  const auto queries = RecoveryQueries();
+  index::InvertedIndex reference;
+  ASSERT_TRUE(reference.InsertBatch(base).ok());
+  ASSERT_TRUE(reference.InsertBatch(missed).ok());
+
+  for (size_t shards : {1u, 3u, 8u}) {
+    for (size_t replicas : {2u, 3u}) {
+      SCOPED_TRACE("grid " + std::to_string(shards) + "x" +
+                   std::to_string(replicas));
+      LoopbackTransport loopback(shards, replicas, {});
+      FlakyTransport flaky(&loopback, {});
+      Coordinator coordinator(&flaky, {});
+      flaky.SetReviveListener([&coordinator](size_t s, size_t r) {
+        coordinator.RequestCatchUp(s, r);
+      });
+      ASSERT_TRUE(coordinator.InsertBatch(base).ok());
+
+      // One replica of every shard dies, then misses a batch plus a
+      // stream of singletons (several seqs to replay, some batches
+      // empty on some shards).
+      for (size_t s = 0; s < shards; ++s) flaky.Kill(s, s % replicas);
+      ASSERT_TRUE(
+          coordinator
+              .InsertBatch({missed.begin(), missed.begin() + 10})
+              .ok());
+      for (size_t i = 10; i < missed.size(); ++i) {
+        ASSERT_TRUE(coordinator.InsertBatch({missed[i]}).ok());
+      }
+      EXPECT_GT(coordinator.stats().ingest_stragglers, 0u);
+
+      // Still serving (and byte-identical) while one replica per shard
+      // is stale: currency-holding peers cover every shard.
+      for (const auto& q : queries) {
+        ExpectSameHits(reference.Search(q, 10), coordinator.Search(q, 10),
+                       "one stale replica per shard: " + q);
+      }
+
+      // Revive -> listener -> catch-up -> rejoin.
+      for (size_t s = 0; s < shards; ++s) flaky.Revive(s, s % replicas);
+      ASSERT_TRUE(coordinator.WaitForCatchUp(/*timeout_ms=*/20000.0));
+      EXPECT_TRUE(AllReplicasCurrent(coordinator));
+      auto stats = coordinator.stats();
+      EXPECT_GE(stats.replicas_rejoined, shards);
+      EXPECT_GE(stats.batches_replayed, shards);
+      EXPECT_GT(stats.catchup_bytes, 0u);
+
+      // The rejoined cluster serves byte-identically — including from
+      // the replicas that failed, which queries can now land on.
+      for (int round = 0; round < 4; ++round) {
+        for (const auto& q : queries) {
+          ExpectSameHits(reference.Search(q, 10),
+                         coordinator.Search(q, 10),
+                         "after rejoin: " + q);
+        }
+      }
+    }
+  }
+}
+
+TEST(CatchUpTest, RejoinsUnderResponseDrops) {
+  const auto base = MakeDocs(20, "base");
+  const auto missed = MakeDocs(12, "late");
+  index::InvertedIndex reference;
+  ASSERT_TRUE(reference.InsertBatch(base).ok());
+  ASSERT_TRUE(reference.InsertBatch(missed).ok());
+
+  LoopbackTransport loopback(3, 2, {});
+  FlakyTransport flaky(&loopback, {});
+  remote::CoordinatorOptions copts;
+  copts.call_timeout_ms = 20.0;
+  copts.max_attempts = 6;
+  copts.ingest_max_attempts = 8;
+  copts.catchup_attempts = 6;
+  Coordinator coordinator(&flaky, copts);
+  flaky.SetReviveListener([&coordinator](size_t s, size_t r) {
+    coordinator.RequestCatchUp(s, r);
+  });
+  ASSERT_TRUE(coordinator.InsertBatch(base).ok());
+
+  // Kill one replica of every shard mid-stream, then turn on 25%
+  // response loss for the rest of the run — acks get lost (the server
+  // applied, the coordinator never heard), probes and replays must
+  // retry through the noise.
+  for (size_t s = 0; s < 3; ++s) flaky.Kill(s, 0);
+  FlakyTransportOptions faults;
+  faults.drop_response_probability = 0.25;
+  faults.seed = 17;
+  flaky.set_options(faults);
+  for (const auto& d : missed) {
+    ASSERT_TRUE(coordinator.InsertBatch({d}).ok());
+  }
+  for (size_t s = 0; s < 3; ++s) flaky.Revive(s, 0);
+
+  // Catch-up attempts can lose races with the fault injection; sweep
+  // until the cluster converges (bounded — the drop rate makes each
+  // round succeed with overwhelming probability).
+  bool current = false;
+  for (int round = 0; round < 50 && !current; ++round) {
+    coordinator.RequestCatchUpAll();
+    ASSERT_TRUE(coordinator.WaitForCatchUp(/*timeout_ms=*/20000.0));
+    current = AllReplicasCurrent(coordinator);
+  }
+  ASSERT_TRUE(current) << "cluster failed to converge under 25% drops";
+  EXPECT_GE(coordinator.stats().replicas_rejoined, 3u);
+
+  flaky.set_options({});  // byte-identity checked on a quiet fabric
+  for (const auto& q : RecoveryQueries()) {
+    ExpectSameHits(reference.Search(q, 10), coordinator.Search(q, 10),
+                   "rejoined under drops: " + q);
+  }
+}
+
+TEST(CatchUpTest, LostAckAloneHealsByProbeWithoutReplay) {
+  // The replica applied the batch but its ack never arrived: catch-up's
+  // probe discovers the replica is already at the head and rejoins it
+  // with zero batches replayed — bookkeeping, not data transfer.
+  const auto base = MakeDocs(10, "base");
+  LoopbackTransport loopback(1, 2, {});
+  FlakyTransport flaky(&loopback, {});
+  remote::CoordinatorOptions copts;
+  copts.call_timeout_ms = 20.0;
+  copts.ingest_max_attempts = 1;  // one attempt: a lost ack stays lost
+  Coordinator coordinator(&flaky, copts);
+  ASSERT_TRUE(coordinator.InsertBatch(base).ok());
+
+  // Drop every response: the next ingest applies on both replicas but
+  // acks from neither.
+  FlakyTransportOptions faults;
+  faults.drop_response_probability = 1.0;
+  flaky.set_options(faults);
+  ASSERT_TRUE(coordinator.InsertBatch(MakeDocs(3, "late")).ok());
+  EXPECT_GE(coordinator.stats().ingest_stragglers, 2u);
+  flaky.set_options({});
+
+  coordinator.RequestCatchUpAll();
+  ASSERT_TRUE(coordinator.WaitForCatchUp(/*timeout_ms=*/10000.0));
+  EXPECT_TRUE(AllReplicasCurrent(coordinator));
+  auto stats = coordinator.stats();
+  EXPECT_GE(stats.replicas_rejoined, 2u);
+  EXPECT_EQ(stats.batches_replayed, 0u)
+      << "an applied-but-unacked batch must not be re-sent";
+}
+
+TEST(CatchUpTest, ReviveWithoutListenerKeepsReplicaOutOfRotation) {
+  const auto base = MakeDocs(15, "base");
+  const auto missed = MakeDocs(5, "late");
+  index::InvertedIndex reference;
+  ASSERT_TRUE(reference.InsertBatch(base).ok());
+  ASSERT_TRUE(reference.InsertBatch(missed).ok());
+
+  LoopbackTransport loopback(2, 2, {});
+  FlakyTransport flaky(&loopback, {});
+  Coordinator coordinator(&flaky, {});  // deliberately no revive listener
+  ASSERT_TRUE(coordinator.InsertBatch(base).ok());
+  flaky.Kill(0, 1);
+  flaky.Kill(1, 1);
+  ASSERT_TRUE(coordinator.InsertBatch(missed).ok());
+  flaky.Revive(0, 1);
+  flaky.Revive(1, 1);
+
+  // The revived replicas hold a smaller corpus, and nothing told the
+  // rejoin machinery. The currency gate is what keeps them out: probes
+  // show them stale, and every query still serves byte-identically from
+  // the replicas that acked.
+  bool saw_stale = false;
+  for (const auto& probe : coordinator.ProbeHealth()) {
+    if (probe.last_acked_seq != probe.shard_head_seq) saw_stale = true;
+  }
+  EXPECT_TRUE(saw_stale);
+  for (int round = 0; round < 6; ++round) {
+    for (const auto& q : RecoveryQueries()) {
+      ExpectSameHits(reference.Search(q, 10), coordinator.Search(q, 10),
+                     "stale replicas barred: " + q);
+    }
+  }
+
+  // An explicit sweep heals what the missing listener left behind.
+  coordinator.RequestCatchUpAll();
+  ASSERT_TRUE(coordinator.WaitForCatchUp(/*timeout_ms=*/10000.0));
+  EXPECT_TRUE(AllReplicasCurrent(coordinator));
+  EXPECT_GE(coordinator.stats().replicas_rejoined, 2u);
+  for (const auto& q : RecoveryQueries()) {
+    ExpectSameHits(reference.Search(q, 10), coordinator.Search(q, 10),
+                   "after manual sweep: " + q);
+  }
+}
+
+TEST(CatchUpTest, CoordinatorWalIsTheFallbackWhenNoPeerIsCurrent) {
+  // Every replica of the shard misses the batch: catch-up cannot fetch
+  // from a peer (none holds the history) and must replay from the
+  // coordinator's own staged log.
+  const auto base = MakeDocs(8, "base");
+  const auto missed = MakeDocs(4, "late");
+  index::InvertedIndex reference;
+  ASSERT_TRUE(reference.InsertBatch(base).ok());
+  ASSERT_TRUE(reference.InsertBatch(missed).ok());
+
+  LoopbackTransport loopback(1, 3, {});
+  FlakyTransport flaky(&loopback, {});
+  remote::CoordinatorOptions copts;
+  copts.call_timeout_ms = 10.0;
+  copts.ingest_max_attempts = 2;
+  Coordinator coordinator(&flaky, copts);
+  flaky.SetReviveListener([&coordinator](size_t s, size_t r) {
+    coordinator.RequestCatchUp(s, r);
+  });
+  ASSERT_TRUE(coordinator.InsertBatch(base).ok());
+  for (size_t r = 0; r < 3; ++r) flaky.Kill(0, r);
+  ASSERT_TRUE(coordinator.InsertBatch(missed).ok());
+  EXPECT_GE(coordinator.stats().ingest_stragglers, 3u);
+  // With no current replica at all, the shard cannot serve the new
+  // docs; the committed state is the coordinator's promise, not a lie.
+  EXPECT_EQ(coordinator.num_docs(), base.size() + missed.size());
+
+  for (size_t r = 0; r < 3; ++r) flaky.Revive(0, r);
+  ASSERT_TRUE(coordinator.WaitForCatchUp(/*timeout_ms=*/20000.0));
+  EXPECT_TRUE(AllReplicasCurrent(coordinator));
+  auto stats = coordinator.stats();
+  EXPECT_GE(stats.batches_replayed, 1u);
+  EXPECT_GE(stats.replicas_rejoined, 3u);
+  for (const auto& q : RecoveryQueries()) {
+    ExpectSameHits(reference.Search(q, 10), coordinator.Search(q, 10),
+                   "coordinator-WAL fallback: " + q);
+  }
+}
+
+}  // namespace
+}  // namespace remote
+}  // namespace deepsurf

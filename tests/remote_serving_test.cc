@@ -205,7 +205,7 @@ TEST(WireTest, StatsAndHealthRoundTrip) {
   EXPECT_EQ(h->search.decode_cache_hits, 5u);
 }
 
-TEST(CoordinatorTest, SearchStatsSumOneReplicaPerShard) {
+TEST(CoordinatorTest, SearchStatsAreAFullMonotoneCensus) {
   LoopbackTransport transport(2, 2, {});
   Coordinator coordinator(&transport, {});
   ASSERT_TRUE(coordinator
@@ -218,13 +218,22 @@ TEST(CoordinatorTest, SearchStatsSumOneReplicaPerShard) {
                   .ok());
   EXPECT_EQ(coordinator.search_stats().queries, 0u);
   for (int i = 0; i < 8; ++i) (void)coordinator.Search("alpha", 10);
-  // Each coordinator query fans one search out to every shard; the
-  // probe sums one replica per shard, and load-balancing rotation
-  // spreads those 8 searches across each shard's 2 replicas — so the
-  // sampled sum is positive but at most the full fan-out total.
+  // Each coordinator query fans one search out to every shard, however
+  // rotation spreads it across that shard's replicas; the census probes
+  // every replica and sums, so nothing is lost to sampling. Hedging can
+  // only add extra replica searches on top, hence GE, not EQ.
   auto st = coordinator.search_stats();
-  EXPECT_GT(st.queries, 0u);
-  EXPECT_LE(st.queries, 16u);
+  EXPECT_GE(st.queries, 16u);
+  // Monotone: repeated snapshots never go backwards (per-replica
+  // max-merged cache), which is what lets callers take plain deltas.
+  uint64_t last = st.queries;
+  for (int i = 0; i < 4; ++i) {
+    (void)coordinator.Search("alpha delta", 10);
+    auto now = coordinator.search_stats();
+    EXPECT_GE(now.queries, last);
+    EXPECT_GE(now.blocks_decoded + now.decode_cache_hits, 0u);
+    last = now.queries;
+  }
 }
 
 TEST(WireTest, MalformedFramesAreRejectedNotUB) {
