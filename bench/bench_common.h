@@ -9,12 +9,15 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/form_model.h"
 #include "html/forms.h"
 #include "html/parser.h"
 #include "html/text.h"
 #include "net/web.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synthweb/deep_site.h"
 #include "util/logging.h"
 
@@ -68,6 +71,46 @@ inline void Header(const char* experiment, const char* claim) {
 inline void Verdict(bool ok, const char* shape) {
   std::printf("----------------------------------------------------------------\n");
   std::printf("shape check [%s]: %s\n", ok ? "PASS" : "DIVERGED", shape);
+}
+
+/// Writes the one-pane observability artifacts next to a bench's --json
+/// output — OBS_<bench>_metrics.txt (the registry's text exposition) and
+/// OBS_<bench>_spans.json (every committed span tree) — and checks the
+/// tracing contract the harnesses gate on: every committed trace is a
+/// complete tree (no span's parent link points outside its trace). The
+/// check always runs; only the files depend on json_path. Returns the
+/// no-orphans verdict.
+inline bool DumpObs(const char* bench, const char* json_path,
+                    const obs::MetricsRegistry& registry,
+                    const obs::Tracer& tracer) {
+  const std::vector<obs::Trace> traces = tracer.Traces();
+  size_t orphaned = 0;
+  for (const obs::Trace& t : traces) {
+    if (!obs::TreeComplete(t)) ++orphaned;
+  }
+  std::printf("obs: %zu span trees committed (%zu incomplete), "
+              "%zu slow-query log entries\n",
+              traces.size(), orphaned, tracer.SlowLog().size());
+  if (json_path != nullptr) {
+    std::string dir(json_path);
+    size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? std::string() : dir.substr(0, slash + 1);
+    const std::string metrics_path = dir + "OBS_" + bench + "_metrics.txt";
+    const std::string spans_path = dir + "OBS_" + bench + "_spans.json";
+    if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+      std::string text = registry.TextDump();
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
+    if (std::FILE* f = std::fopen(spans_path.c_str(), "w")) {
+      std::string text = tracer.SpansJson();
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
+    std::printf("obs artifacts written to %s and %s\n", metrics_path.c_str(),
+                spans_path.c_str());
+  }
+  return orphaned == 0;
 }
 
 }  // namespace bench

@@ -78,6 +78,19 @@ int Run(int argc, char** argv) {
       "serving scales past one machine without changing a single result "
       "bit; hedged requests tame the tail a slow replica creates");
 
+  // One pane of glass across every sweep: engines, coordinators, and
+  // all shard servers share one registry (coord.* / serve.* / shard.*
+  // counters accumulate across configurations) and one sampling tracer,
+  // so the artifact shows hedged RPC span trees with server-side
+  // queue-wait/scoring splits carried back in the response frames.
+  obs::MetricsRegistry registry;
+  obs::TracerOptions topts;
+  topts.sample_every = 97;  // a bounded set of exemplar span trees
+  topts.slo_ms = 25.0;      // stragglers land in the slow-query log
+  obs::Tracer tracer(topts);
+  remote::ShardServerOptions server_opts;
+  server_opts.metrics = &registry;
+
   synthweb::CorpusOptions copts;
   copts.num_deep_sites = 10;
   copts.num_surface_sites = 4;
@@ -128,11 +141,16 @@ int Run(int argc, char** argv) {
               "q/s", "p50 ms", "p99 ms", "rpcs", "hedges", "equal");
   for (size_t shards : {1u, 2u, 4u}) {
     for (size_t replicas : {1u, 2u, 3u}) {
-      remote::LoopbackTransport transport(shards, replicas, {});
-      remote::Coordinator coordinator(&transport, {});
+      remote::LoopbackTransport transport(shards, replicas, server_opts);
+      remote::CoordinatorOptions copts_grid;
+      copts_grid.metrics = &registry;
+      copts_grid.tracer = &tracer;
+      remote::Coordinator coordinator(&transport, copts_grid);
       serve::EngineOptions eopts;
       eopts.cache_capacity = 0;  // measure the index path, not the cache
       eopts.default_top_k = kTopK;
+      eopts.metrics = &registry;
+      eopts.tracer = &tracer;
       serve::Engine engine(&coordinator, eopts);
       engine.SetIngestSource("distributed-ingest");
       DS_CHECK(coordinator.InsertBatch(docs).ok());
@@ -184,12 +202,14 @@ int Run(int argc, char** argv) {
   std::vector<HedgeRow> hedge_rows;
   bool hedged_identical = true;
   for (bool hedging : {false, true}) {
-    remote::LoopbackTransport loopback(2, 2, {});
+    remote::LoopbackTransport loopback(2, 2, server_opts);
     remote::FlakyTransport flaky(&loopback, {});
     remote::CoordinatorOptions ropts;
     ropts.hedging = hedging;
     ropts.hedge_min_ms = 0.2;
     ropts.hedge_max_ms = 1.0;  // hedge well before the 4ms injected delay
+    ropts.metrics = &registry;
+    ropts.tracer = &tracer;
     remote::Coordinator coordinator(&flaky, ropts);
     DS_CHECK(coordinator.InsertBatch(docs).ok());
     for (size_t s = 0; s < 2; ++s) flaky.SetReplicaDelay(s, 0, 4.0);
@@ -241,9 +261,12 @@ int Run(int argc, char** argv) {
   bool failover_clean = true;
   uint64_t failover_partial = 0;
   {
-    remote::LoopbackTransport loopback(2, 2, {});
+    remote::LoopbackTransport loopback(2, 2, server_opts);
     remote::FlakyTransport flaky(&loopback, {});
-    remote::Coordinator coordinator(&flaky, {});
+    remote::CoordinatorOptions fopts;
+    fopts.metrics = &registry;
+    fopts.tracer = &tracer;
+    remote::Coordinator coordinator(&flaky, fopts);
     DS_CHECK(coordinator.InsertBatch(docs).ok());
     for (size_t s = 0; s < 2; ++s) flaky.Kill(s, 1);
     for (size_t i = 0; i < kEquivalenceQueries; ++i) {
@@ -269,6 +292,9 @@ int Run(int argc, char** argv) {
               bytes_per_posting, cluster_mem.doc_bytes_per_posting(),
               static_cast<double>(cluster_mem.total_bytes()) /
                   (1024.0 * 1024.0));
+
+  bool obs_complete = bench::DumpObs("bench_remote", json_path, registry,
+                                     tracer);
 
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
@@ -311,21 +337,25 @@ int Run(int argc, char** argv) {
       std::fprintf(
           f,
           "  ],\n  \"verdict\": {\"all_identical\": %s, "
-          "\"hedging_cuts_p99\": %s, \"failover_clean\": %s}\n}\n",
+          "\"hedging_cuts_p99\": %s, \"failover_clean\": %s, "
+          "\"obs_complete\": %s}\n}\n",
           all_identical ? "true" : "false",
           hedging_cuts_p99 ? "true" : "false",
-          failover_clean ? "true" : "false");
+          failover_clean ? "true" : "false",
+          obs_complete ? "true" : "false");
       std::fclose(f);
       std::printf("json written to %s\n", json_path);
     }
   }
 
-  bool pass = all_identical && hedging_cuts_p99 && failover_clean;
+  bool pass =
+      all_identical && hedging_cuts_p99 && failover_clean && obs_complete;
   bench::Verdict(
       pass,
       "distributed top-k byte-identical to the exhaustive single index at "
       "every shards x replicas x hedging configuration; hedging beats the "
-      "slow replica's p99; a killed replica never fails a query");
+      "slow replica's p99; a killed replica never fails a query; every "
+      "committed span tree complete");
   return pass ? 0 : 1;
 }
 

@@ -48,6 +48,18 @@ int Run(int argc, char** argv) {
       "surfaced pages pay off at serving time, over a Zipf-repetitive "
       "query stream; sharding must not change a single result");
 
+  // One pane of glass for the whole sweep: every engine in the grid
+  // shares one registry (counters accumulate across cells — the
+  // artifact is the sweep's union) and one sampling tracer. Tracing
+  // stays ON for the throughput passes deliberately: the equivalence
+  // check above runs under it, so the numbers here carry the
+  // instrumented cost and the byte-identity contract at once.
+  obs::MetricsRegistry registry;
+  obs::TracerOptions topts;
+  topts.sample_every = 501;  // a bounded set of exemplar span trees
+  topts.slo_ms = 25.0;       // stragglers land in the slow-query log
+  obs::Tracer tracer(topts);
+
   synthweb::CorpusOptions copts;
   copts.num_deep_sites = 10;
   copts.num_surface_sites = 4;
@@ -121,6 +133,8 @@ int Run(int argc, char** argv) {
       serve::EngineOptions eopts;
       eopts.cache_capacity = 1024;
       eopts.default_top_k = kTopK;
+      eopts.metrics = &registry;
+      eopts.tracer = &tracer;
       serve::Engine engine(&index, eopts);
 
       // Cold pass: empty cache, hits come only from the stream's own
@@ -165,6 +179,8 @@ int Run(int argc, char** argv) {
     serve::EngineOptions eopts;
     eopts.cache_capacity = 0;  // every query hits the index
     eopts.default_top_k = kTopK;
+    eopts.metrics = &registry;
+    eopts.tracer = &tracer;
     serve::Engine engine(&index, eopts);
     auto start = std::chrono::steady_clock::now();
     engine.SearchBatch(queries, 4);
@@ -195,6 +211,9 @@ int Run(int argc, char** argv) {
     }
   }
 
+  bool obs_complete = bench::DumpObs("bench_serving", json_path, registry,
+                                     tracer);
+
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
     if (f != nullptr) {
@@ -214,19 +233,23 @@ int Run(int argc, char** argv) {
       std::fprintf(f,
                    "  ],\n  \"pruning_cold_4shards_4threads\": "
                    "{\"exhaustive_qps\": %.0f, \"pruned_qps\": %.0f},\n"
-                   "  \"verdict\": {\"all_identical\": %s}\n}\n",
+                   "  \"verdict\": {\"all_identical\": %s, "
+                   "\"obs_complete\": %s}\n}\n",
                    exhaustive_qps, pruned_qps,
-                   all_identical ? "true" : "false");
+                   all_identical ? "true" : "false",
+                   obs_complete ? "true" : "false");
       std::fclose(f);
       std::printf("json written to %s\n", json_path);
     }
   }
 
-  bench::Verdict(all_identical,
+  bool pass = all_identical && obs_complete;
+  bench::Verdict(pass,
                  "sharded + pruned top-k (1/2/4/8 shards, sequential and "
                  "parallel shard search) byte-identical to the exhaustive "
-                 "single index");
-  return all_identical ? 0 : 1;
+                 "single index, measured with tracing on; every committed "
+                 "span tree complete");
+  return pass ? 0 : 1;
 }
 
 }  // namespace

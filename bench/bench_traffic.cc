@@ -154,6 +154,10 @@ struct TargetReport {
   uint64_t batches_replayed = 0;
   uint64_t catchup_bytes = 0;
 
+  /// Per-phase latency distributions of completed queries, merged from
+  /// the workers' private histograms (stats::Histogram::Merge).
+  std::vector<stats::Histogram> phase_hist;
+
   bool equivalence() const {
     return sample_mismatches == 0 && settled_identical;
   }
@@ -256,6 +260,18 @@ TargetReport RunTarget(const TargetSetup& target,
   for (size_t c : per_phase) max_phase = std::max(max_phase, c);
   stats::PhaseLatencies latencies(num_phases, max_phase);
 
+  // Each worker owns a private histogram per phase (no locks on the
+  // serving path); the report merges them per phase after the run.
+  constexpr double kHistHiMs = 2.0 * kSloMs;
+  constexpr size_t kHistBuckets = 20;
+  std::vector<std::vector<stats::Histogram>> worker_hist(workers);
+  for (auto& per_worker : worker_hist) {
+    per_worker.reserve(num_phases);
+    for (size_t p = 0; p < num_phases; ++p) {
+      per_worker.emplace_back(0.0, kHistHiMs, kHistBuckets);
+    }
+  }
+
   std::vector<std::atomic<uint64_t>> issued(num_phases), shed(num_phases),
       errors(num_phases), slo_ok(num_phases), completed(num_phases);
   for (size_t p = 0; p < num_phases; ++p) {
@@ -340,7 +356,7 @@ TargetReport RunTarget(const TargetSetup& target,
   });
 
   std::atomic<size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](size_t w) {
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= arrivals.size()) return;
@@ -356,6 +372,7 @@ TargetReport RunTarget(const TargetSetup& target,
       if (res.status.ok()) {
         completed[a.phase].fetch_add(1, std::memory_order_relaxed);
         latencies.Add(a.phase, lat_ms);
+        worker_hist[w][a.phase].Add(lat_ms);
         if (lat_ms <= kSloMs) {
           slo_ok[a.phase].fetch_add(1, std::memory_order_relaxed);
         }
@@ -381,12 +398,19 @@ TargetReport RunTarget(const TargetSetup& target,
   };
   std::vector<std::thread> pool_threads;
   pool_threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) pool_threads.emplace_back(worker);
+  for (size_t w = 0; w < workers; ++w) pool_threads.emplace_back(worker, w);
   for (auto& t : pool_threads) t.join();
   monitor.join();
   snaps[num_phases] = Snap(target);
   if (churn_thread.joinable()) churn_thread.join();
   if (chaos_thread.joinable()) chaos_thread.join();
+
+  // One distribution per phase out of the workers' private copies.
+  for (size_t p = 0; p < num_phases; ++p) {
+    stats::Histogram merged(0.0, kHistHiMs, kHistBuckets);
+    for (const auto& per_worker : worker_hist) merged.Merge(per_worker[p]);
+    report.phase_hist.push_back(std::move(merged));
+  }
 
   // Heal the fabric for the post-run settled check. Each Revive fires
   // the revive listener, which enqueues the replica for catch-up.
@@ -522,6 +546,24 @@ void PrintTarget(const TargetReport& r) {
         100.0 * row.decode_cache_hit_rate,
         static_cast<unsigned long long>(row.hedges));
   }
+  if (!r.phase_hist.empty()) {
+    std::printf("  latency distribution (completed queries, per-worker "
+                "histograms merged):\n");
+    for (size_t p = 0; p < r.rows.size() && p < r.phase_hist.size(); ++p) {
+      const stats::Histogram& h = r.phase_hist[p];
+      uint64_t under_slo = 0;
+      for (size_t b = 0; b < h.num_buckets(); ++b) {
+        if (h.BucketLow(b) < kSloMs) under_slo += h.bucket(b);
+      }
+      std::printf("    %8s: %llu of %llu under the %.0fms SLO (%.1f%%)\n",
+                  r.rows[p].name.c_str(),
+                  static_cast<unsigned long long>(under_slo),
+                  static_cast<unsigned long long>(h.total()), kSloMs,
+                  h.total() == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(under_slo) /
+                                       static_cast<double>(h.total()));
+    }
+  }
   if (r.churn_docs > 0) {
     std::printf("  churn: %llu docs surfaced into the live index in "
                 "[%.2fs, %.2fs]\n",
@@ -553,7 +595,7 @@ void PrintTarget(const TargetReport& r) {
 void EmitJson(std::FILE* f, const std::vector<TargetReport>& reports,
               size_t docs, size_t pool_size, size_t workers, double scale,
               bool ci_mode, bool equivalence, bool never_fails, bool recovery,
-              bool slo_chaos, bool slo_goodput) {
+              bool obs_complete, bool slo_chaos, bool slo_goodput) {
   std::fprintf(f,
                "{\n  \"bench\": \"bench_traffic\",\n  \"docs\": %zu,\n"
                "  \"pool_distinct\": %zu,\n  \"workers\": %zu,\n"
@@ -629,10 +671,11 @@ void EmitJson(std::FILE* f, const std::vector<TargetReport>& reports,
       f,
       "  ],\n  \"verdict\": {\"equivalence_under_load\": %s, "
       "\"chaos_never_fails\": %s, \"recovery\": %s, "
-      "\"slo_chaos_sustained\": %s, "
+      "\"obs_complete\": %s, \"slo_chaos_sustained\": %s, "
       "\"slo_goodput\": %s, \"timing_gated\": %s}\n}\n",
       equivalence ? "true" : "false", never_fails ? "true" : "false",
-      recovery ? "true" : "false", slo_chaos ? "true" : "false",
+      recovery ? "true" : "false", obs_complete ? "true" : "false",
+      slo_chaos ? "true" : "false",
       slo_goodput ? "true" : "false", ci_mode ? "false" : "true");
 }
 
@@ -766,6 +809,22 @@ int Run(int argc, char** argv) {
   index::IndexOptions serving_opts;
   serving_opts.compress_postings = true;
 
+  // One pane of glass over both serving stacks: engines, the
+  // coordinator, and every shard server share this registry and tracer.
+  // Sampled span trees from under open-loop load (hedges, cancellations,
+  // queue waits during chaos) become the OBS_ artifacts; the no-orphan
+  // contract on them is an always-gated verdict.
+  obs::MetricsRegistry registry;
+  obs::TracerOptions topts;
+  topts.sample_every = 1009;  // a bounded set of exemplar span trees
+  topts.slo_ms = kSloMs;      // over-SLO stragglers commit + slow log
+  obs::Tracer tracer(topts);
+
+  // Chaos kills make the coordinator log expected catch-up warnings
+  // mid-run; keep the harness output readable and restore the previous
+  // threshold when Run exits.
+  ScopedLogThreshold quiet_expected_faults(LogSeverity::kError);
+
   std::vector<TargetReport> reports;
 
   // --- Target 1: in-process ShardedIndex. ---
@@ -778,6 +837,8 @@ int Run(int argc, char** argv) {
     traffic::RecordingWritableIndex recorder(&sharded);
     serve::EngineOptions eopts;
     eopts.default_top_k = kTopK;
+    eopts.metrics = &registry;
+    eopts.tracer = &tracer;
     serve::Engine engine(&sharded, eopts);
     engine.SetIngestSource("surfacing-churn");
     TargetSetup t;
@@ -796,10 +857,13 @@ int Run(int argc, char** argv) {
   {
     remote::ShardServerOptions server_opts;
     server_opts.index = serving_opts;
+    server_opts.metrics = &registry;
     remote::LoopbackTransport loopback(2, 2, server_opts);
     remote::FlakyTransport flaky(&loopback, {});
     remote::CoordinatorOptions ropts;
     ropts.hedge_max_ms = 2.0;  // hedge well before the slow-replica epochs
+    ropts.metrics = &registry;
+    ropts.tracer = &tracer;
     remote::Coordinator coordinator(&flaky, ropts);
     // Revive-without-catch-up is impossible by construction: the fabric
     // reports every revival straight into the rejoin machinery.
@@ -810,6 +874,8 @@ int Run(int argc, char** argv) {
     traffic::RecordingWritableIndex recorder(&coordinator);
     serve::EngineOptions eopts;
     eopts.default_top_k = kTopK;
+    eopts.metrics = &registry;
+    eopts.tracer = &tracer;
     serve::Engine engine(&coordinator, eopts);
     engine.SetIngestSource("surfacing-churn");
     TargetSetup t;
@@ -841,6 +907,8 @@ int Run(int argc, char** argv) {
   bool slo_chaos = remote_report.chaos_p99_ms > 0.0 &&
                    remote_report.chaos_p99_ms <= kSloMs &&
                    remote_report.chaos_goodput_frac >= 0.95;
+  bool obs_complete =
+      bench::DumpObs("bench_traffic", json_path, registry, tracer);
 
   std::printf("\nverdicts:\n");
   std::printf("  [%s] equivalence under load: every sampled result matches "
@@ -865,19 +933,22 @@ int Run(int argc, char** argv) {
               kSloMs);
   std::printf("  [%s]%s goodput >= 95%% of offered load in every phase\n",
               slo_goodput ? "PASS" : "FAIL", ci_mode ? " (report-only)" : "");
+  std::printf("  [%s] observability: every span tree committed under load "
+              "(hedges, cancellations, chaos) is complete\n",
+              obs_complete ? "PASS" : "FAIL");
 
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
     if (f != nullptr) {
       EmitJson(f, reports, base_docs.size(), stream.pool.size(), workers,
-               scale, ci_mode, equivalence, never_fails, recovery, slo_chaos,
-               slo_goodput);
+               scale, ci_mode, equivalence, never_fails, recovery,
+               obs_complete, slo_chaos, slo_goodput);
       std::fclose(f);
       std::printf("json written to %s\n", json_path);
     }
   }
 
-  bool pass = equivalence && never_fails && recovery;
+  bool pass = equivalence && never_fails && recovery && obs_complete;
   if (!ci_mode) pass = pass && slo_chaos && slo_goodput;
   bench::Verdict(
       pass,

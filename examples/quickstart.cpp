@@ -26,6 +26,8 @@
 #include "index/analyzer.h"
 #include "index/sharded_index.h"
 #include "net/fetcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "remote/coordinator.h"
 #include "remote/transport.h"
 #include "serve/engine.h"
@@ -56,15 +58,31 @@ int main(int argc, char** argv) {
   //    coordinator to a 2-shards x 2-replicas cluster of shard servers
   //    behind the message-passing boundary. Both implement WritableIndex
   //    and return byte-identical results.
+  // The one-pane-of-glass observability surface (--distributed): the
+  // engine, the coordinator, and all four shard servers write their
+  // counters into this shared registry, and every query is traced
+  // (1-in-1 sampling) into this tracer. Declared ahead of the probe
+  // scheduler so its snapshot callbacks outlive nothing they capture.
+  obs::MetricsRegistry metrics;
+  obs::TracerOptions trace_opts;
+  trace_opts.sample_every = 1;
+  trace_opts.slo_ms = 25.0;
+  obs::Tracer tracer(trace_opts);
+
   std::unique_ptr<index::ShardedIndex> local_index;
   std::unique_ptr<remote::LoopbackTransport> cluster;
   std::unique_ptr<remote::Coordinator> coordinator;
   index::WritableIndex* index_ptr = nullptr;
   if (distributed) {
+    remote::ShardServerOptions server_opts;
+    server_opts.metrics = &metrics;
     cluster = std::make_unique<remote::LoopbackTransport>(
-        /*num_shards=*/2, /*num_replicas=*/2);
+        /*num_shards=*/2, /*num_replicas=*/2, server_opts);
+    remote::CoordinatorOptions coord_opts;
+    coord_opts.metrics = &metrics;
+    coord_opts.tracer = &tracer;
     coordinator = std::make_unique<remote::Coordinator>(cluster.get(),
-                                                        remote::CoordinatorOptions{});
+                                                        coord_opts);
     index_ptr = coordinator.get();
     std::printf("serving mode: distributed — 2 shards x 2 replicas behind "
                 "the RPC boundary\n");
@@ -92,6 +110,19 @@ int main(int argc, char** argv) {
   // Note the seed index stays null: the output index must not seed its
   // own run (see SurfacingDriverOptions::seed_index).
   net::ProbeScheduler scheduler(corpus.web.get());
+  if (distributed) {
+    // Project the probe scheduler's pre-existing stats struct into the
+    // shared pane as callback counters: polled only when the registry
+    // snapshots, so the fetch path is untouched.
+    metrics.AddCallback("net.probe_requests",
+                        [&scheduler] { return scheduler.stats().requests; });
+    metrics.AddCallback("net.probe_cache_hits", [&scheduler] {
+      return scheduler.stats().cache_hits;
+    });
+    metrics.AddCallback("net.probe_budget_denials", [&scheduler] {
+      return scheduler.stats().budget_denials;
+    });
+  }
   crawler::SurfacingDriverOptions dopts;
   dopts.num_threads = 2;
   crawler::SurfacingDriver driver(&scheduler, &index, dopts);
@@ -123,7 +154,12 @@ int main(int argc, char** argv) {
   // 5. A query about a *tail* record: only a surfaced page can answer.
   //    Users hit the serve engine, whose LRU result cache absorbs the
   //    repeats that dominate a real (Zipfian) query log.
-  serve::Engine engine(&index, {});
+  serve::EngineOptions eopts;
+  if (distributed) {
+    eopts.metrics = &metrics;
+    eopts.tracer = &tracer;
+  }
+  serve::Engine engine(&index, eopts);
   const auto& entity = corpus.entities.back();
   auto tokens = index::ContentTokens(corpus.EntityText(entity));
   std::string query = tokens[0] + " " + tokens[1] + " " + tokens[2];
@@ -151,6 +187,29 @@ int main(int argc, char** argv) {
   if (!served.hits.empty() && index.doc(served.hits[0].doc).is_deep_web) {
     std::printf("\nthe top answer is surfaced deep-web content — the "
                 "crawler alone could never have reached it.\n");
+  }
+
+  if (distributed) {
+    // Fold cluster health (ProbeHealth) into the pane as gauges, then
+    // print the whole serving stack's state in one deterministic dump:
+    // serve.* (engine), coord.* (fan-out, hedging, rpc latency),
+    // shard.* (queues, scoring), net.* (probe scheduler callbacks),
+    // cluster.* (replica health).
+    int64_t replicas_serving = 0, replicas_current = 0, replicas_total = 0;
+    for (const auto& probe : coordinator->ProbeHealth()) {
+      ++replicas_total;
+      if (!probe.marked_dead) ++replicas_serving;
+      if (probe.last_acked_seq == probe.shard_head_seq) ++replicas_current;
+    }
+    metrics.gauge("cluster.replicas_total")->Set(replicas_total);
+    metrics.gauge("cluster.replicas_serving")->Set(replicas_serving);
+    metrics.gauge("cluster.replicas_current")->Set(replicas_current);
+    std::printf("\n--- one pane of glass (shared obs::MetricsRegistry) ---\n");
+    std::printf("%s", metrics.TextDump().c_str());
+    std::printf("--- tracing: %llu span trees committed (1-in-1 "
+                "sampling), %zu slow queries over %.0f ms ---\n",
+                static_cast<unsigned long long>(tracer.traces_committed()),
+                tracer.SlowLog().size(), tracer.options().slo_ms);
   }
   return 0;
 }

@@ -88,6 +88,31 @@ Coordinator::Coordinator(Transport* transport, CoordinatorOptions options)
   replica_search_stats_.assign(num_shards_ * num_replicas_,
                                index::SearchStats{});
 
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = options_.tracer != nullptr ? options_.tracer
+                                       : obs::DefaultTracer();
+  const std::string& p = options_.metrics_prefix;
+  c_searches_ = metrics_->counter(p + "searches");
+  c_ingest_batches_ = metrics_->counter(p + "ingest_batches");
+  c_rpcs_ = metrics_->counter(p + "rpcs");
+  c_hedges_ = metrics_->counter(p + "hedges");
+  c_hedge_wins_ = metrics_->counter(p + "hedge_wins");
+  c_failovers_ = metrics_->counter(p + "failovers");
+  c_timeouts_ = metrics_->counter(p + "timeouts");
+  c_failed_shard_calls_ = metrics_->counter(p + "failed_shard_calls");
+  c_partial_results_ = metrics_->counter(p + "partial_results");
+  c_ingest_stragglers_ = metrics_->counter(p + "ingest_stragglers");
+  c_replicas_rejoined_ = metrics_->counter(p + "replicas_rejoined");
+  c_batches_replayed_ = metrics_->counter(p + "batches_replayed");
+  c_catchup_bytes_ = metrics_->counter(p + "catchup_bytes");
+  g_replicas_dead_ = metrics_->gauge(p + "replicas_dead");
+  h_rpc_ms_ = metrics_->histogram(p + "rpc_ms");
+
   // Enough workers that one query's fan-out plus replicated ingest can
   // run wide; the calling thread always executes one job itself, so an
   // undersized pool costs throughput, never progress.
@@ -224,11 +249,10 @@ std::vector<size_t> Coordinator::ReplicaPlan(size_t shard,
   return plan;
 }
 
-Result<std::string> Coordinator::CallShard(size_t shard,
-                                           const std::string& request,
-                                           int pinned_replica,
-                                           size_t max_attempts,
-                                           bool hedging_allowed) const {
+Result<std::string> Coordinator::CallShard(
+    size_t shard, const std::string& request, int pinned_replica,
+    size_t max_attempts, bool hedging_allowed, obs::TraceContext* trace,
+    uint64_t parent_span, uint64_t* winner_span) const {
   max_attempts = std::max<size_t>(1, max_attempts);
   std::vector<size_t> plan;
   if (pinned_replica >= 0) {
@@ -236,8 +260,7 @@ Result<std::string> Coordinator::CallShard(size_t shard,
   } else {
     plan = ReplicaPlan(shard, max_attempts);
     if (plan.empty()) {
-      std::lock_guard<std::mutex> lock(telemetry_mu_);
-      ++stats_.failed_shard_calls;
+      c_failed_shard_calls_->Inc();
       return Status::Unavailable("shard " + std::to_string(shard) +
                                  " has no current replica");
     }
@@ -369,10 +392,12 @@ Result<std::string> Coordinator::CallShard(size_t shard,
     size_t replica;
     bool done, ok, hedge, pressure, winner;
     double latency_ms;
+    double start_ms, duration_ms;  ///< process-epoch span timing
   };
   std::vector<Seen> seen;
   {
     std::lock_guard<std::mutex> lock(state->mu);
+    const double now_ms = obs::ProcessEpochMs();
     seen.reserve(state->attempts.size());
     for (size_t i = 0; i < state->attempts.size(); ++i) {
       const auto& a = state->attempts[i];
@@ -385,20 +410,39 @@ Result<std::string> Coordinator::CallShard(size_t shard,
           (a.result.status().IsResourceExhausted() ||
            a.result.status().IsAborted() ||
            a.result.status().IsFailedPrecondition());
+      const double since_issued = MsSince(a.issued);
       seen.push_back(Seen{a.replica, a.done, a.done && a.result.ok(),
                           a.hedge, pressure,
                           state->winner == static_cast<int>(i),
-                          a.latency_ms});
+                          a.latency_ms, now_ms - since_issued,
+                          a.done ? a.latency_ms : since_issued});
+    }
+  }
+  c_rpcs_->Inc(rpcs);
+  c_hedges_->Inc(hedges);
+  c_failovers_->Inc(failovers);
+  c_timeouts_->Inc(timeouts);
+  const bool won = outcome.ok();
+  if (!won) c_failed_shard_calls_->Inc();
+  if (trace != nullptr) {
+    // One span per attempt, whatever became of it — hedges that lost,
+    // cancellations, and timeouts are exactly what a tail-latency trace
+    // exists to show.
+    for (const auto& s : seen) {
+      uint64_t id = trace->AddCompletedSpan("coord.rpc", parent_span,
+                                            s.start_ms, s.duration_ms);
+      trace->Tag(id, "shard", static_cast<uint64_t>(shard));
+      trace->Tag(id, "replica", static_cast<uint64_t>(s.replica));
+      if (s.hedge) trace->Tag(id, "hedge", "1");
+      trace->Tag(id, "outcome", s.winner ? "won"
+                                : s.ok   ? "ok"
+                                : s.done ? "failed"
+                                         : "cancelled");
+      if (s.winner && winner_span != nullptr) *winner_span = id;
     }
   }
   {
     std::lock_guard<std::mutex> lock(telemetry_mu_);
-    stats_.rpcs += rpcs;
-    stats_.hedges += hedges;
-    stats_.failovers += failovers;
-    stats_.timeouts += timeouts;
-    const bool won = outcome.ok();
-    if (!won) ++stats_.failed_shard_calls;
     for (const auto& s : seen) {
       ReplicaHealth& h = health_[shard * num_replicas_ + s.replica];
       if (s.ok) {
@@ -410,13 +454,16 @@ Result<std::string> Coordinator::CallShard(size_t shard,
         // IngestLocked's own bookkeeping instead.
         if (h.dead && pinned_replica < 0) {
           h.dead = false;  // liveness proven; currency was a plan invariant
-          --stats_.replicas_dead;
+          g_replicas_dead_->Add(-1);
         }
         if (s.winner) {
           // The tracker drives search hedging; ingest (exclusive index
           // lock, whole batches) and health latencies would skew it.
-          if (pinned_replica < 0) latency_ms_.Add(s.latency_ms);
-          if (s.hedge) ++stats_.hedge_wins;
+          if (pinned_replica < 0) {
+            latency_ms_.Add(s.latency_ms);
+            h_rpc_ms_->Observe(s.latency_ms);
+          }
+          if (s.hedge) c_hedge_wins_->Inc();
         }
         continue;
       }
@@ -429,7 +476,7 @@ Result<std::string> Coordinator::CallShard(size_t shard,
       ++h.consecutive_failures;
       if (!h.dead && h.consecutive_failures >= options_.dead_after) {
         h.dead = true;
-        ++stats_.replicas_dead;
+        g_replicas_dead_->Add(1);
       }
     }
   }
@@ -455,18 +502,51 @@ std::vector<index::SearchHit> Coordinator::SearchTerms(
   // exact even while ingest is knocking.
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (terms.empty() || docs_.empty() || k == 0) return {};
-  {
-    std::lock_guard<std::mutex> tlock(telemetry_mu_);
-    ++stats_.searches;
+  c_searches_->Inc();
+
+  // The query's trace: the engine installs one as the calling thread's
+  // CurrentTrace; a query entering here directly gets its own when the
+  // tracer samples. The pointer is carried into fan-out lambdas
+  // explicitly — thread-locals do not follow jobs onto pool threads —
+  // and TraceContext is thread-safe under concurrent appends.
+  obs::TraceContext* tc = obs::CurrentTrace();
+  std::shared_ptr<obs::TraceContext> own_trace;
+  if (tc == nullptr && tracer_->enabled()) {
+    own_trace = tracer_->StartTrace("coord.search");
+    tc = own_trace.get();
+    if (tc != nullptr) {
+      std::string joined;
+      for (const auto& t : terms) {
+        if (!joined.empty()) joined.push_back(' ');
+        joined += t;
+      }
+      tc->SetQuery(std::move(joined), static_cast<uint64_t>(k));
+    }
   }
 
   // Round 1: per-shard corpus statistics.
-  const std::string stats_frame = Encode(StatsRequest{terms});
+  uint64_t stats_span = 0;
+  if (tc != nullptr) {
+    stats_span = tc->StartSpan("coord.stats_round",
+                               obs::TraceContext::kRootSpan);
+  }
+  StatsRequest streq;
+  streq.terms = terms;
+  if (tc != nullptr && tc->sampled()) {
+    // Wire propagation only for sampled traces: a server never spends
+    // timing work on a trace that might be discarded, and committed
+    // trees stay complete. Unsampled frames are byte-identical to
+    // pre-trace ones.
+    streq.trace_id = tc->trace_id();
+    streq.parent_span = stats_span;
+  }
+  const std::string stats_frame = Encode(streq);
   std::vector<index::ShardStats> shard_stats(num_shards_);
   std::vector<char> stats_ok(num_shards_, 0);
   RunPerShard([&](size_t s) {
     auto frame = CallShard(s, stats_frame, /*pinned_replica=*/-1,
-                           options_.max_attempts, /*hedging_allowed=*/true);
+                           options_.max_attempts, /*hedging_allowed=*/true,
+                           tc, stats_span);
     if (!frame.ok()) return;
     auto resp = DecodeStatsResponse(*frame);
     if (!resp.ok()) return;
@@ -480,6 +560,8 @@ std::vector<index::SearchHit> Coordinator::SearchTerms(
     stats_ok[s] = 1;
   });
 
+  if (tc != nullptr) tc->EndSpan(stats_span);
+
   std::vector<index::ShardStats> live_stats;
   std::vector<size_t> live_shards;
   live_stats.reserve(num_shards_);
@@ -490,8 +572,7 @@ std::vector<index::SearchHit> Coordinator::SearchTerms(
   }
   bool partial = live_shards.size() < num_shards_;
   if (live_shards.empty()) {
-    std::lock_guard<std::mutex> tlock(telemetry_mu_);
-    ++stats_.partial_results;
+    c_partial_results_->Inc();
     return {};
   }
   // The shared exact combine (index/merge.h): when every shard
@@ -499,10 +580,19 @@ std::vector<index::SearchHit> Coordinator::SearchTerms(
   index::CorpusStats global = index::CombineShardStats(live_stats);
 
   // Round 2: every live shard scores its top-k with the global stats.
+  uint64_t search_span = 0;
+  if (tc != nullptr) {
+    search_span = tc->StartSpan("coord.search_round",
+                                obs::TraceContext::kRootSpan);
+  }
   SearchRequest sreq;
   sreq.terms = terms;
   sreq.k = k;
   sreq.stats = std::move(global);
+  if (tc != nullptr && tc->sampled()) {
+    sreq.trace_id = tc->trace_id();
+    sreq.parent_span = search_span;
+  }
   const std::string search_frame = Encode(sreq);
   std::vector<std::vector<index::SearchHit>> per_shard(num_shards_);
   std::vector<char> search_ok(num_shards_, 0);
@@ -511,19 +601,40 @@ std::vector<index::SearchHit> Coordinator::SearchTerms(
     jobs.reserve(live_shards.size());
     for (size_t s : live_shards) {
       jobs.push_back([&, s] {
+        uint64_t winner_span = 0;
         auto frame =
             CallShard(s, search_frame, /*pinned_replica=*/-1,
-                      options_.max_attempts, /*hedging_allowed=*/true);
+                      options_.max_attempts, /*hedging_allowed=*/true,
+                      tc, search_span, &winner_span);
         if (!frame.ok()) return;
         auto resp = DecodeSearchResponse(*frame);
         if (!resp.ok()) return;
+        if (tc != nullptr && resp->has_timing && winner_span != 0) {
+          // The server measured its own queue wait and DAAT scoring and
+          // carried them back in the response's timing tail; rebuild
+          // them as children of the winning rpc attempt, back-dated so
+          // score ends where the response landed.
+          const double now_ms = obs::ProcessEpochMs();
+          const double queue_ms =
+              static_cast<double>(resp->queue_us) / 1000.0;
+          const double score_ms =
+              static_cast<double>(resp->score_us) / 1000.0;
+          tc->AddCompletedSpan("shard.queue_wait", winner_span,
+                               now_ms - queue_ms - score_ms, queue_ms);
+          uint64_t score_id = tc->AddCompletedSpan(
+              "shard.score", winner_span, now_ms - score_ms, score_ms);
+          tc->Tag(score_id, "blocks_decoded", resp->blocks_decoded);
+          tc->Tag(score_id, "blocks_skipped", resp->blocks_skipped);
+        }
         per_shard[s] = std::move(resp->hits);
         search_ok[s] = 1;
       });
     }
     RunJobs(std::move(jobs));
   }
+  if (tc != nullptr) tc->EndSpan(search_span);
 
+  obs::ScopedSpan merge_span(tc, "coord.merge", obs::TraceContext::kRootSpan);
   std::vector<index::SearchHit> merged;
   for (size_t s : live_shards) {
     if (search_ok[s] == 0) {
@@ -542,10 +653,7 @@ std::vector<index::SearchHit> Coordinator::SearchTerms(
       merged.push_back(index::SearchHit{to_global[hit.doc], hit.score});
     }
   }
-  if (partial) {
-    std::lock_guard<std::mutex> tlock(telemetry_mu_);
-    ++stats_.partial_results;
-  }
+  if (partial) c_partial_results_->Inc();
   return index::MergeTopK(std::move(merged), k);
 }
 
@@ -690,13 +798,13 @@ Result<size_t> Coordinator::IngestLocked(
     std::lock_guard<std::mutex> lock(telemetry_mu_);
     for (size_t s = 0; s < num_shards_; ++s) {
       if (batches[s].docs.empty()) continue;
-      ++stats_.ingest_batches;
+      c_ingest_batches_->Inc();
       shard_head_[s] = batches[s].seq;
       for (size_t r = 0; r < num_replicas_; ++r) {
         ReplicaHealth& h = health_[s * num_replicas_ + r];
         if (h.poisoned) continue;
         if (!acks[s][r].ok) {
-          ++stats_.ingest_stragglers;
+          c_ingest_stragglers_->Inc();
           stragglers.emplace_back(s, r);
           continue;
         }
@@ -722,7 +830,7 @@ Result<size_t> Coordinator::IngestLocked(
         h.consecutive_failures = 0;
         if (h.dead) {
           h.dead = false;
-          --stats_.replicas_dead;
+          g_replicas_dead_->Add(-1);
         }
       }
     }
@@ -930,9 +1038,9 @@ bool Coordinator::CatchUpOne(size_t shard, size_t replica) {
           ReplicaHealth& h = health_[idx];
           h.poisoned = true;
           h.catching_up = false;
-          stats_.batches_replayed += replayed_batches;
-          stats_.catchup_bytes += replayed_bytes;
         }
+        c_batches_replayed_->Inc(replayed_batches);
+        c_catchup_bytes_->Inc(replayed_bytes);
         DS_LOG(Error) << "replica " << replica << " of shard " << shard
                       << " refused verbatim replay of batch " << rec.seq
                       << "; its index diverged from the committed history "
@@ -955,14 +1063,14 @@ bool Coordinator::CatchUpOne(size_t shard, size_t replica) {
       h.consecutive_failures = 0;
       if (h.dead) {
         h.dead = false;
-        --stats_.replicas_dead;
+        g_replicas_dead_->Add(-1);
       }
-      if (was_stale) ++stats_.replicas_rejoined;
+      if (was_stale) c_replicas_rejoined_->Inc();
     }
-    stats_.batches_replayed += replayed_batches;
-    stats_.catchup_bytes += replayed_bytes;
     h.catching_up = false;
   }
+  c_batches_replayed_->Inc(replayed_batches);
+  c_catchup_bytes_->Inc(replayed_bytes);
   return current;
 }
 
@@ -989,8 +1097,23 @@ uint64_t Coordinator::ingest_epoch() const {
 }
 
 CoordinatorStats Coordinator::stats() const {
+  CoordinatorStats snapshot;
+  snapshot.searches = c_searches_->Value();
+  snapshot.ingest_batches = c_ingest_batches_->Value();
+  snapshot.rpcs = c_rpcs_->Value();
+  snapshot.hedges = c_hedges_->Value();
+  snapshot.hedge_wins = c_hedge_wins_->Value();
+  snapshot.failovers = c_failovers_->Value();
+  snapshot.timeouts = c_timeouts_->Value();
+  snapshot.failed_shard_calls = c_failed_shard_calls_->Value();
+  snapshot.partial_results = c_partial_results_->Value();
+  snapshot.ingest_stragglers = c_ingest_stragglers_->Value();
+  snapshot.replicas_rejoined = c_replicas_rejoined_->Value();
+  snapshot.batches_replayed = c_batches_replayed_->Value();
+  snapshot.catchup_bytes = c_catchup_bytes_->Value();
+  const int64_t dead = g_replicas_dead_->Value();
+  snapshot.replicas_dead = dead > 0 ? static_cast<uint64_t>(dead) : 0;
   std::lock_guard<std::mutex> lock(telemetry_mu_);
-  CoordinatorStats snapshot = stats_;
   snapshot.rpc_p50_ms = latency_ms_.Quantile(0.50);
   snapshot.rpc_p95_ms = latency_ms_.Quantile(0.95);
   snapshot.rpc_p99_ms = latency_ms_.Quantile(0.99);

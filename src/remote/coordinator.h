@@ -75,6 +75,8 @@
 
 #include "index/inverted_index.h"
 #include "index/search_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "remote/ingest_log.h"
 #include "remote/transport.h"
 #include "remote/wire.h"
@@ -126,9 +128,24 @@ struct CoordinatorOptions {
   size_t catchup_fetch_bytes = 1u << 20;
   /// RPC attempts per replayed batch / per catch-up probe.
   size_t catchup_attempts = 3;
+  /// Metrics registry the coordinator's counters live in
+  /// (obs/metrics.h); nullptr = a private registry. Share one registry
+  /// with the engine and the servers for the one-pane exposition dump.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Name prefix for the coordinator's metrics ("coord." by default).
+  std::string metrics_prefix = "coord.";
+  /// Tracer coordinator-owned traces are sampled into (obs/trace.h);
+  /// nullptr = the process-global obs::DefaultTracer(). A query that
+  /// already carries a trace (serve::Engine installed it as the
+  /// thread's obs::CurrentTrace) is annotated into THAT trace; this
+  /// tracer only starts fresh traces for queries entering through the
+  /// coordinator directly.
+  obs::Tracer* tracer = nullptr;
 };
 
-/// Cumulative counters (all since construction).
+/// Cumulative counters (all since construction). A thin snapshot view
+/// over the coordinator's registry-backed counters (obs/metrics.h) —
+/// the registry is the source of truth, this struct is the stable API.
 struct CoordinatorStats {
   uint64_t searches = 0;
   uint64_t ingest_batches = 0;    ///< replicated batches sent (per shard)
@@ -212,6 +229,12 @@ class Coordinator : public index::WritableIndex {
 
   CoordinatorStats stats() const;
 
+  /// The registry the coordinator's counters live in (the private one
+  /// unless options.metrics was set).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// The tracer coordinator-owned traces are sampled into.
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// Best-effort health sweep over every replica (one short-deadline
   /// probe each; dead-marked replicas are probed too, but not revived).
   std::vector<ReplicaProbe> ProbeHealth() const;
@@ -261,10 +284,18 @@ class Coordinator : public index::WritableIndex {
   /// One logical call to a shard with load-balanced replica choice,
   /// hedging, failover, and per-attempt deadlines. Returns the winning
   /// response frame or the final error. `pinned_replica` >= 0 restricts
-  /// the call to that replica (replicated ingest; no hedging).
+  /// the call to that replica (replicated ingest; no hedging). When
+  /// `trace` is non-null, every attempt becomes a completed "coord.rpc"
+  /// span under `parent_span` (hedges, cancellations, and failures
+  /// included), and `*winner_span` (if non-null) receives the winning
+  /// attempt's span id — the parent the caller hangs server-side
+  /// timings under.
   Result<std::string> CallShard(size_t shard, const std::string& request,
                                 int pinned_replica, size_t max_attempts,
-                                bool hedging_allowed) const;
+                                bool hedging_allowed,
+                                obs::TraceContext* trace = nullptr,
+                                uint64_t parent_span = 0,
+                                uint64_t* winner_span = nullptr) const;
 
   /// Replica try order for a shard: healthy replicas rotated for load
   /// balance, dead ones appended as a last resort, the whole cycle
@@ -359,8 +390,28 @@ class Coordinator : public index::WritableIndex {
   mutable stats::PercentileTracker latency_ms_;
   mutable double hedge_delay_cache_ms_ = 0.0;
   mutable uint64_t hedge_delay_refresh_at_ = 0;  ///< next total() to recompute at
-  mutable CoordinatorStats stats_;
   mutable std::atomic<uint64_t> rotation_{0};  ///< primary-replica rotation
+
+  /// Registry-backed counters (CoordinatorStats is their snapshot
+  /// view). owned_metrics_ backs metrics_ when no registry was given.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
+  obs::Counter* c_searches_;
+  obs::Counter* c_ingest_batches_;
+  obs::Counter* c_rpcs_;
+  obs::Counter* c_hedges_;
+  obs::Counter* c_hedge_wins_;
+  obs::Counter* c_failovers_;
+  obs::Counter* c_timeouts_;
+  obs::Counter* c_failed_shard_calls_;
+  obs::Counter* c_partial_results_;
+  obs::Counter* c_ingest_stragglers_;
+  obs::Counter* c_replicas_rejoined_;
+  obs::Counter* c_batches_replayed_;
+  obs::Counter* c_catchup_bytes_;
+  obs::Gauge* g_replicas_dead_;  ///< a level, not a census: goes both ways
+  obs::LatencyHistogram* h_rpc_ms_;  ///< winning search-RPC latencies
 
   // Catch-up worker: one background thread draining (shard, replica)
   // tasks. Tasks arrive from ingest stragglers, transport revivals

@@ -12,6 +12,25 @@ namespace remote {
 
 ShardServer::ShardServer(ShardServerOptions options)
     : options_(options), index_(options.index), wal_(options.wal) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  const std::string& p = options_.metrics_prefix;
+  c_served_ = metrics_->counter(p + "served");
+  c_rejected_ = metrics_->counter(p + "rejected");
+  c_cancelled_ = metrics_->counter(p + "cancelled");
+  c_searches_ = metrics_->counter(p + "searches");
+  c_stats_calls_ = metrics_->counter(p + "stats_calls");
+  c_ingest_batches_ = metrics_->counter(p + "ingest_batches");
+  c_ingest_replays_ = metrics_->counter(p + "ingest_replays");
+  c_fetches_ = metrics_->counter(p + "fetches");
+  c_health_checks_ = metrics_->counter(p + "health_checks");
+  c_decode_errors_ = metrics_->counter(p + "decode_errors");
+  g_queue_depth_ = metrics_->gauge(p + "queue_depth");
+  h_queue_wait_ms_ = metrics_->histogram(p + "queue_wait_ms");
   size_t workers = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -28,6 +47,7 @@ ShardServer::~ShardServer() {
   }
   cv_.notify_all();
   for (auto& t : workers_) t.join();
+  g_queue_depth_->Set(0);
   // Whatever was still queued never ran; its callers must hear so.
   for (auto& req : orphaned) {
     req.done(Status::Aborted("shard server shut down"));
@@ -42,12 +62,14 @@ void ShardServer::Enqueue(std::string request, Callback done,
     if (!stop_ && queue_.size() < options_.max_queue) {
       queue_.push_back(
           PendingRequest{std::move(request), std::move(done),
-                         std::move(cancelled)});
+                         std::move(cancelled),
+                         std::chrono::steady_clock::now()});
+      g_queue_depth_->Add(1);
       cv_.notify_one();
       return;
     }
     shutting_down = stop_;
-    if (!shutting_down) ++stats_.rejected;
+    if (!shutting_down) c_rejected_->Inc();
   }
   // Reject outside the lock: the callback may do arbitrary work.
   done(shutting_down
@@ -65,33 +87,34 @@ void ShardServer::WorkerLoop() {
       req = std::move(queue_.front());
       queue_.pop_front();
     }
+    g_queue_depth_->Add(-1);
+    const uint64_t queue_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - req.enqueued)
+            .count());
+    h_queue_wait_ms_->Observe(static_cast<double>(queue_us) / 1000.0);
     if (req.cancelled != nullptr &&
         req.cancelled->load(std::memory_order_relaxed)) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.cancelled;
-      }
+      c_cancelled_->Inc();
       req.done(Status::Aborted("request cancelled by caller"));
       continue;
     }
-    auto response = Handle(req.bytes);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.served;
-      if (!response.ok() && response.status().IsInvalidArgument()) {
-        ++stats_.decode_errors;
-      }
+    auto response = Handle(req.bytes, queue_us);
+    c_served_->Inc();
+    if (!response.ok() && response.status().IsInvalidArgument()) {
+      c_decode_errors_->Inc();
     }
     req.done(std::move(response));
   }
 }
 
-Result<std::string> ShardServer::Handle(const std::string& request) {
+Result<std::string> ShardServer::Handle(const std::string& request,
+                                        uint64_t queue_us) {
   auto type = PeekType(request);
   if (!type.ok()) return type.status();
   switch (*type) {
     case MessageType::kSearchRequest:
-      return HandleSearch(request);
+      return HandleSearch(request, queue_us);
     case MessageType::kStatsRequest:
       return HandleStats(request);
     case MessageType::kIngestRequest:
@@ -105,7 +128,8 @@ Result<std::string> ShardServer::Handle(const std::string& request) {
   }
 }
 
-Result<std::string> ShardServer::HandleSearch(const std::string& request) {
+Result<std::string> ShardServer::HandleSearch(const std::string& request,
+                                              uint64_t queue_us) {
   auto req = DecodeSearchRequest(request);
   if (!req.ok()) return req.status();
   // Never trust the peer: a wire-valid frame can still carry stats that
@@ -116,16 +140,36 @@ Result<std::string> ShardServer::HandleSearch(const std::string& request) {
     return Status::InvalidArgument(
         "SearchRequest term_df arity does not match its terms");
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.searches;
-  }
+  c_searches_->Inc();
+  const bool traced = req->trace_id != 0;
   SearchResponse resp;
   {
     std::shared_lock<std::shared_mutex> lock(index_mu_);
+    // Traced requests measure the scoring time and the per-call
+    // block-decode delta so the coordinator can attach a shard-server
+    // span to the query's trace. The counter delta is exact for a lone
+    // request; concurrent searches under the shared lock can bleed into
+    // it (documented, and irrelevant for the timing split).
+    index::SearchStats before;
+    std::chrono::steady_clock::time_point t0;
+    if (traced) {
+      before = index_.search_stats();
+      t0 = std::chrono::steady_clock::now();
+    }
     resp.hits = index_.SearchTermsScored(req->terms,
                                          static_cast<size_t>(req->k),
                                          &req->stats);
+    if (traced) {
+      index::SearchStats after = index_.search_stats();
+      resp.has_timing = true;
+      resp.queue_us = queue_us;
+      resp.score_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      resp.blocks_decoded = after.blocks_decoded - before.blocks_decoded;
+      resp.blocks_skipped = after.blocks_skipped - before.blocks_skipped;
+    }
   }
   return Encode(resp);
 }
@@ -133,10 +177,7 @@ Result<std::string> ShardServer::HandleSearch(const std::string& request) {
 Result<std::string> ShardServer::HandleStats(const std::string& request) {
   auto req = DecodeStatsRequest(request);
   if (!req.ok()) return req.status();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.stats_calls;
-  }
+  c_stats_calls_->Inc();
   StatsResponse resp;
   {
     std::shared_lock<std::shared_mutex> lock(index_mu_);
@@ -168,8 +209,7 @@ Result<std::string> ShardServer::HandleIngest(const std::string& request) {
           "other content under it");
     }
     // A retry whose response got lost: replay, do not re-apply.
-    std::lock_guard<std::mutex> slock(mu_);
-    ++stats_.ingest_replays;
+    c_ingest_replays_->Inc();
     return last_ingest_response_;
   }
   if (req->seq != last_applied_seq_ + 1) {
@@ -199,10 +239,7 @@ Result<std::string> ShardServer::HandleIngest(const std::string& request) {
   // node can stream to a catching-up peer. Append cannot fail here —
   // the seq discipline above guarantees consecutive appends.
   DS_CHECK_OK(wal_.Append(req->seq, request));
-  {
-    std::lock_guard<std::mutex> slock(mu_);
-    ++stats_.ingest_batches;
-  }
+  c_ingest_batches_->Inc();
   return last_ingest_response_;
 }
 
@@ -224,24 +261,21 @@ Result<std::string> ShardServer::HandleHealth(const std::string& request) {
     if (req->include_memory) resp.memory = index_.MemoryUsage();
     resp.search = index_.search_stats();
   }
+  c_health_checks_->Inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.health_checks;
     resp.queue_depth = queue_.size();
-    resp.requests_served = stats_.served;
-    resp.requests_rejected = stats_.rejected;
-    resp.requests_cancelled = stats_.cancelled;
   }
+  resp.requests_served = c_served_->Value();
+  resp.requests_rejected = c_rejected_->Value();
+  resp.requests_cancelled = c_cancelled_->Value();
   return Encode(resp);
 }
 
 Result<std::string> ShardServer::HandleFetch(const std::string& request) {
   auto req = DecodeFetchRequest(request);
   if (!req.ok()) return req.status();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.fetches;
-  }
+  c_fetches_->Inc();
   size_t budget = options_.max_fetch_bytes;
   if (req->max_bytes > 0) {
     budget = std::min<size_t>(budget, static_cast<size_t>(req->max_bytes));
@@ -257,8 +291,18 @@ Result<std::string> ShardServer::HandleFetch(const std::string& request) {
 }
 
 ShardServerStats ShardServer::stats() const {
+  ShardServerStats snapshot;
+  snapshot.served = c_served_->Value();
+  snapshot.rejected = c_rejected_->Value();
+  snapshot.cancelled = c_cancelled_->Value();
+  snapshot.searches = c_searches_->Value();
+  snapshot.stats_calls = c_stats_calls_->Value();
+  snapshot.ingest_batches = c_ingest_batches_->Value();
+  snapshot.ingest_replays = c_ingest_replays_->Value();
+  snapshot.fetches = c_fetches_->Value();
+  snapshot.health_checks = c_health_checks_->Value();
+  snapshot.decode_errors = c_decode_errors_->Value();
   std::lock_guard<std::mutex> lock(mu_);
-  ShardServerStats snapshot = stats_;
   snapshot.queue_depth = queue_.size();
   return snapshot;
 }

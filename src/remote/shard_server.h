@@ -32,6 +32,7 @@
 #define DEEPSURF_REMOTE_SHARD_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,6 +45,7 @@
 #include <vector>
 
 #include "index/inverted_index.h"
+#include "obs/metrics.h"
 #include "remote/ingest_log.h"
 #include "remote/wire.h"
 #include "util/result.h"
@@ -66,9 +68,19 @@ struct ShardServerOptions {
   /// Largest payload-byte budget one Fetch response will carry, however
   /// much the peer asked for (bounds response frames).
   size_t max_fetch_bytes = 4u << 20;
+  /// Metrics registry the server's counters live in (obs/metrics.h).
+  /// nullptr = a private registry, which keeps stats() exact per server;
+  /// pointing several servers at one shared registry sums their
+  /// counters into a cluster view (give each a distinct prefix if you
+  /// still want them apart).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Name prefix for this server's metrics ("shard." by default).
+  std::string metrics_prefix = "shard.";
 };
 
-/// Cumulative counters (all since construction).
+/// Cumulative counters (all since construction). A thin snapshot view
+/// over the server's registry-backed counters (obs/metrics.h) — the
+/// registry is the source of truth, this struct is the stable API.
 struct ShardServerStats {
   uint64_t served = 0;          ///< requests answered (errors included)
   uint64_t rejected = 0;        ///< bounced on a full queue
@@ -107,6 +119,10 @@ class ShardServer {
 
   ShardServerStats stats() const;
 
+  /// The registry the server's counters live in (the private one unless
+  /// options.metrics was set).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Read-only view of the local index (tests and diagnostics). The
   /// usual read-during-ingest caveats of InvertedIndex apply; prefer
   /// health frames in production paths.
@@ -126,13 +142,19 @@ class ShardServer {
     std::string bytes;
     Callback done;
     CancelToken cancelled;
+    /// When the request entered the queue — the queue-wait side of a
+    /// traced query's queue-wait/scoring split.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void WorkerLoop();
 
   /// Dispatches one decoded frame. Takes the index lock it needs.
-  Result<std::string> Handle(const std::string& request);
-  Result<std::string> HandleSearch(const std::string& request);
+  /// `queue_us` is how long the request waited in the queue (traced
+  /// search requests report it back in the response's timing tail).
+  Result<std::string> Handle(const std::string& request, uint64_t queue_us);
+  Result<std::string> HandleSearch(const std::string& request,
+                                   uint64_t queue_us);
   Result<std::string> HandleStats(const std::string& request);
   Result<std::string> HandleIngest(const std::string& request);
   Result<std::string> HandleHealth(const std::string& request);
@@ -151,13 +173,29 @@ class ShardServer {
   std::string last_ingest_response_;  ///< replayed for a re-sent seq
   IngestLog wal_;  ///< applied batches, served to catching-up peers
 
-  mutable std::mutex mu_;  ///< queue + stats + lifecycle
+  mutable std::mutex mu_;  ///< queue + lifecycle
   std::condition_variable cv_;
   std::deque<PendingRequest> queue_;
   bool stop_ = false;
   bool paused_ = false;
-  ShardServerStats stats_;
   std::vector<std::thread> workers_;
+
+  /// Registry-backed counters (ShardServerStats is their snapshot
+  /// view). owned_metrics_ backs metrics_ when no registry was given.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* c_served_;
+  obs::Counter* c_rejected_;
+  obs::Counter* c_cancelled_;
+  obs::Counter* c_searches_;
+  obs::Counter* c_stats_calls_;
+  obs::Counter* c_ingest_batches_;
+  obs::Counter* c_ingest_replays_;
+  obs::Counter* c_fetches_;
+  obs::Counter* c_health_checks_;
+  obs::Counter* c_decode_errors_;
+  obs::Gauge* g_queue_depth_;
+  obs::LatencyHistogram* h_queue_wait_ms_;
 };
 
 }  // namespace remote

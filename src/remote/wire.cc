@@ -160,6 +160,14 @@ std::string Encode(const SearchRequest& msg) {
   for (size_t df : msg.stats.term_df) {
     PutU64(&out, static_cast<uint64_t>(df));
   }
+  // Optional trace tail — only for traced requests, so untraced frames
+  // keep their pre-trace bytes (idempotence hashing and frame replay
+  // compare bytes).
+  if (msg.trace_id != 0) {
+    PutU64(&out, msg.trace_id);
+    PutU64(&out, msg.parent_span);
+    PutU8(&out, msg.trace_flags);
+  }
   return out;
 }
 
@@ -178,6 +186,13 @@ Result<SearchRequest> DecodeSearchRequest(const std::string& frame) {
   for (uint32_t i = 0; i < dfs && r.ok; ++i) {
     msg.stats.term_df.push_back(static_cast<size_t>(r.GetU64()));
   }
+  // Bytes past the legacy fields are the optional trace tail; a frame
+  // from before tracing simply ends here and decodes as untraced.
+  if (r.ok && r.pos < r.buf.size()) {
+    msg.trace_id = r.GetU64();
+    msg.parent_span = r.GetU64();
+    msg.trace_flags = r.GetU8();
+  }
   if (!r.Done()) return Malformed("truncated SearchRequest");
   return msg;
 }
@@ -189,6 +204,15 @@ std::string Encode(const SearchResponse& msg) {
   for (const auto& hit : msg.hits) {
     PutU32(&out, hit.doc);
     PutDouble(&out, hit.score);
+  }
+  // Optional timing tail: present only when the server measured the
+  // request (it was traced), so untraced responses keep their
+  // pre-trace bytes.
+  if (msg.has_timing) {
+    PutU64(&out, msg.queue_us);
+    PutU64(&out, msg.score_us);
+    PutU64(&out, msg.blocks_decoded);
+    PutU64(&out, msg.blocks_skipped);
   }
   return out;
 }
@@ -207,6 +231,13 @@ Result<SearchResponse> DecodeSearchResponse(const std::string& frame) {
     hit.score = r.GetDouble();
     msg.hits.push_back(hit);
   }
+  if (r.ok && r.pos < r.buf.size()) {
+    msg.has_timing = true;
+    msg.queue_us = r.GetU64();
+    msg.score_us = r.GetU64();
+    msg.blocks_decoded = r.GetU64();
+    msg.blocks_skipped = r.GetU64();
+  }
   if (!r.Done()) return Malformed("truncated SearchResponse");
   return msg;
 }
@@ -215,6 +246,11 @@ std::string Encode(const StatsRequest& msg) {
   std::string out;
   PutU8(&out, static_cast<uint8_t>(MessageType::kStatsRequest));
   PutTerms(&out, msg.terms);
+  if (msg.trace_id != 0) {
+    PutU64(&out, msg.trace_id);
+    PutU64(&out, msg.parent_span);
+    PutU8(&out, msg.trace_flags);
+  }
   return out;
 }
 
@@ -225,6 +261,11 @@ Result<StatsRequest> DecodeStatsRequest(const std::string& frame) {
   }
   StatsRequest msg;
   msg.terms = GetTerms(&r);
+  if (r.ok && r.pos < r.buf.size()) {
+    msg.trace_id = r.GetU64();
+    msg.parent_span = r.GetU64();
+    msg.trace_flags = r.GetU8();
+  }
   if (!r.Done()) return Malformed("truncated StatsRequest");
   return msg;
 }

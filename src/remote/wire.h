@@ -53,21 +53,47 @@ enum class MessageType : uint8_t {
 
 /// Top-k query against one shard, scored with the coordinator-supplied
 /// corpus-wide statistics (stats.term_df is parallel to `terms`).
+///
+/// Trace propagation (obs/trace.h): when the query is being traced,
+/// `trace_id` is nonzero and the frame grows an optional trailing
+/// [trace_id, parent_span, trace_flags] section. An untraced request
+/// (trace_id == 0) omits the section entirely, so its bytes are
+/// identical to pre-trace frames — and decoders accept both forms, so
+/// old frames stay decodable.
 struct SearchRequest {
   std::vector<std::string> terms;
   uint64_t k = 0;
   index::CorpusStats stats;
+  uint64_t trace_id = 0;     ///< 0 = untraced (no trace tail encoded)
+  uint64_t parent_span = 0;  ///< caller's span this work belongs under
+  uint8_t trace_flags = 0;   ///< bit 0: sampled
 };
 
 /// Ranked hits from one shard; doc ids are shard-local.
+///
+/// When the request carried a nonzero trace_id, the server measures the
+/// request's queue wait and scoring time plus the per-query block-decode
+/// counters and returns them in an optional trailing timing section
+/// (has_timing) — how shard-server spans travel back to the
+/// coordinator's trace without a second RPC. Untraced responses omit
+/// the section and stay byte-identical to pre-trace frames.
 struct SearchResponse {
   std::vector<index::SearchHit> hits;
+  bool has_timing = false;
+  uint64_t queue_us = 0;        ///< time from enqueue to worker pickup
+  uint64_t score_us = 0;        ///< time inside DAAT scoring
+  uint64_t blocks_decoded = 0;  ///< index counter delta across the call
+  uint64_t blocks_skipped = 0;
 };
 
 /// Asks a shard for its contribution to the corpus-wide statistics of
 /// one query (document count, token total, per-position term df).
+/// Carries the same optional trace tail as SearchRequest.
 struct StatsRequest {
   std::vector<std::string> terms;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  uint8_t trace_flags = 0;
 };
 
 struct StatsResponse {

@@ -23,7 +23,26 @@ std::string JoinTerms(const std::vector<std::string>& terms) {
 }  // namespace
 
 Engine::Engine(const index::SearchIndex* index, EngineOptions options)
-    : index_(index), options_(options) {}
+    : index_(index), options_(options) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = options_.tracer != nullptr ? options_.tracer
+                                       : obs::DefaultTracer();
+  const std::string& p = options_.metrics_prefix;
+  c_queries_ = metrics_->counter(p + "queries");
+  c_cache_hits_ = metrics_->counter(p + "cache_hits");
+  c_cache_misses_ = metrics_->counter(p + "cache_misses");
+  c_evictions_ = metrics_->counter(p + "evictions");
+  c_invalidations_ = metrics_->counter(p + "invalidations");
+  c_batches_ = metrics_->counter(p + "batches");
+  c_deadline_exceeded_ = metrics_->counter(p + "deadline_exceeded");
+  g_last_invalidation_epoch_ = metrics_->gauge(p + "last_invalidation_epoch");
+  h_latency_ms_ = metrics_->histogram(p + "latency_ms");
+}
 
 std::string Engine::NormalizeQuery(const std::string& query) {
   return JoinTerms(index::ContentTokens(query));
@@ -34,13 +53,37 @@ ServeResult Engine::Search(const std::string& query) {
 }
 
 ServeResult Engine::Search(const std::string& query, size_t k) {
+  // One trace per query (nullptr when the tracer is off — every span
+  // below is then a single pointer test). The root span's duration is
+  // the served latency; the histogram sees every query either way.
+  std::shared_ptr<obs::TraceContext> trace = tracer_->StartTrace("query");
+  auto t0 = std::chrono::steady_clock::now();
+  ServeResult result = SearchTraced(query, k, trace.get());
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  h_latency_ms_->Observe(ms);
+  if (trace != nullptr) {
+    trace->Tag(obs::TraceContext::kRootSpan, "k", static_cast<uint64_t>(k));
+    trace->Tag(obs::TraceContext::kRootSpan, "cache",
+               result.from_cache ? "hit" : "miss");
+    trace->Finish();
+  }
+  return result;
+}
+
+ServeResult Engine::SearchTraced(const std::string& query, size_t k,
+                                 obs::TraceContext* trace) {
   auto terms = index::ContentTokens(query);
+  if (trace != nullptr) {
+    trace->SetQuery(JoinTerms(terms), static_cast<uint64_t>(k));
+  }
   if (options_.cache_capacity == 0) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.queries;
-      ++stats_.cache_misses;
-    }
+    c_queries_->Inc();
+    c_cache_misses_->Inc();
+    obs::ScopedTrace install(trace);
+    obs::ScopedSpan search(trace, "serve.index_search",
+                           obs::TraceContext::kRootSpan);
     return ServeResult{index_->SearchTerms(terms, k), false};
   }
 
@@ -54,8 +97,10 @@ ServeResult Engine::Search(const std::string& query, size_t k) {
   // stale.
   uint64_t epoch = index_->ingest_epoch();
   {
+    obs::ScopedSpan lookup(trace, "serve.cache_lookup",
+                           obs::TraceContext::kRootSpan);
+    c_queries_->Inc();
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.queries;
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       bool valid = it->second.epoch == epoch;
@@ -66,19 +111,31 @@ ServeResult Engine::Search(const std::string& query, size_t k) {
         valid = it->second.epoch == index_->ingest_epoch();
       }
       if (valid) {
-        ++stats_.cache_hits;
+        c_cache_hits_->Inc();
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
         return ServeResult{it->second.hits, true};
       }
-      ++stats_.invalidations;
-      ++stats_.invalidations_by_source[ingest_source_];
-      stats_.last_invalidation_epoch = epoch;
+      c_invalidations_->Inc();
+      auto& by_source = invalidations_by_source_[ingest_source_];
+      if (by_source == nullptr) {
+        by_source = metrics_->counter(options_.metrics_prefix +
+                                      "invalidations.by_source." +
+                                      ingest_source_);
+      }
+      by_source->Inc();
+      g_last_invalidation_epoch_->Set(static_cast<int64_t>(epoch));
       EraseLocked(it);
     }
-    ++stats_.cache_misses;
+    c_cache_misses_->Inc();
   }
 
-  auto hits = index_->SearchTerms(terms, k);
+  std::vector<index::SearchHit> hits;
+  {
+    obs::ScopedTrace install(trace);
+    obs::ScopedSpan search(trace, "serve.index_search",
+                           obs::TraceContext::kRootSpan);
+    hits = index_->SearchTerms(terms, k);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
@@ -96,7 +153,7 @@ ServeResult Engine::Search(const std::string& query, size_t k) {
     while (cache_.size() > options_.cache_capacity) {
       auto victim = cache_.find(lru_.back());
       EraseLocked(victim);
-      ++stats_.evictions;
+      c_evictions_->Inc();
     }
   }
   return ServeResult{std::move(hits), false};
@@ -105,9 +162,8 @@ ServeResult Engine::Search(const std::string& query, size_t k) {
 ServeResult Engine::Search(const std::string& query, size_t k,
                            Deadline deadline) {
   if (std::chrono::steady_clock::now() >= deadline) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.queries;
-    ++stats_.deadline_exceeded;
+    c_queries_->Inc();
+    c_deadline_exceeded_->Inc();
     ServeResult shed;
     shed.status = Status::DeadlineExceeded("deadline passed before search");
     return shed;
@@ -135,10 +191,7 @@ std::vector<ServeResult> Engine::SearchBatch(
 std::vector<ServeResult> Engine::SearchBatchInternal(
     const std::vector<std::string>& queries, size_t concurrency,
     bool has_deadline, Deadline deadline) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.batches;
-  }
+  c_batches_->Inc();
   std::vector<ServeResult> results(queries.size());
   std::atomic<size_t> cursor{0};
   auto worker = [&] {
@@ -174,8 +227,21 @@ void Engine::SetIngestSource(std::string source) {
 }
 
 EngineStats Engine::stats() const {
+  EngineStats snapshot;
+  snapshot.queries = c_queries_->Value();
+  snapshot.cache_hits = c_cache_hits_->Value();
+  snapshot.cache_misses = c_cache_misses_->Value();
+  snapshot.evictions = c_evictions_->Value();
+  snapshot.invalidations = c_invalidations_->Value();
+  snapshot.batches = c_batches_->Value();
+  snapshot.deadline_exceeded = c_deadline_exceeded_->Value();
+  snapshot.last_invalidation_epoch =
+      static_cast<uint64_t>(g_last_invalidation_epoch_->Value());
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  for (const auto& [source, counter] : invalidations_by_source_) {
+    snapshot.invalidations_by_source[source] = counter->Value();
+  }
+  return snapshot;
 }
 
 size_t Engine::cache_size() const {

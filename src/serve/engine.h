@@ -31,12 +31,15 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "index/search_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace deepsurf {
@@ -48,9 +51,24 @@ struct EngineOptions {
   size_t cache_capacity = 4096;
   /// Hits retrieved when Search is called without an explicit k.
   size_t default_top_k = 10;
+  /// Metrics registry the engine's counters live in (obs/metrics.h);
+  /// nullptr = a private registry. Point the engine, coordinator, and
+  /// servers at one shared registry for the one-pane exposition dump.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Name prefix for the engine's metrics ("serve." by default).
+  std::string metrics_prefix = "serve.";
+  /// Tracer queries are sampled into (obs/trace.h); nullptr = the
+  /// process-global obs::DefaultTracer(), which is inert unless
+  /// installed. The engine starts one trace per query and installs it
+  /// as the thread's CurrentTrace so the index layer below can attach
+  /// spans without an API change.
+  obs::Tracer* tracer = nullptr;
 };
 
-/// Cumulative serving counters (all since construction).
+/// Cumulative serving counters (all since construction). A thin
+/// snapshot view over the engine's registry-backed counters
+/// (obs/metrics.h) — the registry is the source of truth, this struct
+/// is the stable API.
 struct EngineStats {
   uint64_t queries = 0;        ///< Search calls (batch members included)
   uint64_t cache_hits = 0;     ///< served from the result cache
@@ -151,6 +169,12 @@ class Engine {
   /// Counter snapshot.
   EngineStats stats() const;
 
+  /// The registry the engine's counters live in (the private one unless
+  /// options.metrics was set).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// The tracer queries are sampled into.
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// Entries currently cached.
   size_t cache_size() const;
 
@@ -170,6 +194,10 @@ class Engine {
   /// Removes `it`'s entry from cache_ and lru_. Requires mu_ held.
   void EraseLocked(std::unordered_map<std::string, CacheEntry>::iterator it);
 
+  /// The traced body of Search(query, k); `trace` may be null.
+  ServeResult SearchTraced(const std::string& query, size_t k,
+                           obs::TraceContext* trace);
+
   /// Shared batch worker-pool body; `deadline` applies per request when
   /// `has_deadline` is set.
   std::vector<ServeResult> SearchBatchInternal(
@@ -182,8 +210,24 @@ class Engine {
   mutable std::mutex mu_;
   std::unordered_map<std::string, CacheEntry> cache_;
   std::list<std::string> lru_;  ///< front = most recent
-  EngineStats stats_;
   std::string ingest_source_ = "ingest";  ///< active invalidation tag
+  /// Per-source invalidation counters, created on first use (the
+  /// registry owns the Counter objects). Guarded by mu_.
+  std::map<std::string, obs::Counter*> invalidations_by_source_;
+
+  /// Registry-backed counters (EngineStats is their snapshot view).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
+  obs::Counter* c_queries_;
+  obs::Counter* c_cache_hits_;
+  obs::Counter* c_cache_misses_;
+  obs::Counter* c_evictions_;
+  obs::Counter* c_invalidations_;
+  obs::Counter* c_batches_;
+  obs::Counter* c_deadline_exceeded_;
+  obs::Gauge* g_last_invalidation_epoch_;
+  obs::LatencyHistogram* h_latency_ms_;
 };
 
 }  // namespace serve

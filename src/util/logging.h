@@ -21,6 +21,25 @@ void SetLogThreshold(LogSeverity severity);
 /// Current threshold.
 LogSeverity GetLogThreshold();
 
+/// RAII guard around the process-global threshold: sets `severity` for
+/// the scope and restores the previous value on exit. Benches and tests
+/// that share a binary use this instead of a bare SetLogThreshold so a
+/// raised threshold cannot leak into the next test.
+class ScopedLogThreshold {
+ public:
+  explicit ScopedLogThreshold(LogSeverity severity)
+      : prev_(GetLogThreshold()) {
+    SetLogThreshold(severity);
+  }
+  ~ScopedLogThreshold() { SetLogThreshold(prev_); }
+
+  ScopedLogThreshold(const ScopedLogThreshold&) = delete;
+  ScopedLogThreshold& operator=(const ScopedLogThreshold&) = delete;
+
+ private:
+  LogSeverity prev_;
+};
+
 namespace internal {
 
 /// Stream-style message collector; emits on destruction.

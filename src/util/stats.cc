@@ -132,6 +132,14 @@ void Histogram::Add(double x) {
   ++total_;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  DS_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size())
+      << "Histogram::Merge requires identical layout";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::BucketLow(size_t i) const {
   return lo_ + width_ * static_cast<double>(i);
 }

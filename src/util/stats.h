@@ -54,6 +54,12 @@ class Histogram {
 
   void Add(double x);
 
+  /// Adds another histogram's counts into this one. The two must have
+  /// identical layout (lo, hi, bucket count) — merging per-thread
+  /// histograms into one report is the use case, and per-thread copies
+  /// of one layout is exactly what a harness hands out.
+  void Merge(const Histogram& other);
+
   /// Count in bucket `i`.
   uint64_t bucket(size_t i) const { return counts_[i]; }
   size_t num_buckets() const { return counts_.size(); }

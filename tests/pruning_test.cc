@@ -30,6 +30,11 @@ namespace {
 
 using testing_support::ExpectSameHits;
 
+// Every query in this suite runs fully traced (1-in-1 sampling, see
+// test_support.h): byte identity must hold with tracing enabled.
+[[maybe_unused]] obs::Tracer* const kTracingInstalled =
+    testing_support::InstallTracingEveryQuery();
+
 /// A corpus whose scores collide often (shared vocabulary, skewed term
 /// popularity, title boosts, wildly varying lengths) — the worst case
 /// for a pruner that mishandles ties or bounds.

@@ -38,6 +38,11 @@ namespace {
 
 using testing_support::ExpectSameHits;
 
+// Every query in this suite runs fully traced (1-in-1 sampling, see
+// test_support.h): byte identity must hold with tracing enabled.
+[[maybe_unused]] obs::Tracer* const kTracingInstalled =
+    testing_support::InstallTracingEveryQuery();
+
 // --- Shared corpus fixtures (synthweb::EntityDocuments is the shared
 // corpus-to-documents conversion). ---
 

@@ -28,6 +28,11 @@ namespace {
 
 using testing_support::ExpectSameHits;
 
+// Every query in this suite runs fully traced (1-in-1 sampling, see
+// test_support.h): byte identity must hold with tracing enabled.
+[[maybe_unused]] obs::Tracer* const kTracingInstalled =
+    testing_support::InstallTracingEveryQuery();
+
 IndexOptions ExhaustiveOptions() {
   IndexOptions opts;
   opts.enable_pruning = false;

@@ -20,11 +20,26 @@
 #include "html/text.h"
 #include "index/search_index.h"
 #include "net/web.h"
+#include "obs/trace.h"
 #include "synthweb/deep_site.h"
 #include "synthweb/domain.h"
 
 namespace deepsurf {
 namespace testing_support {
+
+/// Installs a 1-in-1-sampling tracer as the process default and returns
+/// it. The byte-identity suites call this from a namespace-scope
+/// initializer so EVERY query they run is fully traced — proving that
+/// tracing never consumes RNG, never perturbs scoring, and never costs
+/// a result bit. Leaked deliberately (the default tracer must outlive
+/// all use, including static destructors of fixtures).
+inline obs::Tracer* InstallTracingEveryQuery() {
+  obs::TracerOptions opts;
+  opts.sample_every = 1;
+  static obs::Tracer* tracer = new obs::Tracer(opts);
+  obs::SetDefaultTracer(tracer);
+  return tracer;
+}
 
 /// Asserts two ranked hit lists are byte-identical: same docs in the
 /// same order and bit-for-bit equal score doubles. Deliberately memcmp,

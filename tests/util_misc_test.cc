@@ -29,10 +29,22 @@ TEST(HashTest, CombineOrderDependent) {
 
 TEST(LoggingTest, ThresholdRoundTrip) {
   LogSeverity before = GetLogThreshold();
-  SetLogThreshold(LogSeverity::kError);
-  EXPECT_EQ(GetLogThreshold(), LogSeverity::kError);
-  DS_LOG(Info) << "suppressed at error threshold";  // must not crash
-  SetLogThreshold(before);
+  {
+    ScopedLogThreshold quiet(LogSeverity::kError);
+    EXPECT_EQ(GetLogThreshold(), LogSeverity::kError);
+    DS_LOG(Info) << "suppressed at error threshold";  // must not crash
+  }
+  EXPECT_EQ(GetLogThreshold(), before);
+}
+
+TEST(LoggingTest, ScopedThresholdRestoresOnEarlyExit) {
+  LogSeverity before = GetLogThreshold();
+  {
+    ScopedLogThreshold outer(LogSeverity::kWarning);
+    ScopedLogThreshold inner(LogSeverity::kError);
+    EXPECT_EQ(GetLogThreshold(), LogSeverity::kError);
+  }
+  EXPECT_EQ(GetLogThreshold(), before);
 }
 
 TEST(LoggingTest, CheckPassesOnTrue) {

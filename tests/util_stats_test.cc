@@ -94,6 +94,32 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
 }
 
+TEST(HistogramTest, MergeAddsCountsElementwise) {
+  Histogram a(0, 10, 5);
+  Histogram b(0, 10, 5);
+  a.Add(0.5);
+  a.Add(9.5);
+  b.Add(0.5);
+  b.Add(4.5);
+  b.Add(42);  // clamped into the top bucket
+  a.Merge(b);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_EQ(a.bucket(4), 2u);
+  EXPECT_EQ(a.total(), 5u);
+  // The source is unchanged.
+  EXPECT_EQ(b.total(), 3u);
+}
+
+TEST(HistogramTest, MergeEmptyIsIdentity) {
+  Histogram a(0, 10, 5);
+  a.Add(3.0);
+  Histogram empty(0, 10, 5);
+  a.Merge(empty);
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.bucket(1), 1u);
+}
+
 TEST(RunningStatTest, MatchesBatchStatistics) {
   RunningStat rs;
   std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
